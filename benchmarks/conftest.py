@@ -1,0 +1,30 @@
+"""Shared configuration for the benchmark harness.
+
+Each ``test_bench_*`` module regenerates one of the paper's tables or
+figures, prints it (run pytest with ``-s`` to see the rendered tables),
+asserts the paper's *shape* claims, and records the wall-clock cost via
+pytest-benchmark.  Simulation benches run once per session
+(``benchmark.pedantic`` with one round) because a full regeneration is the
+unit of interest, not a microsecond-scale kernel.
+
+The benchmark scale is modestly smaller than the default experiment scale
+so the whole harness completes in minutes; EXPERIMENTS.md records a
+full-default-scale run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.config import ExperimentConfig, default_config
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> ExperimentConfig:
+    """The configuration every benchmark runs at."""
+    return default_config().with_scale(0.002)
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,41 @@
+"""Bench: the ablation studies (ICP baseline, fan-out, tree branching)."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import ablations
+
+
+def test_bench_ablation_icp(benchmark, bench_config):
+    result = run_once(benchmark, ablations.run_icp, bench_config)
+    print("\n" + result.render())
+
+    rows = {row["architecture"]: row for row in result.rows}
+    # Sibling queries help over the plain hierarchy only via sibling hits,
+    # but hints dominate both: they reach every cache and never slow a miss.
+    assert rows["hints"]["mean_response_ms"] < rows["hierarchy"]["mean_response_ms"]
+    assert rows["hints"]["mean_response_ms"] < rows["icp"]["mean_response_ms"]
+    assert 0.0 <= rows["icp"]["sibling_hit_rate"] <= 1.0
+
+
+def test_bench_ablation_fanout(benchmark, bench_config):
+    result = run_once(benchmark, ablations.run_fanout, bench_config)
+    print("\n" + result.render())
+
+    assert len(result.rows) >= 3
+    for row in result.rows:
+        assert row["speedup"] > 1.2, row
+
+
+def test_bench_ablation_branching(benchmark, bench_config):
+    result = run_once(benchmark, ablations.run_branching, bench_config)
+    print("\n" + result.render())
+
+    for row in result.rows:
+        # Any filtering hierarchy beats the centralized strawman.
+        assert row["filter_ratio"] >= 1.0
+    # The flattest tree (branching = n_l1) filters the least at the root.
+    flattest = result.rows[-1]
+    deepest = result.rows[0]
+    assert deepest["filter_ratio"] >= flattest["filter_ratio"]

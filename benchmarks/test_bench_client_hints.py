@@ -1,0 +1,26 @@
+"""Bench: regenerate the section 3.3 proxy-vs-client hint comparison."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import client_hints
+
+
+def test_bench_client_hints(benchmark, bench_config):
+    result = run_once(benchmark, client_hints.run, bench_config)
+    print("\n" + result.render())
+
+    rows = result.rows
+    # Complete client hint caches beat the proxy configuration (the paper
+    # measured ~20% at best; we require a measurable win).
+    complete = rows[0]
+    assert complete["client_fn_rate"] == 0.0
+    assert complete["improvement"] > 1.02
+    # The advantage erodes monotonically and eventually flips.
+    improvements = [row["improvement"] for row in rows]
+    assert all(b <= a + 0.02 for a, b in zip(improvements, improvements[1:]))
+    assert not rows[-1]["client_superior"]
+    # The crossover falls strictly inside the swept range.
+    flips = [row["client_fn_rate"] for row in rows if not row["client_superior"]]
+    assert flips and 0.0 < flips[0] <= 1.0

@@ -1,0 +1,23 @@
+"""Bench: regenerate Figure 1 (testbed access times vs object size)."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import figure1
+
+
+def test_bench_figure1(benchmark):
+    result = run_once(benchmark, figure1.run)
+    print("\n" + result.render())
+
+    by_size = {row["size_kb"]: row for row in result.rows}
+    eight = by_size[8]
+    # Paper anchors: ~545 ms gap and ~2.5x at 8 KB for L3.
+    gap = eight["hier_l3_ms"] - eight["direct_l3_ms"]
+    assert 490 <= gap <= 600
+    assert 2.3 <= eight["hier_l3_ms"] / eight["direct_l3_ms"] <= 2.7
+    # Panel ordering holds at every size.
+    for row in result.rows:
+        assert row["hier_l1_ms"] < row["hier_l2_ms"] < row["hier_l3_ms"]
+        assert row["direct_l3_ms"] < row["via_l1_l3_ms"] < row["hier_l3_ms"]

@@ -1,0 +1,35 @@
+"""Bench: regenerate Figure 10 (push-algorithm response times)."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import figure10
+
+
+def test_bench_figure10(benchmark, bench_config):
+    result = run_once(benchmark, figure10.run, bench_config)
+    print("\n" + result.render())
+
+    for cost_model in ("testbed", "min", "max"):
+        rows = {
+            row["system"]: row
+            for row in result.rows
+            if row["cost_model"] == cost_model
+        }
+        hints = rows["hints"]["mean_response_ms"]
+        ideal = rows["hints-ideal-push"]["mean_response_ms"]
+        push1 = rows["hints+push-1"]["mean_response_ms"]
+        update = rows["hints+update-push"]["mean_response_ms"]
+        # Ideal push bounds every real algorithm (paper: 1.21-1.62x gain).
+        assert ideal < min(hints, push1, update)
+        assert 1.15 < hints / ideal < 3.0
+        # Hierarchical push-1 gains real latency (paper: 1.12-1.25x).
+        assert push1 < hints
+        # Update push changes response time only marginally.
+        assert abs(update - hints) / hints < 0.1
+        # Every hint variant beats the data hierarchy.
+        hierarchy = rows["hierarchy"]["mean_response_ms"]
+        for name, row in rows.items():
+            if name != "hierarchy":
+                assert row["mean_response_ms"] < hierarchy, name

@@ -1,0 +1,34 @@
+"""Bench: regenerate Figure 11 (push efficiency and bandwidth)."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import figure11
+
+
+def test_bench_figure11(benchmark, bench_config):
+    result = run_once(benchmark, figure11.run, bench_config)
+    print("\n" + result.render())
+
+    by_system = {row["system"]: row for row in result.rows}
+    update = by_system["hints+update-push"]
+    push1 = by_system["hints+push-1"]
+    push_all = by_system["hints+push-all"]
+
+    # Update push is the most efficient pusher (paper: ~1/3 used; the
+    # hierarchical algorithms run at 4-13%).
+    assert update["efficiency"] > push_all["efficiency"]
+    assert 0.01 < push_all["efficiency"] < 0.35
+    # Aggressiveness monotonically trades efficiency for bandwidth.
+    assert push1["efficiency"] >= push_all["efficiency"]
+    assert push_all["push_bw_bytes_per_s"] > push1["push_bw_bytes_per_s"]
+    # Hierarchical push inflates total bandwidth severalfold vs demand-only
+    # (paper: up to ~4x; scaled runs can exceed it, aggressive modes more so).
+    assert push1["bw_inflation_vs_demand_only"] > 1.5
+    assert (
+        push_all["bw_inflation_vs_demand_only"]
+        > push1["bw_inflation_vs_demand_only"]
+    )
+    # Update push is targeted: its bandwidth cost is small.
+    assert update["bw_inflation_vs_demand_only"] < push1["bw_inflation_vs_demand_only"]

@@ -1,0 +1,31 @@
+"""Bench: regenerate Figure 2 (miss-class breakdown vs cache size)."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import figure2
+
+
+def test_bench_figure2(benchmark, bench_config):
+    result = run_once(benchmark, figure2.run, bench_config)
+    print("\n" + result.render())
+
+    for trace in ("dec", "berkeley", "prodigy"):
+        rows = [row for row in result.rows if row["trace"] == trace]
+        totals = [row["total_miss"] for row in rows]
+        # Bigger caches never miss more.
+        assert all(a >= b - 1e-9 for a, b in zip(totals, totals[1:]))
+        infinite = rows[-1]
+        # Capacity misses vanish; compulsory dominates the residual.
+        assert infinite["capacity"] == 0.0
+        assert infinite["compulsory"] > infinite["communication"]
+
+    # Berkeley and Prodigy show markedly more uncachable traffic than DEC.
+    uncachable = {
+        row["trace"]: row["uncachable"]
+        for row in result.rows
+        if row["size_fraction"] == "inf"
+    }
+    assert uncachable["berkeley"] > 2 * uncachable["dec"]
+    assert uncachable["prodigy"] > 2 * uncachable["dec"]

@@ -1,0 +1,19 @@
+"""Bench: regenerate Figure 3 (hit ratios by hierarchy level)."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import figure3
+
+
+def test_bench_figure3(benchmark, bench_config):
+    result = run_once(benchmark, figure3.run, bench_config)
+    print("\n" + result.render())
+
+    for row in result.rows:
+        # Sharing strictly increases achievable hit rates.
+        assert row["l1_hit_ratio"] < row["l2_hit_ratio"] < row["l3_hit_ratio"]
+        assert row["l1_byte_hit"] <= row["l2_byte_hit"] <= row["l3_byte_hit"]
+        # System-wide hit rates land in the paper's broad band (~60-85%).
+        assert 0.5 < row["l3_hit_ratio"] < 0.95

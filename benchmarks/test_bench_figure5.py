@@ -1,0 +1,22 @@
+"""Bench: regenerate Figure 5 (hit rate vs hint-cache size)."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import figure5
+
+
+def test_bench_figure5(benchmark, bench_config):
+    result = run_once(benchmark, figure5.run, bench_config)
+    print("\n" + result.render())
+
+    ratios = [row["hit_ratio"] for row in result.rows]
+    # The Figure 5 sigmoid: tiny hint caches track little beyond local
+    # contents; a full-index-sized cache matches the unbounded directory.
+    assert ratios[0] < ratios[-1] - 0.2
+    assert all(b >= a - 0.02 for a, b in zip(ratios, ratios[1:]))
+    full_index = result.rows[-3]  # fraction 1.0
+    unbounded = result.rows[-1]
+    assert abs(full_index["hit_ratio"] - unbounded["hit_ratio"]) < 0.03
+    assert unbounded["false_negatives"] == 0

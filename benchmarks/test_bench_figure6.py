@@ -1,0 +1,21 @@
+"""Bench: regenerate Figure 6 (hit rate vs hint propagation delay)."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import figure6
+
+
+def test_bench_figure6(benchmark, bench_config):
+    result = run_once(benchmark, figure6.run, bench_config)
+    print("\n" + result.render())
+
+    by_delay = {row["delay_minutes"]: row for row in result.rows}
+    instant = by_delay[0.0]["hit_ratio"]
+    # Minutes of delay are tolerable (the paper's claim) ...
+    assert by_delay[5.0]["hit_ratio"] >= instant - 0.02
+    # ... but long delays cost real hits.
+    assert by_delay[1000.0]["hit_ratio"] < instant
+    # Staleness shows up as hint errors.
+    assert by_delay[1000.0]["false_negatives"] > by_delay[0.0]["false_negatives"]

@@ -1,0 +1,19 @@
+"""Bench: regenerate Figure 8 (the headline response-time comparison)."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import figure8
+
+
+def test_bench_figure8(benchmark, bench_config):
+    result = run_once(benchmark, figure8.run, bench_config)
+    print("\n" + result.render())
+
+    for row in result.rows:
+        # The paper's central result, for every trace, cost model, and
+        # disk configuration: hints < directory < hierarchy.
+        assert row["hints_ms"] < row["directory_ms"] < row["hierarchy_ms"], row
+        # Speedups inside a sane band around the paper's 1.28-2.79.
+        assert 1.1 < row["speedup_hints"] < 3.5, row

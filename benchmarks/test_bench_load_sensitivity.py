@@ -1,0 +1,19 @@
+"""Bench: the load-sensitivity experiment (the 2.1.1 hypothesis)."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import load_sensitivity
+
+
+def test_bench_load_sensitivity(benchmark, bench_config):
+    result = run_once(benchmark, load_sensitivity.run, bench_config)
+    print("\n" + result.render())
+
+    speedups = [row["speedup"] for row in result.rows]
+    # The hypothesis: busy caches widen the hint architecture's advantage.
+    assert all(b >= a - 0.01 for a, b in zip(speedups, speedups[1:]))
+    assert speedups[-1] > speedups[0] * 1.25
+    # Near saturation the hierarchy's multi-hop paths are punished hard.
+    assert result.rows[-1]["hierarchy_ms"] > 2 * result.rows[0]["hierarchy_ms"]

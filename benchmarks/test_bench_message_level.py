@@ -1,0 +1,25 @@
+"""Bench: the model-vs-mechanism cross-validation experiment."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import message_level
+
+
+def test_bench_message_level(benchmark, bench_config):
+    result = run_once(benchmark, message_level.run, bench_config)
+    print("\n" + result.render())
+
+    rows = {row["system"]: row for row in result.rows}
+    hierarchy = rows["hierarchy (baseline)"]["mean_response_ms"]
+    modeled = rows["hints, modeled (instant)"]["mean_response_ms"]
+    mechanism = rows["hints, message-level"]["mean_response_ms"]
+
+    # The real wire mechanism validates Figure 8's modeling: within 15% of
+    # the instant-propagation model...
+    assert abs(mechanism - modeled) / modeled < 0.15
+    # ...and still roughly 2x ahead of the traditional hierarchy.
+    assert hierarchy / mechanism > 1.5
+    # Its staleness is real: emergent false negatives, not injected ones.
+    assert rows["hints, message-level"]["false_negatives"] > 0

@@ -1,0 +1,63 @@
+"""Bench: message-level hint propagation latency (sections 3.1.1 + 3.2).
+
+Runs the real wire protocol -- 20-byte updates, 0-60 s randomized
+batching per hop, tree forwarding -- over the paper's 64-proxy metadata
+hierarchy and measures how stale hint caches actually get.  The measured
+distribution must land inside Figure 6's safe zone (a few minutes), which
+is the paper's argument that the batched-update design is fast enough.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import run_once
+
+from repro.common.ids import object_id_from_url
+from repro.hints.cluster import HintCluster
+from repro.hints.wire import UPDATE_RECORD_BYTES
+
+
+def propagate(n_objects: int = 40, seed: int = 11) -> dict:
+    cluster = HintCluster.balanced(
+        branching=8, leaves=64, link_latency_s=0.1, seed=seed
+    )
+    rng = np.random.default_rng(seed)
+    hashes = [object_id_from_url(f"http://bench-{i}.example.com/") for i in range(n_objects)]
+    origins: dict[int, int] = {}
+    for i, url_hash in enumerate(hashes):
+        origin = int(rng.integers(0, 64))
+        origins[url_hash] = origin
+        cluster.local_inform(origin, url_hash, now=float(i))
+    cluster.run_until(3600.0)
+    delays = []
+    for url_hash in hashes:
+        delays.extend(cluster.visibility_delays(url_hash, origin=origins[url_hash]))
+    return {
+        "coverage": float(np.mean([cluster.coverage(h) for h in hashes])),
+        "mean_delay_s": float(np.mean(delays)),
+        "p95_delay_s": float(np.percentile(delays, 95)),
+        "max_delay_s": float(np.max(delays)),
+        "bytes_sent": sum(cluster.bytes_sent),
+        "batches": cluster.batches_sent,
+    }
+
+
+def test_bench_propagation(benchmark):
+    stats = run_once(benchmark, propagate)
+    print(
+        "\nmessage-level hint propagation over the 64-proxy tree:\n"
+        f"  coverage:      {stats['coverage']:.3f}\n"
+        f"  mean delay:    {stats['mean_delay_s']:.0f} s\n"
+        f"  p95 delay:     {stats['p95_delay_s']:.0f} s\n"
+        f"  max delay:     {stats['max_delay_s']:.0f} s\n"
+        f"  batches sent:  {stats['batches']}\n"
+        f"  bytes sent:    {stats['bytes_sent']}"
+    )
+    # Every hint cache learns of every copy.
+    assert stats["coverage"] == 1.0
+    # Staleness sits in Figure 6's tolerable zone: minutes, not hours.
+    assert stats["mean_delay_s"] < 4 * 60
+    assert stats["max_delay_s"] < 10 * 60
+    # Batching amortizes: far fewer batches than update deliveries.
+    deliveries = stats["bytes_sent"] / UPDATE_RECORD_BYTES
+    assert stats["batches"] < deliveries

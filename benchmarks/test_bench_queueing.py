@@ -1,0 +1,19 @@
+"""Bench: queueing validation (emergent vs analytic load sensitivity)."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import queueing_validation
+
+
+def test_bench_queueing_validation(benchmark, bench_config):
+    result = run_once(benchmark, queueing_validation.run, bench_config)
+    print("\n" + result.render())
+
+    for column in ("emergent_speedup", "analytic_speedup"):
+        values = [row[column] for row in result.rows]
+        assert all(v > 1.0 for v in values), column
+        assert values[-1] > values[0], column
+    for row in result.rows:
+        assert row["hierarchy_queue_wait_ms"] > row["hints_queue_wait_ms"]

@@ -1,0 +1,18 @@
+"""Bench: achievable hit rate vs client population (the section 2.2 claim)."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import scaling
+
+
+def test_bench_scaling(benchmark, bench_config):
+    result = run_once(benchmark, scaling.run, bench_config)
+    print("\n" + result.render())
+
+    ratios = [row["system_hit_ratio"] for row in result.rows]
+    # More sharing, higher achievable hit rate -- monotone with a real gain
+    # across an 8x population range.
+    assert all(b >= a - 0.01 for a, b in zip(ratios, ratios[1:]))
+    assert ratios[-1] > ratios[0] + 0.08

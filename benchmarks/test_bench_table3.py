@@ -1,0 +1,22 @@
+"""Bench: regenerate Table 3 (Rousskov-derived Squid access times)."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import table3
+
+
+def test_bench_table3(benchmark):
+    result = run_once(benchmark, table3.run)
+    print("\n" + result.render())
+
+    by_level = {row["level"]: row for row in result.rows}
+    # Every derived total matches the published table exactly.
+    assert (by_level["Leaf"]["hier_min"], by_level["Leaf"]["hier_max"]) == (163, 352)
+    assert (by_level["Intermediate"]["hier_min"], by_level["Intermediate"]["hier_max"]) == (271, 2767)
+    assert (by_level["Root"]["hier_min"], by_level["Root"]["hier_max"]) == (531, 4667)
+    assert (by_level["Miss"]["hier_min"], by_level["Miss"]["hier_max"]) == (981, 7217)
+    assert (by_level["Root"]["direct_min"], by_level["Root"]["direct_max"]) == (320, 2850)
+    assert (by_level["Root"]["via_l1_min"], by_level["Root"]["via_l1_max"]) == (411, 3067)
+    assert (by_level["Miss"]["via_l1_min"], by_level["Miss"]["via_l1_max"]) == (641, 3417)

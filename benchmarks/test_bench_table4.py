@@ -1,0 +1,24 @@
+"""Bench: regenerate Table 4 (trace characteristics)."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import table4
+
+
+def test_bench_table4(benchmark, bench_config):
+    result = run_once(benchmark, table4.run, bench_config)
+    print("\n" + result.render())
+
+    assert [row["trace"] for row in result.rows] == ["dec", "berkeley", "prodigy"]
+    for row in result.rows:
+        # The calibration target: distinct/request ratio within 20% of the
+        # published trace's.
+        assert abs(row["distinct_ratio"] - row["paper_distinct_ratio"]) < 0.2 * row[
+            "paper_distinct_ratio"
+        ]
+    days = {row["trace"]: row["days"] for row in result.rows}
+    assert round(days["dec"]) == 21
+    assert round(days["berkeley"]) == 19
+    assert round(days["prodigy"]) == 3

@@ -1,0 +1,22 @@
+"""Bench: regenerate Table 5 (root update load) and the wire arithmetic."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import table5
+from repro.hints.wire import UPDATE_RECORD_BYTES
+
+
+def test_bench_table5(benchmark, bench_config):
+    result = run_once(benchmark, table5.run, bench_config)
+    print("\n" + result.render())
+
+    central, hierarchy = result.rows
+    # The filtering hierarchy's root hears strictly less than the
+    # centralized strawman (paper: 1.9 vs 5.7 updates/s).
+    assert hierarchy["root_updates"] < central["root_updates"]
+    # Section 3.2's wire arithmetic: 20 bytes per update.
+    assert UPDATE_RECORD_BYTES == 20
+    for row in result.rows:
+        assert row["bandwidth_bytes_per_s"] == row["updates_per_s"] * 20

@@ -1,0 +1,22 @@
+"""Bench: regenerate Table 6 (speedup of hints over the hierarchy)."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import table6
+
+
+def test_bench_table6(benchmark, bench_config):
+    result = run_once(benchmark, table6.run, bench_config)
+    print("\n" + result.render())
+
+    assert len(result.rows) == 3
+    for row in result.rows:
+        # Paper band 1.28-2.79; every measured ratio must exceed 1.15 and
+        # respect the published ordering testbed > max > min.
+        assert row["testbed"] > row["max"] > row["min"] > 1.15, row
+        # Within 35% of the paper's cell values despite the scaled traces.
+        for model in ("max", "min", "testbed"):
+            paper_value = row[f"paper_{model}"]
+            assert abs(row[model] - paper_value) / paper_value < 0.35, (row, model)

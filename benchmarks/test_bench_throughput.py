@@ -1,0 +1,61 @@
+"""Library performance microbenchmarks (not paper artifacts).
+
+How fast is the reproduction itself?  These benches time the hot paths a
+user pays for -- trace generation and per-request simulation throughput
+for each architecture -- so performance regressions in the library are
+visible in benchmark history.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hierarchy.data_hierarchy import DataHierarchy
+from repro.hierarchy.directory_arch import CentralizedDirectoryArchitecture
+from repro.hierarchy.hint_hierarchy import HintHierarchy
+from repro.netmodel.testbed import TestbedCostModel
+from repro.sim.engine import run_simulation
+from repro.traces.profiles import DEC
+from repro.traces.synthetic import SyntheticTraceGenerator
+
+
+@pytest.fixture(scope="module")
+def small_profile():
+    return DEC.scaled(0.0005, min_clients=128)
+
+
+@pytest.fixture(scope="module")
+def small_trace(small_profile):
+    return SyntheticTraceGenerator(small_profile, seed=1).generate()
+
+
+def test_bench_trace_generation(benchmark, small_profile):
+    trace = benchmark(
+        lambda: SyntheticTraceGenerator(small_profile, seed=1).generate()
+    )
+    assert len(trace) == small_profile.n_requests
+    rate = len(trace) / benchmark.stats["mean"]
+    print(f"\ntrace generation: {rate:,.0f} requests/s")
+
+
+@pytest.mark.parametrize(
+    "architecture_factory",
+    [DataHierarchy, CentralizedDirectoryArchitecture, HintHierarchy],
+    ids=["hierarchy", "directory", "hints"],
+)
+def test_bench_simulation_throughput(benchmark, small_trace, architecture_factory):
+    from repro.hierarchy.topology import HierarchyTopology
+
+    topology = HierarchyTopology(clients_per_l1=2, l1_per_l2=8, n_l2=8)
+
+    def run_once():
+        return run_simulation(
+            small_trace, architecture_factory(topology, TestbedCostModel())
+        )
+
+    metrics = benchmark(run_once)
+    assert metrics.measured_requests > 0
+    rate = len(small_trace) / benchmark.stats["mean"]
+    print(f"\nsimulation: {rate:,.0f} requests/s")
+    # Regression guard: the simulator must stay usable (>20k req/s here).
+    assert rate > 20_000

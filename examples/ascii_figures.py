@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Render the paper's sweep figures as terminal charts.
+
+Regenerates three of the paper's figures at a small scale and draws them
+as ASCII charts right in the terminal -- handy for eyeballing the shapes
+(the sigmoid of Figure 5, the staleness knee of Figure 6, the log-log
+growth of Figure 1) without a plotting stack.
+
+Run:  python examples/ascii_figures.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments import figure1, figure5, figure6
+from repro.sim.config import default_config
+
+
+def main() -> None:
+    config = default_config().with_scale(0.001)
+
+    print("Figure 1: testbed access time vs object size (log x)")
+    print("=" * 64)
+    result = figure1.run(config)
+    print(result.render_chart())
+    print()
+
+    print("Figure 5: hit rate vs hint-cache size (log x)")
+    print("=" * 64)
+    result = figure5.run(config)
+    print(result.render_chart())
+    print()
+
+    print("Figure 6: hit rate vs hint propagation delay (log x)")
+    print("=" * 64)
+    result = figure6.run(config)
+    print(result.render_chart())
+    print()
+    print(
+        "Shapes to look for: Figure 1's hierarchical curve (o) sits above\n"
+        "direct access (x) everywhere; Figure 5 rises to a knee at the\n"
+        "full-index size; Figure 6 stays flat for minutes of delay and\n"
+        "only then erodes."
+    )
+
+
+if __name__ == "__main__":
+    main()

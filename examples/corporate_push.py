@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""Corporate proxy scenario: is push caching worth the bandwidth?
+
+Models a DEC-like corporate population (the paper's first trace) running
+the hint architecture with space-constrained proxy disks, then turns on
+each push algorithm from section 4 and reports the paper's two figures of
+merit side by side:
+
+* response-time speedup over the no-push hint system (Figure 10), and
+* push efficiency plus bandwidth inflation (Figure 11).
+
+The punchline matches the paper: hierarchical push trades bandwidth for
+latency; update push is highly targeted but barely moves response time;
+the ideal-push bound shows how much headroom remains.
+
+Run:  python examples/corporate_push.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    DEC,
+    DataHierarchy,
+    HierarchicalPushOnMiss,
+    HierarchyTopology,
+    HintHierarchy,
+    TestbedCostModel,
+    UpdatePush,
+    generate_trace,
+    run_simulation,
+)
+from repro.common.units import MB
+from repro.reporting.tables import format_table
+
+
+def main() -> None:
+    print("Generating a scaled DEC-profile trace...")
+    trace = generate_trace(DEC.scaled(0.002, min_clients=256), seed=42)
+    topology = HierarchyTopology(clients_per_l1=4, l1_per_l2=8, n_l2=8)
+    cost = TestbedCostModel()
+    data_bytes = 12 * MB        # scaled stand-in for the paper's 5 GB
+    hint_data = int(10.8 * MB)  # 90% data ...
+    hint_store = int(1.2 * MB)  # ... 10% hints
+
+    print("Simulating the baselines and each push algorithm...\n")
+    hierarchy = DataHierarchy(
+        topology, cost, l1_bytes=data_bytes, l2_bytes=data_bytes, l3_bytes=data_bytes
+    )
+    baseline = run_simulation(trace, hierarchy)
+
+    systems = [("(no push)", None)]
+    systems.append(("update push", UpdatePush()))
+    for mode in ("push-1", "push-half", "push-all"):
+        systems.append((mode, HierarchicalPushOnMiss(topology, mode, seed=42)))
+
+    rows = []
+    no_push_ms = None
+    for label, policy in systems:
+        arch = HintHierarchy(
+            topology, cost,
+            l1_bytes=hint_data, hint_capacity_bytes=hint_store,
+            push_policy=policy,
+        )
+        metrics = run_simulation(trace, arch)
+        if no_push_ms is None:
+            no_push_ms = metrics.mean_response_ms
+        stats = arch.push_stats
+        demand_bw = stats.demand_bandwidth_bytes_per_s()
+        total_bw = demand_bw + stats.push_bandwidth_bytes_per_s()
+        rows.append(
+            {
+                "system": label,
+                "mean_ms": metrics.mean_response_ms,
+                "speedup_vs_no_push": no_push_ms / metrics.mean_response_ms,
+                "efficiency": stats.efficiency,
+                "bw_inflation": total_bw / demand_bw if demand_bw else 1.0,
+            }
+        )
+
+    ideal = HintHierarchy(
+        topology, cost, l1_bytes=data_bytes, charge_remote_as_l1=True
+    )
+    ideal_metrics = run_simulation(trace, ideal)
+    rows.append(
+        {
+            "system": "ideal push (bound)",
+            "mean_ms": ideal_metrics.mean_response_ms,
+            "speedup_vs_no_push": no_push_ms / ideal_metrics.mean_response_ms,
+            "efficiency": "",
+            "bw_inflation": "",
+        }
+    )
+
+    print(format_table(rows, title="Push caching on a corporate proxy (DEC profile)"))
+    print(
+        f"\nFor reference, the no-push data hierarchy averaged "
+        f"{baseline.mean_response_ms:,.0f} ms.\n"
+        "Reading the table: efficiency is the fraction of pushed bytes a\n"
+        "client later read; bw_inflation is total traffic relative to\n"
+        "demand-only.  Aggressive pushing buys latency with bandwidth."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Quickstart: reproduce the paper's headline result in ~30 seconds.
+
+Builds a scaled-down version of the paper's evaluation system (a 64-proxy,
+three-level topology), generates a DEC-profile synthetic trace, and runs
+the three architectures of Figure 8 under the testbed access times:
+
+* the traditional three-level data hierarchy,
+* a CRISP-style centralized directory,
+* the paper's hint architecture.
+
+Expected output: the hint architecture wins by roughly 2x on mean response
+time without improving the hit rate -- the paper's central claim that the
+gains come from hit/miss *times*, not hit *rates*.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    DEC,
+    CentralizedDirectoryArchitecture,
+    DataHierarchy,
+    HierarchyTopology,
+    HintHierarchy,
+    TestbedCostModel,
+    generate_trace,
+    run_simulation,
+)
+from repro.reporting.tables import format_table
+
+
+def main() -> None:
+    print("Generating a scaled DEC-profile trace...")
+    trace = generate_trace(DEC.scaled(0.002, min_clients=256), seed=42)
+    print(
+        f"  {len(trace):,} requests, {trace.distinct_objects():,} distinct "
+        f"objects, {trace.distinct_clients()} clients\n"
+    )
+
+    topology = HierarchyTopology(clients_per_l1=4, l1_per_l2=8, n_l2=8)
+    cost = TestbedCostModel()
+
+    rows = []
+    baseline_ms = None
+    for architecture in (
+        DataHierarchy(topology, cost),
+        CentralizedDirectoryArchitecture(topology, cost),
+        HintHierarchy(topology, cost),
+    ):
+        print(f"Simulating {architecture.describe()}...")
+        metrics = run_simulation(trace, architecture)
+        if baseline_ms is None:
+            baseline_ms = metrics.mean_response_ms
+        rows.append(
+            {
+                "architecture": architecture.name,
+                "mean_response_ms": metrics.mean_response_ms,
+                "hit_ratio": metrics.hit_ratio,
+                "speedup_vs_hierarchy": baseline_ms / metrics.mean_response_ms,
+            }
+        )
+
+    print()
+    print(format_table(rows, title="Figure 8 (scaled): DEC trace, testbed times"))
+    print(
+        "\nNote how the hit ratios barely differ: the speedup comes from\n"
+        "cheaper paths to the same hits and misses (fewer hops), exactly\n"
+        "as the paper argues."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,30 @@
+"""Cache substrate: data caches and miss taxonomy.
+
+* :class:`repro.cache.lru.LRUCache` -- byte-capacity LRU object cache with
+  version-aware lookups (strong consistency via invalidation, paper
+  section 2.2.1).
+* :class:`repro.cache.setassoc.SetAssociativeCache` -- generic k-way
+  set-associative cache with per-set LRU, the structure the prototype uses
+  for hint storage (section 3.2.1).
+* :class:`repro.cache.classify.MissClassifier` -- classifies each miss as
+  compulsory / capacity / communication / error / uncachable, the taxonomy
+  of Figure 2.
+"""
+
+from repro.cache.classify import AccessOutcome, MissClass, MissClassifier
+from repro.cache.lru import CacheEntry, LRUCache
+from repro.cache.negative import NegativeResultCache
+from repro.cache.setassoc import SetAssociativeCache
+from repro.cache.ttl import TTLCache, TTLLookupResult
+
+__all__ = [
+    "AccessOutcome",
+    "CacheEntry",
+    "LRUCache",
+    "MissClass",
+    "MissClassifier",
+    "NegativeResultCache",
+    "SetAssociativeCache",
+    "TTLCache",
+    "TTLLookupResult",
+]

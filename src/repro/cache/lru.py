@@ -1,0 +1,161 @@
+"""Byte-capacity LRU object cache with version-aware lookups.
+
+This is the data cache every proxy in the simulation runs.  Capacity is in
+bytes (proxy disks in the paper are 5 GB); ``capacity=None`` models the
+paper's "infinite cache" configurations.  Strong consistency is modelled by
+object versions: a lookup that finds an entry with an older version counts
+as a *stale hit*, the cached copy is invalidated, and the caller treats the
+access as a communication miss.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from enum import Enum, auto
+from typing import Callable, Iterator
+
+
+@dataclass
+class CacheEntry:
+    """One cached object: its size in bytes and the version stored."""
+
+    size: int
+    version: int
+
+
+class LookupResult(Enum):
+    """Outcome of a version-aware cache lookup."""
+
+    HIT = auto()
+    MISS = auto()
+    STALE = auto()  # present, but an older version: invalidated on lookup
+
+
+class LRUCache:
+    """LRU cache evicting by total byte size.
+
+    Args:
+        capacity_bytes: Maximum total size of cached objects; ``None`` means
+            unbounded (the paper's infinite-cache configurations).
+        on_evict: Optional callback ``(key, entry, reason)`` invoked whenever
+            an object leaves the cache.  ``reason`` is ``"capacity"``,
+            ``"invalidate"``, or ``"remove"``.  The hint system uses this to
+            advertise non-presence (the prototype's *invalidate* command).
+
+    Objects larger than the capacity are simply not cached (they would evict
+    everything and immediately be evicted themselves).
+    """
+
+    def __init__(
+        self,
+        capacity_bytes: int | None = None,
+        on_evict: Callable[[int, CacheEntry, str], None] | None = None,
+    ) -> None:
+        if capacity_bytes is not None and capacity_bytes < 0:
+            raise ValueError(f"capacity must be non-negative, got {capacity_bytes}")
+        self.capacity_bytes = capacity_bytes
+        self._on_evict = on_evict
+        self._entries: OrderedDict[int, CacheEntry] = OrderedDict()
+        self._used_bytes = 0
+        # Objects this cache has ever stored, with the last stored version;
+        # the miss classifier uses it to tell capacity misses (seen before,
+        # same version) from compulsory misses (never seen).
+        self._ever_stored: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: int) -> bool:
+        return key in self._entries
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._entries)
+
+    @property
+    def used_bytes(self) -> int:
+        """Current total size of cached objects."""
+        return self._used_bytes
+
+    def peek(self, key: int) -> CacheEntry | None:
+        """Return the entry for ``key`` without touching LRU order."""
+        return self._entries.get(key)
+
+    def ever_stored_version(self, key: int) -> int | None:
+        """Last version ever stored for ``key``, or None if never stored."""
+        return self._ever_stored.get(key)
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def lookup(self, key: int, version: int) -> LookupResult:
+        """Version-aware lookup; promotes on hit, invalidates stale copies."""
+        entry = self._entries.get(key)
+        if entry is None:
+            return LookupResult.MISS
+        if entry.version < version:
+            self._delete(key, "invalidate")
+            return LookupResult.STALE
+        self._entries.move_to_end(key)
+        return LookupResult.HIT
+
+    def insert(self, key: int, size: int, version: int) -> list[int]:
+        """Insert or refresh an object; returns keys evicted to make room."""
+        if size < 0:
+            raise ValueError(f"object size must be non-negative, got {size}")
+        if self.capacity_bytes is not None and size > self.capacity_bytes:
+            # Uncacheably large for this cache; record the sighting anyway.
+            self._ever_stored[key] = max(self._ever_stored.get(key, -1), version)
+            return []
+        existing = self._entries.pop(key, None)
+        if existing is not None:
+            self._used_bytes -= existing.size
+        self._entries[key] = CacheEntry(size=size, version=version)
+        self._used_bytes += size
+        self._ever_stored[key] = max(self._ever_stored.get(key, -1), version)
+        return self._evict_to_fit()
+
+    def touch_lru_demote(self, key: int) -> None:
+        """Age ``key`` by moving it to the eviction end of the LRU list.
+
+        The update-push algorithm "ages" objects that keep changing without
+        being read (paper section 4.1.2); this is that mechanism.
+        """
+        if key in self._entries:
+            self._entries.move_to_end(key, last=False)
+
+    def invalidate(self, key: int) -> bool:
+        """Drop ``key`` due to a consistency invalidation; True if present."""
+        if key not in self._entries:
+            return False
+        self._delete(key, "invalidate")
+        return True
+
+    def remove(self, key: int) -> bool:
+        """Administratively drop ``key``; True if it was present."""
+        if key not in self._entries:
+            return False
+        self._delete(key, "remove")
+        return True
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _evict_to_fit(self) -> list[int]:
+        evicted: list[int] = []
+        if self.capacity_bytes is None:
+            return evicted
+        while self._used_bytes > self.capacity_bytes and self._entries:
+            key, _entry = next(iter(self._entries.items()))
+            self._delete(key, "capacity")
+            evicted.append(key)
+        return evicted
+
+    def _delete(self, key: int, reason: str) -> None:
+        entry = self._entries.pop(key)
+        self._used_bytes -= entry.size
+        if self._on_evict is not None:
+            self._on_evict(key, entry, reason)

@@ -1,0 +1,69 @@
+"""Negative result caching (section 2.2.2's "possible avenue").
+
+Among the approaches the paper lists for attacking the residual miss
+classes is "negative result caching [27, 5]" -- remembering, for a while,
+that a URL returned an error so that repeated requests for it do not
+travel to the origin server again (the DNS and Harvest lineage of the
+idea).
+
+The paper does not evaluate it; we implement it as the extension the
+related-work pointer suggests, and the ``negative_caching`` ablation
+measures how many error-bound server contacts it saves on each workload.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+
+class NegativeResultCache:
+    """Remembers recent error results per object for a bounded time.
+
+    Args:
+        ttl_s: How long a cached error result stays valid.  DNS-style
+            negative TTLs are short; errors do clear up.
+        max_entries: Bound on remembered errors (LRU-evicted beyond it).
+    """
+
+    def __init__(self, ttl_s: float, max_entries: int = 65536) -> None:
+        if ttl_s <= 0:
+            raise ValueError(f"ttl must be positive, got {ttl_s}")
+        if max_entries <= 0:
+            raise ValueError(f"max_entries must be positive, got {max_entries}")
+        self.ttl_s = ttl_s
+        self.max_entries = max_entries
+        self._entries: OrderedDict[int, float] = OrderedDict()  # key -> stored_at
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def check(self, key: int, now: float) -> bool:
+        """Is a fresh negative result cached for ``key``?
+
+        A hit means the proxy can answer the error locally instead of
+        contacting the origin server again.
+        """
+        stored_at = self._entries.get(key)
+        if stored_at is None or now - stored_at > self.ttl_s:
+            if stored_at is not None:
+                del self._entries[key]
+            self.misses += 1
+            return False
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return True
+
+    def record(self, key: int, now: float) -> None:
+        """Remember that ``key`` just produced an error."""
+        self._entries.pop(key, None)
+        self._entries[key] = now
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of error lookups answered locally."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

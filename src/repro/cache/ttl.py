@@ -1,0 +1,112 @@
+"""TTL-based weak consistency (the behaviour the paper factors *out*).
+
+Section 2.2.1: "Current web cache implementations generally provide weak
+cache consistency via ad hoc consistency algorithms.  For example, current
+Squid caches discard any data older than two days."  The paper simulates
+strong consistency instead, arguing that weak consistency distorts results
+two ways: counting hits to stale data as hits, or discarding perfectly
+good data.
+
+This module implements the Squid-style TTL cache so that distortion is
+*measurable*: :class:`TTLCache` serves anything younger than its TTL
+(including stale versions) and discards anything older (including fresh
+copies).  The ``consistency`` ablation in :mod:`repro.experiments.ablations`
+compares it against the version-invalidation cache and reports both error
+terms, validating the paper's methodological choice.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from enum import Enum, auto
+
+
+@dataclass
+class TTLEntry:
+    """A cached object with its store time and the version stored."""
+
+    size: int
+    version: int
+    stored_at: float
+
+
+class TTLLookupResult(Enum):
+    """Outcome of a TTL-cache lookup, distinguishing the two error modes."""
+
+    FRESH_HIT = auto()  # young entry, current version
+    STALE_HIT = auto()  # young entry, but an OLD version was served
+    EXPIRED = auto()  # entry was still current but past the TTL: discarded
+    MISS = auto()
+
+
+class TTLCache:
+    """LRU byte-capacity cache with Squid-style age-based expiry.
+
+    Args:
+        ttl_s: Maximum entry age before it is discarded (Squid: 2 days).
+        capacity_bytes: Byte capacity; ``None`` is unbounded.
+    """
+
+    def __init__(self, ttl_s: float, capacity_bytes: int | None = None) -> None:
+        if ttl_s <= 0:
+            raise ValueError(f"ttl must be positive, got {ttl_s}")
+        if capacity_bytes is not None and capacity_bytes < 0:
+            raise ValueError(f"capacity must be non-negative, got {capacity_bytes}")
+        self.ttl_s = ttl_s
+        self.capacity_bytes = capacity_bytes
+        self._entries: OrderedDict[int, TTLEntry] = OrderedDict()
+        self._used_bytes = 0
+        self.stale_hits_served = 0
+        self.fresh_discards = 0  # current-version entries dropped by age
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def used_bytes(self) -> int:
+        """Current total size of cached objects."""
+        return self._used_bytes
+
+    def lookup(self, key: int, version: int, now: float) -> TTLLookupResult:
+        """Age-based lookup: freshness is judged by wall clock, not version."""
+        entry = self._entries.get(key)
+        if entry is None:
+            return TTLLookupResult.MISS
+        if now - entry.stored_at > self.ttl_s:
+            # Age-expired.  If the copy was actually still current, this is
+            # the "discarding perfectly good data" distortion.
+            if entry.version >= version:
+                self.fresh_discards += 1
+            self._delete(key)
+            return TTLLookupResult.EXPIRED
+        self._entries.move_to_end(key)
+        if entry.version < version:
+            # Young enough by age, but the object changed: a weak-
+            # consistency cache serves the stale bytes as a "hit".
+            self.stale_hits_served += 1
+            return TTLLookupResult.STALE_HIT
+        return TTLLookupResult.FRESH_HIT
+
+    def insert(self, key: int, size: int, version: int, now: float) -> list[int]:
+        """Insert/refresh an object; returns keys evicted for space."""
+        if size < 0:
+            raise ValueError(f"object size must be non-negative, got {size}")
+        if self.capacity_bytes is not None and size > self.capacity_bytes:
+            return []
+        existing = self._entries.pop(key, None)
+        if existing is not None:
+            self._used_bytes -= existing.size
+        self._entries[key] = TTLEntry(size=size, version=version, stored_at=now)
+        self._used_bytes += size
+        evicted: list[int] = []
+        if self.capacity_bytes is not None:
+            while self._used_bytes > self.capacity_bytes and self._entries:
+                victim = next(iter(self._entries))
+                self._delete(victim)
+                evicted.append(victim)
+        return evicted
+
+    def _delete(self, key: int) -> None:
+        entry = self._entries.pop(key)
+        self._used_bytes -= entry.size

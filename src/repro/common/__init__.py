@@ -1,0 +1,57 @@
+"""Shared low-level utilities used throughout the reproduction.
+
+This package deliberately contains only dependency-free building blocks:
+
+* :mod:`repro.common.ids` -- MD5-derived identifiers and the bit-matching
+  helpers the Plaxton tree embedding is built on.
+* :mod:`repro.common.units` -- byte and time unit conversions so that
+  magnitudes are always explicit at call sites.
+* :mod:`repro.common.rng` -- seeded random-number-generator plumbing so every
+  experiment is reproducible from a single integer seed.
+* :mod:`repro.common.errors` -- the exception hierarchy for the library.
+"""
+
+from repro.common.errors import (
+    ConfigurationError,
+    ReproError,
+    TraceFormatError,
+)
+from repro.common.ids import (
+    matching_low_bits,
+    matching_low_digits,
+    node_id_from_name,
+    object_id_from_url,
+)
+from repro.common.rng import SeedSequenceFactory, derive_seed
+from repro.common.units import (
+    GB,
+    KB,
+    MB,
+    MINUTES,
+    SECONDS,
+    bytes_to_mb,
+    mb_to_bytes,
+    ms_to_seconds,
+    seconds_to_ms,
+)
+
+__all__ = [
+    "GB",
+    "KB",
+    "MB",
+    "MINUTES",
+    "SECONDS",
+    "ConfigurationError",
+    "ReproError",
+    "SeedSequenceFactory",
+    "TraceFormatError",
+    "bytes_to_mb",
+    "derive_seed",
+    "matching_low_bits",
+    "matching_low_digits",
+    "mb_to_bytes",
+    "ms_to_seconds",
+    "node_id_from_name",
+    "object_id_from_url",
+    "seconds_to_ms",
+]

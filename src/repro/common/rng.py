@@ -1,0 +1,56 @@
+"""Seeded random-number-generator plumbing.
+
+Every stochastic component in the library (trace generators, Plaxton node
+placement, push-target selection, update jitter) takes an explicit seed or
+:class:`numpy.random.Generator`.  Experiments derive all of their generators
+from a single root seed via :class:`SeedSequenceFactory`, so that a whole
+figure is reproducible from one integer while its components remain
+statistically independent.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+
+def derive_seed(root_seed: int, *labels: str | int) -> int:
+    """Derive a stable 63-bit child seed from a root seed and labels.
+
+    Hash-based derivation (rather than ``root_seed + i``) keeps child
+    streams independent even for adjacent seeds, and lets components be
+    labelled by meaningful names::
+
+        seed = derive_seed(42, "trace", "dec", 3)
+    """
+    material = repr((root_seed, labels)).encode("utf-8")
+    digest = hashlib.sha256(material).digest()
+    return int.from_bytes(digest[:8], "little") >> 1  # 63 bits, non-negative
+
+
+class SeedSequenceFactory:
+    """Factory for labelled, independent numpy Generators from one seed.
+
+    >>> factory = SeedSequenceFactory(42)
+    >>> rng_a = factory.generator("popularity")
+    >>> rng_b = factory.generator("sizes")
+
+    Calling :meth:`generator` twice with the same labels returns generators
+    with identical streams, which makes component-level reproducibility
+    testable.
+    """
+
+    def __init__(self, root_seed: int) -> None:
+        self.root_seed = int(root_seed)
+
+    def seed(self, *labels: str | int) -> int:
+        """Return the derived integer seed for the given labels."""
+        return derive_seed(self.root_seed, *labels)
+
+    def generator(self, *labels: str | int) -> np.random.Generator:
+        """Return a fresh :class:`numpy.random.Generator` for the labels."""
+        return np.random.default_rng(self.seed(*labels))
+
+    def __repr__(self) -> str:
+        return f"SeedSequenceFactory(root_seed={self.root_seed})"

@@ -1,0 +1,60 @@
+"""Byte-size and time-unit constants and conversions.
+
+The paper mixes units freely (16-byte hint records, 500 MB hint stores,
+5 GB proxy caches, millisecond access times, minute-scale propagation
+delays).  To keep call sites unambiguous, the library stores:
+
+* sizes in **bytes** (plain ``int``),
+* simulation timestamps in **seconds** (``float``),
+* response times in **milliseconds** (``float``; the paper reports ms).
+
+These helpers make the conversions explicit and grep-able.
+"""
+
+from __future__ import annotations
+
+#: One kilobyte (paper uses binary-ish sizes: 2 KB ... 1024 KB objects).
+KB: int = 1024
+#: One megabyte.
+MB: int = 1024 * KB
+#: One gigabyte (proxy caches in the paper are 5 GB).
+GB: int = 1024 * MB
+
+#: One second expressed in seconds (for symmetry with MINUTES).
+SECONDS: float = 1.0
+#: One minute in seconds (hint propagation delays are given in minutes).
+MINUTES: float = 60.0
+#: One hour in seconds.
+HOURS: float = 3600.0
+#: One day in seconds (traces span days; warmup is two days).
+DAYS: float = 86400.0
+
+
+def mb_to_bytes(megabytes: float) -> int:
+    """Convert a size in MB to an integer number of bytes."""
+    return int(megabytes * MB)
+
+
+def gb_to_bytes(gigabytes: float) -> int:
+    """Convert a size in GB to an integer number of bytes."""
+    return int(gigabytes * GB)
+
+
+def bytes_to_mb(n_bytes: int) -> float:
+    """Convert a byte count to megabytes."""
+    return n_bytes / MB
+
+
+def bytes_to_gb(n_bytes: int) -> float:
+    """Convert a byte count to gigabytes."""
+    return n_bytes / GB
+
+
+def seconds_to_ms(seconds: float) -> float:
+    """Convert seconds to milliseconds."""
+    return seconds * 1000.0
+
+
+def ms_to_seconds(milliseconds: float) -> float:
+    """Convert milliseconds to seconds."""
+    return milliseconds / 1000.0

@@ -1,0 +1,32 @@
+"""Reproductions of every table and figure in the paper's evaluation.
+
+Each module regenerates one artifact:
+
+========================  ====================================================
+``figure1``               Testbed access times vs object size (3 panels)
+``table3``                Squid hierarchy min/max access-time composition
+``table4``                Trace characteristics
+``figure2``               Miss-class breakdown vs global cache size
+``figure3``               Hit ratios by hierarchy level (sharing)
+``figure5``               Hit rate vs hint-cache size
+``figure6``               Hit rate vs hint propagation delay
+``table5``                Root update load: centralized vs hierarchy
+``figure8``               Response times: hierarchy / directory / hints
+``table6``                Speedup of hints over the hierarchy
+``figure10``              Response times under push algorithms
+``figure11``              Push efficiency and bandwidth
+``client_hints``          Proxy-hint vs client-hint configuration (sec. 3.3)
+``ablations``             ICP baseline, fan-out sweep, tree branching sweep
+========================  ====================================================
+
+Run them from the command line::
+
+    python -m repro.experiments --list
+    python -m repro.experiments figure8 table6
+    python -m repro.experiments --all --scale 0.002
+"""
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.registry import all_experiments, get_experiment
+
+__all__ = ["ExperimentResult", "all_experiments", "get_experiment"]

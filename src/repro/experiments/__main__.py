@@ -1,0 +1,5 @@
+"""Entry point: ``python -m repro.experiments``."""
+
+from repro.experiments.cli import main
+
+raise SystemExit(main())

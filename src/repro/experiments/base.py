@@ -1,0 +1,118 @@
+"""Shared result type and helpers for the experiment modules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.reporting.charts import render_bars, render_series
+from repro.reporting.tables import format_table
+from repro.sim.config import ExperimentConfig, default_config
+from repro.traces.records import Trace
+from repro.traces.synthetic import SyntheticTraceGenerator
+
+
+@dataclass
+class ExperimentResult:
+    """Structured output of one table/figure reproduction.
+
+    Attributes:
+        experiment: Short id ("figure8", "table5", ...).
+        description: What the artifact shows.
+        rows: The regenerated table rows (each row one dict).
+        paper_claims: The paper's corresponding numbers/claims, for the
+            side-by-side comparison recorded in EXPERIMENTS.md.
+        notes: Scaling caveats and substitutions that apply to this run.
+    """
+
+    experiment: str
+    description: str
+    rows: list[dict] = field(default_factory=list)
+    paper_claims: dict[str, str] = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
+    #: Optional chart description consumed by :meth:`render_chart`:
+    #: ``{"kind": "xy", "x": col, "y": [cols...], "group": col|None,
+    #:   "log_x": bool}`` or ``{"kind": "bars", "label": col, "value": col}``.
+    chart_spec: dict | None = None
+
+    def render(self, columns: list[str] | None = None) -> str:
+        """Human-readable rendering: table plus claims and notes."""
+        parts = [
+            format_table(
+                self.rows,
+                title=f"{self.experiment}: {self.description}",
+                columns=columns,
+            )
+        ]
+        if self.paper_claims:
+            parts.append("Paper claims:")
+            parts.extend(f"  - {key}: {value}" for key, value in self.paper_claims.items())
+        if self.notes:
+            parts.append("Notes:")
+            parts.extend(f"  - {note}" for note in self.notes)
+        return "\n".join(parts)
+
+    def render_chart(self) -> str | None:
+        """ASCII chart per :attr:`chart_spec`; None when no spec is set.
+
+        Non-numeric cells (e.g. the ``"inf"`` sentinels some sweeps use)
+        are skipped rather than plotted.
+        """
+        spec = self.chart_spec
+        if spec is None:
+            return None
+        if spec["kind"] == "bars":
+            values = {
+                str(row[spec["label"]]): float(row[spec["value"]])
+                for row in self.rows
+                if isinstance(row.get(spec["value"]), (int, float))
+            }
+            return render_bars(values, title=self.experiment, unit=spec.get("unit", ""))
+
+        series: dict[str, list[tuple[float, float]]] = {}
+        group_column = spec.get("group")
+        for row in self.rows:
+            x = row.get(spec["x"])
+            if not isinstance(x, (int, float)):
+                continue
+            if spec.get("log_x") and x <= 0:
+                continue  # log axes cannot place zero-delay / zero-size points
+            for y_column in spec["y"]:
+                y = row.get(y_column)
+                if not isinstance(y, (int, float)):
+                    continue
+                name = y_column
+                if group_column is not None:
+                    prefix = str(row[group_column])
+                    name = f"{prefix}:{y_column}" if len(spec["y"]) > 1 else prefix
+                series.setdefault(name, []).append((float(x), float(y)))
+        return render_series(
+            series,
+            title=self.experiment,
+            log_x=bool(spec.get("log_x")),
+            x_label=spec["x"],
+            y_label="/".join(spec["y"]),
+        )
+
+
+def resolve_config(config: ExperimentConfig | None) -> ExperimentConfig:
+    """Default the config (keeps every experiment's signature uniform)."""
+    return config if config is not None else default_config()
+
+
+_TRACE_CACHE: dict[tuple, Trace] = {}
+
+
+def trace_for(config: ExperimentConfig, profile_name: str) -> Trace:
+    """Generate (and memoize) the scaled trace for a profile under a config.
+
+    Traces are pure functions of (profile, seed); memoization keeps a
+    multi-experiment CLI run from regenerating the same trace repeatedly.
+    The cache is keyed on everything that affects generation.
+    """
+    profile = config.profile(profile_name)
+    key = (profile, config.seed)
+    trace = _TRACE_CACHE.get(key)
+    if trace is None:
+        trace = SyntheticTraceGenerator(profile, seed=config.seed).generate()
+        _TRACE_CACHE[key] = trace
+    return trace

@@ -1,0 +1,112 @@
+"""Command-line runner for the table/figure reproductions.
+
+Examples::
+
+    python -m repro.experiments --list
+    python -m repro.experiments figure8 table6
+    python -m repro.experiments --all
+    python -m repro.experiments figure2 --scale 0.002 --seed 7
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.registry import all_experiments, get_experiment
+from repro.sim.config import default_config
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument("experiments", nargs="*", help="experiment names to run")
+    parser.add_argument("--list", action="store_true", help="list experiment names")
+    parser.add_argument("--all", action="store_true", help="run every experiment")
+    parser.add_argument(
+        "--scale", type=float, default=None, help="trace scale override (e.g. 0.002)"
+    )
+    parser.add_argument("--seed", type=int, default=None, help="root seed override")
+    parser.add_argument(
+        "--chart", action="store_true",
+        help="also render an ASCII chart for experiments that define one",
+    )
+    parser.add_argument(
+        "--profile", default=None,
+        help="workload profile for single-trace experiments "
+        "(dec/berkeley/prodigy; experiments that sweep all traces ignore it)",
+    )
+    parser.add_argument(
+        "--export-dir", default=None,
+        help="also write each result as <dir>/<experiment>.json and .csv",
+    )
+    return parser
+
+
+def _accepts_profile(run) -> bool:
+    """Does this experiment's ``run`` take a ``profile_name`` keyword?"""
+    import inspect
+
+    return "profile_name" in inspect.signature(run).parameters
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list:
+        for name in all_experiments():
+            print(name)
+        return 0
+
+    names = all_experiments() if args.all else args.experiments
+    if not names:
+        print("nothing to run; use --list, --all, or name experiments", file=sys.stderr)
+        return 2
+
+    config = default_config()
+    if args.scale is not None:
+        config = config.with_scale(args.scale)
+    if args.seed is not None:
+        from dataclasses import replace
+
+        config = replace(config, seed=args.seed)
+
+    status = 0
+    for name in names:
+        try:
+            run = get_experiment(name)
+        except KeyError as exc:
+            print(exc, file=sys.stderr)
+            status = 2
+            continue
+        started = time.monotonic()
+        if args.profile is not None and _accepts_profile(run):
+            result = run(config, profile_name=args.profile)
+        else:
+            result = run(config)
+        elapsed = time.monotonic() - started
+        print(result.render())
+        if args.chart:
+            chart = result.render_chart()
+            if chart is not None:
+                print()
+                print(chart)
+        if args.export_dir is not None:
+            import os
+
+            from repro.reporting.export import save_result
+
+            os.makedirs(args.export_dir, exist_ok=True)
+            for extension in ("json", "csv"):
+                save_result(
+                    result, os.path.join(args.export_dir, f"{name}.{extension}")
+                )
+        print(f"[{name} completed in {elapsed:.1f}s]")
+        print()
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,72 @@
+"""Figure 1: measured access times in the testbed hierarchy.
+
+Three panels, each sweeping object size from 2 KB to 1024 KB:
+
+(a) objects accessed through the three-level hierarchy
+    (CLN--L1, CLN--L1--L2, CLN--L1--L2--L3, CLN--L1--L2--L3--SRV);
+(b) objects fetched directly from each cache and the server;
+(c) requests relayed through the L1 proxy to the specified cache/server.
+
+The paper measured a live Berkeley/San Diego/Austin/Cornell hierarchy; we
+regenerate the panels from the calibrated
+:class:`~repro.netmodel.testbed.TestbedCostModel` (see DESIGN.md for the
+substitution argument).  Anchors checked by the benches: at 8 KB a
+hierarchical L3 hit costs ~2.4-2.5x a direct L3 access, with a roughly
+500-550 ms absolute gap.
+"""
+
+from __future__ import annotations
+
+from repro.common.units import KB
+from repro.experiments.base import ExperimentResult
+from repro.netmodel.model import AccessPoint
+from repro.netmodel.testbed import TestbedCostModel
+from repro.sim.config import ExperimentConfig
+
+#: Object sizes from the paper's x-axis (2 KB .. 1024 KB, powers of two).
+SIZES_KB = (2, 4, 8, 16, 32, 64, 128, 256, 512, 1024)
+
+
+def run(config: ExperimentConfig | None = None) -> ExperimentResult:
+    """Regenerate the three panels as one table (one row per size)."""
+    del config  # Figure 1 is a pure cost-model artifact.
+    model = TestbedCostModel()
+    rows = []
+    for size_kb in SIZES_KB:
+        size = size_kb * KB
+        row: dict = {"size_kb": size_kb}
+        for point in AccessPoint:
+            row[f"hier_{point.name.lower()}_ms"] = model.hierarchical_ms(point, size)
+        for point in AccessPoint:
+            row[f"direct_{point.name.lower()}_ms"] = model.direct_ms(point, size)
+        for point in AccessPoint:
+            row[f"via_l1_{point.name.lower()}_ms"] = model.via_l1_ms(point, size)
+        rows.append(row)
+
+    eight_kb = 8 * KB
+    ratio = model.hierarchical_ms(AccessPoint.L3, eight_kb) / model.direct_ms(
+        AccessPoint.L3, eight_kb
+    )
+    gap = model.hierarchical_ms(AccessPoint.L3, eight_kb) - model.direct_ms(
+        AccessPoint.L3, eight_kb
+    )
+    return ExperimentResult(
+        experiment="figure1",
+        chart_spec={
+            "kind": "xy",
+            "x": "size_kb",
+            "y": ["hier_l3_ms", "direct_l3_ms", "via_l1_l3_ms"],
+            "log_x": True,
+        },
+        description="testbed access times vs object size (hierarchical / direct / via-L1)",
+        rows=rows,
+        paper_claims={
+            "8KB L3 hierarchy-vs-direct gap": "545 ms",
+            "8KB L3 hit speedup if accessed directly": "~2.5x",
+            "measured here": f"gap {gap:.0f} ms, ratio {ratio:.2f}x",
+        },
+        notes=[
+            "Live testbed replaced by the calibrated analytic cost model "
+            "(DESIGN.md section 2)."
+        ],
+    )

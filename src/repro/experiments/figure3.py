@@ -1,0 +1,53 @@
+"""Figure 3: hit ratios by hierarchy level with infinite caches (sharing).
+
+An infinite three-level data hierarchy is driven by each trace; the bars
+are the *cumulative* hit rate available within L1, within L2 (L1+L2), and
+within L3 (everything), per-request and per-byte.  More sharing -> higher
+achievable hit rate: the paper reports DEC improving from ~50% at L1 to
+~62% at L2 and ~78% at L3.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult, resolve_config, trace_for
+from repro.hierarchy.data_hierarchy import DataHierarchy
+from repro.netmodel.model import AccessPoint
+from repro.netmodel.testbed import TestbedCostModel
+from repro.sim.config import ExperimentConfig
+from repro.sim.engine import run_simulation
+from repro.traces.profiles import all_profiles
+
+
+def run(config: ExperimentConfig | None = None) -> ExperimentResult:
+    """Measure cumulative hit ratios at each level for every trace."""
+    config = resolve_config(config)
+    rows = []
+    for profile in all_profiles():
+        trace = trace_for(config, profile.name)
+        architecture = DataHierarchy(config.topology, TestbedCostModel())
+        metrics = run_simulation(trace, architecture)
+        rows.append(
+            {
+                "trace": profile.name,
+                "l1_hit_ratio": metrics.cumulative_hit_ratio_through(AccessPoint.L1),
+                "l2_hit_ratio": metrics.cumulative_hit_ratio_through(AccessPoint.L2),
+                "l3_hit_ratio": metrics.cumulative_hit_ratio_through(AccessPoint.L3),
+                "l1_byte_hit": metrics.cumulative_byte_hit_ratio_through(AccessPoint.L1),
+                "l2_byte_hit": metrics.cumulative_byte_hit_ratio_through(AccessPoint.L2),
+                "l3_byte_hit": metrics.cumulative_byte_hit_ratio_through(AccessPoint.L3),
+            }
+        )
+    return ExperimentResult(
+        experiment="figure3",
+        description="cumulative hit ratio by hierarchy level, infinite caches",
+        rows=rows,
+        paper_claims={
+            "DEC": "hit rates improve from 50% (L1) to 62% (L2) to 78% (L3)",
+            "shape": "hit ratio strictly increases with sharing on every trace",
+        },
+        notes=[
+            "Client groups are scaled (fewer clients per L1 than 256), so "
+            "absolute hit levels are lower; the monotone sharing gain is the "
+            "reproduced claim.",
+        ],
+    )

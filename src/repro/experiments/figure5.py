@@ -1,0 +1,71 @@
+"""Figure 5: hit rate vs hint-cache size (DEC trace).
+
+Each proxy's hint cache is a 4-way set-associative array of 16-byte
+entries; sweeping its total size trades reach for space.  Tiny hint caches
+index little beyond local contents and hit rates collapse to the local
+rate; once the hint cache can index roughly the system's distinct-object
+population, the global hit rate saturates.
+
+The paper's anchors (full scale): below 10 MB the hint cache adds little;
+100 MB tracks "almost all data in the system".  At our scale the knee
+lands at ``16 bytes x distinct objects``, which is what the sweep spans.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult, resolve_config, trace_for
+from repro.hierarchy.hint_hierarchy import HintHierarchy
+from repro.hints.hintcache import HINT_RECORD_BYTES
+from repro.netmodel.testbed import TestbedCostModel
+from repro.sim.config import ExperimentConfig
+from repro.sim.engine import run_simulation
+
+#: Hint capacity as a multiple of (16 B x distinct objects in the trace).
+CAPACITY_FRACTIONS = (0.005, 0.02, 0.05, 0.1, 0.25, 0.5, 1.0, 2.0, None)
+
+
+def run(
+    config: ExperimentConfig | None = None, profile_name: str = "dec"
+) -> ExperimentResult:
+    """Sweep hint-cache capacity and report the global hit rate."""
+    config = resolve_config(config)
+    trace = trace_for(config, profile_name)
+    distinct = trace.distinct_objects()
+    full_index_bytes = distinct * HINT_RECORD_BYTES
+    rows = []
+    for fraction in CAPACITY_FRACTIONS:
+        capacity = None if fraction is None else max(256, int(full_index_bytes * fraction))
+        architecture = HintHierarchy(
+            config.topology,
+            TestbedCostModel(),
+            l1_bytes=None,  # the figure isolates hint capacity: data caches infinite
+            hint_capacity_bytes=capacity,
+        )
+        metrics = run_simulation(trace, architecture)
+        rows.append(
+            {
+                "hint_capacity_kb": "inf" if capacity is None else capacity / 1024,
+                "fraction_of_full_index": "inf" if fraction is None else fraction,
+                "hit_ratio": metrics.hit_ratio,
+                "mean_response_ms": metrics.mean_response_ms,
+                "false_negatives": metrics.false_negatives,
+            }
+        )
+    return ExperimentResult(
+        experiment="figure5",
+        chart_spec={
+            "kind": "xy", "x": "hint_capacity_kb", "y": ["hit_ratio"],
+            "log_x": True,
+        },
+        description=f"hit rate vs hint-cache size ({profile_name} trace)",
+        rows=rows,
+        paper_claims={
+            "small hint caches": "<10 MB adds little reach beyond local contents",
+            "large hint caches": "100 MB tracks almost all data in the system",
+            "entry size": "16 bytes, 4-way set associative",
+        },
+        notes=[
+            f"Full-index size at this scale: {full_index_bytes / 1024:.0f} KB "
+            f"({distinct} distinct objects x 16 B).",
+        ],
+    )

@@ -1,0 +1,83 @@
+"""Model-vs-mechanism cross-validation of the hint architecture.
+
+The Figure 8 results use :class:`HintHierarchy`, where hint state is a
+directory *model* (instant or fixed-delay visibility).  This experiment
+re-runs the same workload through
+:class:`~repro.hierarchy.message_hints.MessageLevelHintHierarchy`, where
+every proxy runs the real packed hint cache and hints travel as 20-byte
+batched updates with the paper's 0-60 s flush jitter.
+
+If the modeling in Figure 8 is sound, the mechanism should land close to
+the model -- between the instant-propagation directory and a directory
+delayed by the cluster's worst-case staleness -- and far ahead of the
+traditional hierarchy.  That is the claim this experiment checks.
+"""
+
+from __future__ import annotations
+
+from repro.common.units import MINUTES
+from repro.experiments.base import ExperimentResult, resolve_config, trace_for
+from repro.hierarchy.data_hierarchy import DataHierarchy
+from repro.hierarchy.hint_hierarchy import HintHierarchy
+from repro.hierarchy.message_hints import MessageLevelHintHierarchy
+from repro.netmodel.testbed import TestbedCostModel
+from repro.sim.config import ExperimentConfig
+from repro.sim.engine import run_simulation
+
+
+def run(
+    config: ExperimentConfig | None = None, profile_name: str = "dec"
+) -> ExperimentResult:
+    """Compare the modeled directory against the message-level mechanism."""
+    config = resolve_config(config)
+    trace = trace_for(config, profile_name)
+    cost = TestbedCostModel()
+    rows = []
+
+    baseline = run_simulation(trace, DataHierarchy(config.topology, cost))
+    rows.append(
+        {
+            "system": "hierarchy (baseline)",
+            "mean_response_ms": baseline.mean_response_ms,
+            "hit_ratio": baseline.hit_ratio,
+            "false_negatives": 0,
+            "false_positives": 0,
+        }
+    )
+
+    for label, architecture in (
+        ("hints, modeled (instant)", HintHierarchy(config.topology, cost)),
+        (
+            "hints, modeled (2 min delay)",
+            HintHierarchy(config.topology, cost, hint_delay_s=2 * MINUTES),
+        ),
+        (
+            "hints, message-level",
+            MessageLevelHintHierarchy(config.topology, cost, seed=config.seed),
+        ),
+    ):
+        metrics = run_simulation(trace, architecture)
+        rows.append(
+            {
+                "system": label,
+                "mean_response_ms": metrics.mean_response_ms,
+                "hit_ratio": metrics.hit_ratio,
+                "false_negatives": metrics.false_negatives,
+                "false_positives": metrics.false_positives,
+            }
+        )
+    return ExperimentResult(
+        experiment="message_level",
+        description="hint directory model vs the real batched-update mechanism",
+        rows=rows,
+        paper_claims={
+            "expectation": "the wire mechanism (batching <= 60 s/hop) lands "
+            "near the modeled directory and far ahead of the hierarchy, "
+            "validating Figure 8's modeling",
+        },
+        notes=[
+            "The message-level system runs one packed 16-byte-record hint "
+            "cache per proxy and real 20-byte update batches over the "
+            "metadata tree.",
+        ],
+    )

@@ -1,0 +1,89 @@
+"""Queueing validation: emergent contention vs the analytic load model.
+
+Two independent implementations of "busy caches slow things down" exist in
+this library: the closed-form M/M/1 inflation of
+:class:`~repro.netmodel.queueing.LoadAwareCostModel` and the FIFO-server
+replay of :mod:`repro.sim.queueing_sim`.  This experiment drives both over
+the same workload at matched utilizations and checks that they agree on
+the *conclusion* (the hint architecture's advantage grows with load) --
+the model-vs-mechanism discipline applied to the paper's section 2.1.1
+hypothesis.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult, resolve_config, trace_for
+from repro.hierarchy.data_hierarchy import DataHierarchy
+from repro.hierarchy.hint_hierarchy import HintHierarchy
+from repro.netmodel.queueing import LoadAwareCostModel
+from repro.netmodel.testbed import TestbedCostModel
+from repro.sim.config import ExperimentConfig
+from repro.sim.engine import run_simulation
+from repro.sim.queueing_sim import QueueingReplay, compression_for_target_load
+
+#: Target utilizations of the busiest node.
+TARGET_LOADS = (0.2, 0.5, 0.8)
+
+
+def run(
+    config: ExperimentConfig | None = None, profile_name: str = "dec"
+) -> ExperimentResult:
+    """Compare analytic vs emergent queueing at matched utilizations."""
+    config = resolve_config(config)
+    trace = trace_for(config, profile_name)
+    idle_cost = TestbedCostModel()
+    rows = []
+
+    for target in TARGET_LOADS:
+        # Emergent: replay both architectures through FIFO servers at a
+        # compression that drives the hierarchy's busiest node to target.
+        calibration = compression_for_target_load(
+            trace, DataHierarchy(config.topology, idle_cost), target
+        )
+        hierarchy_replay = QueueingReplay(
+            DataHierarchy(config.topology, idle_cost), compression=calibration
+        )
+        hints_replay = QueueingReplay(
+            HintHierarchy(config.topology, idle_cost), compression=calibration
+        )
+        hierarchy_q = hierarchy_replay.run(trace)
+        hints_q = hints_replay.run(trace)
+
+        # Analytic: the closed-form model at the same utilization.
+        loaded = LoadAwareCostModel(idle_cost, load=target)
+        hierarchy_a = run_simulation(trace, DataHierarchy(config.topology, loaded))
+        hints_a = run_simulation(trace, HintHierarchy(config.topology, loaded))
+
+        rows.append(
+            {
+                "target_load": target,
+                "achieved_root_util": hierarchy_q.utilization_by_level["l3"],
+                "emergent_speedup": (
+                    hierarchy_q.mean_response_ms / hints_q.mean_response_ms
+                ),
+                "analytic_speedup": (
+                    hierarchy_a.mean_response_ms / hints_a.mean_response_ms
+                ),
+                "hierarchy_queue_wait_ms": hierarchy_q.mean_queue_wait_ms,
+                "hints_queue_wait_ms": hints_q.mean_queue_wait_ms,
+            }
+        )
+    return ExperimentResult(
+        experiment="queueing_validation",
+        description="emergent FIFO contention vs the analytic M/M/1 load model",
+        rows=rows,
+        paper_claims={
+            "hypothesis (2.1.1)": "busy nodes increase the importance of "
+            "reducing hops; both implementations must agree",
+        },
+        notes=[
+            "Compression is calibrated so the hierarchy's busiest node hits "
+            "the target utilization; the hint system, which spreads load "
+            "across the leaves, runs cooler at the same offered traffic.",
+            "Emergent speedups exceed the analytic ones: the replay sees "
+            "diurnal bursts (transient queues far above the average "
+            "utilization), which the steady-state M/M/1 factor averages "
+            "away.  Both agree on the direction and monotonicity -- the "
+            "claim under test.",
+        ],
+    )

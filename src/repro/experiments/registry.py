@@ -1,0 +1,65 @@
+"""Registry mapping experiment names to their ``run`` callables."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.experiments import (
+    ablations,
+    client_hints,
+    figure1,
+    figure2,
+    figure3,
+    figure5,
+    figure6,
+    figure8,
+    figure10,
+    figure11,
+    load_sensitivity,
+    message_level,
+    queueing_validation,
+    scaling,
+    seed_sensitivity,
+    table3,
+    table4,
+    table5,
+    table6,
+)
+from repro.experiments.base import ExperimentResult
+from repro.sim.config import ExperimentConfig
+
+_REGISTRY: dict[str, Callable[[ExperimentConfig | None], ExperimentResult]] = {
+    "figure1": figure1.run,
+    "table3": table3.run,
+    "table4": table4.run,
+    "figure2": figure2.run,
+    "figure3": figure3.run,
+    "figure5": figure5.run,
+    "figure6": figure6.run,
+    "table5": table5.run,
+    "figure8": figure8.run,
+    "table6": table6.run,
+    "figure10": figure10.run,
+    "figure11": figure11.run,
+    "client_hints": client_hints.run,
+    "message_level": message_level.run,
+    "load_sensitivity": load_sensitivity.run,
+    "queueing_validation": queueing_validation.run,
+    "seed_sensitivity": seed_sensitivity.run,
+    "scaling": scaling.run,
+    "ablations": ablations.run,
+}
+
+
+def all_experiments() -> list[str]:
+    """Registered experiment names, in the paper's presentation order."""
+    return list(_REGISTRY)
+
+
+def get_experiment(name: str) -> Callable[[ExperimentConfig | None], ExperimentResult]:
+    """Look up one experiment's ``run`` callable."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(_REGISTRY)
+        raise KeyError(f"unknown experiment {name!r}; known: {known}") from None

@@ -1,0 +1,65 @@
+"""Table 3: Squid cache hierarchy performance from Rousskov's measurements.
+
+The table has two halves: the per-level component times (client connect /
+disk / proxy reply, min and max) and the derived totals (Total
+Hierarchical, Total Client Direct, Total via L1).  We encode the component
+times as data and regenerate every derived cell with the paper's
+composition rules; the test suite pins all 24 derived cells to the
+published values exactly.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult
+from repro.netmodel.model import AccessPoint
+from repro.netmodel.rousskov import MISS_SERVER, ROUSSKOV_COMPONENTS, RousskovCostModel
+from repro.sim.config import ExperimentConfig
+
+_LEVEL_LABELS = {
+    AccessPoint.L1: "Leaf",
+    AccessPoint.L2: "Intermediate",
+    AccessPoint.L3: "Root",
+    AccessPoint.SERVER: "Miss",
+}
+
+
+def run(config: ExperimentConfig | None = None) -> ExperimentResult:
+    """Regenerate Table 3 (components and derived totals)."""
+    del config  # pure data derivation
+    minimum = RousskovCostModel("min")
+    maximum = RousskovCostModel("max")
+    rows = []
+    for point in AccessPoint:
+        row: dict = {"level": _LEVEL_LABELS[point]}
+        if point is AccessPoint.SERVER:
+            row["connect_min"] = row["connect_max"] = ""
+            row["disk_min"] = MISS_SERVER.min_ms
+            row["disk_max"] = MISS_SERVER.max_ms
+            row["reply_min"] = row["reply_max"] = ""
+        else:
+            components = ROUSSKOV_COMPONENTS[point]
+            row["connect_min"] = components.client_connect.min_ms
+            row["connect_max"] = components.client_connect.max_ms
+            row["disk_min"] = components.disk.min_ms
+            row["disk_max"] = components.disk.max_ms
+            row["reply_min"] = components.proxy_reply.min_ms
+            row["reply_max"] = components.proxy_reply.max_ms
+        row["hier_min"] = minimum.hierarchical_ms(point)
+        row["hier_max"] = maximum.hierarchical_ms(point)
+        row["direct_min"] = minimum.direct_ms(point)
+        row["direct_max"] = maximum.direct_ms(point)
+        row["via_l1_min"] = minimum.via_l1_ms(point)
+        row["via_l1_max"] = maximum.via_l1_ms(point)
+        rows.append(row)
+    return ExperimentResult(
+        experiment="table3",
+        description="Squid hierarchy access-time bounds (Rousskov components, paper's composition)",
+        rows=rows,
+        paper_claims={
+            "Leaf total (hier)": "163 / 352 ms",
+            "Intermediate total (hier)": "271 / 2767 ms",
+            "Root total (hier)": "531 / 4667 ms",
+            "Miss total (hier)": "981 / 7217 ms",
+        },
+        notes=["Derived cells reproduce the published table exactly (see tests)."],
+    )

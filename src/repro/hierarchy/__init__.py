@@ -1,0 +1,39 @@
+"""Cache-system architectures.
+
+All architectures consume the same trace and the same cost model, so their
+response times are directly comparable (Figure 8 / Table 6):
+
+* :class:`repro.hierarchy.data_hierarchy.DataHierarchy` -- the traditional
+  three-level hierarchy of data caches (Harvest/Squid style).
+* :class:`repro.hierarchy.hint_hierarchy.HintHierarchy` -- the paper's
+  architecture: data at L1 proxies only, location hints, direct
+  cache-to-cache transfers.
+* :class:`repro.hierarchy.client_hints.ClientHintHierarchy` -- the
+  alternate configuration of Figure 4(b): hint caches at the clients.
+* :class:`repro.hierarchy.directory_arch.CentralizedDirectoryArchitecture`
+  -- a CRISP-style centralized directory (the "Directory" bars).
+* :class:`repro.hierarchy.icp.IcpHierarchy` -- an ICP-style
+  query-the-siblings baseline (our ablation; the paper's testbed
+  deliberately disabled ICP).
+"""
+
+from repro.hierarchy.base import AccessResult, Architecture
+from repro.hierarchy.client_hints import ClientHintHierarchy
+from repro.hierarchy.data_hierarchy import DataHierarchy
+from repro.hierarchy.directory_arch import CentralizedDirectoryArchitecture
+from repro.hierarchy.hint_hierarchy import HintHierarchy
+from repro.hierarchy.icp import IcpHierarchy
+from repro.hierarchy.message_hints import MessageLevelHintHierarchy
+from repro.hierarchy.topology import HierarchyTopology
+
+__all__ = [
+    "AccessResult",
+    "Architecture",
+    "CentralizedDirectoryArchitecture",
+    "ClientHintHierarchy",
+    "DataHierarchy",
+    "HierarchyTopology",
+    "HintHierarchy",
+    "IcpHierarchy",
+    "MessageLevelHintHierarchy",
+]

@@ -1,0 +1,75 @@
+"""Architecture interface and per-request results.
+
+Every architecture maps one trace request to an :class:`AccessResult`: how
+long the request took, where it was satisfied, and which hint pathologies
+it hit.  The simulation engine (:mod:`repro.sim.engine`) aggregates these
+into the statistics the figures report.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from repro.netmodel.model import AccessPoint, CostModel
+from repro.traces.records import Request
+
+
+@dataclass(frozen=True)
+class AccessResult:
+    """Outcome of one request against one architecture.
+
+    Attributes:
+        point: Where the request was satisfied: ``L1``/``L2``/``L3`` for a
+            cache hit at that distance, ``SERVER`` for a miss.
+        time_ms: Charged response time.
+        hit: True when any cache supplied the data.
+        remote_hit: True when the supplying cache was not the client's own
+            L1 proxy (hint-architecture cache-to-cache transfer or a
+            higher-level hit in a data hierarchy).
+        false_positive: A hint named a cache that no longer held the object
+            (wasted probe charged).
+        false_negative: No hint although a remote copy existed (priced as a
+            plain miss, per "do not slow down misses").
+        suboptimal_positive: The hint named a farther cache although a
+            closer one also held a current copy -- still a hit, charged at
+            the farther distance class (the third hint error of section
+            3.1.1).
+        push_hit: The hit was served from an object that a push algorithm
+            had placed at the proxy before any local demand.
+    """
+
+    point: AccessPoint
+    time_ms: float
+    hit: bool
+    remote_hit: bool = False
+    false_positive: bool = False
+    false_negative: bool = False
+    suboptimal_positive: bool = False
+    push_hit: bool = False
+
+    def __post_init__(self) -> None:
+        if self.time_ms < 0:
+            raise ValueError(f"response time must be non-negative, got {self.time_ms}")
+        if self.hit and self.point is AccessPoint.SERVER:
+            raise ValueError("a hit cannot be satisfied at the server")
+        if not self.hit and self.point is not AccessPoint.SERVER:
+            raise ValueError("a miss must be satisfied at the server")
+
+
+class Architecture(abc.ABC):
+    """A cache system: consumes trace requests, produces access results."""
+
+    #: Short name used in experiment reports (e.g. "hierarchy", "hints").
+    name: str = "abstract"
+
+    def __init__(self, cost_model: CostModel) -> None:
+        self.cost_model = cost_model
+
+    @abc.abstractmethod
+    def process(self, request: Request) -> AccessResult:
+        """Serve one request, mutating internal cache state."""
+
+    def describe(self) -> str:
+        """One-line description for experiment logs."""
+        return f"{self.name} ({self.cost_model.name} access times)"

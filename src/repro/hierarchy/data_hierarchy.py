@@ -1,0 +1,86 @@
+"""The traditional three-level data-cache hierarchy (the paper's baseline).
+
+Data access proceeds exactly as section 2.1 describes: the request walks up
+the hierarchy level by level until some cache holds the data (or the root
+fetches from the origin server), and the object is copied into every cache
+on the way back down.  Response time is the store-and-forward hierarchical
+time of the deepest level reached.
+
+Consistency is invalidation-based: a cache that finds it holds an older
+version than the request wants invalidates the copy and the walk continues
+upward (the paper's strong-consistency assumption).
+"""
+
+from __future__ import annotations
+
+from repro.cache.lru import LookupResult, LRUCache
+from repro.hierarchy.base import AccessResult, Architecture
+from repro.hierarchy.topology import HierarchyTopology
+from repro.netmodel.model import AccessPoint, CostModel
+from repro.traces.records import Request
+
+
+class DataHierarchy(Architecture):
+    """Harvest/Squid-style hierarchy of data caches.
+
+    Args:
+        topology: Client / L1 / L2 / L3 grouping.
+        cost_model: Access-time parameterization.
+        l1_bytes / l2_bytes / l3_bytes: Per-cache capacities; ``None`` is
+            infinite (the paper's Figure 8(a) configuration).  The
+            space-constrained configuration of Figure 8(b) gives every node
+            in the data hierarchy 5 GB.
+    """
+
+    name = "hierarchy"
+
+    def __init__(
+        self,
+        topology: HierarchyTopology,
+        cost_model: CostModel,
+        l1_bytes: int | None = None,
+        l2_bytes: int | None = None,
+        l3_bytes: int | None = None,
+    ) -> None:
+        super().__init__(cost_model)
+        self.topology = topology
+        self.l1_caches = [LRUCache(l1_bytes) for _ in range(topology.n_l1)]
+        self.l2_caches = [LRUCache(l2_bytes) for _ in range(topology.n_l2)]
+        self.l3_cache = LRUCache(l3_bytes)
+
+    def process(self, request: Request) -> AccessResult:
+        l1_index = self.topology.l1_of_client(request.client_id)
+        l2_index = self.topology.l2_of_l1(l1_index)
+        l1 = self.l1_caches[l1_index]
+        l2 = self.l2_caches[l2_index]
+        l3 = self.l3_cache
+        oid, version, size = request.object_id, request.version, request.size
+
+        if l1.lookup(oid, version) is LookupResult.HIT:
+            return self._result(AccessPoint.L1, size, hit=True, remote=False)
+
+        if l2.lookup(oid, version) is LookupResult.HIT:
+            l1.insert(oid, size, version)
+            return self._result(AccessPoint.L2, size, hit=True, remote=True)
+
+        if l3.lookup(oid, version) is LookupResult.HIT:
+            l2.insert(oid, size, version)
+            l1.insert(oid, size, version)
+            return self._result(AccessPoint.L3, size, hit=True, remote=True)
+
+        # Full miss: the root fetches from the origin server and the object
+        # is cached at every level on the way down.
+        l3.insert(oid, size, version)
+        l2.insert(oid, size, version)
+        l1.insert(oid, size, version)
+        return self._result(AccessPoint.SERVER, size, hit=False, remote=False)
+
+    def _result(
+        self, point: AccessPoint, size: int, *, hit: bool, remote: bool
+    ) -> AccessResult:
+        return AccessResult(
+            point=point,
+            time_ms=self.cost_model.hierarchical_ms(point, size),
+            hit=hit,
+            remote_hit=remote,
+        )

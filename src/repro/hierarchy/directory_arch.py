@@ -1,0 +1,115 @@
+"""Centralized-directory architecture (CRISP-style; the "Directory" bars).
+
+The CRISP cache (Gadde, Rabinovich, Chase 1997) keeps one *central* mapping
+from objects to caches.  An L1 proxy that misses locally asks the central
+directory where the object is, then fetches it with a direct cache-to-cache
+transfer (or from the server when the directory knows no copy).
+
+Compared with the hint architecture, the lookup is always fresh and
+complete -- no false positives or negatives -- but it costs a network round
+trip to the directory on **every** local miss, including requests that end
+up going to the server, which violates "do not slow down misses".  The
+directory sits at the root of the system, so the round trip is priced at
+L3 distance.
+"""
+
+from __future__ import annotations
+
+from repro.cache.lru import LookupResult, LRUCache
+from repro.hierarchy.base import AccessResult, Architecture
+from repro.hierarchy.topology import HierarchyTopology
+from repro.hints.directory import HintDirectory
+from repro.netmodel.model import AccessPoint, CostModel
+from repro.traces.records import Request
+
+
+class CentralizedDirectoryArchitecture(Architecture):
+    """One always-fresh global directory queried over the network.
+
+    Args:
+        topology: Client / L1 / L2 / L3 grouping.
+        cost_model: Access-time parameterization.
+        l1_bytes: Per-proxy data-cache capacity (``None`` = infinite).
+        directory_point: Distance class of the directory node (L3 -- the
+            root -- by default).
+    """
+
+    name = "directory"
+
+    def __init__(
+        self,
+        topology: HierarchyTopology,
+        cost_model: CostModel,
+        l1_bytes: int | None = None,
+        directory_point: AccessPoint = AccessPoint.L3,
+    ) -> None:
+        super().__init__(cost_model)
+        self.topology = topology
+        self.directory_point = directory_point
+        # Zero delay, unbounded capacity: the central directory is complete
+        # and fresh; its cost is the query round trip, not staleness.
+        self.directory = HintDirectory()
+        self._now = 0.0
+        self.l1_caches = [
+            LRUCache(l1_bytes, on_evict=self._eviction_callback(node))
+            for node in range(topology.n_l1)
+        ]
+
+    def process(self, request: Request) -> AccessResult:
+        self._now = request.time
+        l1_index = self.topology.l1_of_client(request.client_id)
+        oid, version, size = request.object_id, request.version, request.size
+
+        if self.l1_caches[l1_index].lookup(oid, version) is LookupResult.HIT:
+            return AccessResult(
+                point=AccessPoint.L1,
+                time_ms=self.cost_model.via_l1_ms(AccessPoint.L1, size),
+                hit=True,
+            )
+
+        query_ms = self.cost_model.probe_ms(self.directory_point)
+        lookup = self.directory.find(self._now, oid, l1_index)
+        holder = self._nearest_fresh_holder(lookup.holders, l1_index, oid, version)
+
+        if holder is not None:
+            point = self.topology.distance_class(l1_index, holder)
+            # The directory is fresh, so the peer is guaranteed to hold a
+            # current copy (we filtered stale versions above).
+            self.l1_caches[holder].lookup(oid, version)  # refresh peer LRU
+            self._store(l1_index, request)
+            return AccessResult(
+                point=point,
+                time_ms=query_ms + self.cost_model.via_l1_ms(point, size),
+                hit=True,
+                remote_hit=True,
+            )
+
+        self._store(l1_index, request)
+        return AccessResult(
+            point=AccessPoint.SERVER,
+            time_ms=query_ms + self.cost_model.via_l1_ms(AccessPoint.SERVER, size),
+            hit=False,
+        )
+
+    def _nearest_fresh_holder(
+        self, holders: tuple[int, ...], requester: int, oid: int, version: int
+    ) -> int | None:
+        """Nearest holder with a current version (the directory is exact)."""
+        truth = self.directory.truth_holders(oid)
+        fresh = [h for h in holders if truth.get(h, -1) >= version]
+        if not fresh:
+            return None
+        return min(
+            fresh,
+            key=lambda h: (int(self.topology.distance_class(requester, h)), h),
+        )
+
+    def _store(self, l1_index: int, request: Request) -> None:
+        self.l1_caches[l1_index].insert(request.object_id, request.size, request.version)
+        self.directory.inform(self._now, request.object_id, l1_index, request.version)
+
+    def _eviction_callback(self, node: int):
+        def on_evict(key: int, entry, reason: str) -> None:
+            self.directory.retract(self._now, key, node)
+
+        return on_evict

@@ -1,0 +1,274 @@
+"""The paper's architecture: location hints + direct cache-to-cache transfer.
+
+Data lives only at L1 proxy caches.  On a local miss the proxy consults its
+hint cache (a local, microsecond operation -- hint propagation happens in
+the background); a hint sends the request straight to the peer cache
+holding the nearest copy, which returns the data in a single
+cache-to-cache hop; no hint sends the request straight to the origin
+server.  This satisfies all of: minimize hops, don't slow down misses, and
+share data among many caches.
+
+Hint pathologies are modelled per section 3.1.1:
+
+* *false positive* -- the probed peer no longer holds the object (or holds
+  a stale version): the peer replies with an error and the request goes to
+  the server; no second hint lookup is attempted.
+* *false negative* -- the hint cache knows no copy although one exists:
+  priced exactly like a plain miss.
+* *suboptimal positive* -- a farther peer is named although a nearer one
+  has the object: still a hit, charged at the farther distance class.
+
+Push policies (section 4) hook the two fetch events; the ``charge_remote_
+as_l1`` flag implements the ideal-push upper bound (every remote hit is
+charged as a local hit and the replicas consume no space).
+"""
+
+from __future__ import annotations
+
+from repro.cache.lru import CacheEntry, LookupResult, LRUCache
+from repro.hierarchy.base import AccessResult, Architecture
+from repro.hierarchy.topology import HierarchyTopology
+from repro.hints.directory import HintDirectory
+from repro.netmodel.model import AccessPoint, CostModel
+from repro.push.base import PushAction, PushPolicy, PushStats
+from repro.traces.records import Request
+
+
+class HintHierarchy(Architecture):
+    """Hint-directory architecture with direct cache-to-cache transfers.
+
+    Args:
+        topology: Client / L1 / L2 / L3 grouping (the metadata hierarchy
+            follows the same shape).
+        cost_model: Access-time parameterization.
+        l1_bytes: Per-proxy data-cache capacity (``None`` = infinite).
+        hint_capacity_bytes: Hint-cache capacity at 16 bytes/entry
+            (``None`` = unbounded; Figure 5 sweeps this).
+        hint_delay_s: Hint propagation delay (Figure 6 sweeps this).
+        push_policy: Optional push policy (section 4).
+        charge_remote_as_l1: Ideal-push accounting -- remote hits are
+            charged as L1 hits (section 4.1.1's best case).
+    """
+
+    name = "hints"
+
+    def __init__(
+        self,
+        topology: HierarchyTopology,
+        cost_model: CostModel,
+        l1_bytes: int | None = None,
+        hint_capacity_bytes: int | None = None,
+        hint_delay_s: float = 0.0,
+        push_policy: PushPolicy | None = None,
+        charge_remote_as_l1: bool = False,
+    ) -> None:
+        super().__init__(cost_model)
+        self.topology = topology
+        self.directory = HintDirectory(
+            capacity_bytes=hint_capacity_bytes,
+            propagation_delay_s=hint_delay_s,
+        )
+        self.push_policy = push_policy
+        self.push_stats = PushStats()
+        self.charge_remote_as_l1 = charge_remote_as_l1
+        if charge_remote_as_l1:
+            self.name = "hints-ideal-push"
+        elif push_policy is not None:
+            self.name = f"hints+{push_policy.name}"
+
+        self._now = 0.0
+        # (node, object) -> pushed version, for replicas awaiting first use.
+        self._pending_push: dict[tuple[int, int], int] = {}
+        self.l1_caches = [
+            LRUCache(l1_bytes, on_evict=self._eviction_callback(node))
+            for node in range(topology.n_l1)
+        ]
+
+    # ------------------------------------------------------------------
+    # request processing
+    # ------------------------------------------------------------------
+    def process(self, request: Request) -> AccessResult:
+        self._now = request.time
+        l1_index = self.topology.l1_of_client(request.client_id)
+        cache = self.l1_caches[l1_index]
+        oid, version, size = request.object_id, request.version, request.size
+
+        local = cache.lookup(oid, version)
+        if local is LookupResult.HIT:
+            push_hit = self._consume_push_mark(l1_index, oid, version)
+            return AccessResult(
+                point=AccessPoint.L1,
+                time_ms=self.cost_model.via_l1_ms(AccessPoint.L1, size),
+                hit=True,
+                push_hit=push_hit,
+            )
+        local_had_stale = local is LookupResult.STALE
+
+        lookup = self.directory.find(self._now, oid, l1_index)
+        holder = self._nearest_holder(lookup.holders, l1_index)
+        # Snapshot stale holders *before* any probe: a probed cache that
+        # finds itself stale invalidates on the spot, but it remains an
+        # update-push candidate (the paper's "recently invalidated" list).
+        stale_holders = {
+            node: held
+            for node, held in self.directory.truth_holders(oid).items()
+            if held < version and node != l1_index
+        }
+
+        if holder is not None:
+            point = self.topology.distance_class(l1_index, holder)
+            remote = self.l1_caches[holder].lookup(oid, version)
+            if remote is LookupResult.HIT:
+                return self._remote_hit(request, l1_index, holder, point)
+            # The advertised copy is gone or stale: a false positive.  The
+            # probed cache replies with an error; go straight to the server.
+            self.directory.record_false_positive()
+            probe = self.cost_model.probe_ms(point)
+            return self._server_fetch(
+                request, l1_index, local_had_stale, stale_holders,
+                extra_ms=probe, false_positive=True,
+            )
+
+        return self._server_fetch(
+            request, l1_index, local_had_stale, stale_holders,
+            false_negative=lookup.false_negative,
+        )
+
+    # ------------------------------------------------------------------
+    # hit / miss paths
+    # ------------------------------------------------------------------
+    def _remote_hit(
+        self, request: Request, l1_index: int, holder: int, point: AccessPoint
+    ) -> AccessResult:
+        size = request.size
+        charged_point = AccessPoint.L1 if self.charge_remote_as_l1 else point
+        # Section 3.1.1's third hint error: a closer cache also held a
+        # current copy but the (stale or displaced) hint view named a
+        # farther one.  Still a hit, charged at the farther distance.
+        suboptimal = any(
+            held >= request.version
+            and node != l1_index
+            and self.topology.distance_class(l1_index, node) < point
+            for node, held in self.directory.truth_holders(request.object_id).items()
+        )
+        self.push_stats.note_time(self._now)
+        self.push_stats.demand_bytes += size
+        if not self.charge_remote_as_l1:
+            # The requester keeps a demand copy (the ideal-push bound skips
+            # this so extra replicas never consume disk space).
+            self._store(l1_index, request)
+        if self.push_policy is not None:
+            actions = self.push_policy.on_remote_fetch(
+                now=self._now,
+                request=request,
+                requester_l1=l1_index,
+                source_l1=holder,
+                lca_level=int(point),
+            )
+            self._apply_pushes(actions, exclude={l1_index, holder})
+        return AccessResult(
+            point=charged_point,
+            time_ms=self._charge(charged_point, size),
+            hit=True,
+            remote_hit=True,
+            suboptimal_positive=suboptimal,
+        )
+
+    def _server_fetch(
+        self,
+        request: Request,
+        l1_index: int,
+        local_had_stale: bool,
+        stale_holders: dict[int, int],
+        *,
+        extra_ms: float = 0.0,
+        false_positive: bool = False,
+        false_negative: bool = False,
+    ) -> AccessResult:
+        size = request.size
+        communication_miss = local_had_stale or bool(stale_holders)
+        self.push_stats.note_time(self._now)
+        self.push_stats.demand_bytes += size
+        self._store(l1_index, request)
+        if self.push_policy is not None:
+            actions = self.push_policy.on_server_fetch(
+                now=self._now,
+                request=request,
+                requester_l1=l1_index,
+                communication_miss=communication_miss,
+                stale_holders=stale_holders,
+            )
+            self._apply_pushes(actions, exclude={l1_index})
+        return AccessResult(
+            point=AccessPoint.SERVER,
+            time_ms=self.cost_model.via_l1_ms(AccessPoint.SERVER, size)
+            + self.cost_model.hint_lookup_ms()
+            + extra_ms,
+            hit=False,
+            false_positive=false_positive,
+            false_negative=false_negative,
+        )
+
+    # ------------------------------------------------------------------
+    # storage and hint bookkeeping
+    # ------------------------------------------------------------------
+    def _store(self, l1_index: int, request: Request) -> None:
+        """Cache a demand copy at the requester's proxy and advertise it."""
+        self.l1_caches[l1_index].insert(
+            request.object_id, request.size, request.version
+        )
+        self.directory.inform(
+            self._now, request.object_id, l1_index, request.version
+        )
+
+    def _apply_pushes(self, actions: list[PushAction], exclude: set[int]) -> None:
+        for action in actions:
+            if action.target_l1 in exclude:
+                self.push_stats.skipped_count += 1
+                continue
+            cache = self.l1_caches[action.target_l1]
+            existing = cache.peek(action.object_id)
+            if existing is not None and existing.version >= action.version:
+                self.push_stats.skipped_count += 1
+                continue
+            cache.insert(action.object_id, action.size, action.version)
+            if action.age_entry:
+                # Update-push aging: repeatedly-updated-but-unread objects
+                # drift toward eviction instead of staying hot.
+                cache.touch_lru_demote(action.object_id)
+            self.directory.inform(
+                self._now, action.object_id, action.target_l1, action.version
+            )
+            self._pending_push[(action.target_l1, action.object_id)] = action.version
+            self.push_stats.pushed_count += 1
+            self.push_stats.pushed_bytes += action.size
+
+    def _consume_push_mark(self, node: int, oid: int, version: int) -> bool:
+        pushed_version = self._pending_push.pop((node, oid), None)
+        if pushed_version is None or pushed_version < version:
+            return False
+        self.push_stats.used_count += 1
+        size = self.l1_caches[node].peek(oid).size if self.l1_caches[node].peek(oid) else 0
+        self.push_stats.used_bytes += size
+        return True
+
+    def _eviction_callback(self, node: int):
+        def on_evict(key: int, entry: CacheEntry, reason: str) -> None:
+            self.directory.retract(self._now, key, node)
+            pushed_version = self._pending_push.pop((node, key), None)
+            if pushed_version is not None:
+                self.push_stats.wasted_count += 1
+                self.push_stats.wasted_bytes += entry.size
+
+        return on_evict
+
+    def _nearest_holder(self, holders: tuple[int, ...], requester: int) -> int | None:
+        if not holders:
+            return None
+        return min(
+            holders,
+            key=lambda h: (int(self.topology.distance_class(requester, h)), h),
+        )
+
+    def _charge(self, point: AccessPoint, size: int) -> float:
+        return self.cost_model.via_l1_ms(point, size) + self.cost_model.hint_lookup_ms()

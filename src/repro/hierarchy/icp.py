@@ -1,0 +1,100 @@
+"""ICP-style sibling-query hierarchy (ablation baseline).
+
+The Internet Cache Protocol (Wessels & Claffy, RFC 2186) lets a cache
+multicast a query to its neighbors before forwarding a miss to its parent.
+The paper's testbed deliberately ran *without* ICP ("we are interested in
+the best costs for traversing a hierarchy"), and its related-work section
+argues that multicast queries either limit sharing to nearby nodes or add
+hops.  This architecture makes that argument measurable: it is a
+:class:`~repro.hierarchy.data_hierarchy.DataHierarchy` whose L1 proxies
+first query their L2-group siblings -- paying a sibling round-trip on every
+local miss -- and fetch cache-to-cache on a sibling hit.
+
+Expected behaviour (and what the ablation bench shows): ICP beats the plain
+hierarchy when sibling hit rates are high, but it slows every miss by the
+query timeout and it can never reach copies outside the sibling group,
+unlike hints.
+"""
+
+from __future__ import annotations
+
+from repro.cache.lru import LookupResult, LRUCache
+from repro.hierarchy.base import AccessResult, Architecture
+from repro.hierarchy.topology import HierarchyTopology
+from repro.netmodel.model import AccessPoint, CostModel
+from repro.traces.records import Request
+
+
+class IcpHierarchy(Architecture):
+    """Data hierarchy with ICP-style sibling queries at the L1 level."""
+
+    name = "icp"
+
+    def __init__(
+        self,
+        topology: HierarchyTopology,
+        cost_model: CostModel,
+        l1_bytes: int | None = None,
+        l2_bytes: int | None = None,
+        l3_bytes: int | None = None,
+    ) -> None:
+        super().__init__(cost_model)
+        self.topology = topology
+        self.l1_caches = [LRUCache(l1_bytes) for _ in range(topology.n_l1)]
+        self.l2_caches = [LRUCache(l2_bytes) for _ in range(topology.n_l2)]
+        self.l3_cache = LRUCache(l3_bytes)
+        self.sibling_hits = 0
+        self.sibling_queries = 0
+
+    def process(self, request: Request) -> AccessResult:
+        l1_index = self.topology.l1_of_client(request.client_id)
+        l2_index = self.topology.l2_of_l1(l1_index)
+        oid, version, size = request.object_id, request.version, request.size
+
+        if self.l1_caches[l1_index].lookup(oid, version) is LookupResult.HIT:
+            return AccessResult(
+                point=AccessPoint.L1,
+                time_ms=self.cost_model.hierarchical_ms(AccessPoint.L1, size),
+                hit=True,
+            )
+
+        # ICP query: every local miss waits for the sibling round trip.
+        self.sibling_queries += 1
+        query_ms = self.cost_model.probe_ms(AccessPoint.L2)
+        for sibling in self.topology.siblings_of(l1_index):
+            if self.l1_caches[sibling].lookup(oid, version) is LookupResult.HIT:
+                self.sibling_hits += 1
+                self.l1_caches[l1_index].insert(oid, size, version)
+                return AccessResult(
+                    point=AccessPoint.L2,
+                    time_ms=query_ms + self.cost_model.via_l1_ms(AccessPoint.L2, size),
+                    hit=True,
+                    remote_hit=True,
+                )
+
+        # No sibling: proceed up the data hierarchy, query time included.
+        if self.l2_caches[l2_index].lookup(oid, version) is LookupResult.HIT:
+            self.l1_caches[l1_index].insert(oid, size, version)
+            return AccessResult(
+                point=AccessPoint.L2,
+                time_ms=query_ms + self.cost_model.hierarchical_ms(AccessPoint.L2, size),
+                hit=True,
+                remote_hit=True,
+            )
+        if self.l3_cache.lookup(oid, version) is LookupResult.HIT:
+            self.l2_caches[l2_index].insert(oid, size, version)
+            self.l1_caches[l1_index].insert(oid, size, version)
+            return AccessResult(
+                point=AccessPoint.L3,
+                time_ms=query_ms + self.cost_model.hierarchical_ms(AccessPoint.L3, size),
+                hit=True,
+                remote_hit=True,
+            )
+        self.l3_cache.insert(oid, size, version)
+        self.l2_caches[l2_index].insert(oid, size, version)
+        self.l1_caches[l1_index].insert(oid, size, version)
+        return AccessResult(
+            point=AccessPoint.SERVER,
+            time_ms=query_ms + self.cost_model.hierarchical_ms(AccessPoint.SERVER, size),
+            hit=False,
+        )

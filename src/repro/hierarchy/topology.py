@@ -1,0 +1,92 @@
+"""The three-level cache topology used throughout the evaluation.
+
+Paper section 2.2.3: "we configure the system as a three-level hierarchy
+with 256 clients sharing a L1 proxy, eight L1 proxies (2048 clients)
+sharing a L2 proxy, and all L2 proxies sharing an L3 proxy."  This module
+captures that grouping and the *distance class* between two L1 proxies:
+
+* the same proxy -- L1 distance;
+* different proxies under the same L2 parent -- L2 distance;
+* different L2 subtrees -- L3 distance.
+
+The hint architecture stores data only at L1 proxies but still prices a
+remote fetch by this distance class, because peers under the same regional
+parent are network-near while cross-region peers are network-far.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigurationError
+from repro.netmodel.model import AccessPoint
+
+
+@dataclass(frozen=True)
+class HierarchyTopology:
+    """Client / L1 / L2 / L3 grouping.
+
+    Args:
+        clients_per_l1: Clients sharing one leaf proxy (paper: 256).
+        l1_per_l2: Leaf proxies sharing one L2 parent (paper: 8).
+        n_l2: Number of L2 parents under the single L3 root (paper's Figure
+            8 simulations use 8, for 64 L1 caches).
+    """
+
+    clients_per_l1: int = 256
+    l1_per_l2: int = 8
+    n_l2: int = 8
+
+    def __post_init__(self) -> None:
+        if self.clients_per_l1 <= 0 or self.l1_per_l2 <= 0 or self.n_l2 <= 0:
+            raise ConfigurationError("all topology group sizes must be positive")
+
+    @property
+    def n_l1(self) -> int:
+        """Total number of leaf proxies."""
+        return self.l1_per_l2 * self.n_l2
+
+    @property
+    def n_clients_covered(self) -> int:
+        """Clients the hierarchy was dimensioned for; extra ids wrap around."""
+        return self.clients_per_l1 * self.n_l1
+
+    def l1_of_client(self, client_id: int) -> int:
+        """Leaf proxy serving a client (ids beyond coverage wrap around)."""
+        if client_id < 0:
+            raise ConfigurationError(f"client id must be non-negative, got {client_id}")
+        return (client_id // self.clients_per_l1) % self.n_l1
+
+    def l2_of_l1(self, l1: int) -> int:
+        """L2 parent of a leaf proxy."""
+        self._check_l1(l1)
+        return l1 // self.l1_per_l2
+
+    def l1_nodes_of_l2(self, l2: int) -> list[int]:
+        """Leaf proxies under one L2 parent."""
+        if not 0 <= l2 < self.n_l2:
+            raise ConfigurationError(f"l2 index {l2} out of range")
+        start = l2 * self.l1_per_l2
+        return list(range(start, start + self.l1_per_l2))
+
+    def siblings_of(self, l1: int) -> list[int]:
+        """Other leaf proxies under the same L2 parent."""
+        return [n for n in self.l1_nodes_of_l2(self.l2_of_l1(l1)) if n != l1]
+
+    def distance_class(self, from_l1: int, to_l1: int) -> AccessPoint:
+        """Distance class between two leaf proxies (L1 / L2 / L3)."""
+        self._check_l1(from_l1)
+        self._check_l1(to_l1)
+        if from_l1 == to_l1:
+            return AccessPoint.L1
+        if self.l2_of_l1(from_l1) == self.l2_of_l1(to_l1):
+            return AccessPoint.L2
+        return AccessPoint.L3
+
+    def lca_level(self, from_l1: int, to_l1: int) -> int:
+        """Level of the least common ancestor of two leaf proxies (1/2/3)."""
+        return int(self.distance_class(from_l1, to_l1))
+
+    def _check_l1(self, l1: int) -> None:
+        if not 0 <= l1 < self.n_l1:
+            raise ConfigurationError(f"l1 index {l1} out of range [0, {self.n_l1})")

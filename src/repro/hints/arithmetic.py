@@ -1,0 +1,76 @@
+"""The capacity arithmetic of section 3.1.1, as checkable functions.
+
+The paper sizes hint caches with back-of-envelope arithmetic:
+
+* a 16-byte hint is "almost three orders of magnitude smaller than an
+  average 10 KB data object";
+* "if a cache dedicates 10% of its capacity for hint storage, its hint
+  cache will index about two orders of magnitude more data than it can
+  store locally.  Even if there were no overlap ... such a directory
+  would allow a node to directly access the content of about 63 nearby
+  caches";
+* "a 500 MB index (10% of a modest 5 GB proxy cache) ... could track the
+  location of over 30 million unique objects".
+
+These functions make each sentence a formula, and
+``tests/hints/test_arithmetic.py`` pins the published numbers.
+"""
+
+from __future__ import annotations
+
+from repro.hints.hintcache import HINT_RECORD_BYTES
+
+
+def hint_index_entries(hint_bytes: int) -> int:
+    """How many objects a hint store of the given size can index."""
+    if hint_bytes < 0:
+        raise ValueError(f"hint store size must be non-negative, got {hint_bytes}")
+    return hint_bytes // HINT_RECORD_BYTES
+
+
+def index_reach_ratio(mean_object_bytes: float) -> float:
+    """Indexed-data bytes per hint-store byte.
+
+    One 16-byte record stands for one cached object of the mean size, so
+    the ratio is ``mean_object_size / 16`` -- about 640 for the paper's
+    10 KB average object ("almost three orders of magnitude").
+    """
+    if mean_object_bytes <= 0:
+        raise ValueError(f"object size must be positive, got {mean_object_bytes}")
+    return mean_object_bytes / HINT_RECORD_BYTES
+
+
+def caches_indexable(
+    disk_bytes: int,
+    hint_fraction: float,
+    mean_object_bytes: float,
+) -> float:
+    """How many peer caches a hint slice can fully index, no overlap.
+
+    A cache spends ``hint_fraction`` of its disk on hints and the rest on
+    data.  Its hint slice indexes ``slice * reach_ratio`` bytes of remote
+    data; dividing by the data capacity of one peer gives the number of
+    peers covered -- the paper's "about 63 nearby caches" for a 10% slice
+    and 10 KB objects.
+    """
+    if not 0.0 < hint_fraction < 1.0:
+        raise ValueError(f"hint fraction must be in (0, 1), got {hint_fraction}")
+    if disk_bytes <= 0:
+        raise ValueError(f"disk size must be positive, got {disk_bytes}")
+    hint_slice = disk_bytes * hint_fraction
+    data_slice = disk_bytes * (1.0 - hint_fraction)
+    indexed_bytes = hint_slice * index_reach_ratio(mean_object_bytes)
+    return indexed_bytes / data_slice
+
+
+def update_bandwidth_bytes_per_s(updates_per_s: float) -> float:
+    """Wire bandwidth of a hint-update stream (20 B per update).
+
+    The paper's example: the busiest hint cache in the DEC trace sees 1.9
+    updates/s = 38 B/s, "about 1% of the bandwidth of a 33.6 Kbit/s modem".
+    """
+    from repro.hints.wire import UPDATE_RECORD_BYTES
+
+    if updates_per_s < 0:
+        raise ValueError(f"update rate must be non-negative, got {updates_per_s}")
+    return updates_per_s * UPDATE_RECORD_BYTES

@@ -1,0 +1,197 @@
+"""Simulation-level hint directory with capacity and staleness.
+
+Architecture simulations need a fast answer to "what does this node's hint
+cache say about object X at time t?".  :class:`HintDirectory` models the
+collective hint state the way the paper's simulator does:
+
+* **Ground truth** -- which caches currently hold which (object, version);
+  maintained synchronously by the architecture.
+* **Visible view** -- what hint caches have learned so far.  Inform /
+  retract events become visible ``propagation_delay`` seconds after they
+  happen (Figure 6 delays both additions and removals), and the visible
+  view lives in a bounded set-associative index whose entry count models a
+  hint cache of a given byte size at 16 bytes/entry (Figure 5).
+
+Hint error taxonomy (paper section 3.1.1), surfaced by :class:`HintLookup`:
+
+* *false negative* -- the view knows no holder although one exists; the
+  request goes straight to the server (never a second lookup: "do not slow
+  down misses").
+* *false positive* -- the view names a holder that no longer has the
+  object; the requester pays a wasted probe and then goes to the server.
+* *suboptimal positive* -- the view names a farther holder when a closer
+  one exists; the request still hits, just slower.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.cache.setassoc import SetAssociativeCache
+from repro.hints.hintcache import HINT_RECORD_BYTES
+
+
+@dataclass(frozen=True)
+class HintLookup:
+    """Result of consulting a hint cache for one object."""
+
+    holders: tuple[int, ...]  # visible holder nodes, unordered
+    false_negative: bool  # no visible holder although ground truth has one
+
+
+class HintDirectory:
+    """Global hint state with propagation delay and bounded capacity.
+
+    Args:
+        capacity_bytes: Hint-cache size being modelled; ``None`` means
+            unbounded (the paper's default configuration tracks "virtually
+            all of the nodes ... at once").  Entries cost 16 bytes each.
+        propagation_delay_s: Seconds before an inform/retract becomes
+            visible to hint caches (Figure 6's x-axis).
+        associativity: Set associativity of the bounded index (4, as in the
+            prototype).
+
+    The directory also counts every inform/retract event, which is the
+    update-load figure Table 5 and the bandwidth arithmetic need.
+    """
+
+    def __init__(
+        self,
+        capacity_bytes: int | None = None,
+        propagation_delay_s: float = 0.0,
+        associativity: int = 4,
+    ) -> None:
+        if propagation_delay_s < 0:
+            raise ValueError(f"delay must be non-negative, got {propagation_delay_s}")
+        self.propagation_delay_s = propagation_delay_s
+        self.capacity_bytes = capacity_bytes
+
+        # Ground truth: object -> {node -> version}.
+        self._truth: dict[int, dict[int, int]] = {}
+        # Visible view: object -> set of holder nodes.  Bounded or not.
+        self._visible: SetAssociativeCache[set[int]] | dict[int, set[int]]
+        if capacity_bytes is None:
+            self._visible = {}
+        else:
+            n_sets = max(1, capacity_bytes // (associativity * HINT_RECORD_BYTES))
+            self._visible = SetAssociativeCache(n_sets=n_sets, associativity=associativity)
+        # Pending visibility events: (visible_time, seq, action, object, node).
+        self._pending: list[tuple[float, int, str, int, int]] = []
+        self._seq = itertools.count()
+
+        self.inform_events = 0
+        self.retract_events = 0
+        self.false_negatives = 0
+        self.false_positives_recorded = 0
+
+    # ------------------------------------------------------------------
+    # ground-truth maintenance (called synchronously by architectures)
+    # ------------------------------------------------------------------
+    def inform(self, now: float, object_id: int, node: int, version: int) -> None:
+        """A copy of ``object_id`` is now stored at ``node``."""
+        self._truth.setdefault(object_id, {})[node] = version
+        self.inform_events += 1
+        self._schedule(now, "add", object_id, node)
+
+    def retract(self, now: float, object_id: int, node: int) -> None:
+        """The copy at ``node`` is gone (evicted or invalidated)."""
+        holders = self._truth.get(object_id)
+        if holders is not None:
+            holders.pop(node, None)
+            if not holders:
+                del self._truth[object_id]
+        self.retract_events += 1
+        self._schedule(now, "remove", object_id, node)
+
+    def truth_holders(self, object_id: int) -> dict[int, int]:
+        """Ground-truth ``{node: version}`` map for an object (may be empty)."""
+        return dict(self._truth.get(object_id, {}))
+
+    # ------------------------------------------------------------------
+    # hint-cache queries
+    # ------------------------------------------------------------------
+    def find(self, now: float, object_id: int, requester: int) -> HintLookup:
+        """What the requester's hint cache reports for ``object_id`` now.
+
+        The requester's own copy never counts (a local miss already
+        happened); holders are returned unordered and the architecture
+        picks the nearest by its distance function.
+        """
+        self._advance(now)
+        visible = self._visible_get(object_id)
+        holders = tuple(n for n in visible if n != requester) if visible else ()
+        truth = self._truth.get(object_id, {})
+        others_exist = any(n != requester for n in truth)
+        false_negative = not holders and others_exist
+        if false_negative:
+            self.false_negatives += 1
+        return HintLookup(holders=holders, false_negative=false_negative)
+
+    def record_false_positive(self) -> None:
+        """Count a probe that found the advertised copy gone."""
+        self.false_positives_recorded += 1
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _schedule(self, now: float, action: str, object_id: int, node: int) -> None:
+        if self.propagation_delay_s == 0.0:
+            self._apply(action, object_id, node)
+            return
+        heapq.heappush(
+            self._pending,
+            (now + self.propagation_delay_s, next(self._seq), action, object_id, node),
+        )
+
+    def _advance(self, now: float) -> None:
+        while self._pending and self._pending[0][0] <= now:
+            _t, _seq, action, object_id, node = heapq.heappop(self._pending)
+            self._apply(action, object_id, node)
+
+    def _apply(self, action: str, object_id: int, node: int) -> None:
+        if action == "add":
+            existing = self._visible_get(object_id)
+            if existing is None:
+                self._visible_put(object_id, {node})
+            else:
+                existing.add(node)
+        else:
+            existing = self._visible_get(object_id)
+            if existing is not None:
+                existing.discard(node)
+                if not existing:
+                    self._visible_remove(object_id)
+
+    def _visible_get(self, object_id: int) -> set[int] | None:
+        if isinstance(self._visible, dict):
+            return self._visible.get(object_id)
+        return self._visible.get(object_id)
+
+    def _visible_put(self, object_id: int, holders: set[int]) -> None:
+        if isinstance(self._visible, dict):
+            self._visible[object_id] = holders
+        else:
+            self._visible.put(object_id, holders)
+
+    def _visible_remove(self, object_id: int) -> None:
+        if isinstance(self._visible, dict):
+            self._visible.pop(object_id, None)
+        else:
+            self._visible.remove(object_id)
+
+
+def nearest_holder(
+    holders: tuple[int, ...],
+    distance_key: Callable[[int], tuple],
+) -> int | None:
+    """Pick the holder minimizing ``distance_key`` (None if no holders).
+
+    ``distance_key`` returns a sortable tuple -- architectures use
+    ``(distance_class, node_id)`` so selection is deterministic.
+    """
+    if not holders:
+        return None
+    return min(holders, key=distance_key)

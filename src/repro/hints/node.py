@@ -1,0 +1,109 @@
+"""One proxy's hint module (the prototype's Squid interface, section 3.2).
+
+A :class:`HintNode` owns a packed-array hint cache and answers the three
+prototype commands -- *inform*, *invalidate*, *find nearest* -- plus
+batch application for updates received from neighbors.  It knows nothing
+about the metadata topology; :mod:`repro.hints.cluster` wires nodes
+together and moves the batches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hints.hintcache import HintCache
+from repro.hints.records import MachineId
+from repro.hints.wire import HintAction, HintUpdate
+
+
+@dataclass
+class PendingUpdate:
+    """An update queued for forwarding, with its arrival edge.
+
+    ``exclude_neighbor`` is the tree neighbor the update arrived from (or
+    ``None`` for locally-originated updates); forwarding skips that edge,
+    which on a tree guarantees exactly-once delivery everywhere.
+    """
+
+    update: HintUpdate
+    exclude_neighbor: int | None = None
+
+
+class HintNode:
+    """A proxy's hint state: local cache + outbound update queue.
+
+    Args:
+        index: This node's index in the cluster.
+        hint_capacity_bytes: Size of the local hint cache.
+        associativity: Hint-cache associativity (4 in the prototype).
+    """
+
+    def __init__(
+        self, index: int, hint_capacity_bytes: int, associativity: int = 4
+    ) -> None:
+        self.index = index
+        self.machine = MachineId.for_node(index)
+        self.cache = HintCache(hint_capacity_bytes, associativity=associativity)
+        self.outbox: list[PendingUpdate] = []
+        #: url_hash -> simulation time this node first learned a location.
+        self.first_learned: dict[int, float] = {}
+        self.updates_applied = 0
+        self.updates_originated = 0
+
+    # ------------------------------------------------------------------
+    # the prototype's three commands
+    # ------------------------------------------------------------------
+    def inform(self, url_hash: int, now: float) -> None:
+        """A copy of the object is now stored locally; advertise it."""
+        self.cache.inform(url_hash, self.machine)
+        self.first_learned.setdefault(url_hash, now)
+        self.updates_originated += 1
+        self.outbox.append(
+            PendingUpdate(
+                HintUpdate(
+                    action=HintAction.INFORM,
+                    object_id=url_hash,
+                    machine=self.machine,
+                )
+            )
+        )
+
+    def invalidate(self, url_hash: int, now: float) -> None:
+        """The local copy is gone; advertise the non-presence."""
+        self.cache.invalidate(url_hash)
+        self.updates_originated += 1
+        self.outbox.append(
+            PendingUpdate(
+                HintUpdate(
+                    action=HintAction.INVALIDATE,
+                    object_id=url_hash,
+                    machine=self.machine,
+                )
+            )
+        )
+
+    def find_nearest(self, url_hash: int) -> MachineId | None:
+        """Report the nearest known copy, purely from local state."""
+        return self.cache.find_nearest(url_hash)
+
+    # ------------------------------------------------------------------
+    # neighbor traffic
+    # ------------------------------------------------------------------
+    def apply_update(self, update: HintUpdate, from_neighbor: int, now: float) -> None:
+        """Apply one received update and queue it for onward forwarding."""
+        self.updates_applied += 1
+        if update.action is HintAction.INFORM:
+            self.cache.inform(update.object_id, update.machine)
+            self.first_learned.setdefault(update.object_id, now)
+        else:
+            existing = self.cache.find_nearest(update.object_id)
+            # Only drop the hint if it points at the machine that lost its
+            # copy; a hint naming a different holder is still valid.
+            if existing is not None and existing == update.machine:
+                self.cache.invalidate(update.object_id)
+        self.outbox.append(PendingUpdate(update, exclude_neighbor=from_neighbor))
+
+    def drain_outbox(self) -> list[PendingUpdate]:
+        """Take every queued update (the flush step)."""
+        pending, self.outbox = self.outbox, []
+        return pending

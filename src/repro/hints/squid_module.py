@@ -1,0 +1,130 @@
+"""The Squid-facing facade of the prototype (section 3.2, verbatim).
+
+"We have added the protocol for maintaining location-hints to Squid
+version 1.1.20.  There are three primary interface commands between Squid
+and the hint cache": *inform*, *invalidate*, and *find nearest*.  "The
+system sends hint updates to neighboring caches as HTTP POST requests to
+the 'route://updates' URL."
+
+:class:`SquidHintModule` is that boundary, speaking the proxy's language:
+URL strings in, machine addresses out, POST bodies for neighbor exchange.
+Inside it composes the pieces built elsewhere -- MD5 URL hashing, the
+(optionally mmap-backed) packed hint store, and the randomized update
+batcher.  Two modules wired back-to-back are a two-proxy deployment.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.ids import object_id_from_url
+from repro.hints.hintcache import HintCache
+from repro.hints.records import MachineId
+from repro.hints.storage import MmapHintStore
+from repro.hints.wire import HintAction, HintUpdate, UpdateBatcher, decode_updates
+
+#: The in-Squid URL hint batches are POSTed to.
+UPDATES_URL = "route://updates"
+
+
+class SquidHintModule:
+    """One proxy's hint module behind the prototype's three commands.
+
+    Args:
+        machine: This proxy's identity (goes into outgoing hints).
+        hint_capacity_bytes: Size of the hint store.
+        store_path: When given, the store is a memory-mapped file at this
+            path (the prototype's layout); otherwise it lives in memory.
+        seed: Jitter for the randomized update period.
+    """
+
+    def __init__(
+        self,
+        machine: MachineId,
+        hint_capacity_bytes: int = 1 << 20,
+        store_path: str | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.machine = machine
+        if store_path is not None:
+            self._store: HintCache | MmapHintStore = MmapHintStore(
+                store_path, capacity_bytes=hint_capacity_bytes
+            )
+        else:
+            self._store = HintCache(capacity_bytes=hint_capacity_bytes)
+        self._batcher = UpdateBatcher(rng=np.random.default_rng(seed))
+
+    # ------------------------------------------------------------------
+    # the three commands (paper section 3.2)
+    # ------------------------------------------------------------------
+    def inform(self, url: str, now: float) -> None:
+        """A copy of ``url`` is now stored locally; advertise it."""
+        url_hash = object_id_from_url(url)
+        self._store.inform(url_hash, self.machine)
+        self._batcher.add(
+            HintUpdate(
+                action=HintAction.INFORM, object_id=url_hash, machine=self.machine
+            ),
+            now,
+        )
+
+    def invalidate(self, url: str, now: float) -> None:
+        """The local copy of ``url`` is gone; advertise the non-presence."""
+        url_hash = object_id_from_url(url)
+        self._store.invalidate(url_hash)
+        self._batcher.add(
+            HintUpdate(
+                action=HintAction.INVALIDATE, object_id=url_hash, machine=self.machine
+            ),
+            now,
+        )
+
+    def find_nearest(self, url: str) -> MachineId | None:
+        """Where is the nearest known copy of ``url``? (local lookup)"""
+        return self._store.find_nearest(object_id_from_url(url))
+
+    # ------------------------------------------------------------------
+    # neighbor exchange over route://updates
+    # ------------------------------------------------------------------
+    def poll_outgoing(self, now: float) -> tuple[str, bytes] | None:
+        """If the randomized period elapsed, the POST to send.
+
+        Returns ``(url, body)`` -- always :data:`UPDATES_URL` -- or ``None``
+        when there is nothing to send yet.
+        """
+        body = self._batcher.poll(now)
+        if body is None:
+            return None
+        return UPDATES_URL, body
+
+    def handle_post(self, url: str, body: bytes) -> int:
+        """Apply a neighbor's update batch; returns updates applied.
+
+        Raises ``ValueError`` for unknown URLs or malformed bodies, the
+        way the real handler would reject a bad request.
+        """
+        if url != UPDATES_URL:
+            raise ValueError(f"unexpected POST target {url!r}")
+        updates = decode_updates(body)
+        for update in updates:
+            if update.action is HintAction.INFORM:
+                self._store.inform(update.object_id, update.machine)
+            else:
+                existing = self._store.find_nearest(update.object_id)
+                if existing is not None and existing == update.machine:
+                    self._store.invalidate(update.object_id)
+        return len(updates)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release the backing store (no-op for the in-memory variant)."""
+        if isinstance(self._store, MmapHintStore):
+            self._store.close()
+
+    def __enter__(self) -> "SquidHintModule":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,115 @@
+"""Memory-mapped hint store (the prototype's on-disk layout).
+
+Paper section 3.2.1: "our design stores a node's hint cache in a memory
+mapped file consisting of an array of small, fixed-sized entries ...
+Thus, if a needed hint is not already cached in memory, the system can
+locate and read it with a single disk access."
+
+:class:`MmapHintStore` backs a :class:`~repro.hints.hintcache.HintCache`
+with an ``mmap`` over a real file, so the fixed-record layout is exercised
+against the OS page cache exactly as the prototype exercised it.  The
+prototype measured 4.3 microseconds for a warm lookup and 10.8 ms for a
+cold one (a disk fault on 1997 hardware); the warm path is reproduced in
+``benchmarks/test_bench_hint_lookup.py``.
+"""
+
+from __future__ import annotations
+
+import mmap
+import os
+
+from repro.hints.hintcache import HINT_RECORD_BYTES, HintCache
+from repro.hints.records import MachineId
+
+
+class MmapHintStore:
+    """A hint cache persisted in a memory-mapped file.
+
+    Usable as a context manager::
+
+        with MmapHintStore(path, capacity_bytes=1 << 20) as store:
+            store.inform(url_hash, MachineId.for_node(3))
+            machine = store.find_nearest(url_hash)
+
+    Reopening the same file recovers the previously written hints -- the
+    layout is just the packed 16-byte-record array.
+    """
+
+    def __init__(self, path: str | os.PathLike, capacity_bytes: int, associativity: int = 4) -> None:
+        self.path = os.fspath(path)
+        set_bytes = associativity * HINT_RECORD_BYTES
+        n_sets = capacity_bytes // set_bytes
+        if n_sets <= 0:
+            raise ValueError(f"capacity {capacity_bytes} B holds no {associativity}-way sets")
+        self._file_bytes = n_sets * set_bytes
+        self._file = open(self.path, "a+b")
+        try:
+            current = os.fstat(self._file.fileno()).st_size
+            if current < self._file_bytes:
+                self._file.truncate(self._file_bytes)
+            self._mmap = mmap.mmap(self._file.fileno(), self._file_bytes)
+        except Exception:
+            self._file.close()
+            raise
+        self._cache = HintCache(
+            capacity_bytes=self._file_bytes,
+            associativity=associativity,
+            buffer=memoryview(self._mmap),
+        )
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # delegation to the associative cache
+    # ------------------------------------------------------------------
+    def find_nearest(self, url_hash: int) -> MachineId | None:
+        """Look up the nearest known copy of a URL hash."""
+        self._check_open()
+        return self._cache.find_nearest(url_hash)
+
+    def inform(self, url_hash: int, machine: MachineId):
+        """Record a new nearest copy; returns any displaced hint."""
+        self._check_open()
+        return self._cache.inform(url_hash, machine)
+
+    def invalidate(self, url_hash: int) -> bool:
+        """Drop the hint for a URL hash; True if one was present."""
+        self._check_open()
+        return self._cache.invalidate(url_hash)
+
+    def __len__(self) -> int:
+        self._check_open()
+        return len(self._cache)
+
+    @property
+    def capacity_entries(self) -> int:
+        """Maximum number of hints the store can hold."""
+        return self._cache.capacity_entries
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def flush(self) -> None:
+        """Force dirty pages to the file."""
+        self._check_open()
+        self._mmap.flush()
+
+    def close(self) -> None:
+        """Flush and release the mapping and file handle (idempotent)."""
+        if self._closed:
+            return
+        # Drop the cache's memoryview into the mmap before closing it.
+        self._cache._buf.release()
+        self._mmap.flush()
+        self._mmap.close()
+        self._file.close()
+        self._closed = True
+
+    def __enter__(self) -> "MmapHintStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ValueError("hint store is closed")

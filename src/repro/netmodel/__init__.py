@@ -1,0 +1,48 @@
+"""Network access-cost models.
+
+The paper's simulator does not model packets; it charges each request a
+response time parameterized by *where* the request was satisfied and *how*
+it got there (section 3.3: "we parameterize our results using estimates of
+Internet access times").  This package provides those parameterizations:
+
+* :class:`repro.netmodel.model.CostModel` -- the interface: hierarchical,
+  direct, and via-L1 access times for each access point (L1/L2/L3/server).
+* :class:`repro.netmodel.testbed.TestbedCostModel` -- calibrated to the
+  Berkeley/San Diego/Austin/Cornell testbed of Figure 1 (size-dependent).
+* :class:`repro.netmodel.rousskov.RousskovCostModel` -- the min/max
+  component times from Rousskov's Squid measurements, composed exactly as
+  the paper's Table 3 composes them (size-independent medians).
+* :mod:`repro.netmodel.topology` -- synthetic geographic node placement and
+  distances, used by the Plaxton tree embedding.
+"""
+
+from repro.netmodel.model import AccessPoint, CostModel
+from repro.netmodel.queueing import LoadAwareCostModel
+from repro.netmodel.rousskov import ROUSSKOV_COMPONENTS, RousskovCostModel
+from repro.netmodel.testbed import TestbedCostModel
+from repro.netmodel.topology import GeographicTopology
+
+__all__ = [
+    "ROUSSKOV_COMPONENTS",
+    "AccessPoint",
+    "CostModel",
+    "GeographicTopology",
+    "LoadAwareCostModel",
+    "RousskovCostModel",
+    "TestbedCostModel",
+]
+
+
+def cost_model_by_name(name: str) -> CostModel:
+    """Build one of the three standard cost models by name.
+
+    ``"testbed"`` -> :class:`TestbedCostModel`;
+    ``"min"`` / ``"max"`` -> :class:`RousskovCostModel` at that bound.
+    These are the three parameter sets behind Figure 8 / Table 6.
+    """
+    lowered = name.lower()
+    if lowered == "testbed":
+        return TestbedCostModel()
+    if lowered in ("min", "max"):
+        return RousskovCostModel(lowered)
+    raise ValueError(f"unknown cost model {name!r}; expected testbed/min/max")

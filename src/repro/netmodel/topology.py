@@ -1,0 +1,114 @@
+"""Synthetic geographic topology.
+
+The Plaxton embedding (paper section 3.1.3) needs "a list of nodes and the
+approximate distances between them" to pick nearby parents.  We synthesize
+a clustered 2-D geography: regional cluster centers scattered over a plane,
+cache nodes scattered tightly around their center.  This mirrors the
+paper's world -- many caches inside an ISP region, regions far apart -- and
+gives the embedding genuine locality structure to exploit (the locality
+property tests in ``tests/plaxton`` rely on it).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.common.errors import TopologyError
+
+
+class GeographicTopology:
+    """Clustered node placement with Euclidean distances.
+
+    Args:
+        n_nodes: Total number of cache nodes.
+        n_clusters: Number of regional clusters.
+        rng: Randomness for placement.
+        world_size: Side length of the square world, in abstract distance
+            units (think milliseconds of one-way latency).
+        cluster_radius: Scatter radius of nodes around their cluster center.
+    """
+
+    def __init__(
+        self,
+        n_nodes: int,
+        n_clusters: int,
+        rng: np.random.Generator,
+        *,
+        world_size: float = 100.0,
+        cluster_radius: float = 4.0,
+    ) -> None:
+        if n_nodes <= 0:
+            raise TopologyError(f"need at least one node, got {n_nodes}")
+        if n_clusters <= 0 or n_clusters > n_nodes:
+            raise TopologyError(
+                f"cluster count {n_clusters} invalid for {n_nodes} nodes"
+            )
+        self.n_nodes = n_nodes
+        self.n_clusters = n_clusters
+        self.world_size = world_size
+
+        centers = rng.random((n_clusters, 2)) * world_size
+        assignments = np.arange(n_nodes) % n_clusters
+        offsets = rng.normal(scale=cluster_radius, size=(n_nodes, 2))
+        self._cluster_of = assignments
+        self._positions = centers[assignments] + offsets
+
+    @property
+    def positions(self) -> np.ndarray:
+        """``(n_nodes, 2)`` array of node coordinates."""
+        return self._positions
+
+    def cluster_of(self, node: int) -> int:
+        """Cluster index of ``node``."""
+        self._check(node)
+        return int(self._cluster_of[node])
+
+    def distance(self, a: int, b: int) -> float:
+        """Euclidean distance between two nodes."""
+        self._check(a)
+        self._check(b)
+        dx = self._positions[a] - self._positions[b]
+        return float(math.hypot(dx[0], dx[1]))
+
+    def distances_from(self, node: int) -> np.ndarray:
+        """Vector of distances from ``node`` to every node (self included)."""
+        self._check(node)
+        deltas = self._positions - self._positions[node]
+        return np.hypot(deltas[:, 0], deltas[:, 1])
+
+    def nearest(self, node: int, candidates: list[int]) -> int:
+        """Return the candidate nearest to ``node``.
+
+        Ties break toward the lower node id so results are deterministic.
+        """
+        if not candidates:
+            raise TopologyError("nearest() needs at least one candidate")
+        distances = self.distances_from(node)
+        return min(candidates, key=lambda c: (distances[c], c))
+
+    def mean_intra_cluster_distance(self) -> float:
+        """Average distance between node pairs sharing a cluster."""
+        total, count = 0.0, 0
+        for cluster in range(self.n_clusters):
+            members = np.flatnonzero(self._cluster_of == cluster)
+            for i, a in enumerate(members):
+                for b in members[i + 1 :]:
+                    total += self.distance(int(a), int(b))
+                    count += 1
+        return total / count if count else 0.0
+
+    def mean_inter_cluster_distance(self) -> float:
+        """Average distance between node pairs in different clusters."""
+        total, count = 0.0, 0
+        for a in range(self.n_nodes):
+            for b in range(a + 1, self.n_nodes):
+                if self._cluster_of[a] != self._cluster_of[b]:
+                    total += self.distance(a, b)
+                    count += 1
+        return total / count if count else 0.0
+
+    def _check(self, node: int) -> None:
+        if not 0 <= node < self.n_nodes:
+            raise TopologyError(f"node {node} out of range [0, {self.n_nodes})")

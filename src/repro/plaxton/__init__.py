@@ -1,0 +1,30 @@
+"""Plaxton-style self-configuring metadata hierarchy (paper section 3.1.3).
+
+The hint distribution hierarchy configures itself with the randomized
+tree-embedding algorithm of Plaxton, Rajaraman and Richa (SPAA'97): every
+node gets a pseudo-random ID (MD5 of its address), every object gets a
+pseudo-random ID (MD5 of its URL), and an object's virtual distribution
+tree climbs through nodes whose IDs match the object's ID in progressively
+more low-order digits.  The properties the paper relies on -- automatic
+configuration, fault tolerance with small reconfiguration, load
+distribution (each node roots ~1/n of objects), and locality (low-level
+parents are nearby) -- are implemented here and pinned by the property
+tests in ``tests/plaxton``.
+
+* :class:`repro.plaxton.tree.PlaxtonTree` -- the embedding: parent tables,
+  root selection, and update-routing paths.
+* :mod:`repro.plaxton.membership` -- node join/leave with reconfiguration
+  accounting.
+"""
+
+from repro.plaxton.membership import ReconfigurationReport, remove_node_report
+from repro.plaxton.metadata import PlaxtonMetadataFabric
+from repro.plaxton.tree import PlaxtonNode, PlaxtonTree
+
+__all__ = [
+    "PlaxtonMetadataFabric",
+    "PlaxtonNode",
+    "PlaxtonTree",
+    "ReconfigurationReport",
+    "remove_node_report",
+]

@@ -1,0 +1,108 @@
+"""Hint-update routing over the self-configured Plaxton hierarchy.
+
+The paper's system does not use one fixed metadata tree: "the system
+automatically maps the metadata hierarchy across the data nodes using a
+randomized hash function for scalability and fault tolerance" (section 3),
+and "different objects use different virtual trees ... each node will be
+the root for roughly 1/n of the objects" (section 3.1.3).
+
+:class:`PlaxtonMetadataFabric` combines the two halves built elsewhere:
+updates route along :meth:`PlaxtonTree.route_path` toward the object's
+root, and the subtree-filtering rule of section 3.1.2 terminates the climb
+at the first path node that already knows a copy.  Because every object
+has its own virtual tree, the update load that a fixed hierarchy
+concentrates at one root is spread across all nodes -- the property the
+``plaxton_load`` ablation measures against the balanced-tree organization
+of Table 5.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.plaxton.tree import PlaxtonTree
+
+
+class PlaxtonMetadataFabric:
+    """Per-object hint-update routing with subtree filtering.
+
+    Args:
+        tree: The Plaxton embedding to route over.
+
+    Each metadata node keeps, per object, the set of holders it has been
+    told about.  An *inform* climbs the object's virtual tree and stops at
+    the first node that already knew a copy (that node's ancestors were
+    already told a copy exists below them); a *retract* climbs while the
+    departing copy was the last one the node knew of.
+    """
+
+    def __init__(self, tree: PlaxtonTree) -> None:
+        self.tree = tree
+        # (metadata node, object) -> known holder set.
+        self._known: dict[tuple[int, int], set[int]] = {}
+        self.messages_at: Counter[int] = Counter()
+        self.total_messages = 0
+
+    # ------------------------------------------------------------------
+    # protocol
+    # ------------------------------------------------------------------
+    def inform(self, node: int, object_id: int) -> list[int]:
+        """Node stored a copy of the object; returns the path messaged."""
+        path = self.tree.route_path(node, object_id)
+        self._remember(node, object_id, node)
+        messaged: list[int] = []
+        for hop in path[1:]:
+            self.messages_at[hop] += 1
+            self.total_messages += 1
+            messaged.append(hop)
+            already_knew = bool(self._known.get((hop, object_id)))
+            self._remember(hop, object_id, node)
+            if already_knew:
+                break  # the filtering rule: ancestors already know a copy
+        return messaged
+
+    def retract(self, node: int, object_id: int) -> list[int]:
+        """Node dropped its copy; returns the path messaged."""
+        path = self.tree.route_path(node, object_id)
+        self._forget(node, object_id, node)
+        messaged: list[int] = []
+        for hop in path[1:]:
+            self.messages_at[hop] += 1
+            self.total_messages += 1
+            messaged.append(hop)
+            known = self._known.get((hop, object_id))
+            if known is None or node not in known:
+                break
+            known.discard(node)
+            if known:
+                break  # subtree still has a copy: ancestors need not know
+            del self._known[(hop, object_id)]
+        return messaged
+
+    def find(self, node: int, object_id: int) -> set[int]:
+        """Holders the metadata node at ``node`` knows about."""
+        return set(self._known.get((node, object_id), set()))
+
+    def root_load_distribution(self, object_ids: list[int]) -> Counter[int]:
+        """How many of the given objects each live node roots."""
+        counts: Counter[int] = Counter()
+        for object_id in object_ids:
+            counts[self.tree.root_for(object_id)] += 1
+        return counts
+
+    def max_node_load(self) -> int:
+        """Largest per-node message count seen so far."""
+        return max(self.messages_at.values(), default=0)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _remember(self, meta_node: int, object_id: int, holder: int) -> None:
+        self._known.setdefault((meta_node, object_id), set()).add(holder)
+
+    def _forget(self, meta_node: int, object_id: int, holder: int) -> None:
+        known = self._known.get((meta_node, object_id))
+        if known is not None:
+            known.discard(holder)
+            if not known:
+                del self._known[(meta_node, object_id)]

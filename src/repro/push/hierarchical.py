@@ -1,0 +1,104 @@
+"""Hierarchical push on miss (paper section 4.1.3).
+
+"When a cache fetches an object from a cousin for which a level-L parent
+is the least common ancestor in the metadata hierarchy, the cache
+supplying the object also pushes the object to a random node in each of
+the level-(L-1) subtrees that share the level-L parent."
+
+Intuition: if two subtrees of a hierarchy access an item, many subtrees
+probably will; replication breadth therefore tracks popularity without any
+explicit popularity counters.
+
+Three aggressiveness settings from the paper's evaluation:
+
+* **push-1** -- one random node per eligible subtree;
+* **push-half** -- half of the nodes in each eligible subtree;
+* **push-all** -- every node in each eligible subtree.
+
+In the paper's three-level system, eligible subtrees are: on an
+L3-distance fetch, every L2 group (each contributing 1 / half / all of its
+L1 members); on an L2-distance fetch, every level-1 subtree under that L2
+parent -- and a level-1 subtree is a single L1 cache, so all three
+settings push to every sibling there (matching Figure 9's "pushes object B
+to all level-1 nodes under that level-2 parent").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hierarchy.topology import HierarchyTopology
+from repro.push.base import PushAction, PushPolicy
+from repro.traces.records import Request
+
+#: Aggressiveness settings and the fraction of each subtree they cover.
+_MODES = ("push-1", "push-half", "push-all")
+
+
+class HierarchicalPushOnMiss(PushPolicy):
+    """Push to sibling subtrees on cache-to-cache fetches.
+
+    Args:
+        topology: The hierarchy the metadata tree follows.
+        mode: ``"push-1"``, ``"push-half"``, or ``"push-all"``.
+        seed: Randomness for target selection within subtrees.
+    """
+
+    def __init__(self, topology: HierarchyTopology, mode: str, seed: int = 0) -> None:
+        if mode not in _MODES:
+            raise ValueError(f"mode must be one of {_MODES}, got {mode!r}")
+        self.topology = topology
+        self.mode = mode
+        self.name = mode
+        self._rng = np.random.default_rng(seed)
+
+    def on_remote_fetch(
+        self,
+        now: float,
+        request: Request,
+        requester_l1: int,
+        source_l1: int,
+        lca_level: int,
+    ) -> list[PushAction]:
+        if lca_level <= 1:
+            return []
+        targets = self._targets(requester_l1, source_l1, lca_level)
+        return [
+            PushAction(
+                target_l1=node,
+                object_id=request.object_id,
+                size=request.size,
+                version=request.version,
+            )
+            for node in targets
+        ]
+
+    # ------------------------------------------------------------------
+    # target selection
+    # ------------------------------------------------------------------
+    def _targets(self, requester_l1: int, source_l1: int, lca_level: int) -> list[int]:
+        exclude = {requester_l1, source_l1}
+        if lca_level >= 3:
+            # Eligible subtrees: every L2 group under the (single) L3 root.
+            subtrees = [self.topology.l1_nodes_of_l2(g) for g in range(self.topology.n_l2)]
+        else:
+            # Eligible subtrees: the level-1 subtrees (individual L1 caches)
+            # under the shared L2 parent.
+            group = self.topology.l2_of_l1(requester_l1)
+            subtrees = [[node] for node in self.topology.l1_nodes_of_l2(group)]
+        targets: list[int] = []
+        for members in subtrees:
+            eligible = [n for n in members if n not in exclude]
+            if not eligible:
+                continue
+            targets.extend(self._pick(eligible))
+        return targets
+
+    def _pick(self, eligible: list[int]) -> list[int]:
+        if self.mode == "push-all" or len(eligible) == 1:
+            return list(eligible)
+        if self.mode == "push-1":
+            return [int(self._rng.choice(eligible))]
+        count = max(1, len(eligible) // 2)
+        chosen = self._rng.choice(eligible, size=count, replace=False)
+        return [int(n) for n in chosen]

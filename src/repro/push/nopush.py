@@ -1,0 +1,11 @@
+"""The demand-only base case: never push anything."""
+
+from __future__ import annotations
+
+from repro.push.base import PushPolicy
+
+
+class NoPush(PushPolicy):
+    """Base-case policy (the paper's "no push" bars): replicate on demand only."""
+
+    name = "no-push"

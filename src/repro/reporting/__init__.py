@@ -1,0 +1,23 @@
+"""Rendering and export of experiment results (tables, charts, JSON/CSV)."""
+
+from repro.reporting.charts import render_bars, render_series
+from repro.reporting.export import (
+    load_result,
+    result_from_json,
+    result_to_csv,
+    result_to_json,
+    save_result,
+)
+from repro.reporting.tables import format_series, format_table
+
+__all__ = [
+    "format_series",
+    "format_table",
+    "load_result",
+    "render_bars",
+    "render_series",
+    "result_from_json",
+    "result_to_csv",
+    "result_to_json",
+    "save_result",
+]

@@ -1,0 +1,101 @@
+"""Terminal-friendly ASCII charts for experiment series.
+
+The figure experiments produce (x, y) series; these helpers render them as
+scatter/line charts (optionally log-x, matching the paper's log axes in
+Figures 1, 5 and 6) and horizontal bar charts (Figures 8 and 10) without
+any plotting dependency.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+#: Glyphs assigned to successive series in a multi-series chart.
+_SERIES_GLYPHS = "ox+*#@%&"
+
+
+def _scale(value: float, low: float, high: float, steps: int, log: bool) -> int:
+    """Map ``value`` into ``0..steps-1`` on a linear or log axis."""
+    if log:
+        if value <= 0 or low <= 0:
+            raise ValueError("log axes need positive values")
+        value, low, high = math.log10(value), math.log10(low), math.log10(high)
+    if high == low:
+        return 0
+    fraction = (value - low) / (high - low)
+    return min(steps - 1, max(0, round(fraction * (steps - 1))))
+
+
+def render_series(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    *,
+    title: str | None = None,
+    width: int = 60,
+    height: int = 16,
+    log_x: bool = False,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render one or more (x, y) series as an ASCII scatter chart.
+
+    Args:
+        series: Mapping from series name to its points.
+        title: Optional heading.
+        width, height: Plot area in characters.
+        log_x: Use a log10 x-axis (the paper's Figures 5/6 shape).
+        x_label, y_label: Axis captions.
+    """
+    points = [(x, y) for pts in series.values() for x, y in pts]
+    if not points:
+        return (title + "\n" if title else "") + "(no data)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(ys), max(ys)
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, pts) in enumerate(series.items()):
+        glyph = _SERIES_GLYPHS[index % len(_SERIES_GLYPHS)]
+        for x, y in pts:
+            column = _scale(x, x_low, x_high, width, log_x)
+            row = height - 1 - _scale(y, y_low, y_high, height, False)
+            grid[row][column] = glyph
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_label} (top={y_high:g}, bottom={y_low:g})")
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    axis_kind = "log " if log_x else ""
+    lines.append(f" {axis_kind}{x_label}: {x_low:g} .. {x_high:g}")
+    legend = "  ".join(
+        f"{_SERIES_GLYPHS[i % len(_SERIES_GLYPHS)]}={name}"
+        for i, name in enumerate(series)
+    )
+    lines.append(" " + legend)
+    return "\n".join(lines)
+
+
+def render_bars(
+    values: Mapping[str, float],
+    *,
+    title: str | None = None,
+    width: int = 50,
+    unit: str = "",
+) -> str:
+    """Render labelled values as a horizontal ASCII bar chart."""
+    if not values:
+        return (title + "\n" if title else "") + "(no data)"
+    peak = max(values.values())
+    label_width = max(len(name) for name in values)
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    for name, value in values.items():
+        length = 0 if peak <= 0 else round(width * value / peak)
+        bar = "#" * max(length, 1 if value > 0 else 0)
+        lines.append(f"{name.ljust(label_width)}  {bar} {value:g}{unit}")
+    return "\n".join(lines)

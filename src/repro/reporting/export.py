@@ -1,0 +1,86 @@
+"""Machine-readable export of experiment results.
+
+Downstream users plot with their own stack; these helpers dump any
+:class:`~repro.experiments.base.ExperimentResult` as JSON (one document,
+rows + claims + notes) or CSV (rows only), and load the JSON back for
+later comparison runs.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import os
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.experiments.base import ExperimentResult
+
+
+def result_to_json(result: "ExperimentResult") -> str:
+    """Serialize a result (rows, claims, notes, chart spec) to JSON."""
+    return json.dumps(
+        {
+            "experiment": result.experiment,
+            "description": result.description,
+            "rows": result.rows,
+            "paper_claims": result.paper_claims,
+            "notes": result.notes,
+            "chart_spec": result.chart_spec,
+        },
+        indent=2,
+        default=str,
+    )
+
+
+def result_from_json(text: str) -> "ExperimentResult":
+    """Load a result previously dumped by :func:`result_to_json`."""
+    from repro.experiments.base import ExperimentResult
+
+    data = json.loads(text)
+    return ExperimentResult(
+        experiment=data["experiment"],
+        description=data["description"],
+        rows=data.get("rows", []),
+        paper_claims=data.get("paper_claims", {}),
+        notes=data.get("notes", []),
+        chart_spec=data.get("chart_spec"),
+    )
+
+
+def result_to_csv(result: "ExperimentResult") -> str:
+    """Serialize a result's rows as CSV (columns = union of row keys)."""
+    columns: list[str] = []
+    for row in result.rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=columns, extrasaction="ignore")
+    writer.writeheader()
+    for row in result.rows:
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def save_result(result: "ExperimentResult", path: str | os.PathLike) -> None:
+    """Write a result to ``path``: ``.json`` or ``.csv`` by extension."""
+    path = os.fspath(path)
+    if path.endswith(".json"):
+        payload = result_to_json(result)
+    elif path.endswith(".csv"):
+        payload = result_to_csv(result)
+    else:
+        raise ValueError(f"unsupported export extension for {path!r}")
+    with open(path, "w", encoding="utf-8") as stream:
+        stream.write(payload)
+
+
+def load_result(path: str | os.PathLike) -> "ExperimentResult":
+    """Read a JSON result written by :func:`save_result`."""
+    path = os.fspath(path)
+    if not path.endswith(".json"):
+        raise ValueError("only JSON results can be loaded back")
+    with open(path, "r", encoding="utf-8") as stream:
+        return result_from_json(stream.read())

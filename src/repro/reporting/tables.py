@@ -1,0 +1,75 @@
+"""ASCII table / series formatting for experiment output.
+
+Experiments return structured rows; these helpers render them the way the
+benchmark harness prints them, so the regenerated tables can be compared
+line-by-line with the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 100:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    *,
+    title: str | None = None,
+    columns: Sequence[str] | None = None,
+) -> str:
+    """Render rows of dicts as an aligned ASCII table.
+
+    Args:
+        rows: Result rows; all keys of the first row are used unless
+            ``columns`` restricts/orders them.
+        title: Optional heading printed above the table.
+        columns: Explicit column order.
+    """
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    if columns:
+        cols = list(columns)
+    else:
+        # Union of all rows' keys, ordered by first appearance, so rows
+        # with heterogeneous keys (e.g. combined ablation studies) render.
+        cols = []
+        for row in rows:
+            for key in row:
+                if key not in cols:
+                    cols.append(key)
+    rendered = [[_cell(row.get(c, "")) for c in cols] for row in rows]
+    widths = [
+        max(len(col), *(len(r[i]) for r in rendered)) for i, col in enumerate(cols)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(cols))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for r in rendered:
+        lines.append("  ".join(r[i].ljust(widths[i]) for i in range(len(cols))))
+    return "\n".join(lines)
+
+
+def format_series(
+    points: Sequence[tuple[object, object]],
+    *,
+    title: str | None = None,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render an (x, y) series as a two-column table."""
+    rows = [{x_label: x, y_label: y} for x, y in points]
+    return format_table(rows, title=title, columns=[x_label, y_label])

@@ -1,0 +1,24 @@
+"""Trace-driven simulation engine and metrics.
+
+* :func:`repro.sim.engine.run_simulation` -- drive one architecture over
+  one trace, with warmup handling and the paper's request-filtering rules.
+* :class:`repro.sim.metrics.SimMetrics` -- response-time and hit-ratio
+  aggregation per access point.
+* :mod:`repro.sim.config` -- named experiment configurations (topology,
+  capacities, cost model) shared by the figure/table reproductions.
+"""
+
+from repro.sim.config import ExperimentConfig, default_config
+from repro.sim.engine import run_simulation
+from repro.sim.metrics import LatencyHistogram, SimMetrics
+from repro.sim.queueing_sim import QueueingReplay, compression_for_target_load
+
+__all__ = [
+    "ExperimentConfig",
+    "LatencyHistogram",
+    "QueueingReplay",
+    "SimMetrics",
+    "compression_for_target_load",
+    "default_config",
+    "run_simulation",
+]

@@ -1,0 +1,83 @@
+"""Named experiment configurations.
+
+The paper's evaluation fixes one system shape (64 L1 proxies of 256
+clients each, 8 L1s per L2, one L3 root; 5 GB data caches or 4.5 GB + 500
+MB of hints in the space-constrained runs) and sweeps traces and cost
+models across it.  :class:`ExperimentConfig` bundles those choices; the
+default is a scaled-down shape that keeps the 64/8/1 proxy structure but
+fewer clients per proxy, so experiments complete on one machine.  Every
+figure module accepts a config, so full-scale runs are a parameter change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.common.units import GB, MB
+from repro.hierarchy.topology import HierarchyTopology
+from repro.traces.profiles import WorkloadProfile, profile_by_name
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Everything an experiment needs besides the trace itself.
+
+    Attributes:
+        topology: Proxy grouping (defaults keep the paper's 64/8/1 shape).
+        seed: Root seed for trace generation and stochastic components.
+        trace_scale: Fraction of the full-scale trace to generate.
+        l1_cache_bytes: Space-constrained data-cache size per node (the
+            paper: 5 GB; scaled default matches the scaled traffic).
+        hint_data_cache_bytes: Data-cache size for hint-architecture L1
+            nodes in the space-constrained runs (paper: 4.5 GB -- the
+            remaining 500 MB holds hints).
+        hint_store_bytes: Hint store per node (paper: 500 MB).
+    """
+
+    topology: HierarchyTopology = HierarchyTopology(
+        clients_per_l1=4, l1_per_l2=8, n_l2=8
+    )
+    seed: int = 42
+    trace_scale: float = 0.004
+    l1_cache_bytes: int = 24 * MB
+    hint_data_cache_bytes: int = int(21.6 * MB)
+    hint_store_bytes: int = int(2.4 * MB)
+
+    def profile(self, name: str) -> WorkloadProfile:
+        """The named workload profile scaled for this config.
+
+        The client population is kept at least as large as the topology's
+        coverage so every L1 proxy (and hence every distance class) sees
+        traffic -- with fewer clients the whole trace would collapse into
+        one L2 group and L3-distance transfers could never occur.
+        """
+        return profile_by_name(name).scaled(
+            self.trace_scale, min_clients=self.topology.n_clients_covered
+        )
+
+    def with_scale(self, trace_scale: float) -> "ExperimentConfig":
+        """Copy with a different trace scale (capacities scale along)."""
+        ratio = trace_scale / self.trace_scale
+        return replace(
+            self,
+            trace_scale=trace_scale,
+            l1_cache_bytes=max(1 * MB, int(self.l1_cache_bytes * ratio)),
+            hint_data_cache_bytes=max(1 * MB, int(self.hint_data_cache_bytes * ratio)),
+            hint_store_bytes=max(256 * 1024, int(self.hint_store_bytes * ratio)),
+        )
+
+    @classmethod
+    def paper_scale(cls) -> "ExperimentConfig":
+        """The paper's full-scale parameters (hours of CPU; documented)."""
+        return cls(
+            topology=HierarchyTopology(clients_per_l1=256, l1_per_l2=8, n_l2=8),
+            trace_scale=1.0,
+            l1_cache_bytes=5 * GB,
+            hint_data_cache_bytes=int(4.5 * GB),
+            hint_store_bytes=500 * MB,
+        )
+
+
+def default_config() -> ExperimentConfig:
+    """The scaled configuration used by tests, examples, and benches."""
+    return ExperimentConfig()

@@ -1,0 +1,186 @@
+"""Aggregated simulation results.
+
+The paper's headline metric is **mean response time** over the measured
+window (warmup excluded, uncachable/error requests excluded per section
+2.2.2).  Hit ratios by access point, hint pathology counts, and byte
+traffic are kept alongside so every figure can be derived from one run.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.hierarchy.base import AccessResult
+from repro.netmodel.model import AccessPoint
+
+
+class LatencyHistogram:
+    """Log-scale response-time histogram for percentile queries.
+
+    The paper reports means; a deployment engineer also wants tails, so
+    the metrics keep a compact histogram (~3% relative resolution) instead
+    of storing every sample.  Bin ``i`` covers
+    ``[10**(i/BINS_PER_DECADE - 1), 10**((i+1)/BINS_PER_DECADE - 1))`` ms.
+    """
+
+    BINS_PER_DECADE = 32
+    #: Covers 0.1 ms .. 10^6 ms in log-scale bins.
+    _N_BINS = BINS_PER_DECADE * 7
+
+    def __init__(self) -> None:
+        self._bins = [0] * self._N_BINS
+        self._count = 0
+
+    def record(self, ms: float) -> None:
+        """Add one sample (values below 0.1 ms clamp into the first bin)."""
+        if ms < 0:
+            raise ValueError(f"latency must be non-negative, got {ms}")
+        position = (math.log10(ms) + 1.0) * self.BINS_PER_DECADE if ms > 0.1 else 0.0
+        index = min(self._N_BINS - 1, max(0, int(position)))
+        self._bins[index] += 1
+        self._count += 1
+
+    def __len__(self) -> int:
+        return self._count
+
+    def percentile(self, fraction: float) -> float:
+        """The response time at the given quantile (0 < fraction <= 1).
+
+        Returns the upper edge of the bin containing the quantile sample,
+        so the estimate is conservative (never under-reports the tail).
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+        if self._count == 0:
+            return 0.0
+        target = math.ceil(fraction * self._count)
+        seen = 0
+        for index, count in enumerate(self._bins):
+            seen += count
+            if seen >= target:
+                return 10 ** ((index + 1) / self.BINS_PER_DECADE - 1.0)
+        return 10 ** (self._N_BINS / self.BINS_PER_DECADE - 1.0)
+
+
+@dataclass
+class SimMetrics:
+    """Counters accumulated over the measured window of one simulation."""
+
+    architecture: str = ""
+    cost_model: str = ""
+    measured_requests: int = 0
+    warmup_requests: int = 0
+    skipped_uncachable: int = 0
+    skipped_error: int = 0
+    total_ms: float = 0.0
+    requests_by_point: dict[AccessPoint, int] = field(
+        default_factory=lambda: {p: 0 for p in AccessPoint}
+    )
+    bytes_by_point: dict[AccessPoint, int] = field(
+        default_factory=lambda: {p: 0 for p in AccessPoint}
+    )
+    remote_hits: int = 0
+    push_hits: int = 0
+    false_positives: int = 0
+    false_negatives: int = 0
+    suboptimal_positives: int = 0
+    latency: LatencyHistogram = field(default_factory=LatencyHistogram)
+
+    def record(self, result: AccessResult, size: int) -> None:
+        """Accumulate one measured-window access result."""
+        self.measured_requests += 1
+        self.total_ms += result.time_ms
+        self.latency.record(result.time_ms)
+        self.requests_by_point[result.point] += 1
+        self.bytes_by_point[result.point] += size
+        if result.remote_hit:
+            self.remote_hits += 1
+        if result.push_hit:
+            self.push_hits += 1
+        if result.false_positive:
+            self.false_positives += 1
+        if result.false_negative:
+            self.false_negatives += 1
+        if result.suboptimal_positive:
+            self.suboptimal_positives += 1
+
+    # ------------------------------------------------------------------
+    # derived statistics
+    # ------------------------------------------------------------------
+    @property
+    def mean_response_ms(self) -> float:
+        """Mean response time over measured requests (the Figure 8 metric)."""
+        if self.measured_requests == 0:
+            return 0.0
+        return self.total_ms / self.measured_requests
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of measured requests served by any cache."""
+        if self.measured_requests == 0:
+            return 0.0
+        misses = self.requests_by_point[AccessPoint.SERVER]
+        return 1.0 - misses / self.measured_requests
+
+    @property
+    def byte_hit_ratio(self) -> float:
+        """Fraction of measured bytes served by any cache."""
+        total = sum(self.bytes_by_point.values())
+        if total == 0:
+            return 0.0
+        return 1.0 - self.bytes_by_point[AccessPoint.SERVER] / total
+
+    def point_ratio(self, point: AccessPoint) -> float:
+        """Fraction of measured requests satisfied at ``point``."""
+        if self.measured_requests == 0:
+            return 0.0
+        return self.requests_by_point[point] / self.measured_requests
+
+    def cumulative_hit_ratio_through(self, point: AccessPoint) -> float:
+        """Hit ratio counting every cache level up to ``point`` (Figure 3).
+
+        In a hierarchy, a hit "within L2" includes L1 hits; this helper
+        reproduces that cumulative view.
+        """
+        if self.measured_requests == 0:
+            return 0.0
+        hits = sum(
+            count
+            for p, count in self.requests_by_point.items()
+            if p.is_cache and p <= point
+        )
+        return hits / self.measured_requests
+
+    def cumulative_byte_hit_ratio_through(self, point: AccessPoint) -> float:
+        """Byte-weighted version of :meth:`cumulative_hit_ratio_through`."""
+        total = sum(self.bytes_by_point.values())
+        if total == 0:
+            return 0.0
+        hits = sum(
+            count
+            for p, count in self.bytes_by_point.items()
+            if p.is_cache and p <= point
+        )
+        return hits / total
+
+    def percentile_ms(self, fraction: float) -> float:
+        """Response-time percentile over measured requests (e.g. 0.99)."""
+        return self.latency.percentile(fraction)
+
+    def summary(self) -> dict[str, float]:
+        """Flat dict for table rendering."""
+        return {
+            "mean_response_ms": self.mean_response_ms,
+            "p50_ms": self.percentile_ms(0.50),
+            "p99_ms": self.percentile_ms(0.99),
+            "hit_ratio": self.hit_ratio,
+            "byte_hit_ratio": self.byte_hit_ratio,
+            "l1_ratio": self.point_ratio(AccessPoint.L1),
+            "l2_ratio": self.point_ratio(AccessPoint.L2),
+            "l3_ratio": self.point_ratio(AccessPoint.L3),
+            "miss_ratio": self.point_ratio(AccessPoint.SERVER),
+            "false_positives": float(self.false_positives),
+            "false_negatives": float(self.false_negatives),
+            "push_hits": float(self.push_hits),
+        }

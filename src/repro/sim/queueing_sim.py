@@ -1,0 +1,242 @@
+"""Queueing-network replay: emergent contention instead of analytic factors.
+
+:mod:`repro.netmodel.queueing` prices load with a closed-form M/M/1
+factor.  This module measures contention instead: every cache node is a
+FIFO server with finite service capacity, and each request's path (decided
+by the architecture exactly as in the trace-driven run) is *replayed*
+through those servers, accumulating real queueing delay whenever a node is
+busy.
+
+Two deliberate design choices keep this tractable and honest:
+
+* **Path/timing decoupling** -- hit/miss decisions come from the normal
+  sequential architecture run, so cache contents are identical to the
+  trace-driven experiments; only the *timing* is recomputed through the
+  queue network.  Queueing cannot change what is cached, only how long
+  accesses take (the same separation the analytic model makes).
+* **Issue-order service** -- servers take requests in global issue order,
+  which equals arrival order within any single proxy's request stream and
+  approximates it across streams.  This removes the need for a rollback-
+  capable event scheduler while preserving the utilization arithmetic.
+
+Because scaled traces offer little natural load, a *time compression*
+factor squeezes inter-arrival gaps until the busiest node reaches a target
+utilization -- the knob the ``queueing_validation`` experiment sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import ConfigurationError
+from repro.hierarchy.base import Architecture
+from repro.netmodel.model import AccessPoint
+from repro.sim.metrics import LatencyHistogram
+from repro.traces.records import Trace
+
+#: Share of each access's idle cost that is cache service time (matches the
+#: analytic model so the two are comparable).
+SERVICE_SHARE = 0.5
+
+
+class FifoServer:
+    """A single-server FIFO queue with deterministic service times."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.free_at = 0.0
+        self.busy_ms = 0.0
+        self.served = 0
+        self.total_wait_ms = 0.0
+
+    def serve(self, arrival_ms: float, service_ms: float) -> float:
+        """Admit a request; returns its departure time."""
+        start = max(arrival_ms, self.free_at)
+        self.total_wait_ms += start - arrival_ms
+        self.busy_ms += service_ms
+        self.served += 1
+        self.free_at = start + service_ms
+        return start + service_ms
+
+    def utilization(self, horizon_ms: float) -> float:
+        """Fraction of the horizon this server spent busy."""
+        return self.busy_ms / horizon_ms if horizon_ms > 0 else 0.0
+
+    def mean_wait_ms(self) -> float:
+        """Average queueing delay per served request."""
+        return self.total_wait_ms / self.served if self.served else 0.0
+
+
+@dataclass
+class QueueingResult:
+    """Timing statistics from one queueing replay."""
+
+    measured_requests: int = 0
+    total_ms: float = 0.0
+    total_queue_wait_ms: float = 0.0
+    latency: LatencyHistogram = field(default_factory=LatencyHistogram)
+    utilization_by_level: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def mean_response_ms(self) -> float:
+        if self.measured_requests == 0:
+            return 0.0
+        return self.total_ms / self.measured_requests
+
+    @property
+    def mean_queue_wait_ms(self) -> float:
+        if self.measured_requests == 0:
+            return 0.0
+        return self.total_queue_wait_ms / self.measured_requests
+
+
+class QueueingReplay:
+    """Replay an architecture's decided paths through FIFO cache servers.
+
+    Args:
+        architecture: A *fresh* architecture; its ``process`` decides each
+            request's path, and its topology names the servers.
+        compression: Time-compression factor (>= 1): inter-arrival gaps are
+            divided by it, raising offered load without altering the trace.
+    """
+
+    def __init__(self, architecture: Architecture, compression: float = 1.0) -> None:
+        if compression < 1.0:
+            raise ConfigurationError(
+                f"compression must be >= 1, got {compression}"
+            )
+        self.architecture = architecture
+        self.compression = compression
+        topology = architecture.topology  # all concrete architectures have one
+        self.l1_servers = [FifoServer(f"l1-{i}") for i in range(topology.n_l1)]
+        self.l2_servers = [FifoServer(f"l2-{i}") for i in range(topology.n_l2)]
+        self.l3_server = FifoServer("l3")
+        self._topology = topology
+
+    # ------------------------------------------------------------------
+    # replay
+    # ------------------------------------------------------------------
+    def run(self, trace: Trace) -> QueueingResult:
+        """Decide and replay every cacheable request; returns timing stats."""
+        result = QueueingResult()
+        start_s = trace.requests[0].time if trace.requests else 0.0
+        horizon_ms = 0.0
+        for request in trace.requests:
+            if request.error or not request.cacheable:
+                continue
+            outcome = self.architecture.process(request)
+            issue_ms = (request.time - start_s) * 1000.0 / self.compression
+            legs = self._legs(request.client_id, outcome.point, outcome.time_ms)
+            t = issue_ms
+            waited = 0.0
+            for server, network_ms, service_ms in legs:
+                t += network_ms
+                if server is None:
+                    t += service_ms  # origin servers don't queue (outside system)
+                    continue
+                before = server.total_wait_ms
+                t = server.serve(t, service_ms)
+                waited += server.total_wait_ms - before
+            horizon_ms = max(horizon_ms, t)
+            if request.time < trace.warmup:
+                continue
+            response = t - issue_ms
+            result.measured_requests += 1
+            result.total_ms += response
+            result.total_queue_wait_ms += waited
+            result.latency.record(response)
+
+        result.utilization_by_level = {
+            "l1_max": max(
+                (s.utilization(horizon_ms) for s in self.l1_servers), default=0.0
+            ),
+            "l2_max": max(
+                (s.utilization(horizon_ms) for s in self.l2_servers), default=0.0
+            ),
+            "l3": self.l3_server.utilization(horizon_ms),
+        }
+        return result
+
+    # ------------------------------------------------------------------
+    # path decomposition
+    # ------------------------------------------------------------------
+    def _legs(
+        self, client_id: int, point: AccessPoint, idle_ms: float
+    ) -> list[tuple[FifoServer | None, float, float]]:
+        """Split one access into (server, network_ms, service_ms) legs.
+
+        The idle cost's service share is divided across the cache nodes on
+        the path (matching the analytic model's assumption); the remainder
+        is network time on the first leg.
+        """
+        l1_index = self._topology.l1_of_client(client_id)
+        servers = self._servers_on_path(l1_index, point)
+        cache_servers = [s for s in servers if s is not None]
+        if cache_servers:
+            per_server = idle_ms * SERVICE_SHARE / len(cache_servers)
+            network = idle_ms * (1 - SERVICE_SHARE)
+        else:
+            per_server = 0.0
+            network = idle_ms
+        legs: list[tuple[FifoServer | None, float, float]] = []
+        for index, server in enumerate(servers):
+            leg_network = network if index == 0 else 0.0
+            service = per_server if server is not None else 0.0
+            legs.append((server, leg_network, service))
+        if not servers:
+            legs.append((None, network, 0.0))
+        return legs
+
+    def _servers_on_path(
+        self, l1_index: int, point: AccessPoint
+    ) -> list[FifoServer | None]:
+        """Which servers a request visits, by architecture shape."""
+        own_l1 = self.l1_servers[l1_index]
+        if self.architecture.name.startswith("hierarchy") or self.architecture.name == "icp":
+            l2 = self.l2_servers[self._topology.l2_of_l1(l1_index)]
+            path: list[FifoServer | None] = [own_l1]
+            if point >= AccessPoint.L2:
+                path.append(l2)
+            if point >= AccessPoint.L3:
+                path.append(self.l3_server)
+            if point is AccessPoint.SERVER:
+                path.append(None)
+            return path
+        # Hint-style architectures: own L1, then at most one peer (modelled
+        # as a representative same-distance L1 server), or the origin.
+        if point is AccessPoint.L1:
+            return [own_l1]
+        if point is AccessPoint.SERVER:
+            return [own_l1, None]
+        peer = self._representative_peer(l1_index, point)
+        return [own_l1, self.l1_servers[peer]]
+
+    def _representative_peer(self, l1_index: int, point: AccessPoint) -> int:
+        """A deterministic peer at the requested distance class."""
+        if point is AccessPoint.L2:
+            siblings = self._topology.siblings_of(l1_index)
+            return siblings[0] if siblings else l1_index
+        group = self._topology.l2_of_l1(l1_index)
+        other_group = (group + 1) % self._topology.n_l2
+        return self._topology.l1_nodes_of_l2(other_group)[0]
+
+
+def compression_for_target_load(
+    trace: Trace,
+    architecture: Architecture,
+    target_root_utilization: float,
+) -> float:
+    """Compression factor that drives the L3 root to a target utilization.
+
+    Runs one uncompressed replay to measure the natural root utilization,
+    then scales: utilization is proportional to compression (service
+    demand is fixed; the horizon shrinks).
+    """
+    if not 0.0 < target_root_utilization < 1.0:
+        raise ConfigurationError("target utilization must be in (0, 1)")
+    probe = QueueingReplay(architecture, compression=1.0)
+    natural = probe.run(trace).utilization_by_level
+    busiest = max(natural.values())
+    if busiest <= 0:
+        return 1.0
+    return max(1.0, target_root_utilization / busiest)

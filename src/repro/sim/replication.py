@@ -1,0 +1,98 @@
+"""Replication across seeds: are the headline numbers workload-luck?
+
+The paper reports single-trace results (its traces are fixed recordings).
+Synthetic workloads allow a stronger statement: regenerate the trace under
+several seeds and report the spread of any derived statistic.  The
+``seed_sensitivity`` experiment uses this to show that the Table 6
+speedups are stable properties of the workload *profile*, not accidents of
+one random draw.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.sim.config import ExperimentConfig
+from repro.traces.records import Trace
+from repro.traces.synthetic import SyntheticTraceGenerator
+
+
+@dataclass(frozen=True)
+class ReplicationSummary:
+    """Mean / spread of one statistic across seed replications."""
+
+    statistic: str
+    values: tuple[float, ...]
+
+    @property
+    def n(self) -> int:
+        return len(self.values)
+
+    @property
+    def mean(self) -> float:
+        return sum(self.values) / self.n if self.n else 0.0
+
+    @property
+    def std(self) -> float:
+        """Sample standard deviation (ddof=1)."""
+        if self.n < 2:
+            return 0.0
+        mean = self.mean
+        return math.sqrt(
+            sum((v - mean) ** 2 for v in self.values) / (self.n - 1)
+        )
+
+    @property
+    def minimum(self) -> float:
+        return min(self.values) if self.values else 0.0
+
+    @property
+    def maximum(self) -> float:
+        return max(self.values) if self.values else 0.0
+
+    @property
+    def relative_spread(self) -> float:
+        """(max - min) / mean -- the headline stability figure."""
+        mean = self.mean
+        if mean == 0:
+            return 0.0
+        return (self.maximum - self.minimum) / abs(mean)
+
+    def as_row(self) -> dict[str, float | str]:
+        """Flat dict for table rendering."""
+        return {
+            "statistic": self.statistic,
+            "n": self.n,
+            "mean": self.mean,
+            "std": self.std,
+            "min": self.minimum,
+            "max": self.maximum,
+            "relative_spread": self.relative_spread,
+        }
+
+
+def replicate(
+    config: ExperimentConfig,
+    profile_name: str,
+    statistic: Callable[[Trace], float],
+    *,
+    statistic_name: str,
+    n_seeds: int = 5,
+) -> ReplicationSummary:
+    """Evaluate ``statistic`` on ``n_seeds`` independently-seeded traces.
+
+    Seeds derive from the config's root seed, so a replication study is
+    itself reproducible.
+    """
+    if n_seeds < 1:
+        raise ValueError(f"need at least one seed, got {n_seeds}")
+    profile = config.profile(profile_name)
+    values = []
+    for replica in range(n_seeds):
+        trace = SyntheticTraceGenerator(
+            profile, seed=config.seed * 1000 + replica
+        ).generate()
+        values.append(float(statistic(trace)))
+    return ReplicationSummary(statistic=statistic_name, values=tuple(values))

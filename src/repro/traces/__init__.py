@@ -1,0 +1,53 @@
+"""Trace substrate: workload records, profiles, generation, I/O, analysis.
+
+The paper evaluates its cache architectures with three proxy traces (DEC,
+Berkeley Home-IP, Prodigy; Table 4).  Those traces are proprietary, so this
+package provides seeded synthetic generators whose knobs are calibrated to
+the published characteristics -- see DESIGN.md section 2 for the
+substitution argument.
+
+Public surface:
+
+* :class:`repro.traces.records.Request` / :class:`repro.traces.records.Trace`
+* :class:`repro.traces.profiles.WorkloadProfile` and the three calibrated
+  profiles ``DEC``, ``BERKELEY``, ``PRODIGY``
+* :class:`repro.traces.synthetic.SyntheticTraceGenerator`
+* :func:`repro.traces.io.write_trace` / :func:`repro.traces.io.read_trace`
+* :func:`repro.traces.analysis.characterize` (regenerates Table 4 rows)
+"""
+
+from repro.traces.analysis import (
+    TraceCharacteristics,
+    characterize,
+    reuse_distance_cdf,
+    reuse_distances,
+    sharing_profile,
+)
+from repro.traces.profiles import (
+    BERKELEY,
+    DEC,
+    PRODIGY,
+    WorkloadProfile,
+    profile_by_name,
+)
+from repro.traces.records import Request, Trace
+from repro.traces.synthetic import SyntheticTraceGenerator, generate_trace
+from repro.traces.zipf import ZipfSampler
+
+__all__ = [
+    "BERKELEY",
+    "DEC",
+    "PRODIGY",
+    "Request",
+    "SyntheticTraceGenerator",
+    "Trace",
+    "TraceCharacteristics",
+    "WorkloadProfile",
+    "ZipfSampler",
+    "characterize",
+    "generate_trace",
+    "profile_by_name",
+    "reuse_distance_cdf",
+    "reuse_distances",
+    "sharing_profile",
+]

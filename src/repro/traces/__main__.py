@@ -1,0 +1,5 @@
+"""Entry point: ``python -m repro.traces``."""
+
+from repro.traces.cli import main
+
+raise SystemExit(main())

@@ -1,0 +1,104 @@
+"""Trace toolkit CLI: generate, inspect, and convert trace files.
+
+Examples::
+
+    python -m repro.traces generate --profile dec --scale 0.001 -o dec.npz
+    python -m repro.traces inspect dec.npz
+    python -m repro.traces convert dec.npz dec.tsv
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.common.errors import ReproError
+from repro.traces.analysis import characterize, sharing_profile
+from repro.traces.io import read_trace, write_trace
+from repro.traces.profiles import profile_by_name
+from repro.traces.synthetic import SyntheticTraceGenerator
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-traces", description="Synthetic proxy-trace toolkit."
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser("generate", help="generate a synthetic trace")
+    generate.add_argument(
+        "--profile", default="dec", help="workload profile (dec/berkeley/prodigy)"
+    )
+    generate.add_argument("--scale", type=float, default=0.001, help="trace scale")
+    generate.add_argument("--seed", type=int, default=0, help="generator seed")
+    generate.add_argument(
+        "--min-clients", type=int, default=32, help="client population floor"
+    )
+    generate.add_argument(
+        "-o", "--output", required=True, help="output path (.npz = binary, else text)"
+    )
+
+    inspect = commands.add_parser("inspect", help="characterize a trace file")
+    inspect.add_argument("path", help="trace file to inspect")
+    inspect.add_argument(
+        "--sharing", action="store_true", help="also print the sharing histogram"
+    )
+
+    convert = commands.add_parser("convert", help="convert between trace formats")
+    convert.add_argument("source", help="input trace file")
+    convert.add_argument("destination", help="output trace file")
+    return parser
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    profile = profile_by_name(args.profile).scaled(
+        args.scale, min_clients=args.min_clients
+    )
+    trace = SyntheticTraceGenerator(profile, seed=args.seed).generate()
+    write_trace(trace, args.output)
+    print(
+        f"wrote {len(trace):,} requests "
+        f"({trace.distinct_objects():,} distinct objects) to {args.output}"
+    )
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    trace = read_trace(args.path)
+    stats = characterize(trace)
+    for key, value in stats.as_table_row().items():
+        print(f"{key}: {value}")
+    print(f"distinct/request ratio: {stats.distinct_ratio:.4f}")
+    print(f"mean object size: {stats.mean_object_bytes / 1024:.1f} KB")
+    print(f"uncachable requests: {stats.frac_uncachable_requests:.1%}")
+    print(f"error requests: {stats.frac_error_requests:.1%}")
+    if args.sharing:
+        print("clients-per-object histogram:")
+        for clients, objects in sharing_profile(trace).items():
+            print(f"  {clients:4d} client(s): {objects} objects")
+    return 0
+
+
+def _cmd_convert(args: argparse.Namespace) -> int:
+    trace = read_trace(args.source)
+    write_trace(trace, args.destination)
+    print(f"converted {args.source} -> {args.destination} ({len(trace):,} requests)")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "generate": _cmd_generate,
+        "inspect": _cmd_inspect,
+        "convert": _cmd_convert,
+    }
+    try:
+        return handlers[args.command](args)
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,168 @@
+"""Trace serialization.
+
+Two formats are provided:
+
+* A **text** format (one tab-separated record per line with a ``#``-comment
+  header) for human inspection and interchange, loosely modelled on the
+  published proxy-log formats the paper's traces shipped in.
+* A **binary** format (numpy ``.npz``) for fast reload of large traces in
+  benchmark runs.
+
+Both round-trip exactly through :class:`~repro.traces.records.Trace`.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TextIO
+
+import numpy as np
+
+from repro.common.errors import TraceFormatError
+from repro.traces.records import Request, Trace
+
+_TEXT_COLUMNS = ("time", "client", "object", "size", "version", "cacheable", "error")
+
+
+def write_trace_text(trace: Trace, stream: TextIO) -> None:
+    """Write a trace in the text format to an open text stream."""
+    stream.write(f"# repro-trace v1 profile={trace.profile_name}\n")
+    stream.write(
+        f"# n_objects={trace.n_objects} n_clients={trace.n_clients} "
+        f"duration={trace.duration!r} warmup={trace.warmup!r}\n"
+    )
+    stream.write("# " + "\t".join(_TEXT_COLUMNS) + "\n")
+    for r in trace.requests:
+        stream.write(
+            f"{r.time:.3f}\t{r.client_id}\t{r.object_id}\t{r.size}\t"
+            f"{r.version}\t{int(r.cacheable)}\t{int(r.error)}\n"
+        )
+
+
+def read_trace_text(stream: TextIO) -> Trace:
+    """Read a trace written by :func:`write_trace_text`."""
+    header = stream.readline()
+    if not header.startswith("# repro-trace v1"):
+        raise TraceFormatError(f"bad trace header: {header!r}")
+    profile_name = _header_field(header, "profile")
+    meta = stream.readline()
+    if not meta.startswith("#"):
+        raise TraceFormatError(f"missing metadata line, got {meta!r}")
+    n_objects = int(_header_field(meta, "n_objects"))
+    n_clients = int(_header_field(meta, "n_clients"))
+    duration = float(_header_field(meta, "duration"))
+    warmup = float(_header_field(meta, "warmup"))
+
+    requests: list[Request] = []
+    for line_number, line in enumerate(stream, start=3):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        fields = line.split("\t")
+        if len(fields) != len(_TEXT_COLUMNS):
+            raise TraceFormatError(
+                f"line {line_number}: expected {len(_TEXT_COLUMNS)} fields, "
+                f"got {len(fields)}"
+            )
+        try:
+            requests.append(
+                Request(
+                    time=float(fields[0]),
+                    client_id=int(fields[1]),
+                    object_id=int(fields[2]),
+                    size=int(fields[3]),
+                    version=int(fields[4]),
+                    cacheable=bool(int(fields[5])),
+                    error=bool(int(fields[6])),
+                )
+            )
+        except ValueError as exc:
+            raise TraceFormatError(f"line {line_number}: {exc}") from exc
+    return Trace(
+        profile_name=profile_name,
+        requests=requests,
+        n_objects=n_objects,
+        n_clients=n_clients,
+        duration=duration,
+        warmup=warmup,
+    )
+
+
+def _header_field(line: str, key: str) -> str:
+    for token in line.split():
+        if token.startswith(key + "="):
+            return token[len(key) + 1 :]
+    raise TraceFormatError(f"header field {key!r} missing from {line!r}")
+
+
+def write_trace(trace: Trace, path: str | os.PathLike) -> None:
+    """Write a trace to ``path``; ``.npz`` selects binary, else text."""
+    path = os.fspath(path)
+    if path.endswith(".npz"):
+        _write_trace_npz(trace, path)
+    else:
+        with open(path, "w", encoding="utf-8") as stream:
+            write_trace_text(trace, stream)
+
+
+def read_trace(path: str | os.PathLike) -> Trace:
+    """Read a trace from ``path``; ``.npz`` selects binary, else text."""
+    path = os.fspath(path)
+    if path.endswith(".npz"):
+        return _read_trace_npz(path)
+    with open(path, "r", encoding="utf-8") as stream:
+        return read_trace_text(stream)
+
+
+def _write_trace_npz(trace: Trace, path: str) -> None:
+    requests = trace.requests
+    np.savez_compressed(
+        path,
+        profile_name=np.array(trace.profile_name),
+        n_objects=np.array(trace.n_objects),
+        n_clients=np.array(trace.n_clients),
+        duration=np.array(trace.duration),
+        warmup=np.array(trace.warmup),
+        time=np.array([r.time for r in requests]),
+        client=np.array([r.client_id for r in requests], dtype=np.int64),
+        object=np.array([r.object_id for r in requests], dtype=np.int64),
+        size=np.array([r.size for r in requests], dtype=np.int64),
+        version=np.array([r.version for r in requests], dtype=np.int64),
+        cacheable=np.array([r.cacheable for r in requests], dtype=bool),
+        error=np.array([r.error for r in requests], dtype=bool),
+    )
+
+
+def _read_trace_npz(path: str) -> Trace:
+    try:
+        data = np.load(path, allow_pickle=False)
+    except (OSError, ValueError) as exc:
+        raise TraceFormatError(f"cannot read npz trace {path!r}: {exc}") from exc
+    requests = [
+        Request(
+            time=float(t),
+            client_id=int(c),
+            object_id=int(o),
+            size=int(s),
+            version=int(v),
+            cacheable=bool(u),
+            error=bool(e),
+        )
+        for t, c, o, s, v, u, e in zip(
+            data["time"],
+            data["client"],
+            data["object"],
+            data["size"],
+            data["version"],
+            data["cacheable"],
+            data["error"],
+        )
+    ]
+    return Trace(
+        profile_name=str(data["profile_name"]),
+        requests=requests,
+        n_objects=int(data["n_objects"]),
+        n_clients=int(data["n_clients"]),
+        duration=float(data["duration"]),
+        warmup=float(data["warmup"]),
+    )

@@ -1,0 +1,224 @@
+"""Workload profiles calibrated to the paper's Table 4.
+
+A :class:`WorkloadProfile` is the parameter bundle a
+:class:`~repro.traces.synthetic.SyntheticTraceGenerator` consumes.  The
+three module-level profiles (``DEC``, ``BERKELEY``, ``PRODIGY``) carry the
+*full-scale* figures from Table 4; experiments normally run a
+:meth:`WorkloadProfile.scaled` copy so they finish on one machine.
+
+Calibration targets taken from the paper:
+
+=========  ========  =========  ==============  ====  ===========
+Trace      Clients   Accesses   Distinct URLs   Days  Client IDs
+=========  ========  =========  ==============  ====  ===========
+DEC        16,660    22.1 M     4.15 M          21    preserved
+Berkeley    8,372     8.8 M     1.8  M          19    preserved
+Prodigy    35,354     4.2 M     1.2  M           3    dynamic IP
+=========  ========  =========  ==============  ====  ===========
+
+Secondary calibration (Figure 2): with a large cache, compulsory misses
+dominate (DEC ~19% of requests are first references); Berkeley and Prodigy
+show substantially more uncachable requests and communication misses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.common.errors import ConfigurationError
+from repro.common.units import DAYS, KB
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Parameters for a synthetic proxy workload.
+
+    Attributes:
+        name: Short trace name (used in reports and file names).
+        n_clients: Number of distinct client ids.
+        n_requests: Number of trace records to generate.
+        target_distinct: Target number of distinct objects referenced; the
+            generator sizes its Zipf catalog to hit this in expectation
+            (Table 4 "# of Distinct URLs").
+        duration_days: Trace length in days (Table 4 "# of Days").
+        zipf_alpha: Popularity skew of the object catalog.
+        mean_object_kb: Mean object size in KB (the paper cites ~10 KB
+            average objects when sizing hint reach, section 3.1.1).
+        size_sigma: Lognormal shape parameter for object sizes.
+        frac_uncachable: Fraction of *requests* that are uncachable
+            (CGI / non-GET / cache-control), drawn from a dedicated slice of
+            the catalog so uncachability is a per-object property.
+        frac_error: Fraction of requests whose origin reply is an error.
+        frac_mutable: Fraction of cacheable objects that ever change.
+        mean_mod_interval_days: Mean time between modifications of a mutable
+            object, in days.
+        dynamic_client_ids: Prodigy-style dial-up behaviour -- client ids
+            are rebound per session instead of being stable.
+        mean_session_minutes: Session length used when ``dynamic_client_ids``
+            is set.
+        warmup_days: Days of trace used only for cache warmup (paper uses 2).
+        client_repeat_prob: Probability that a cacheable request re-visits
+            one of the client's own recent objects instead of drawing fresh
+            from the global catalog.  This per-client temporal locality is
+            what gives browsers-behind-a-proxy their L1 hit rates (the
+            paper's Figure 3 shows ~50% within L1 for DEC).
+        client_working_set: How many recent objects a client re-visits.
+        regional_interest: Fraction of cacheable requests whose popularity
+            ranking is *region-specific*: clients in the same region share
+            a head of hot objects that differs from other regions'.  This
+            is the "locality within subtrees" the paper's push discussion
+            appeals to (section 4.1.3).  Zero (the default) gives globally
+            uniform popularity.
+        n_regions: Number of interest regions; consecutive client-id blocks
+            form a region, matching the hierarchy's client->L1 grouping.
+    """
+
+    name: str
+    n_clients: int
+    n_requests: int
+    target_distinct: int
+    duration_days: float
+    zipf_alpha: float = 0.80
+    mean_object_kb: float = 10.0
+    size_sigma: float = 1.2
+    frac_uncachable: float = 0.05
+    frac_error: float = 0.02
+    frac_mutable: float = 0.10
+    mean_mod_interval_days: float = 7.0
+    dynamic_client_ids: bool = False
+    mean_session_minutes: float = 30.0
+    warmup_days: float = 2.0
+    client_repeat_prob: float = 0.25
+    client_working_set: int = 32
+    regional_interest: float = 0.0
+    n_regions: int = 8
+
+    def __post_init__(self) -> None:
+        if self.n_clients <= 0 or self.n_requests <= 0:
+            raise ConfigurationError("profile needs positive clients and requests")
+        if not 0 < self.target_distinct <= self.n_requests:
+            raise ConfigurationError(
+                "target_distinct must be positive and no larger than n_requests"
+            )
+        if self.duration_days <= 0:
+            raise ConfigurationError("duration_days must be positive")
+        if self.warmup_days >= self.duration_days:
+            raise ConfigurationError("warmup must be shorter than the trace")
+        for frac_name in (
+            "frac_uncachable",
+            "frac_error",
+            "frac_mutable",
+            "client_repeat_prob",
+            "regional_interest",
+        ):
+            value = getattr(self, frac_name)
+            if not 0.0 <= value < 1.0:
+                raise ConfigurationError(f"{frac_name} must be in [0, 1), got {value}")
+        if self.client_working_set < 1:
+            raise ConfigurationError("client_working_set must be at least 1")
+        if self.n_regions < 1:
+            raise ConfigurationError("n_regions must be at least 1")
+
+    @property
+    def duration_seconds(self) -> float:
+        """Trace duration in seconds."""
+        return self.duration_days * DAYS
+
+    @property
+    def warmup_seconds(self) -> float:
+        """Warmup boundary in seconds."""
+        return self.warmup_days * DAYS
+
+    @property
+    def mean_object_bytes(self) -> int:
+        """Mean object size in bytes."""
+        return int(self.mean_object_kb * KB)
+
+    def scaled(self, factor: float, *, min_clients: int = 32) -> "WorkloadProfile":
+        """Return a copy scaled down by ``factor`` (0 < factor <= 1).
+
+        Clients, requests and distinct objects shrink together so the
+        locality structure (requests per client, distinct/request ratio)
+        is preserved.  Duration is kept, so request *rates* scale down --
+        the simulator is trace-driven, not rate-sensitive, and keeping the
+        calendar span preserves modification counts per object.
+        """
+        if not 0 < factor <= 1:
+            raise ConfigurationError(f"scale factor must be in (0, 1], got {factor}")
+        n_requests = max(1000, int(self.n_requests * factor))
+        ratio = self.target_distinct / self.n_requests
+        return replace(
+            self,
+            n_clients=max(min_clients, int(self.n_clients * factor)),
+            n_requests=n_requests,
+            target_distinct=max(100, int(n_requests * ratio)),
+        )
+
+    def with_requests(self, n_requests: int) -> "WorkloadProfile":
+        """Return a copy resized to exactly ``n_requests`` requests."""
+        return self.scaled(n_requests / self.n_requests)
+
+
+#: Digital Equipment Corporation proxy trace profile (Sep 1996).  DEC shows
+#: the lowest uncachable share and strongest sharing of the three traces;
+#: ~19% of requests are global compulsory misses.
+DEC = WorkloadProfile(
+    name="dec",
+    n_clients=16_660,
+    n_requests=22_100_000,
+    target_distinct=4_150_000,
+    duration_days=21,
+    zipf_alpha=0.82,
+    frac_uncachable=0.04,
+    frac_error=0.02,
+    frac_mutable=0.12,
+    mean_mod_interval_days=6.0,
+)
+
+#: UC Berkeley Home-IP trace profile (Nov 1996).  Home users over modems:
+#: more uncachable requests and communication misses than DEC (Figure 2).
+BERKELEY = WorkloadProfile(
+    name="berkeley",
+    n_clients=8_372,
+    n_requests=8_800_000,
+    target_distinct=1_800_000,
+    duration_days=19,
+    zipf_alpha=0.78,
+    frac_uncachable=0.13,
+    frac_error=0.03,
+    frac_mutable=0.16,
+    mean_mod_interval_days=4.0,
+)
+
+#: Prodigy ISP dial-up trace profile (Jan 1998).  Short trace, dynamic
+#: client-to-ID binding, highest distinct/request ratio of the three.
+PRODIGY = WorkloadProfile(
+    name="prodigy",
+    n_clients=35_354,
+    n_requests=4_200_000,
+    target_distinct=1_200_000,
+    duration_days=3,
+    zipf_alpha=0.72,
+    frac_uncachable=0.12,
+    frac_error=0.03,
+    frac_mutable=0.14,
+    mean_mod_interval_days=2.0,
+    dynamic_client_ids=True,
+    warmup_days=0.5,
+)
+
+_PROFILES = {p.name: p for p in (DEC, BERKELEY, PRODIGY)}
+
+
+def profile_by_name(name: str) -> WorkloadProfile:
+    """Look up one of the built-in profiles by name (case-insensitive)."""
+    try:
+        return _PROFILES[name.lower()]
+    except KeyError:
+        known = ", ".join(sorted(_PROFILES))
+        raise ConfigurationError(f"unknown profile {name!r}; known: {known}") from None
+
+
+def all_profiles() -> tuple[WorkloadProfile, ...]:
+    """All built-in profiles, in the order the paper lists them."""
+    return (DEC, BERKELEY, PRODIGY)

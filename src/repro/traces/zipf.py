@@ -1,0 +1,104 @@
+"""Finite-catalog Zipf sampling.
+
+Web object popularity is classically Zipf-like (Arlitt & Williamson 1996,
+cited by the paper); the synthetic workloads draw object references from a
+Zipf distribution over a finite catalog.
+
+The sampler precomputes the cumulative distribution once and then samples by
+binary search over vectorized uniforms, so generating multi-million-request
+traces stays fast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class ZipfSampler:
+    """Draw ranks from a Zipf distribution over ``{0, ..., n-1}``.
+
+    Rank ``r`` has probability proportional to ``1 / (r + 1) ** alpha``.
+    Unlike :func:`numpy.random.Generator.zipf` this is a *bounded* Zipf,
+    which is what a finite URL catalog needs, and it permits ``alpha <= 1``.
+
+    Args:
+        n: Catalog size (number of ranks).
+        alpha: Skew parameter; web traces typically show 0.6-0.9.
+        rng: Source of randomness.
+    """
+
+    def __init__(self, n: int, alpha: float, rng: np.random.Generator) -> None:
+        if n <= 0:
+            raise ValueError(f"catalog size must be positive, got {n}")
+        if alpha < 0:
+            raise ValueError(f"alpha must be non-negative, got {alpha}")
+        self.n = n
+        self.alpha = alpha
+        self._rng = rng
+        weights = 1.0 / np.power(np.arange(1, n + 1, dtype=np.float64), alpha)
+        cdf = np.cumsum(weights)
+        cdf /= cdf[-1]
+        self._cdf = cdf
+
+    def probability(self, rank: int) -> float:
+        """Exact probability of drawing ``rank``."""
+        if not 0 <= rank < self.n:
+            raise IndexError(f"rank {rank} out of range for catalog of {self.n}")
+        lower = self._cdf[rank - 1] if rank > 0 else 0.0
+        return float(self._cdf[rank] - lower)
+
+    def sample(self, count: int) -> np.ndarray:
+        """Draw ``count`` ranks as an int64 array."""
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        uniforms = self._rng.random(count)
+        return np.searchsorted(self._cdf, uniforms, side="left").astype(np.int64)
+
+    def expected_distinct(self, count: int) -> float:
+        """Expected number of distinct ranks in ``count`` i.i.d. draws.
+
+        Used to size catalogs so the distinct-URL / request ratio matches a
+        target workload profile (Table 4).
+        """
+        probs = np.diff(self._cdf, prepend=0.0)
+        return float(np.sum(1.0 - np.power(1.0 - probs, count)))
+
+
+def catalog_size_for_distinct(
+    requests: int,
+    target_distinct: int,
+    alpha: float,
+    *,
+    tolerance: float = 0.02,
+    max_iterations: int = 60,
+) -> int:
+    """Find a catalog size whose expected distinct-draw count hits a target.
+
+    Binary-searches the catalog size ``n`` such that ``requests`` Zipf draws
+    are expected to touch about ``target_distinct`` distinct objects.  This
+    is how the generator matches the Table 4 "# of Distinct URLs" column.
+    """
+    if target_distinct <= 0 or requests <= 0:
+        raise ValueError("requests and target_distinct must be positive")
+    if target_distinct > requests:
+        raise ValueError("cannot see more distinct objects than requests")
+    rng = np.random.default_rng(0)  # expected_distinct is deterministic
+    lo, hi = target_distinct, max(target_distinct * 64, 16)
+    # Grow hi until it overshoots the target.
+    while ZipfSampler(hi, alpha, rng).expected_distinct(requests) < target_distinct:
+        lo = hi
+        hi *= 2
+        if hi > requests * 1024:
+            return hi
+    for _ in range(max_iterations):
+        mid = (lo + hi) // 2
+        if mid in (lo, hi):
+            break
+        expected = ZipfSampler(mid, alpha, rng).expected_distinct(requests)
+        if abs(expected - target_distinct) / target_distinct <= tolerance:
+            return mid
+        if expected < target_distinct:
+            lo = mid
+        else:
+            hi = mid
+    return hi

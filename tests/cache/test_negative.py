@@ -1,0 +1,54 @@
+"""Tests for negative result caching."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.negative import NegativeResultCache
+
+
+class TestSemantics:
+    def test_unknown_key_misses(self):
+        cache = NegativeResultCache(ttl_s=60.0)
+        assert not cache.check(1, now=0.0)
+
+    def test_recorded_error_hits_within_ttl(self):
+        cache = NegativeResultCache(ttl_s=60.0)
+        cache.record(1, now=0.0)
+        assert cache.check(1, now=30.0)
+
+    def test_expires_after_ttl(self):
+        cache = NegativeResultCache(ttl_s=60.0)
+        cache.record(1, now=0.0)
+        assert not cache.check(1, now=61.0)
+        assert len(cache) == 0  # expired entry is removed
+
+    def test_rerecord_refreshes(self):
+        cache = NegativeResultCache(ttl_s=60.0)
+        cache.record(1, now=0.0)
+        cache.record(1, now=50.0)
+        assert cache.check(1, now=100.0)
+
+    def test_hit_ratio(self):
+        cache = NegativeResultCache(ttl_s=60.0)
+        cache.record(1, now=0.0)
+        cache.check(1, now=1.0)  # hit
+        cache.check(2, now=1.0)  # miss
+        assert cache.hit_ratio == pytest.approx(0.5)
+
+
+class TestBounds:
+    def test_entry_bound_evicts_oldest(self):
+        cache = NegativeResultCache(ttl_s=1e9, max_entries=2)
+        cache.record(1, now=0.0)
+        cache.record(2, now=1.0)
+        cache.record(3, now=2.0)
+        assert not cache.check(1, now=3.0)
+        assert cache.check(2, now=3.0)
+        assert cache.check(3, now=3.0)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            NegativeResultCache(ttl_s=0.0)
+        with pytest.raises(ValueError):
+            NegativeResultCache(ttl_s=1.0, max_entries=0)

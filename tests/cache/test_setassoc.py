@@ -1,0 +1,111 @@
+"""Tests for the generic k-way set-associative cache."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.setassoc import SetAssociativeCache
+
+
+class TestBasicOperations:
+    def test_put_and_get(self):
+        cache: SetAssociativeCache[str] = SetAssociativeCache(n_sets=4)
+        cache.put(1, "a")
+        assert cache.get(1) == "a"
+        assert 1 in cache
+        assert len(cache) == 1
+
+    def test_get_missing(self):
+        cache: SetAssociativeCache[str] = SetAssociativeCache(n_sets=4)
+        assert cache.get(9) is None
+
+    def test_update_in_place(self):
+        cache: SetAssociativeCache[str] = SetAssociativeCache(n_sets=4)
+        cache.put(1, "a")
+        assert cache.put(1, "b") is None
+        assert cache.get(1) == "b"
+        assert len(cache) == 1
+
+    def test_remove(self):
+        cache: SetAssociativeCache[str] = SetAssociativeCache(n_sets=4)
+        cache.put(1, "a")
+        assert cache.remove(1)
+        assert not cache.remove(1)
+        assert len(cache) == 0
+
+    def test_items_and_clear(self):
+        cache: SetAssociativeCache[int] = SetAssociativeCache(n_sets=2)
+        for key in range(4):
+            cache.put(key, key * 10)
+        assert dict(cache.items()) == {0: 0, 1: 10, 2: 20, 3: 30}
+        cache.clear()
+        assert len(cache) == 0
+
+
+class TestAssociativity:
+    def test_conflict_evicts_lru_within_set(self):
+        cache: SetAssociativeCache[str] = SetAssociativeCache(n_sets=1, associativity=2)
+        cache.put(0, "a")
+        cache.put(1, "b")
+        cache.get(0)  # promote key 0
+        displaced = cache.put(2, "c")
+        assert displaced == (1, "b")
+        assert cache.conflict_evictions == 1
+
+    def test_different_sets_do_not_conflict(self):
+        cache: SetAssociativeCache[str] = SetAssociativeCache(n_sets=2, associativity=1)
+        cache.put(0, "a")  # set 0
+        cache.put(1, "b")  # set 1
+        assert cache.get(0) == "a"
+        assert cache.get(1) == "b"
+        assert cache.conflict_evictions == 0
+
+    def test_capacity(self):
+        cache: SetAssociativeCache[int] = SetAssociativeCache(n_sets=3, associativity=4)
+        assert cache.capacity == 12
+
+    def test_load_factor(self):
+        cache: SetAssociativeCache[int] = SetAssociativeCache(n_sets=2, associativity=2)
+        cache.put(0, 1)
+        assert cache.load_factor() == 0.25
+
+    def test_peek_does_not_promote(self):
+        cache: SetAssociativeCache[str] = SetAssociativeCache(n_sets=1, associativity=2)
+        cache.put(0, "a")
+        cache.put(1, "b")
+        cache.peek(0)
+        displaced = cache.put(2, "c")
+        assert displaced == (0, "a")
+
+
+class TestValidation:
+    @pytest.mark.parametrize("n_sets,assoc", [(0, 4), (-1, 4), (4, 0)])
+    def test_rejects_bad_geometry(self, n_sets, assoc):
+        with pytest.raises(ValueError):
+            SetAssociativeCache(n_sets=n_sets, associativity=assoc)
+
+
+class TestModelBased:
+    @settings(deadline=None, max_examples=60)
+    @given(
+        st.lists(
+            st.tuples(st.sampled_from(["put", "get", "remove"]), st.integers(0, 30)),
+            max_size=150,
+        )
+    )
+    def test_against_dict_model_when_capacity_suffices(self, operations):
+        """With capacity > key range, behaviour must match a plain dict."""
+        cache: SetAssociativeCache[int] = SetAssociativeCache(n_sets=31, associativity=4)
+        model: dict[int, int] = {}
+        for op, key in operations:
+            if op == "put":
+                cache.put(key, key)
+                model[key] = key
+            elif op == "get":
+                assert cache.get(key) == model.get(key)
+            else:
+                assert cache.remove(key) == (model.pop(key, None) is not None)
+        assert len(cache) == len(model)
+        assert cache.conflict_evictions == 0

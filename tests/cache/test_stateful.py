@@ -1,0 +1,137 @@
+"""Stateful model-based tests for the cache data structures.
+
+Hypothesis drives random operation sequences against each cache and an
+oracle; any divergence shrinks to a minimal failing program.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.cache.lru import LookupResult, LRUCache
+from repro.cache.setassoc import SetAssociativeCache
+
+KEYS = st.integers(0, 12)
+SIZES = st.integers(1, 400)
+VERSIONS = st.integers(0, 3)
+
+CAPACITY = 1000
+
+
+class LRUCacheMachine(RuleBasedStateMachine):
+    """LRUCache against an ordered-dict oracle with identical semantics."""
+
+    def __init__(self):
+        super().__init__()
+        self.cache = LRUCache(CAPACITY)
+        # oracle: key -> (size, version), in LRU order (first = coldest).
+        self.oracle: OrderedDict[int, tuple[int, int]] = OrderedDict()
+
+    def _oracle_evict(self):
+        used = sum(size for size, _v in self.oracle.values())
+        while used > CAPACITY and self.oracle:
+            _key, (size, _v) = self.oracle.popitem(last=False)
+            used -= size
+
+    @rule(key=KEYS, size=SIZES, version=VERSIONS)
+    def insert(self, key, size, version):
+        self.cache.insert(key, size, version)
+        if key in self.oracle:
+            del self.oracle[key]
+        self.oracle[key] = (size, version)
+        self._oracle_evict()
+
+    @rule(key=KEYS, version=VERSIONS)
+    def lookup(self, key, version):
+        result = self.cache.lookup(key, version)
+        entry = self.oracle.get(key)
+        if entry is None:
+            assert result is LookupResult.MISS
+        elif entry[1] < version:
+            assert result is LookupResult.STALE
+            del self.oracle[key]
+        else:
+            assert result is LookupResult.HIT
+            self.oracle.move_to_end(key)
+
+    @rule(key=KEYS)
+    def remove(self, key):
+        removed = self.cache.remove(key)
+        assert removed == (self.oracle.pop(key, None) is not None)
+
+    @invariant()
+    def same_contents(self):
+        assert set(self.cache) == set(self.oracle)
+
+    @invariant()
+    def same_byte_accounting(self):
+        assert self.cache.used_bytes == sum(s for s, _v in self.oracle.values())
+
+    @invariant()
+    def capacity_respected(self):
+        assert self.cache.used_bytes <= CAPACITY
+
+
+class SetAssociativeMachine(RuleBasedStateMachine):
+    """SetAssociativeCache against per-set ordered-dict oracles."""
+
+    N_SETS = 4
+    ASSOC = 2
+
+    def __init__(self):
+        super().__init__()
+        self.cache: SetAssociativeCache[int] = SetAssociativeCache(
+            n_sets=self.N_SETS, associativity=self.ASSOC
+        )
+        self.oracle = [OrderedDict() for _ in range(self.N_SETS)]
+
+    def _bucket(self, key):
+        return self.oracle[key % self.N_SETS]
+
+    @rule(key=KEYS, value=st.integers(0, 100))
+    def put(self, key, value):
+        displaced = self.cache.put(key, value)
+        bucket = self._bucket(key)
+        if key in bucket:
+            assert displaced is None
+            bucket[key] = value
+            bucket.move_to_end(key)
+            return
+        expected_displaced = None
+        if len(bucket) >= self.ASSOC:
+            expected_displaced = bucket.popitem(last=False)
+        bucket[key] = value
+        assert displaced == expected_displaced
+
+    @rule(key=KEYS)
+    def get(self, key):
+        bucket = self._bucket(key)
+        expected = bucket.get(key)
+        assert self.cache.get(key) == expected
+        if expected is not None:
+            bucket.move_to_end(key)
+
+    @rule(key=KEYS)
+    def remove(self, key):
+        bucket = self._bucket(key)
+        assert self.cache.remove(key) == (bucket.pop(key, None) is not None)
+
+    @invariant()
+    def same_size(self):
+        assert len(self.cache) == sum(len(b) for b in self.oracle)
+
+    @invariant()
+    def same_contents(self):
+        expected = {k: v for b in self.oracle for k, v in b.items()}
+        assert dict(self.cache.items()) == expected
+
+
+TestLRUCacheStateful = LRUCacheMachine.TestCase
+TestLRUCacheStateful.settings = settings(max_examples=40, deadline=None)
+
+TestSetAssociativeStateful = SetAssociativeMachine.TestCase
+TestSetAssociativeStateful.settings = settings(max_examples=40, deadline=None)

@@ -1,0 +1,80 @@
+"""Tests for the Squid-style TTL cache and its distortion counters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.ttl import TTLCache, TTLLookupResult
+
+
+class TestLookupSemantics:
+    def test_fresh_hit(self):
+        cache = TTLCache(ttl_s=100.0)
+        cache.insert(1, 100, version=0, now=0.0)
+        assert cache.lookup(1, version=0, now=50.0) is TTLLookupResult.FRESH_HIT
+
+    def test_miss_on_absent(self):
+        assert TTLCache(ttl_s=100.0).lookup(1, 0, 0.0) is TTLLookupResult.MISS
+
+    def test_age_expiry_discards(self):
+        cache = TTLCache(ttl_s=100.0)
+        cache.insert(1, 100, version=0, now=0.0)
+        assert cache.lookup(1, version=0, now=150.0) is TTLLookupResult.EXPIRED
+        assert len(cache) == 0
+
+    def test_stale_hit_served_within_ttl(self):
+        """The first distortion: stale data counted as a hit."""
+        cache = TTLCache(ttl_s=100.0)
+        cache.insert(1, 100, version=0, now=0.0)
+        outcome = cache.lookup(1, version=3, now=50.0)
+        assert outcome is TTLLookupResult.STALE_HIT
+        assert cache.stale_hits_served == 1
+
+    def test_fresh_discard_counted(self):
+        """The second distortion: perfectly good data discarded by age."""
+        cache = TTLCache(ttl_s=100.0)
+        cache.insert(1, 100, version=5, now=0.0)
+        outcome = cache.lookup(1, version=5, now=200.0)
+        assert outcome is TTLLookupResult.EXPIRED
+        assert cache.fresh_discards == 1
+
+    def test_expired_stale_entry_is_not_a_fresh_discard(self):
+        cache = TTLCache(ttl_s=100.0)
+        cache.insert(1, 100, version=0, now=0.0)
+        cache.lookup(1, version=2, now=200.0)
+        assert cache.fresh_discards == 0
+
+
+class TestCapacity:
+    def test_byte_capacity_evicts_lru(self):
+        cache = TTLCache(ttl_s=1e9, capacity_bytes=250)
+        cache.insert(1, 100, 0, now=0.0)
+        cache.insert(2, 100, 0, now=1.0)
+        cache.lookup(1, 0, now=2.0)  # promote 1
+        evicted = cache.insert(3, 100, 0, now=3.0)
+        assert evicted == [2]
+
+    def test_used_bytes(self):
+        cache = TTLCache(ttl_s=100.0)
+        cache.insert(1, 100, 0, now=0.0)
+        cache.insert(1, 300, 0, now=1.0)
+        assert cache.used_bytes == 300
+
+    def test_oversized_object_skipped(self):
+        cache = TTLCache(ttl_s=100.0, capacity_bytes=50)
+        assert cache.insert(1, 100, 0, now=0.0) == []
+        assert len(cache) == 0
+
+
+class TestValidation:
+    def test_rejects_non_positive_ttl(self):
+        with pytest.raises(ValueError):
+            TTLCache(ttl_s=0.0)
+
+    def test_rejects_negative_capacity(self):
+        with pytest.raises(ValueError):
+            TTLCache(ttl_s=1.0, capacity_bytes=-1)
+
+    def test_rejects_negative_size(self):
+        with pytest.raises(ValueError):
+            TTLCache(ttl_s=1.0).insert(1, -5, 0, now=0.0)

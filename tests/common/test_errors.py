@@ -1,0 +1,26 @@
+"""Tests for the exception hierarchy."""
+
+from __future__ import annotations
+
+from repro.common.errors import (
+    ConfigurationError,
+    ReproError,
+    TopologyError,
+    TraceFormatError,
+)
+
+
+def test_all_errors_derive_from_repro_error():
+    for exc_type in (ConfigurationError, TraceFormatError, TopologyError):
+        assert issubclass(exc_type, ReproError)
+
+
+def test_topology_error_is_a_configuration_error():
+    assert issubclass(TopologyError, ConfigurationError)
+
+
+def test_errors_are_catchable_as_repro_error():
+    try:
+        raise TraceFormatError("bad line")
+    except ReproError as exc:
+        assert "bad line" in str(exc)

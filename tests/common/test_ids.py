@@ -1,0 +1,90 @@
+"""Tests for MD5-derived identifiers and bit matching."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.ids import (
+    ID_BITS,
+    low_digit,
+    matching_low_bits,
+    matching_low_digits,
+    node_id_from_name,
+    object_id_from_url,
+)
+
+
+class TestIdDerivation:
+    def test_object_id_is_deterministic(self):
+        url = "http://example.com/a/b.html"
+        assert object_id_from_url(url) == object_id_from_url(url)
+
+    def test_different_urls_get_different_ids(self):
+        assert object_id_from_url("http://a/") != object_id_from_url("http://b/")
+
+    def test_node_id_is_deterministic(self):
+        assert node_id_from_name("10.0.0.1") == node_id_from_name("10.0.0.1")
+
+    def test_ids_fit_in_64_bits(self):
+        for value in ("x", "http://example.com/" + "y" * 500):
+            assert 0 <= object_id_from_url(value) < 2**64
+
+    def test_node_and_object_spaces_use_same_hash(self):
+        # Same input string -> same hash: both are "MD5 of a string".
+        assert node_id_from_name("foo") == object_id_from_url("foo")
+
+
+class TestMatchingLowBits:
+    def test_identical_ids_match_fully(self):
+        assert matching_low_bits(0xDEADBEEF, 0xDEADBEEF) == ID_BITS
+
+    def test_differ_in_lowest_bit(self):
+        assert matching_low_bits(0b1010, 0b1011) == 0
+
+    def test_three_matching_bits(self):
+        assert matching_low_bits(0b1011, 0b0011) == 3
+
+    def test_max_bits_restricts_the_window(self):
+        assert matching_low_bits(0b10000, 0b00000, max_bits=4) == 4
+
+    @given(st.integers(0, 2**64 - 1), st.integers(0, 2**64 - 1))
+    def test_agrees_with_reference_implementation(self, a, b):
+        reference = 0
+        while reference < ID_BITS and (a >> reference) & 1 == (b >> reference) & 1:
+            reference += 1
+        assert matching_low_bits(a, b) == reference
+
+    @given(st.integers(0, 2**64 - 1), st.integers(0, 2**64 - 1))
+    def test_symmetry(self, a, b):
+        assert matching_low_bits(a, b) == matching_low_bits(b, a)
+
+
+class TestDigits:
+    def test_low_digit_binary(self):
+        assert low_digit(0b1011, 0, 1) == 1
+        assert low_digit(0b1011, 2, 1) == 0
+
+    def test_low_digit_hex(self):
+        assert low_digit(0xABC, 0, 4) == 0xC
+        assert low_digit(0xABC, 2, 4) == 0xA
+
+    def test_matching_low_digits_counts_whole_digits(self):
+        # 7 matching bits = 1 matching 4-bit digit.
+        a, b = 0b01111111, 0b11111111  # differ first at bit 7
+        assert matching_low_bits(a, b) == 7
+        assert matching_low_digits(a, b, bits_per_digit=4) == 1
+
+    def test_matching_low_digits_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            matching_low_digits(1, 2, bits_per_digit=0)
+
+    @given(
+        st.integers(0, 2**64 - 1),
+        st.integers(0, 2**64 - 1),
+        st.integers(1, 8),
+    )
+    def test_digit_matching_consistent_with_bits(self, a, b, width):
+        digits = matching_low_digits(a, b, bits_per_digit=width)
+        assert digits == matching_low_bits(a, b) // width

@@ -1,0 +1,54 @@
+"""Tests for unit conversions."""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.units import (
+    DAYS,
+    GB,
+    HOURS,
+    KB,
+    MB,
+    MINUTES,
+    bytes_to_gb,
+    bytes_to_mb,
+    gb_to_bytes,
+    mb_to_bytes,
+    ms_to_seconds,
+    seconds_to_ms,
+)
+
+
+class TestByteUnits:
+    def test_constants_are_binary_powers(self):
+        assert KB == 1024
+        assert MB == 1024 * KB
+        assert GB == 1024 * MB
+
+    def test_mb_round_trip(self):
+        assert bytes_to_mb(mb_to_bytes(500)) == 500
+
+    def test_gb_round_trip(self):
+        assert bytes_to_gb(gb_to_bytes(5)) == 5
+
+    def test_fractional_megabytes(self):
+        assert mb_to_bytes(0.5) == 512 * 1024
+
+    @given(st.integers(0, 10**15))
+    def test_mb_conversion_monotone(self, n):
+        assert bytes_to_mb(n) <= bytes_to_mb(n + 1)
+
+
+class TestTimeUnits:
+    def test_time_constants(self):
+        assert MINUTES == 60.0
+        assert HOURS == 60 * MINUTES
+        assert DAYS == 24 * HOURS
+
+    def test_ms_round_trip(self):
+        assert ms_to_seconds(seconds_to_ms(1.25)) == 1.25
+
+    def test_seconds_to_ms_scale(self):
+        assert seconds_to_ms(2.0) == 2000.0

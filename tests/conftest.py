@@ -1,0 +1,48 @@
+"""Shared fixtures: a tiny topology/config and memoized small traces.
+
+Tests use a deliberately small system (8 L1 proxies, 2 clients each, ~4k
+requests) so the whole suite stays fast while still exercising every
+distance class and both miss regimes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hierarchy.topology import HierarchyTopology
+from repro.sim.config import ExperimentConfig
+from repro.traces.records import Trace
+from repro.traces.synthetic import SyntheticTraceGenerator
+
+
+def make_tiny_config(**overrides) -> ExperimentConfig:
+    """A small-but-complete experiment configuration."""
+    defaults = dict(
+        topology=HierarchyTopology(clients_per_l1=2, l1_per_l2=4, n_l2=2),
+        seed=7,
+        trace_scale=0.0002,
+        l1_cache_bytes=2 * 1024 * 1024,
+        hint_data_cache_bytes=int(1.8 * 1024 * 1024),
+        hint_store_bytes=200 * 1024,
+    )
+    defaults.update(overrides)
+    return ExperimentConfig(**defaults)
+
+
+@pytest.fixture(scope="session")
+def tiny_config() -> ExperimentConfig:
+    return make_tiny_config()
+
+
+@pytest.fixture(scope="session")
+def dec_trace(tiny_config: ExperimentConfig) -> Trace:
+    """A small DEC-profile trace shared (read-only) across tests."""
+    profile = tiny_config.profile("dec")
+    return SyntheticTraceGenerator(profile, seed=tiny_config.seed).generate()
+
+
+@pytest.fixture(scope="session")
+def prodigy_trace(tiny_config: ExperimentConfig) -> Trace:
+    """A small Prodigy-profile trace (dynamic client ids)."""
+    profile = tiny_config.profile("prodigy")
+    return SyntheticTraceGenerator(profile, seed=tiny_config.seed).generate()

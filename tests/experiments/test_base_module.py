@@ -1,0 +1,97 @@
+"""Tests for the experiment plumbing (result type, memoization, charts)."""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult, resolve_config, trace_for
+from repro.sim.config import default_config
+from tests.conftest import make_tiny_config
+
+
+class TestResolveConfig:
+    def test_none_gives_default(self):
+        assert resolve_config(None) == default_config()
+
+    def test_passthrough(self):
+        config = make_tiny_config()
+        assert resolve_config(config) is config
+
+
+class TestTraceMemoization:
+    def test_same_config_returns_same_object(self):
+        config = make_tiny_config()
+        assert trace_for(config, "dec") is trace_for(config, "dec")
+
+    def test_different_profiles_differ(self):
+        config = make_tiny_config()
+        assert trace_for(config, "dec") is not trace_for(config, "prodigy")
+
+    def test_different_seeds_differ(self):
+        a = make_tiny_config(seed=1)
+        b = make_tiny_config(seed=2)
+        assert trace_for(a, "dec") is not trace_for(b, "dec")
+
+
+class TestRenderChart:
+    def make_result(self, spec, rows):
+        return ExperimentResult(
+            experiment="x", description="d", rows=rows, chart_spec=spec
+        )
+
+    def test_no_spec_no_chart(self):
+        assert self.make_result(None, [{"a": 1}]).render_chart() is None
+
+    def test_xy_chart(self):
+        result = self.make_result(
+            {"kind": "xy", "x": "x", "y": ["y"]},
+            [{"x": 1, "y": 2.0}, {"x": 2, "y": 3.0}],
+        )
+        chart = result.render_chart()
+        assert "o=y" in chart
+
+    def test_xy_chart_skips_non_numeric_cells(self):
+        result = self.make_result(
+            {"kind": "xy", "x": "x", "y": ["y"]},
+            [{"x": "inf", "y": 2.0}, {"x": 1, "y": 3.0}],
+        )
+        assert result.render_chart() is not None
+
+    def test_log_x_skips_zero(self):
+        result = self.make_result(
+            {"kind": "xy", "x": "x", "y": ["y"], "log_x": True},
+            [{"x": 0.0, "y": 1.0}, {"x": 1.0, "y": 2.0}, {"x": 10.0, "y": 3.0}],
+        )
+        assert result.render_chart() is not None
+
+    def test_grouped_series(self):
+        result = self.make_result(
+            {"kind": "xy", "x": "x", "y": ["y"], "group": "g"},
+            [
+                {"x": 1, "y": 1.0, "g": "a"},
+                {"x": 1, "y": 2.0, "g": "b"},
+            ],
+        )
+        chart = result.render_chart()
+        assert "o=a" in chart and "x=b" in chart
+
+    def test_bar_chart(self):
+        result = self.make_result(
+            {"kind": "bars", "label": "name", "value": "ms"},
+            [{"name": "fast", "ms": 1.0}, {"name": "slow", "ms": 5.0}],
+        )
+        chart = result.render_chart()
+        assert "fast" in chart and "slow" in chart
+
+
+class TestRender:
+    def test_render_includes_all_sections(self):
+        result = ExperimentResult(
+            experiment="x",
+            description="desc",
+            rows=[{"a": 1}],
+            paper_claims={"claim": "value"},
+            notes=["a note"],
+        )
+        text = result.render()
+        assert "x: desc" in text
+        assert "claim: value" in text
+        assert "a note" in text

@@ -1,0 +1,74 @@
+"""Tests for experiment-result export."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.cli import main
+from repro.reporting.export import (
+    load_result,
+    result_from_json,
+    result_to_csv,
+    result_to_json,
+    save_result,
+)
+
+
+@pytest.fixture()
+def result():
+    return ExperimentResult(
+        experiment="demo",
+        description="a demo result",
+        rows=[{"a": 1, "b": 2.5}, {"a": 3, "c": "x"}],
+        paper_claims={"claim": "value"},
+        notes=["note"],
+        chart_spec={"kind": "xy", "x": "a", "y": ["b"]},
+    )
+
+
+class TestJson:
+    def test_round_trip(self, result):
+        loaded = result_from_json(result_to_json(result))
+        assert loaded.experiment == "demo"
+        assert loaded.rows == result.rows
+        assert loaded.paper_claims == result.paper_claims
+        assert loaded.chart_spec == result.chart_spec
+
+    def test_file_round_trip(self, result, tmp_path):
+        path = tmp_path / "demo.json"
+        save_result(result, path)
+        assert load_result(path).rows == result.rows
+
+
+class TestCsv:
+    def test_header_is_union_of_columns(self, result):
+        text = result_to_csv(result)
+        header = text.splitlines()[0]
+        assert header == "a,b,c"
+
+    def test_rows_serialized(self, result):
+        lines = result_to_csv(result).splitlines()
+        assert lines[1] == "1,2.5,"
+        assert lines[2] == "3,,x"
+
+    def test_csv_cannot_be_loaded_back(self, tmp_path, result):
+        path = tmp_path / "demo.csv"
+        save_result(result, path)
+        with pytest.raises(ValueError):
+            load_result(path)
+
+    def test_unknown_extension_rejected(self, result, tmp_path):
+        with pytest.raises(ValueError):
+            save_result(result, tmp_path / "demo.xlsx")
+
+
+class TestCliExport:
+    def test_export_dir_writes_both_formats(self, tmp_path, capsys):
+        out = tmp_path / "exports"
+        assert main(["figure1", "--export-dir", str(out)]) == 0
+        assert (out / "figure1.json").exists()
+        assert (out / "figure1.csv").exists()
+        loaded = load_result(out / "figure1.json")
+        assert loaded.experiment == "figure1"
+        assert len(loaded.rows) == 10

@@ -1,0 +1,89 @@
+"""Shape tests for the hint-system experiments (Figures 5, 6; Table 5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import figure5, figure6, table5
+from tests.conftest import make_tiny_config
+
+
+class TestFigure5:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return figure5.run(make_tiny_config())
+
+    def test_hit_rate_grows_with_hint_capacity(self, result):
+        ratios = [row["hit_ratio"] for row in result.rows]
+        assert ratios[0] < ratios[-1]
+        # Loosely monotone: each step within noise of the previous.
+        assert all(b >= a - 0.02 for a, b in zip(ratios, ratios[1:]))
+
+    def test_full_index_matches_unbounded(self, result):
+        # A hint cache big enough for every distinct object behaves like
+        # the unbounded one.
+        bounded = result.rows[-2]["hit_ratio"]
+        unbounded = result.rows[-1]["hit_ratio"]
+        assert bounded == pytest.approx(unbounded, abs=0.02)
+
+    def test_false_negatives_shrink_with_capacity(self, result):
+        negatives = [row["false_negatives"] for row in result.rows]
+        assert negatives[0] > negatives[-1]
+        assert negatives[-1] == 0
+
+    def test_tiny_hint_cache_still_beats_nothing(self, result):
+        # Even 0.5% of the index gives the local hit rate or better.
+        assert result.rows[0]["hit_ratio"] > 0.0
+
+
+class TestFigure6:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return figure6.run(make_tiny_config())
+
+    def test_delay_axis_matches_paper_range(self, result):
+        delays = [row["delay_minutes"] for row in result.rows]
+        assert delays[0] == 0.0
+        assert delays[-1] == 1000.0
+
+    def test_hit_rate_degrades_with_delay(self, result):
+        ratios = [row["hit_ratio"] for row in result.rows]
+        assert ratios[0] > ratios[-1]
+        assert all(b <= a + 0.005 for a, b in zip(ratios, ratios[1:]))
+
+    def test_few_minutes_delay_is_tolerable(self, result):
+        """The paper's claim: minutes of delay cost almost nothing."""
+        instant = result.rows[0]["hit_ratio"]
+        five_minutes = next(
+            row for row in result.rows if row["delay_minutes"] == 5.0
+        )["hit_ratio"]
+        assert five_minutes >= instant - 0.02
+
+    def test_false_negatives_grow_with_delay(self, result):
+        negatives = [row["false_negatives"] for row in result.rows]
+        assert negatives[-1] > negatives[0]
+
+
+class TestTable5:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return table5.run(make_tiny_config())
+
+    def test_two_organizations(self, result):
+        assert [row["organization"] for row in result.rows] == [
+            "centralized directory",
+            "hierarchy",
+        ]
+
+    def test_hierarchy_filters_updates(self, result):
+        central, hierarchy = result.rows
+        assert hierarchy["root_updates"] < central["root_updates"]
+
+    def test_bandwidth_uses_20_byte_updates(self, result):
+        for row in result.rows:
+            assert row["bandwidth_bytes_per_s"] == pytest.approx(
+                row["updates_per_s"] * 20
+            )
+
+    def test_reduction_factor_reported(self, result):
+        assert "measured reduction here" in result.paper_claims

@@ -1,0 +1,41 @@
+"""Shape tests for the load-sensitivity experiment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import load_sensitivity
+from tests.conftest import make_tiny_config
+
+
+@pytest.fixture(scope="module")
+def result():
+    return load_sensitivity.run(make_tiny_config())
+
+
+class TestLoadSensitivity:
+    def test_covers_idle_through_saturation(self, result):
+        loads = [row["load"] for row in result.rows]
+        assert loads[0] == 0.0
+        assert loads[-1] >= 0.9
+
+    def test_response_times_grow_with_load(self, result):
+        for column in ("hierarchy_ms", "hints_ms"):
+            values = [row[column] for row in result.rows]
+            assert values == sorted(values)
+
+    def test_speedup_grows_with_load(self, result):
+        """The paper's 2.1.1 hypothesis: hop reduction matters more when
+        caches are busy."""
+        speedups = [row["speedup"] for row in result.rows]
+        assert all(b >= a - 0.01 for a, b in zip(speedups, speedups[1:]))
+        assert speedups[-1] > speedups[0] * 1.3
+
+    def test_hints_always_win(self, result):
+        for row in result.rows:
+            assert row["speedup"] > 1.0
+
+    def test_chart_available(self, result):
+        chart = result.render_chart()
+        assert chart is not None
+        assert "speedup" in chart

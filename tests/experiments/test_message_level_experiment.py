@@ -1,0 +1,40 @@
+"""Shape tests for the model-vs-mechanism experiment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import message_level
+from tests.conftest import make_tiny_config
+
+
+@pytest.fixture(scope="module")
+def result():
+    return message_level.run(make_tiny_config())
+
+
+class TestMessageLevel:
+    def test_four_systems(self, result):
+        assert [row["system"] for row in result.rows] == [
+            "hierarchy (baseline)",
+            "hints, modeled (instant)",
+            "hints, modeled (2 min delay)",
+            "hints, message-level",
+        ]
+
+    def test_mechanism_validates_the_model(self, result):
+        by_system = {row["system"]: row for row in result.rows}
+        modeled = by_system["hints, modeled (instant)"]["mean_response_ms"]
+        mechanism = by_system["hints, message-level"]["mean_response_ms"]
+        assert abs(mechanism - modeled) / modeled < 0.15
+
+    def test_every_hint_variant_beats_the_hierarchy(self, result):
+        hierarchy = result.rows[0]["mean_response_ms"]
+        for row in result.rows[1:]:
+            assert row["mean_response_ms"] < hierarchy
+
+    def test_mechanism_has_emergent_errors(self, result):
+        mechanism = result.rows[-1]
+        assert mechanism["false_negatives"] > 0
+        # The modeled instant directory never misses a fresh copy.
+        assert result.rows[1]["false_negatives"] == 0

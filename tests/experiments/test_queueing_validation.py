@@ -1,0 +1,43 @@
+"""Shape tests for the queueing validation experiment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import queueing_validation
+from tests.conftest import make_tiny_config
+
+
+@pytest.fixture(scope="module")
+def result():
+    return queueing_validation.run(make_tiny_config())
+
+
+class TestQueueingValidation:
+    def test_covers_target_loads(self, result):
+        loads = [row["target_load"] for row in result.rows]
+        assert loads == list(queueing_validation.TARGET_LOADS)
+
+    def test_calibration_hits_targets(self, result):
+        for row in result.rows:
+            assert row["achieved_root_util"] == pytest.approx(
+                row["target_load"], rel=0.25
+            )
+
+    def test_both_implementations_agree_on_direction(self, result):
+        """The 2.1.1 hypothesis holds under both the analytic factor and
+        the emergent FIFO contention."""
+        for column in ("emergent_speedup", "analytic_speedup"):
+            values = [row[column] for row in result.rows]
+            assert all(v > 1.0 for v in values)
+            assert values[-1] > values[0]
+
+    def test_hierarchy_queues_harder_than_hints(self, result):
+        for row in result.rows:
+            assert row["hierarchy_queue_wait_ms"] > row["hints_queue_wait_ms"]
+
+    def test_emergent_contention_exceeds_steady_state(self, result):
+        """Bursty arrivals make real queues worse than the M/M/1 average
+        at the highest load."""
+        top = result.rows[-1]
+        assert top["emergent_speedup"] >= top["analytic_speedup"]

@@ -1,0 +1,91 @@
+"""Tests for table and chart rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.reporting.charts import render_bars, render_series
+from repro.reporting.tables import format_series, format_table
+
+
+class TestFormatTable:
+    def test_basic_rendering(self):
+        text = format_table(
+            [{"a": 1, "b": "x"}, {"a": 22, "b": "yy"}], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert "22" in text
+
+    def test_heterogeneous_rows_union_columns(self):
+        text = format_table([{"a": 1}, {"b": 2}])
+        header = text.splitlines()[0]
+        assert "a" in header and "b" in header
+
+    def test_explicit_column_order(self):
+        text = format_table([{"a": 1, "b": 2}], columns=["b", "a"])
+        header = text.splitlines()[0]
+        assert header.index("b") < header.index("a")
+
+    def test_empty_rows(self):
+        assert "(no rows)" in format_table([], title="empty")
+
+    def test_float_formatting(self):
+        text = format_table([{"v": 0.12345}, {"v": 1234.5}])
+        assert "0.1234" in text or "0.1235" in text
+        assert "1,234" in text or "1,235" in text
+
+    def test_format_series(self):
+        text = format_series([(1, 2.0)], x_label="size", y_label="ms")
+        assert "size" in text and "ms" in text
+
+
+class TestRenderSeries:
+    def test_contains_glyphs_and_legend(self):
+        text = render_series(
+            {"hits": [(1, 0.2), (10, 0.5), (100, 0.8)]},
+            title="figure5",
+            log_x=True,
+        )
+        assert "figure5" in text
+        assert "o=hits" in text
+        assert "log x" in text
+
+    def test_multiple_series_get_distinct_glyphs(self):
+        text = render_series(
+            {"a": [(0, 0), (1, 1)], "b": [(0, 1), (1, 0)]}
+        )
+        assert "o=a" in text
+        assert "x=b" in text
+
+    def test_monotone_series_has_high_point_right(self):
+        text = render_series({"s": [(0, 0.0), (1, 1.0)]}, width=10, height=5)
+        plot_lines = [line for line in text.splitlines() if line.startswith("|")]
+        assert "o" in plot_lines[0]  # max y in the top row
+        assert plot_lines[0].rindex("o") > plot_lines[-1].index("o")
+
+    def test_log_axis_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            render_series({"s": [(0.0, 1.0), (10.0, 2.0)]}, log_x=True)
+
+    def test_empty(self):
+        assert "(no data)" in render_series({})
+
+
+class TestRenderBars:
+    def test_longest_bar_for_largest_value(self):
+        text = render_bars({"small": 1.0, "large": 10.0})
+        small_line, large_line = text.splitlines()
+        assert large_line.count("#") > small_line.count("#")
+
+    def test_zero_values_have_no_bar(self):
+        text = render_bars({"none": 0.0})
+        assert "#" not in text
+
+    def test_unit_suffix(self):
+        text = render_bars({"a": 3.0}, unit=" ms")
+        assert "3 ms" in text
+
+    def test_empty(self):
+        assert "(no data)" in render_bars({})

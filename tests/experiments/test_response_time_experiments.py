@@ -1,0 +1,77 @@
+"""Shape tests for the headline experiments (Figure 8, Table 6)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import figure8, table6
+from tests.conftest import make_tiny_config
+
+
+class TestFigure8:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return figure8.run(make_tiny_config())
+
+    def test_full_grid_present(self, result):
+        assert len(result.rows) == 3 * 2 * 3  # traces x disks x cost models
+
+    def test_hints_beat_hierarchy_everywhere(self, result):
+        """The paper's central result."""
+        for row in result.rows:
+            assert row["hints_ms"] < row["hierarchy_ms"], row
+
+    def test_directory_lands_between(self, result):
+        for row in result.rows:
+            assert row["hints_ms"] <= row["directory_ms"] + 1e-9, row
+            assert row["directory_ms"] <= row["hierarchy_ms"] + 1e-9, row
+
+    def test_speedup_band_reasonable(self, result):
+        """Paper band is 1.28-2.79; scaled runs must stay in a sane band."""
+        for row in result.rows:
+            assert 1.05 < row["speedup_hints"] < 4.0, row
+
+    def test_max_times_dominate_min_times(self, result):
+        by_key = {
+            (row["trace"], row["disk"], row["cost_model"]): row for row in result.rows
+        }
+        for trace in ("dec", "berkeley", "prodigy"):
+            for disk in ("infinite", "constrained"):
+                low = by_key[(trace, disk, "min")]
+                high = by_key[(trace, disk, "max")]
+                assert high["hierarchy_ms"] > low["hierarchy_ms"]
+                assert high["hints_ms"] > low["hints_ms"]
+
+    def test_constrained_hurts_hierarchy_more(self, result):
+        """The hint architecture pools one copy per object at the leaves,
+        so the space crunch falls harder on the triple-caching hierarchy."""
+        by_key = {
+            (row["trace"], row["disk"], row["cost_model"]): row for row in result.rows
+        }
+        for trace in ("dec", "berkeley", "prodigy"):
+            infinite = by_key[(trace, "infinite", "testbed")]
+            constrained = by_key[(trace, "constrained", "testbed")]
+            assert constrained["speedup_hints"] >= infinite["speedup_hints"] * 0.9
+
+
+class TestTable6:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return table6.run(make_tiny_config())
+
+    def test_three_traces(self, result):
+        assert len(result.rows) == 3
+
+    def test_all_speedups_exceed_one(self, result):
+        for row in result.rows:
+            for model in ("max", "min", "testbed"):
+                assert row[model] > 1.0
+
+    def test_testbed_shows_largest_speedup(self, result):
+        """Paper ordering: testbed > max > min for every trace."""
+        for row in result.rows:
+            assert row["testbed"] > row["max"] > row["min"]
+
+    def test_paper_columns_present(self, result):
+        for row in result.rows:
+            assert row["paper_testbed"] in (2.31, 2.79, 1.99)

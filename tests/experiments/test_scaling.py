@@ -1,0 +1,36 @@
+"""Shape tests for the population-scaling experiment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import scaling
+from tests.conftest import make_tiny_config
+
+
+@pytest.fixture(scope="module")
+def result():
+    return scaling.run(make_tiny_config())
+
+
+class TestScaling:
+    def test_population_factors_covered(self, result):
+        assert len(result.rows) == len(scaling.POPULATION_FACTORS)
+
+    def test_requests_scale_with_population(self, result):
+        requests = [row["requests"] for row in result.rows]
+        assert requests == sorted(requests)
+        assert requests[-1] > 4 * requests[0]
+
+    def test_system_hit_rate_grows_with_sharing(self, result):
+        """The Gribble/Duska claim the paper builds on."""
+        ratios = [row["system_hit_ratio"] for row in result.rows]
+        assert all(b >= a - 0.01 for a, b in zip(ratios, ratios[1:]))
+        assert ratios[-1] > ratios[0] + 0.1
+
+    def test_hit_ratios_are_valid(self, result):
+        for row in result.rows:
+            assert 0.0 <= row["l1_hit_ratio"] <= row["system_hit_ratio"] <= 1.0
+
+    def test_chart_available(self, result):
+        assert result.render_chart() is not None

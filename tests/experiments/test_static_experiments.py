@@ -1,0 +1,64 @@
+"""Tests for the cost-model-only experiments (Figure 1, Table 3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import figure1, table3
+
+
+class TestFigure1:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return figure1.run()
+
+    def test_covers_all_paper_sizes(self, result):
+        sizes = [row["size_kb"] for row in result.rows]
+        assert sizes == list(figure1.SIZES_KB)
+        assert sizes[0] == 2 and sizes[-1] == 1024
+
+    def test_panel_a_monotone_in_depth(self, result):
+        for row in result.rows:
+            assert (
+                row["hier_l1_ms"]
+                < row["hier_l2_ms"]
+                < row["hier_l3_ms"]
+                < row["hier_server_ms"]
+            )
+
+    def test_direct_cheaper_than_hierarchy_beyond_l1(self, result):
+        for row in result.rows:
+            assert row["direct_l3_ms"] < row["hier_l3_ms"]
+            assert row["direct_server_ms"] < row["hier_server_ms"]
+
+    def test_anchor_claims_recorded(self, result):
+        assert "545 ms" in result.paper_claims["8KB L3 hierarchy-vs-direct gap"]
+
+    def test_render_produces_table(self, result):
+        text = result.render()
+        assert "figure1" in text
+        assert "size_kb" in text
+
+
+class TestTable3:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return table3.run()
+
+    def test_has_four_levels(self, result):
+        assert [row["level"] for row in result.rows] == [
+            "Leaf", "Intermediate", "Root", "Miss",
+        ]
+
+    def test_exact_published_totals(self, result):
+        by_level = {row["level"]: row for row in result.rows}
+        assert by_level["Leaf"]["hier_min"] == 163
+        assert by_level["Intermediate"]["hier_max"] == 2767
+        assert by_level["Root"]["via_l1_min"] == 411
+        assert by_level["Miss"]["hier_max"] == 7217
+        assert by_level["Miss"]["direct_min"] == 550
+
+    def test_component_columns_present(self, result):
+        leaf = result.rows[0]
+        assert leaf["connect_min"] == 16.0
+        assert leaf["disk_max"] == 135.0

@@ -1,0 +1,91 @@
+"""Shape tests for the workload experiments (Table 4, Figures 2 and 3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import figure2, figure3, table4
+from tests.conftest import make_tiny_config
+
+
+@pytest.fixture(scope="module")
+def config():
+    return make_tiny_config()
+
+
+class TestTable4:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return table4.run(make_tiny_config())
+
+    def test_three_traces(self, result):
+        assert [row["trace"] for row in result.rows] == ["dec", "berkeley", "prodigy"]
+
+    def test_distinct_ratio_matches_paper(self, result):
+        for row in result.rows:
+            assert row["distinct_ratio"] == pytest.approx(
+                row["paper_distinct_ratio"], rel=0.2
+            )
+
+    def test_days_match_paper(self, result):
+        days = {row["trace"]: row["days"] for row in result.rows}
+        assert days["dec"] == pytest.approx(21, rel=0.05)
+        assert days["prodigy"] == pytest.approx(3, rel=0.05)
+
+    def test_berkeley_more_uncachable_than_dec(self, result):
+        by_trace = {row["trace"]: row for row in result.rows}
+        assert (
+            by_trace["berkeley"]["uncachable_frac"]
+            > by_trace["dec"]["uncachable_frac"]
+        )
+
+
+class TestFigure2:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return figure2.run(make_tiny_config())
+
+    def rows_for(self, result, trace):
+        return [row for row in result.rows if row["trace"] == trace]
+
+    def test_total_miss_decreases_with_cache_size(self, result):
+        for trace in ("dec", "berkeley", "prodigy"):
+            totals = [row["total_miss"] for row in self.rows_for(result, trace)]
+            assert all(a >= b - 1e-9 for a, b in zip(totals, totals[1:]))
+
+    def test_capacity_misses_vanish_at_infinite_size(self, result):
+        for trace in ("dec", "berkeley", "prodigy"):
+            infinite = self.rows_for(result, trace)[-1]
+            assert infinite["capacity"] == 0.0
+
+    def test_compulsory_dominates_in_large_caches(self, result):
+        infinite = self.rows_for(result, "dec")[-1]
+        others = (
+            infinite["communication"] + infinite["error"] + infinite["uncachable"]
+        )
+        assert infinite["compulsory"] > others
+
+    def test_compulsory_independent_of_cache_size(self, result):
+        values = {row["compulsory"] for row in self.rows_for(result, "dec")}
+        assert max(values) - min(values) < 0.02
+
+    def test_byte_ratios_present_and_bounded(self, result):
+        for row in result.rows:
+            assert 0.0 <= row["total_byte_miss"] <= 1.0
+
+
+class TestFigure3:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return figure3.run(make_tiny_config())
+
+    def test_hit_ratio_grows_with_sharing(self, result):
+        for row in result.rows:
+            assert row["l1_hit_ratio"] < row["l2_hit_ratio"] < row["l3_hit_ratio"]
+
+    def test_byte_ratios_also_grow(self, result):
+        for row in result.rows:
+            assert row["l1_byte_hit"] <= row["l2_byte_hit"] <= row["l3_byte_hit"]
+
+    def test_all_traces_present(self, result):
+        assert len(result.rows) == 3

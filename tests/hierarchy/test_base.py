@@ -1,0 +1,28 @@
+"""Tests for the AccessResult contract."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hierarchy.base import AccessResult
+from repro.netmodel.model import AccessPoint
+
+
+class TestAccessResultValidation:
+    def test_valid_hit(self):
+        AccessResult(point=AccessPoint.L2, time_ms=100.0, hit=True, remote_hit=True)
+
+    def test_valid_miss(self):
+        AccessResult(point=AccessPoint.SERVER, time_ms=100.0, hit=False)
+
+    def test_rejects_negative_time(self):
+        with pytest.raises(ValueError):
+            AccessResult(point=AccessPoint.L1, time_ms=-1.0, hit=True)
+
+    def test_rejects_hit_at_server(self):
+        with pytest.raises(ValueError):
+            AccessResult(point=AccessPoint.SERVER, time_ms=1.0, hit=True)
+
+    def test_rejects_miss_at_cache(self):
+        with pytest.raises(ValueError):
+            AccessResult(point=AccessPoint.L2, time_ms=1.0, hit=False)

@@ -1,0 +1,92 @@
+"""Tests for the client-side hint configuration (Figure 4b)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hierarchy.client_hints import ClientHintHierarchy
+from repro.hierarchy.topology import HierarchyTopology
+from repro.netmodel.model import AccessPoint
+from repro.netmodel.testbed import TestbedCostModel
+from repro.traces.records import Request
+
+TOPOLOGY = HierarchyTopology(clients_per_l1=1, l1_per_l2=2, n_l2=2)
+
+
+def make_request(client, obj=1, version=0, size=1000, time=0.0):
+    return Request(
+        time=time, client_id=client, object_id=obj, size=size, version=version
+    )
+
+
+class TestDirectPaths:
+    def test_local_hit_uses_direct_l1_time(self):
+        arch = ClientHintHierarchy(TOPOLOGY, TestbedCostModel())
+        arch.process(make_request(client=0))
+        result = arch.process(make_request(client=0))
+        assert result.point is AccessPoint.L1
+        assert result.time_ms == arch.cost_model.direct_ms(AccessPoint.L1, 1000)
+
+    def test_remote_hit_skips_the_l1_relay(self):
+        arch = ClientHintHierarchy(TOPOLOGY, TestbedCostModel())
+        arch.process(make_request(client=0))
+        result = arch.process(make_request(client=1))
+        assert result.point is AccessPoint.L2
+        assert result.time_ms == arch.cost_model.direct_ms(AccessPoint.L2, 1000)
+
+    def test_miss_goes_direct_to_server(self):
+        arch = ClientHintHierarchy(TOPOLOGY, TestbedCostModel())
+        result = arch.process(make_request(client=0))
+        assert result.time_ms == arch.cost_model.direct_ms(AccessPoint.SERVER, 1000)
+
+    def test_faster_than_proxy_config_when_complete(self):
+        from repro.hierarchy.hint_hierarchy import HintHierarchy
+
+        client_arch = ClientHintHierarchy(TOPOLOGY, TestbedCostModel())
+        proxy_arch = HintHierarchy(TOPOLOGY, TestbedCostModel())
+        requests = [make_request(client=c % 4, obj=c % 3) for c in range(30)]
+        client_total = sum(client_arch.process(r).time_ms for r in requests)
+        proxy_total = sum(proxy_arch.process(r).time_ms for r in requests)
+        assert client_total < proxy_total
+
+
+class TestFalseNegatives:
+    def test_rate_zero_never_degrades(self):
+        arch = ClientHintHierarchy(TOPOLOGY, TestbedCostModel())
+        arch.process(make_request(client=0))
+        for _ in range(20):
+            assert not arch.process(make_request(client=1)).false_negative
+
+    def test_rate_one_never_finds_remote_copies(self):
+        arch = ClientHintHierarchy(
+            TOPOLOGY, TestbedCostModel(), client_false_negative_rate=1.0
+        )
+        arch.process(make_request(client=0))
+        result = arch.process(make_request(client=1))
+        assert result.false_negative
+        assert result.point is AccessPoint.SERVER
+
+    def test_local_hits_survive_degradation(self):
+        arch = ClientHintHierarchy(
+            TOPOLOGY, TestbedCostModel(), client_false_negative_rate=1.0
+        )
+        arch.process(make_request(client=0))
+        result = arch.process(make_request(client=0))
+        assert result.point is AccessPoint.L1
+
+    def test_seeded_runs_are_reproducible(self):
+        def total(seed):
+            arch = ClientHintHierarchy(
+                TOPOLOGY, TestbedCostModel(),
+                client_false_negative_rate=0.5, seed=seed,
+            )
+            requests = [make_request(client=c % 4, obj=c % 5) for c in range(50)]
+            return sum(arch.process(r).time_ms for r in requests)
+
+        assert total(3) == total(3)
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            ClientHintHierarchy(
+                TOPOLOGY, TestbedCostModel(), client_false_negative_rate=1.5
+            )

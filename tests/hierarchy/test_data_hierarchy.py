@@ -1,0 +1,92 @@
+"""Scripted-scenario tests for the traditional data hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hierarchy.data_hierarchy import DataHierarchy
+from repro.hierarchy.topology import HierarchyTopology
+from repro.netmodel.model import AccessPoint
+from repro.netmodel.testbed import TestbedCostModel
+from repro.traces.records import Request
+
+TOPOLOGY = HierarchyTopology(clients_per_l1=1, l1_per_l2=2, n_l2=2)
+# Client c maps to L1 proxy c: clients 0,1 share L2 group 0; 2,3 group 1.
+
+
+def make_request(client, obj=1, version=0, size=1000, time=0.0):
+    return Request(
+        time=time, client_id=client, object_id=obj, size=size, version=version
+    )
+
+
+@pytest.fixture()
+def hierarchy():
+    return DataHierarchy(TOPOLOGY, TestbedCostModel())
+
+
+class TestAccessPaths:
+    def test_first_access_misses_to_server(self, hierarchy):
+        result = hierarchy.process(make_request(client=0))
+        assert result.point is AccessPoint.SERVER
+        assert not result.hit
+
+    def test_repeat_from_same_client_is_l1_hit(self, hierarchy):
+        hierarchy.process(make_request(client=0))
+        result = hierarchy.process(make_request(client=0))
+        assert result.point is AccessPoint.L1
+        assert result.hit
+        assert not result.remote_hit
+
+    def test_sibling_client_gets_l2_hit(self, hierarchy):
+        hierarchy.process(make_request(client=0))
+        result = hierarchy.process(make_request(client=1))
+        assert result.point is AccessPoint.L2
+        assert result.remote_hit
+
+    def test_cross_group_client_gets_l3_hit(self, hierarchy):
+        hierarchy.process(make_request(client=0))
+        result = hierarchy.process(make_request(client=2))
+        assert result.point is AccessPoint.L3
+
+    def test_hit_copies_down_the_path(self, hierarchy):
+        hierarchy.process(make_request(client=0))
+        hierarchy.process(make_request(client=2))  # L3 hit, copies to L2/L1
+        result = hierarchy.process(make_request(client=2))
+        assert result.point is AccessPoint.L1
+
+    def test_times_follow_hierarchical_cost(self, hierarchy):
+        cost = hierarchy.cost_model
+        miss = hierarchy.process(make_request(client=0))
+        assert miss.time_ms == cost.hierarchical_ms(AccessPoint.SERVER, 1000)
+        hit = hierarchy.process(make_request(client=0))
+        assert hit.time_ms == cost.hierarchical_ms(AccessPoint.L1, 1000)
+
+
+class TestConsistency:
+    def test_version_bump_invalidates_whole_path(self, hierarchy):
+        hierarchy.process(make_request(client=0, version=0))
+        result = hierarchy.process(make_request(client=0, version=1))
+        assert result.point is AccessPoint.SERVER
+        # The new version is now cached everywhere on the path.
+        assert hierarchy.process(make_request(client=0, version=1)).hit
+
+    def test_old_version_request_still_hits_newer_copy(self, hierarchy):
+        hierarchy.process(make_request(client=0, version=3))
+        result = hierarchy.process(make_request(client=0, version=2))
+        assert result.hit
+
+
+class TestCapacity:
+    def test_space_constrained_l1_evicts(self):
+        hierarchy = DataHierarchy(TOPOLOGY, TestbedCostModel(), l1_bytes=1500)
+        hierarchy.process(make_request(client=0, obj=1, size=1000))
+        hierarchy.process(make_request(client=0, obj=2, size=1000))  # evicts 1 at L1
+        result = hierarchy.process(make_request(client=0, obj=1, size=1000))
+        # Object 1 is gone from L1 but still at L2 (infinite there).
+        assert result.point is AccessPoint.L2
+
+    def test_separate_l1_caches_per_proxy(self, hierarchy):
+        hierarchy.process(make_request(client=0, obj=1))
+        assert 1 in hierarchy.l1_caches[0]
+        assert 1 not in hierarchy.l1_caches[1]

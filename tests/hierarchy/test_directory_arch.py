@@ -1,0 +1,66 @@
+"""Tests for the CRISP-style centralized directory architecture."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hierarchy.directory_arch import CentralizedDirectoryArchitecture
+from repro.hierarchy.topology import HierarchyTopology
+from repro.netmodel.model import AccessPoint
+from repro.netmodel.testbed import TestbedCostModel
+from repro.traces.records import Request
+
+TOPOLOGY = HierarchyTopology(clients_per_l1=1, l1_per_l2=2, n_l2=2)
+
+
+def make_request(client, obj=1, version=0, size=1000, time=0.0):
+    return Request(
+        time=time, client_id=client, object_id=obj, size=size, version=version
+    )
+
+
+@pytest.fixture()
+def arch():
+    return CentralizedDirectoryArchitecture(TOPOLOGY, TestbedCostModel())
+
+
+class TestQueryCost:
+    def test_local_hit_pays_no_query(self, arch):
+        arch.process(make_request(client=0))
+        result = arch.process(make_request(client=0))
+        assert result.time_ms == arch.cost_model.via_l1_ms(AccessPoint.L1, 1000)
+
+    def test_miss_pays_the_query_round_trip(self, arch):
+        result = arch.process(make_request(client=0))
+        expected = arch.cost_model.probe_ms(AccessPoint.L3) + arch.cost_model.via_l1_ms(
+            AccessPoint.SERVER, 1000
+        )
+        assert result.time_ms == pytest.approx(expected)
+
+    def test_remote_hit_pays_query_plus_transfer(self, arch):
+        arch.process(make_request(client=0))
+        result = arch.process(make_request(client=1))
+        expected = arch.cost_model.probe_ms(AccessPoint.L3) + arch.cost_model.via_l1_ms(
+            AccessPoint.L2, 1000
+        )
+        assert result.point is AccessPoint.L2
+        assert result.time_ms == pytest.approx(expected)
+
+
+class TestFreshness:
+    def test_no_false_positives_ever(self, arch):
+        # Stale versions are filtered by the always-fresh directory.
+        arch.process(make_request(client=0, version=0))
+        result = arch.process(make_request(client=1, version=1))
+        assert not result.false_positive
+        assert result.point is AccessPoint.SERVER
+
+    def test_directory_tracks_evictions_synchronously(self):
+        arch = CentralizedDirectoryArchitecture(
+            TOPOLOGY, TestbedCostModel(), l1_bytes=1500
+        )
+        arch.process(make_request(client=0, obj=1))
+        arch.process(make_request(client=0, obj=2))  # evicts obj 1
+        result = arch.process(make_request(client=1, obj=1))
+        assert result.point is AccessPoint.SERVER
+        assert not result.false_positive

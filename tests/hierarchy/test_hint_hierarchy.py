@@ -1,0 +1,179 @@
+"""Scripted-scenario tests for the hint architecture."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hierarchy.hint_hierarchy import HintHierarchy
+from repro.hierarchy.topology import HierarchyTopology
+from repro.netmodel.model import AccessPoint
+from repro.netmodel.testbed import TestbedCostModel
+from repro.traces.records import Request
+
+TOPOLOGY = HierarchyTopology(clients_per_l1=1, l1_per_l2=2, n_l2=2)
+
+
+def make_request(client, obj=1, version=0, size=1000, time=0.0):
+    return Request(
+        time=time, client_id=client, object_id=obj, size=size, version=version
+    )
+
+
+@pytest.fixture()
+def hints():
+    return HintHierarchy(TOPOLOGY, TestbedCostModel())
+
+
+class TestAccessPaths:
+    def test_miss_goes_straight_to_server(self, hints):
+        result = hints.process(make_request(client=0))
+        assert result.point is AccessPoint.SERVER
+        assert result.time_ms >= hints.cost_model.via_l1_ms(AccessPoint.SERVER, 1000)
+
+    def test_local_hit(self, hints):
+        hints.process(make_request(client=0))
+        result = hints.process(make_request(client=0))
+        assert result.point is AccessPoint.L1
+        assert result.time_ms == hints.cost_model.via_l1_ms(AccessPoint.L1, 1000)
+
+    def test_sibling_copy_fetched_at_l2_distance(self, hints):
+        hints.process(make_request(client=0))
+        result = hints.process(make_request(client=1))
+        assert result.point is AccessPoint.L2
+        assert result.remote_hit
+        assert result.time_ms == pytest.approx(
+            hints.cost_model.via_l1_ms(AccessPoint.L2, 1000), rel=0.01
+        )
+
+    def test_cross_group_copy_fetched_at_l3_distance(self, hints):
+        hints.process(make_request(client=0))
+        result = hints.process(make_request(client=2))
+        assert result.point is AccessPoint.L3
+
+    def test_nearest_holder_preferred(self, hints):
+        hints.process(make_request(client=2))  # copy at node 2 (other group)
+        hints.process(make_request(client=1))  # copy at node 1 (same group as 0)
+        result = hints.process(make_request(client=0))
+        assert result.point is AccessPoint.L2  # node 1, not node 2
+
+    def test_remote_fetch_stores_local_copy(self, hints):
+        hints.process(make_request(client=0))
+        hints.process(make_request(client=1))
+        result = hints.process(make_request(client=1))
+        assert result.point is AccessPoint.L1
+
+
+class TestHintErrors:
+    def test_false_negative_from_delay(self):
+        hints = HintHierarchy(TOPOLOGY, TestbedCostModel(), hint_delay_s=3600.0)
+        hints.process(make_request(client=0, time=0.0))
+        result = hints.process(make_request(client=1, time=10.0))
+        assert result.false_negative
+        assert result.point is AccessPoint.SERVER
+        # Misses are not slowed: no probe was paid.
+        assert result.time_ms == pytest.approx(
+            hints.cost_model.via_l1_ms(AccessPoint.SERVER, 1000), rel=0.01
+        )
+
+    def test_false_positive_from_delayed_removal(self):
+        hints = HintHierarchy(
+            TOPOLOGY, TestbedCostModel(), l1_bytes=1500, hint_delay_s=5.0
+        )
+        hints.process(make_request(client=0, obj=1, time=0.0))
+        hints.process(make_request(client=0, obj=2, time=10.0))  # evicts obj 1
+        # Node 1 sees the (stale) hint for node 0's evicted copy.
+        result = hints.process(make_request(client=1, obj=1, time=12.0))
+        assert result.false_positive
+        assert result.point is AccessPoint.SERVER
+        # The wasted probe is charged on top of the server fetch.
+        assert result.time_ms > hints.cost_model.via_l1_ms(AccessPoint.SERVER, 1000)
+
+    def test_stale_version_at_holder_is_false_positive(self, hints):
+        hints.process(make_request(client=0, version=0))
+        result = hints.process(make_request(client=1, version=1))
+        assert result.false_positive
+        # The holder invalidated its stale copy when probed.
+        assert 1 not in hints.l1_caches[0]
+
+    def test_eviction_retracts_hint(self):
+        hints = HintHierarchy(TOPOLOGY, TestbedCostModel(), l1_bytes=1500)
+        hints.process(make_request(client=0, obj=1))
+        hints.process(make_request(client=0, obj=2))  # evicts obj 1
+        assert hints.directory.truth_holders(1) == {}
+
+
+class TestIdealPushAccounting:
+    def test_remote_hits_charged_as_l1(self):
+        ideal = HintHierarchy(TOPOLOGY, TestbedCostModel(), charge_remote_as_l1=True)
+        ideal.process(make_request(client=0))
+        result = ideal.process(make_request(client=2))
+        assert result.point is AccessPoint.L1
+        assert result.remote_hit
+        assert result.time_ms == pytest.approx(
+            ideal.cost_model.via_l1_ms(AccessPoint.L1, 1000), rel=0.01
+        )
+
+    def test_ideal_name(self):
+        ideal = HintHierarchy(TOPOLOGY, TestbedCostModel(), charge_remote_as_l1=True)
+        assert ideal.name == "hints-ideal-push"
+
+    def test_misses_unchanged(self):
+        ideal = HintHierarchy(TOPOLOGY, TestbedCostModel(), charge_remote_as_l1=True)
+        result = ideal.process(make_request(client=0))
+        assert result.point is AccessPoint.SERVER
+
+
+class TestDirectoryIntegration:
+    def test_inform_on_every_store(self, hints):
+        hints.process(make_request(client=0, obj=5))
+        assert hints.directory.truth_holders(5) == {0: 0}
+
+    def test_hint_capacity_limits_reach(self):
+        # A hint store of 4 entries (1 set x 4 ways) over many objects.
+        hints = HintHierarchy(
+            TOPOLOGY, TestbedCostModel(), hint_capacity_bytes=4 * 16
+        )
+        for obj in range(1, 9):
+            hints.process(make_request(client=0, obj=obj))
+        # Some displaced hints: node 1 cannot see every copy.
+        invisible = 0
+        for obj in range(1, 9):
+            lookup = hints.directory.find(0.0, obj, requester=1)
+            if not lookup.holders:
+                invisible += 1
+        assert invisible >= 4
+
+
+class TestSuboptimalPositives:
+    def test_optimal_selection_with_fresh_directory(self, hints):
+        """An instant, unbounded directory always names the nearest copy."""
+        hints.process(make_request(client=2))  # L3-distance copy
+        hints.process(make_request(client=1))  # L2-distance copy
+        result = hints.process(make_request(client=0))
+        assert result.point is AccessPoint.L2
+        assert not result.suboptimal_positive
+
+    def test_stale_view_yields_suboptimal_positive(self):
+        """With delayed propagation, a nearer new copy is invisible and the
+        request hits a farther holder -- the section 3.1.1 error class."""
+        hints = HintHierarchy(TOPOLOGY, TestbedCostModel(), hint_delay_s=100.0)
+        hints.process(make_request(client=2, time=0.0))  # far copy (node 2)
+        hints.process(make_request(client=1, time=300.0))  # near copy (node 1)
+        # Node 1's copy is not yet visible at t=310; node 0 hits node 2.
+        result = hints.process(make_request(client=0, time=310.0))
+        assert result.point is AccessPoint.L3
+        assert result.suboptimal_positive
+        assert result.hit
+
+    def test_metrics_count_suboptimal_positives(self):
+        from repro.sim.metrics import SimMetrics
+
+        hints = HintHierarchy(TOPOLOGY, TestbedCostModel(), hint_delay_s=100.0)
+        metrics = SimMetrics()
+        for request in (
+            make_request(client=2, time=0.0),
+            make_request(client=1, time=300.0),
+            make_request(client=0, time=310.0),
+        ):
+            metrics.record(hints.process(request), request.size)
+        assert metrics.suboptimal_positives == 1

@@ -1,0 +1,66 @@
+"""Tests for the ICP-style sibling-query baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hierarchy.icp import IcpHierarchy
+from repro.hierarchy.topology import HierarchyTopology
+from repro.netmodel.model import AccessPoint
+from repro.netmodel.testbed import TestbedCostModel
+from repro.traces.records import Request
+
+TOPOLOGY = HierarchyTopology(clients_per_l1=1, l1_per_l2=2, n_l2=2)
+
+
+def make_request(client, obj=1, version=0, size=1000, time=0.0):
+    return Request(
+        time=time, client_id=client, object_id=obj, size=size, version=version
+    )
+
+
+@pytest.fixture()
+def icp():
+    return IcpHierarchy(TOPOLOGY, TestbedCostModel())
+
+
+class TestSiblingQueries:
+    def test_sibling_hit_is_cache_to_cache(self, icp):
+        icp.process(make_request(client=0))
+        result = icp.process(make_request(client=1))
+        assert result.point is AccessPoint.L2
+        assert icp.sibling_hits == 1
+        expected = icp.cost_model.probe_ms(AccessPoint.L2) + icp.cost_model.via_l1_ms(
+            AccessPoint.L2, 1000
+        )
+        assert result.time_ms == pytest.approx(expected)
+
+    def test_every_local_miss_pays_the_query(self, icp):
+        result = icp.process(make_request(client=0))
+        assert icp.sibling_queries == 1
+        expected = icp.cost_model.probe_ms(AccessPoint.L2) + icp.cost_model.hierarchical_ms(
+            AccessPoint.SERVER, 1000
+        )
+        assert result.time_ms == pytest.approx(expected)
+
+    def test_local_hit_pays_nothing_extra(self, icp):
+        icp.process(make_request(client=0))
+        result = icp.process(make_request(client=0))
+        assert result.time_ms == icp.cost_model.hierarchical_ms(AccessPoint.L1, 1000)
+        assert icp.sibling_queries == 1  # only the initial miss queried
+
+    def test_cross_group_copies_unreachable_by_query(self, icp):
+        icp.process(make_request(client=0))
+        result = icp.process(make_request(client=2))
+        # The copy at node 0 is outside node 2's sibling group; ICP falls
+        # back to the hierarchy, which finds it at L3.
+        assert result.point is AccessPoint.L3
+        assert icp.sibling_hits == 0
+
+    def test_icp_slower_than_plain_hierarchy_on_misses(self):
+        from repro.hierarchy.data_hierarchy import DataHierarchy
+
+        plain = DataHierarchy(TOPOLOGY, TestbedCostModel())
+        icp = IcpHierarchy(TOPOLOGY, TestbedCostModel())
+        request = make_request(client=0)
+        assert icp.process(request).time_ms > plain.process(request).time_ms

@@ -1,0 +1,140 @@
+"""Tests for the message-level hint architecture."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hierarchy.hint_hierarchy import HintHierarchy
+from repro.hierarchy.message_hints import MessageLevelHintHierarchy
+from repro.hierarchy.topology import HierarchyTopology
+from repro.netmodel.model import AccessPoint
+from repro.netmodel.testbed import TestbedCostModel
+from repro.traces.records import Request
+
+TOPOLOGY = HierarchyTopology(clients_per_l1=1, l1_per_l2=2, n_l2=2)
+
+
+def make_request(client, obj=1, version=0, size=1000, time=0.0):
+    return Request(
+        time=time, client_id=client, object_id=obj, size=size, version=version
+    )
+
+
+def make_arch(**kwargs):
+    defaults = dict(link_latency_s=0.1, max_period_s=5.0, seed=1)
+    defaults.update(kwargs)
+    return MessageLevelHintHierarchy(TOPOLOGY, TestbedCostModel(), **defaults)
+
+
+class TestEmergentBehaviour:
+    def test_local_hit(self):
+        arch = make_arch()
+        arch.process(make_request(client=0, time=0.0))
+        result = arch.process(make_request(client=0, time=100.0))
+        assert result.point is AccessPoint.L1
+
+    def test_remote_hit_after_hints_propagate(self):
+        arch = make_arch()
+        arch.process(make_request(client=0, time=0.0))
+        result = arch.process(make_request(client=1, time=300.0))
+        assert result.point is AccessPoint.L2
+        assert result.remote_hit
+
+    def test_false_negative_before_hints_arrive(self):
+        """A request racing the update batch misses to the server -- the
+        emergent version of Figure 6's staleness effect."""
+        arch = make_arch(max_period_s=1000.0)
+        arch.process(make_request(client=0, time=0.0))
+        result = arch.process(make_request(client=1, time=1.0))
+        assert result.point is AccessPoint.SERVER
+        assert result.false_negative
+        assert arch.false_negative_misses == 1
+
+    def test_false_positive_from_in_flight_invalidation(self):
+        arch = make_arch(l1_bytes=1500, max_period_s=2.0)
+        arch.process(make_request(client=0, obj=1, time=0.0))
+        arch.process(make_request(client=1, obj=1, time=60.0))  # node 1 learns
+        # Node 0 evicts obj 1; node 1's hint cache hasn't heard yet.
+        arch.process(make_request(client=0, obj=2, time=120.0))
+        # Node 1 dropped its own copy too?  No: node 1 has a local copy, so
+        # use node 3 (never had it) as the victim of the stale hint.
+        result = arch.process(make_request(client=3, obj=1, time=120.5))
+        # Either it found node 1's copy (valid) or probed node 0 (stale).
+        if result.false_positive:
+            assert result.point is AccessPoint.SERVER
+            assert arch.false_positive_probes == 1
+        else:
+            assert result.hit
+
+    def test_eviction_advertises_non_presence(self):
+        arch = make_arch(l1_bytes=1500, max_period_s=1.0)
+        arch.process(make_request(client=0, obj=1, time=0.0))
+        arch.process(make_request(client=0, obj=2, time=10.0))  # evicts obj 1
+        # After propagation, no node believes node 0 still has obj 1.
+        arch.cluster.run_until(120.0)
+        found = arch.cluster.find_nearest(1, arch._hash_of(1), 120.0)
+        assert found is None or found.node != 0
+
+
+class TestAgainstModeledDirectory:
+    def test_tracks_the_model_closely(self, tiny_config, dec_trace):
+        """The mechanism must land within ~10% of the instant model and be
+        strictly slower or equal (staleness can only hurt)."""
+        from repro.sim.engine import run_simulation
+
+        modeled = run_simulation(
+            dec_trace, HintHierarchy(tiny_config.topology, TestbedCostModel())
+        )
+        mechanism = run_simulation(
+            dec_trace,
+            MessageLevelHintHierarchy(
+                tiny_config.topology, TestbedCostModel(), seed=1
+            ),
+        )
+        assert mechanism.mean_response_ms >= modeled.mean_response_ms * 0.99
+        assert mechanism.mean_response_ms <= modeled.mean_response_ms * 1.15
+
+    def test_emergent_hint_errors_are_counted(self, tiny_config, dec_trace):
+        from repro.sim.engine import run_simulation
+
+        arch = MessageLevelHintHierarchy(
+            tiny_config.topology, TestbedCostModel(), seed=1
+        )
+        metrics = run_simulation(dec_trace, arch)
+        # The architecture counters include warmup-window events, so they
+        # bound the measured-window metrics from above.
+        assert 0 < metrics.false_negatives <= arch.false_negative_misses
+        assert 0 < metrics.false_positives <= arch.false_positive_probes
+
+
+class TestConfiguration:
+    def test_shorter_flush_period_reduces_false_negatives(
+        self, tiny_config, dec_trace
+    ):
+        """Staleness-induced false negatives scale with the flush period.
+
+        Note the baseline: even at near-instant flushing some false
+        negatives remain -- those are the *single-record* pathology (a
+        later inform overwrites the only slot; when that holder drops its
+        copy, knowledge of the earlier holder is gone).  The flush period
+        adds staleness false negatives on top.
+        """
+        from repro.sim.engine import run_simulation
+
+        slow = MessageLevelHintHierarchy(
+            tiny_config.topology, TestbedCostModel(), max_period_s=60_000.0, seed=1
+        )
+        fast = MessageLevelHintHierarchy(
+            tiny_config.topology, TestbedCostModel(), max_period_s=60.0, seed=1
+        )
+        slow_metrics = run_simulation(dec_trace, slow)
+        fast_metrics = run_simulation(dec_trace, fast)
+        assert fast_metrics.false_negatives < slow_metrics.false_negatives
+        assert fast_metrics.hit_ratio > slow_metrics.hit_ratio
+
+    def test_name(self):
+        assert make_arch().name == "hints-message-level"
+
+    def test_rejects_bad_period(self):
+        with pytest.raises(Exception):
+            make_arch(max_period_s=0.0)

@@ -1,0 +1,83 @@
+"""Tests for the three-level topology grouping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.hierarchy.topology import HierarchyTopology
+from repro.netmodel.model import AccessPoint
+
+
+@pytest.fixture()
+def topology():
+    return HierarchyTopology(clients_per_l1=4, l1_per_l2=8, n_l2=8)
+
+
+class TestGrouping:
+    def test_paper_default_shape(self):
+        paper = HierarchyTopology()
+        assert paper.clients_per_l1 == 256
+        assert paper.l1_per_l2 == 8
+        assert paper.n_l1 == 64
+
+    def test_client_to_l1_mapping(self, topology):
+        assert topology.l1_of_client(0) == 0
+        assert topology.l1_of_client(3) == 0
+        assert topology.l1_of_client(4) == 1
+
+    def test_client_ids_wrap(self, topology):
+        covered = topology.n_clients_covered
+        assert topology.l1_of_client(covered) == 0
+
+    def test_l2_of_l1(self, topology):
+        assert topology.l2_of_l1(0) == 0
+        assert topology.l2_of_l1(7) == 0
+        assert topology.l2_of_l1(8) == 1
+
+    def test_l1_nodes_of_l2(self, topology):
+        assert topology.l1_nodes_of_l2(1) == list(range(8, 16))
+
+    def test_siblings_exclude_self(self, topology):
+        siblings = topology.siblings_of(9)
+        assert 9 not in siblings
+        assert len(siblings) == 7
+        assert all(topology.l2_of_l1(s) == 1 for s in siblings)
+
+
+class TestDistanceClasses:
+    def test_same_node_is_l1(self, topology):
+        assert topology.distance_class(3, 3) is AccessPoint.L1
+
+    def test_same_group_is_l2(self, topology):
+        assert topology.distance_class(3, 5) is AccessPoint.L2
+
+    def test_cross_group_is_l3(self, topology):
+        assert topology.distance_class(3, 12) is AccessPoint.L3
+
+    def test_symmetry(self, topology):
+        for a, b in [(0, 0), (1, 6), (2, 40)]:
+            assert topology.distance_class(a, b) == topology.distance_class(b, a)
+
+    def test_lca_level(self, topology):
+        assert topology.lca_level(3, 3) == 1
+        assert topology.lca_level(3, 5) == 2
+        assert topology.lca_level(3, 12) == 3
+
+
+class TestValidation:
+    def test_rejects_zero_sizes(self):
+        with pytest.raises(ConfigurationError):
+            HierarchyTopology(clients_per_l1=0)
+
+    def test_rejects_negative_client(self, topology):
+        with pytest.raises(ConfigurationError):
+            topology.l1_of_client(-1)
+
+    def test_rejects_bad_l1_index(self, topology):
+        with pytest.raises(ConfigurationError):
+            topology.distance_class(0, topology.n_l1)
+
+    def test_rejects_bad_l2_index(self, topology):
+        with pytest.raises(ConfigurationError):
+            topology.l1_nodes_of_l2(99)

@@ -1,0 +1,68 @@
+"""Pins the paper's section 3.1.1 capacity arithmetic."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.units import GB, KB, MB
+from repro.hints.arithmetic import (
+    caches_indexable,
+    hint_index_entries,
+    index_reach_ratio,
+    update_bandwidth_bytes_per_s,
+)
+
+
+class TestPaperNumbers:
+    def test_500mb_index_tracks_over_30_million_objects(self):
+        """'Such an index could track the location of over 30 million
+        unique objects stored in a cache system.'"""
+        entries = hint_index_entries(500 * MB)
+        assert entries > 30_000_000
+
+    def test_hint_is_almost_three_orders_smaller_than_object(self):
+        """16 B vs an average 10 KB object: ratio 640."""
+        ratio = index_reach_ratio(10 * KB)
+        assert ratio == 640.0
+        assert 100 < ratio < 1000  # "almost three orders of magnitude"
+
+    def test_ten_percent_slice_reaches_about_63_caches(self):
+        """'Such a directory would allow a node to directly access the
+        content of about 63 nearby caches.'"""
+        covered = caches_indexable(
+            disk_bytes=5 * GB, hint_fraction=0.10, mean_object_bytes=10 * KB
+        )
+        assert covered == pytest.approx(71.1, rel=0.01)
+        # The paper rounds with a full-disk peer (640 * 0.1 ~= 64 - 1):
+        simple = 0.10 * index_reach_ratio(10 * KB) - 1
+        assert simple == pytest.approx(63.0)
+
+    def test_ten_percent_slice_indexes_two_orders_more_than_local(self):
+        """'Its hint cache will index about two orders of magnitude more
+        data than it can store locally.'"""
+        covered = caches_indexable(
+            disk_bytes=5 * GB, hint_fraction=0.10, mean_object_bytes=10 * KB
+        )
+        assert 30 <= covered <= 300
+
+    def test_busiest_hint_cache_bandwidth(self):
+        """'1.9 hint updates per second ... consumes only 38 bytes per
+        second of bandwidth', ~1% of a 33.6 Kbit/s modem."""
+        bandwidth = update_bandwidth_bytes_per_s(1.9)
+        assert bandwidth == pytest.approx(38.0)
+        modem_bytes_per_s = 33_600 / 8
+        assert bandwidth / modem_bytes_per_s == pytest.approx(0.009, abs=0.002)
+
+
+class TestValidation:
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            hint_index_entries(-1)
+        with pytest.raises(ValueError):
+            index_reach_ratio(0)
+        with pytest.raises(ValueError):
+            caches_indexable(0, 0.1, 10 * KB)
+        with pytest.raises(ValueError):
+            caches_indexable(5 * GB, 1.0, 10 * KB)
+        with pytest.raises(ValueError):
+            update_bandwidth_bytes_per_s(-1.0)

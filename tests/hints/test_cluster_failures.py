@@ -1,0 +1,122 @@
+"""Failure-injection tests for the hint cluster.
+
+The paper's answer to metadata-node failure is the self-configuring
+Plaxton hierarchy: "as nodes enter or leave the system, the algorithm
+automatically reassigns children to new parents."  These tests crash
+nodes, observe the partition, reconfigure, and check re-convergence.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import TopologyError
+from repro.hints.cluster import HintCluster
+
+#: 7-node tree: root 0; interior 1, 2; leaves 3..6.
+PARENTS = [None, 0, 0, 1, 1, 2, 2]
+
+
+def make_cluster(**kwargs):
+    defaults = dict(parents=list(PARENTS), link_latency_s=0.1, max_period_s=5.0, seed=3)
+    defaults.update(kwargs)
+    return HintCluster(**defaults)
+
+
+class TestFailure:
+    def test_failed_interior_node_partitions_updates(self):
+        cluster = make_cluster()
+        cluster.fail_node(1, now=0.0)  # cuts leaves 3,4 from the rest
+        cluster.local_inform(3, url_hash=42, now=1.0)
+        cluster.run_until(500.0)
+        # Node 3's update dies at the failed node.
+        assert cluster.batches_lost_to_failures > 0
+        found = cluster.find_nearest(5, 42, now=500.0)
+        assert found is None
+
+    def test_failed_node_stops_flushing(self):
+        cluster = make_cluster()
+        cluster.local_inform(3, url_hash=42, now=0.0)
+        cluster.fail_node(3, now=0.1)
+        cluster.run_until(500.0)
+        assert cluster.find_nearest(0, 42, now=500.0) is None
+
+    def test_coverage_counts_only_live_nodes(self):
+        cluster = make_cluster()
+        cluster.local_inform(3, url_hash=42, now=0.0)
+        cluster.run_until(500.0)
+        assert cluster.coverage(42) == 1.0
+        cluster.fail_node(6, now=500.0)
+        assert cluster.coverage(42) == 1.0  # six live nodes, all knowing
+
+    def test_fail_unknown_node(self):
+        with pytest.raises(TopologyError):
+            make_cluster().fail_node(99, now=0.0)
+
+
+class TestReconfiguration:
+    def test_reconfigure_reconnects_partition(self):
+        cluster = make_cluster()
+        cluster.fail_node(1, now=0.0)
+        cluster.local_inform(3, url_hash=42, now=1.0)
+        cluster.run_until(300.0)
+        assert cluster.find_nearest(5, 42, now=300.0) is None
+
+        # The Plaxton layer hands down a new tree over the survivors:
+        # 3 and 4 re-home under node 2.
+        new_parents = [None, None, 0, 2, 2, 2, 2]
+        new_parents[1] = 0  # failed node keeps a slot; edges to it ignored
+        cluster.reconfigure(new_parents, now=300.0)
+        cluster.run_until(900.0)
+        found = cluster.find_nearest(5, 42, now=900.0)
+        assert found is not None
+        assert found.node == 3
+
+    def test_reconfigure_reconverges_everyone(self):
+        cluster = make_cluster()
+        for url_hash in (7, 8, 9):
+            cluster.local_inform(3, url_hash, now=0.0)
+        cluster.run_until(300.0)
+        cluster.fail_node(1, now=300.0)
+        cluster.reconfigure([None, 0, 0, 2, 2, 2, 2], now=300.0)
+        cluster.run_until(900.0)
+        for url_hash in (7, 8, 9):
+            for node in (0, 2, 4, 5, 6):
+                found = cluster.find_nearest(node, url_hash, now=900.0)
+                assert found is not None and found.node == 3
+
+    def test_reconfigure_rejects_wrong_size(self):
+        cluster = make_cluster()
+        with pytest.raises(TopologyError):
+            cluster.reconfigure([None, 0], now=0.0)
+
+    def test_reconfigure_rejects_still_partitioned_tree(self):
+        cluster = make_cluster()
+        cluster.fail_node(1, now=0.0)
+        # The old tree routes 3 and 4 through the failed node: rejected.
+        with pytest.raises(TopologyError, match="unreachable"):
+            cluster.reconfigure(list(PARENTS), now=1.0)
+
+    def test_reconfigure_requires_one_live_root(self):
+        cluster = make_cluster()
+        cluster.fail_node(0, now=0.0)
+        with pytest.raises(TopologyError, match="live root"):
+            cluster.reconfigure(
+                [None, 0, 0, 1, 1, 2, 2], now=1.0
+            )  # root slot is the failed node
+
+
+class TestReconfigurationWithoutFailures:
+    def test_pure_topology_change_preserves_knowledge(self):
+        """Re-parenting live nodes (e.g. after a Plaxton re-embedding)
+        keeps every hint cache's contents and re-converges new updates."""
+        cluster = make_cluster()
+        cluster.local_inform(3, url_hash=42, now=0.0)
+        cluster.run_until(300.0)
+        # Flip leaves 3..6 between the two interior nodes.
+        cluster.reconfigure([None, 0, 0, 2, 2, 1, 1], now=300.0)
+        assert cluster.find_nearest(6, 42, now=300.0) is not None
+        cluster.local_inform(4, url_hash=77, now=301.0)
+        cluster.run_until(900.0)
+        found = cluster.find_nearest(5, 77, now=900.0)
+        assert found is not None and found.node == 4

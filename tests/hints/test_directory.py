@@ -1,0 +1,111 @@
+"""Tests for the simulation-level hint directory."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hints.directory import HintDirectory, nearest_holder
+
+
+class TestGroundTruth:
+    def test_inform_and_find(self):
+        directory = HintDirectory()
+        directory.inform(0.0, object_id=1, node=3, version=0)
+        lookup = directory.find(0.0, object_id=1, requester=7)
+        assert lookup.holders == (3,)
+        assert not lookup.false_negative
+
+    def test_requester_own_copy_excluded(self):
+        directory = HintDirectory()
+        directory.inform(0.0, 1, node=3, version=0)
+        lookup = directory.find(0.0, 1, requester=3)
+        assert lookup.holders == ()
+        assert not lookup.false_negative  # no *other* copy exists
+
+    def test_retract_removes_holder(self):
+        directory = HintDirectory()
+        directory.inform(0.0, 1, node=3, version=0)
+        directory.retract(1.0, 1, node=3)
+        assert directory.find(1.0, 1, requester=7).holders == ()
+
+    def test_truth_holders_versions(self):
+        directory = HintDirectory()
+        directory.inform(0.0, 1, node=3, version=2)
+        directory.inform(0.0, 1, node=4, version=5)
+        assert directory.truth_holders(1) == {3: 2, 4: 5}
+
+    def test_event_counters(self):
+        directory = HintDirectory()
+        directory.inform(0.0, 1, 1, 0)
+        directory.inform(0.0, 2, 1, 0)
+        directory.retract(0.0, 1, 1)
+        assert directory.inform_events == 2
+        assert directory.retract_events == 1
+
+
+class TestPropagationDelay:
+    def test_add_invisible_until_delay(self):
+        directory = HintDirectory(propagation_delay_s=60.0)
+        directory.inform(0.0, 1, node=3, version=0)
+        early = directory.find(30.0, 1, requester=7)
+        assert early.holders == ()
+        assert early.false_negative  # ground truth has a copy
+        late = directory.find(61.0, 1, requester=7)
+        assert late.holders == (3,)
+
+    def test_remove_invisible_until_delay(self):
+        directory = HintDirectory(propagation_delay_s=60.0)
+        directory.inform(0.0, 1, node=3, version=0)
+        directory.find(100.0, 1, requester=7)  # add now visible
+        directory.retract(100.0, 1, node=3)
+        stale = directory.find(130.0, 1, requester=7)
+        assert stale.holders == (3,)  # the removal has not propagated yet
+        fresh = directory.find(161.0, 1, requester=7)
+        assert fresh.holders == ()
+
+    def test_events_apply_in_order(self):
+        directory = HintDirectory(propagation_delay_s=10.0)
+        directory.inform(0.0, 1, node=3, version=0)
+        directory.retract(1.0, 1, node=3)
+        assert directory.find(20.0, 1, requester=7).holders == ()
+
+    def test_rejects_negative_delay(self):
+        with pytest.raises(ValueError):
+            HintDirectory(propagation_delay_s=-1.0)
+
+    def test_false_negative_counter(self):
+        directory = HintDirectory(propagation_delay_s=60.0)
+        directory.inform(0.0, 1, node=3, version=0)
+        directory.find(5.0, 1, requester=7)
+        assert directory.false_negatives == 1
+
+
+class TestCapacity:
+    def test_bounded_view_loses_entries(self):
+        # 1 set x 4 ways = 4 entries; the 5th conflicting object evicts one.
+        directory = HintDirectory(capacity_bytes=4 * 16)
+        for oid in range(5):
+            directory.inform(0.0, oid, node=oid, version=0)
+        visible = [
+            directory.find(0.0, oid, requester=99).holders for oid in range(5)
+        ]
+        missing = sum(1 for holders in visible if holders == ())
+        assert missing == 1
+        assert directory.false_negatives == 1
+
+    def test_unbounded_view_keeps_everything(self):
+        directory = HintDirectory()
+        for oid in range(1000):
+            directory.inform(0.0, oid, node=1, version=0)
+        assert all(
+            directory.find(0.0, oid, requester=2).holders == (1,)
+            for oid in range(1000)
+        )
+
+
+class TestNearestHolder:
+    def test_picks_minimum_by_key(self):
+        assert nearest_holder((5, 2, 9), distance_key=lambda n: (n,)) == 2
+
+    def test_empty_returns_none(self):
+        assert nearest_holder((), distance_key=lambda n: (n,)) is None

@@ -1,0 +1,123 @@
+"""Tests for the packed-array set-associative hint cache."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hints.hintcache import HINT_RECORD_BYTES, HintCache
+from repro.hints.records import MachineId
+
+
+def make_cache(entries=64, associativity=4):
+    return HintCache(
+        capacity_bytes=entries * HINT_RECORD_BYTES, associativity=associativity
+    )
+
+
+class TestGeometry:
+    def test_capacity_entries(self):
+        cache = make_cache(entries=64)
+        assert cache.capacity_entries == 64
+        assert cache.n_sets == 16
+
+    def test_rounds_down_to_whole_sets(self):
+        cache = HintCache(capacity_bytes=100, associativity=4)  # 1 set = 64 B
+        assert cache.capacity_bytes == 64
+
+    def test_rejects_too_small(self):
+        with pytest.raises(ValueError):
+            HintCache(capacity_bytes=10)
+
+    def test_rejects_bad_associativity(self):
+        with pytest.raises(ValueError):
+            HintCache(capacity_bytes=1024, associativity=0)
+
+    def test_rejects_short_buffer(self):
+        with pytest.raises(ValueError, match="too small"):
+            HintCache(capacity_bytes=1024, buffer=bytearray(10))
+
+
+class TestOperations:
+    def test_find_on_empty(self):
+        assert make_cache().find_nearest(42) is None
+
+    def test_inform_then_find(self):
+        cache = make_cache()
+        cache.inform(42, MachineId.for_node(7))
+        found = cache.find_nearest(42)
+        assert found is not None
+        assert found.node == 7
+
+    def test_inform_updates_existing(self):
+        cache = make_cache()
+        cache.inform(42, MachineId.for_node(1))
+        cache.inform(42, MachineId.for_node(2))
+        assert cache.find_nearest(42).node == 2
+        assert len(cache) == 1
+
+    def test_invalidate(self):
+        cache = make_cache()
+        cache.inform(42, MachineId.for_node(1))
+        assert cache.invalidate(42)
+        assert cache.find_nearest(42) is None
+        assert not cache.invalidate(42)
+
+    def test_len_counts_entries(self):
+        cache = make_cache()
+        for key in range(1, 11):
+            cache.inform(key, MachineId.for_node(0))
+        assert len(cache) == 10
+
+    def test_stats_counters(self):
+        cache = make_cache()
+        cache.find_nearest(1)
+        cache.inform(1, MachineId.for_node(0))
+        assert cache.lookups == 1
+        assert cache.insertions == 1
+
+
+class TestConflicts:
+    def test_set_conflict_displaces_cold_entry(self):
+        # One set, 2 ways: three same-set keys must displace one.
+        cache = HintCache(capacity_bytes=2 * HINT_RECORD_BYTES, associativity=2)
+        assert cache.n_sets == 1
+        cache.inform(1, MachineId.for_node(1))
+        cache.inform(2, MachineId.for_node(2))
+        cache.find_nearest(1)  # promote key 1
+        displaced = cache.inform(3, MachineId.for_node(3))
+        assert displaced is not None
+        assert displaced.url_hash == 2
+        assert cache.find_nearest(1) is not None
+        assert cache.find_nearest(2) is None
+        assert cache.conflict_evictions == 1
+
+    def test_zero_hash_key_maps_to_a_set(self):
+        # URL hash 0 is reserved, but a hash that's a multiple of n_sets
+        # must still work (set index 0).
+        cache = make_cache(entries=64)
+        key = cache.n_sets * 3
+        cache.inform(key, MachineId.for_node(9))
+        assert cache.find_nearest(key).node == 9
+
+
+class TestModelBased:
+    @settings(deadline=None, max_examples=40)
+    @given(
+        st.lists(
+            st.tuples(st.integers(1, 40), st.integers(0, 15)),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    def test_matches_dict_when_no_conflicts_possible(self, operations):
+        """Capacity >= key range: the cache must behave like a dict."""
+        cache = make_cache(entries=64, associativity=4)
+        model: dict[int, int] = {}
+        for key, node in operations:
+            cache.inform(key, MachineId.for_node(node))
+            model[key] = node
+        assert cache.conflict_evictions == 0
+        for key, node in model.items():
+            assert cache.find_nearest(key).node == node

@@ -1,0 +1,144 @@
+"""Tests for the hierarchical hint-propagation filtering protocol."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import TopologyError
+from repro.hints.propagation import CentralizedDirectoryProtocol, HintPropagationTree
+
+
+class TestTreeConstruction:
+    def test_balanced_64_leaves_branching_8(self):
+        tree = HintPropagationTree.balanced(branching=8, leaves=64)
+        assert len(tree.leaves) == 64
+        assert tree.leaves == list(range(64))
+
+    def test_single_leaf_tree(self):
+        tree = HintPropagationTree.balanced(branching=2, leaves=1)
+        assert tree.root == 0
+        tree.inform(0, object_id=1)  # must not explode
+
+    def test_rejects_multiple_roots(self):
+        with pytest.raises(TopologyError, match="root"):
+            HintPropagationTree([None, None])
+
+    def test_rejects_bad_parent(self):
+        with pytest.raises(TopologyError):
+            HintPropagationTree([None, 99])
+
+    def test_rejects_cycle(self):
+        # 1 -> 2 -> 1 with a separate root 0.
+        with pytest.raises(TopologyError, match="cycle"):
+            HintPropagationTree([None, 2, 1])
+
+    def test_rejects_bad_branching(self):
+        with pytest.raises(TopologyError):
+            HintPropagationTree.balanced(branching=1, leaves=4)
+
+
+class TestFiltering:
+    def make_tree(self):
+        return HintPropagationTree.balanced(branching=2, leaves=4)
+
+    def test_first_copy_reaches_root(self):
+        tree = self.make_tree()
+        tree.inform(leaf=0, object_id=1)
+        assert tree.root_messages == 1
+
+    def test_second_copy_in_same_subtree_is_filtered(self):
+        tree = self.make_tree()
+        tree.inform(leaf=0, object_id=1)
+        tree.inform(leaf=1, object_id=1)  # sibling of 0: filtered below root
+        assert tree.root_messages == 1
+
+    def test_copy_in_other_subtree_is_also_filtered(self):
+        # The root already knows of a copy in its subtree (the whole system).
+        tree = self.make_tree()
+        tree.inform(leaf=0, object_id=1)
+        before = tree.root_messages
+        tree.inform(leaf=3, object_id=1)
+        assert tree.root_messages == before + 1  # new first copy for 3's side
+        tree.inform(leaf=2, object_id=1)
+        assert tree.root_messages == before + 1  # filtered: sibling had it
+
+    def test_different_objects_are_independent(self):
+        tree = self.make_tree()
+        tree.inform(leaf=0, object_id=1)
+        tree.inform(leaf=0, object_id=2)
+        assert tree.root_messages == 2
+
+    def test_removal_of_last_copy_reaches_root(self):
+        tree = self.make_tree()
+        tree.inform(leaf=0, object_id=1)
+        tree.retract(leaf=0, object_id=1)
+        assert tree.root_messages == 2  # one add + one remove
+
+    def test_removal_with_surviving_sibling_copy_is_filtered(self):
+        tree = self.make_tree()
+        tree.inform(leaf=0, object_id=1)
+        tree.inform(leaf=1, object_id=1)
+        tree.retract(leaf=0, object_id=1)
+        # Leaf 1's copy keeps the subtree non-empty: no root message.
+        assert tree.root_messages == 1
+
+    def test_readd_after_total_removal_propagates_again(self):
+        tree = self.make_tree()
+        tree.inform(leaf=0, object_id=1)
+        tree.retract(leaf=0, object_id=1)
+        tree.inform(leaf=1, object_id=1)
+        assert tree.root_messages == 3
+
+    def test_known_in_subtree(self):
+        tree = self.make_tree()
+        tree.inform(leaf=0, object_id=1)
+        assert tree.known_in_subtree(tree.root, 1)
+
+    def test_inform_rejects_interior_node(self):
+        tree = self.make_tree()
+        with pytest.raises(TopologyError, match="not a leaf"):
+            tree.inform(tree.root, object_id=1)
+
+    def test_push_down_notifies_other_subtrees(self):
+        tree = self.make_tree()
+        total_before = tree.total_messages
+        tree.inform(leaf=0, object_id=1)
+        # A brand-new object is news to everyone: more messages flowed in
+        # the tree than just the root's.
+        assert tree.total_messages > tree.root_messages
+        assert tree.total_messages > total_before
+
+
+class TestAgainstCentralized:
+    @settings(deadline=None, max_examples=30)
+    @given(
+        events=st.lists(
+            st.tuples(st.integers(0, 7), st.integers(0, 5), st.booleans()),
+            max_size=80,
+        )
+    )
+    def test_root_never_busier_than_centralized(self, events):
+        """The filtering hierarchy's root load is bounded by the centralized
+        directory's for any event sequence (the Table 5 claim)."""
+        tree = HintPropagationTree.balanced(branching=2, leaves=8)
+        central = CentralizedDirectoryProtocol()
+        holding: set[tuple[int, int]] = set()
+        for leaf, oid, is_add in events:
+            if is_add and (leaf, oid) not in holding:
+                holding.add((leaf, oid))
+                tree.inform(leaf, oid)
+                central.inform(leaf, oid)
+            elif not is_add and (leaf, oid) in holding:
+                holding.discard((leaf, oid))
+                tree.retract(leaf, oid)
+                central.retract(leaf, oid)
+        assert tree.root_messages <= central.messages_received
+
+    def test_centralized_counts_every_event(self):
+        central = CentralizedDirectoryProtocol()
+        central.inform(0, 1)
+        central.retract(0, 1)
+        central.inform(1, 1)
+        assert central.messages_received == 3

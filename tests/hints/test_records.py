@@ -1,0 +1,72 @@
+"""Tests for the 16-byte hint record."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hints.records import INVALID_HASH, RECORD_BYTES, HintRecord, MachineId
+
+
+class TestRecordSize:
+    def test_record_is_exactly_16_bytes(self):
+        # Pinned to the paper: "Each entry consumes 16 bytes".
+        assert RECORD_BYTES == 16
+        record = HintRecord(url_hash=1, machine=MachineId.for_node(0))
+        assert len(record.pack()) == 16
+
+
+class TestMachineId:
+    def test_for_node_round_trips(self):
+        machine = MachineId.for_node(37)
+        assert machine.node == 37
+
+    def test_for_node_default_port_is_squid(self):
+        assert MachineId.for_node(0).port == 3128
+
+    def test_dotted_rendering(self):
+        machine = MachineId.for_node(258)  # 258 = 0x0102
+        assert machine.dotted() == "10.0.1.2:3128"
+
+    def test_rejects_wide_address(self):
+        with pytest.raises(ValueError):
+            MachineId(address=2**32, port=80)
+
+    def test_rejects_wide_port(self):
+        with pytest.raises(ValueError):
+            MachineId(address=0, port=2**16)
+
+    def test_rejects_wide_node(self):
+        with pytest.raises(ValueError):
+            MachineId.for_node(2**16)
+
+    def test_ordering_is_total(self):
+        assert MachineId.for_node(1) < MachineId.for_node(2)
+
+
+class TestPacking:
+    @given(
+        url_hash=st.integers(1, 2**64 - 1),
+        node=st.integers(0, 2**16 - 1),
+        port=st.integers(0, 2**16 - 1),
+    )
+    def test_pack_unpack_round_trip(self, url_hash, node, port):
+        machine = MachineId(address=(10 << 24) | node, port=port)
+        record = HintRecord(url_hash=url_hash, machine=machine)
+        assert HintRecord.unpack(record.pack()) == record
+
+    def test_zero_hash_reserved(self):
+        with pytest.raises(ValueError, match="reserved"):
+            HintRecord(url_hash=INVALID_HASH, machine=MachineId.for_node(0))
+
+    def test_empty_slot_unpacks_to_none(self):
+        assert HintRecord.unpack(bytes(16)) is None
+
+    def test_unpack_rejects_wrong_length(self):
+        with pytest.raises(ValueError):
+            HintRecord.unpack(b"short")
+
+    def test_rejects_oversized_hash(self):
+        with pytest.raises(ValueError):
+            HintRecord(url_hash=2**64, machine=MachineId.for_node(0))

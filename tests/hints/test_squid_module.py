@@ -1,0 +1,97 @@
+"""Tests for the Squid-facing hint module facade."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hints.records import MachineId
+from repro.hints.squid_module import UPDATES_URL, SquidHintModule
+from repro.hints.wire import MAX_UPDATE_PERIOD_S
+
+
+def make_module(node=0, seed=0, **kwargs):
+    return SquidHintModule(MachineId.for_node(node), seed=seed, **kwargs)
+
+
+class TestCommands:
+    def test_inform_then_find(self):
+        module = make_module(node=3)
+        module.inform("http://example.com/a", now=0.0)
+        found = module.find_nearest("http://example.com/a")
+        assert found is not None
+        assert found.node == 3
+
+    def test_invalidate(self):
+        module = make_module()
+        module.inform("http://example.com/a", now=0.0)
+        module.invalidate("http://example.com/a", now=1.0)
+        assert module.find_nearest("http://example.com/a") is None
+
+    def test_unknown_url_not_found(self):
+        assert make_module().find_nearest("http://nowhere/") is None
+
+
+class TestNeighborExchange:
+    def test_two_proxies_converge(self):
+        proxy_a = make_module(node=0, seed=1)
+        proxy_b = make_module(node=1, seed=2)
+        urls = [f"http://site-{i}.com/page" for i in range(12)]
+        for url in urls:
+            proxy_a.inform(url, now=0.0)
+        post = proxy_a.poll_outgoing(now=MAX_UPDATE_PERIOD_S + 1)
+        assert post is not None
+        target, body = post
+        assert target == UPDATES_URL
+        applied = proxy_b.handle_post(target, body)
+        assert applied == 12
+        for url in urls:
+            assert proxy_b.find_nearest(url).node == 0
+
+    def test_invalidation_round_trip(self):
+        proxy_a = make_module(node=0, seed=1)
+        proxy_b = make_module(node=1, seed=2)
+        proxy_a.inform("http://x/", now=0.0)
+        _url, body = proxy_a.poll_outgoing(now=100.0)
+        proxy_b.handle_post(UPDATES_URL, body)
+        proxy_a.invalidate("http://x/", now=101.0)
+        _url, body = proxy_a.poll_outgoing(now=300.0)
+        proxy_b.handle_post(UPDATES_URL, body)
+        assert proxy_b.find_nearest("http://x/") is None
+
+    def test_no_post_before_period(self):
+        module = make_module()
+        module.inform("http://x/", now=0.0)
+        # poll at time 0: the jittered deadline may not have passed.
+        result = module.poll_outgoing(now=0.0)
+        later = module.poll_outgoing(now=MAX_UPDATE_PERIOD_S + 1)
+        assert result is not None or later is not None
+
+    def test_rejects_wrong_post_url(self):
+        with pytest.raises(ValueError, match="POST target"):
+            make_module().handle_post("http://wrong/", b"")
+
+    def test_rejects_ragged_body(self):
+        with pytest.raises(ValueError):
+            make_module().handle_post(UPDATES_URL, b"x" * 7)
+
+    def test_invalidate_for_other_machine_preserved(self):
+        proxy_b = make_module(node=1, seed=2)
+        proxy_a = make_module(node=0, seed=1)
+        proxy_c = make_module(node=2, seed=3)
+        proxy_a.inform("http://x/", now=0.0)
+        _u, body = proxy_a.poll_outgoing(now=100.0)
+        proxy_b.handle_post(UPDATES_URL, body)
+        # C never held the object; its invalidate must not clear A's hint.
+        proxy_c.invalidate("http://x/", now=101.0)
+        _u, body = proxy_c.poll_outgoing(now=300.0)
+        proxy_b.handle_post(UPDATES_URL, body)
+        assert proxy_b.find_nearest("http://x/").node == 0
+
+
+class TestMmapBacked:
+    def test_persists_across_restart(self, tmp_path):
+        path = str(tmp_path / "squid-hints.db")
+        with make_module(node=4, store_path=path) as module:
+            module.inform("http://persist.example.com/", now=0.0)
+        with make_module(node=4, store_path=path) as module:
+            assert module.find_nearest("http://persist.example.com/").node == 4

@@ -1,0 +1,63 @@
+"""Tests for the mmap-backed hint store."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hints.records import MachineId
+from repro.hints.storage import MmapHintStore
+
+
+class TestLifecycle:
+    def test_basic_inform_find(self, tmp_path):
+        with MmapHintStore(tmp_path / "hints.db", capacity_bytes=4096) as store:
+            store.inform(42, MachineId.for_node(5))
+            assert store.find_nearest(42).node == 5
+
+    def test_persists_across_reopen(self, tmp_path):
+        path = tmp_path / "hints.db"
+        with MmapHintStore(path, capacity_bytes=4096) as store:
+            store.inform(42, MachineId.for_node(5))
+            store.inform(77, MachineId.for_node(9))
+        with MmapHintStore(path, capacity_bytes=4096) as store:
+            assert store.find_nearest(42).node == 5
+            assert store.find_nearest(77).node == 9
+            assert len(store) == 2
+
+    def test_invalidate_persists(self, tmp_path):
+        path = tmp_path / "hints.db"
+        with MmapHintStore(path, capacity_bytes=4096) as store:
+            store.inform(42, MachineId.for_node(5))
+            store.invalidate(42)
+        with MmapHintStore(path, capacity_bytes=4096) as store:
+            assert store.find_nearest(42) is None
+
+    def test_close_is_idempotent(self, tmp_path):
+        store = MmapHintStore(tmp_path / "hints.db", capacity_bytes=4096)
+        store.close()
+        store.close()
+
+    def test_operations_after_close_fail(self, tmp_path):
+        store = MmapHintStore(tmp_path / "hints.db", capacity_bytes=4096)
+        store.close()
+        with pytest.raises(ValueError, match="closed"):
+            store.find_nearest(1)
+
+    def test_flush(self, tmp_path):
+        with MmapHintStore(tmp_path / "hints.db", capacity_bytes=4096) as store:
+            store.inform(1, MachineId.for_node(0))
+            store.flush()
+
+    def test_capacity_entries(self, tmp_path):
+        with MmapHintStore(tmp_path / "hints.db", capacity_bytes=4096) as store:
+            assert store.capacity_entries == 256
+
+    def test_rejects_tiny_capacity(self, tmp_path):
+        with pytest.raises(ValueError):
+            MmapHintStore(tmp_path / "hints.db", capacity_bytes=8)
+
+    def test_file_size_matches_layout(self, tmp_path):
+        path = tmp_path / "hints.db"
+        with MmapHintStore(path, capacity_bytes=4096):
+            pass
+        assert path.stat().st_size == 4096

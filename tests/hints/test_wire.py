@@ -1,0 +1,103 @@
+"""Tests for the 20-byte update wire format and the randomized batcher."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hints.records import MachineId
+from repro.hints.wire import (
+    MAX_UPDATE_PERIOD_S,
+    UPDATE_RECORD_BYTES,
+    HintAction,
+    HintUpdate,
+    UpdateBatcher,
+    decode_updates,
+    encode_updates,
+)
+
+
+def make_update(action=HintAction.INFORM, oid=1234, node=3):
+    return HintUpdate(action=action, object_id=oid, machine=MachineId.for_node(node))
+
+
+class TestWireFormat:
+    def test_update_is_exactly_20_bytes(self):
+        # Pinned to the paper: "each update consumes 20 bytes".
+        assert UPDATE_RECORD_BYTES == 20
+        assert len(make_update().pack()) == 20
+
+    @given(
+        action=st.sampled_from(list(HintAction)),
+        oid=st.integers(0, 2**64 - 1),
+        node=st.integers(0, 2**16 - 1),
+    )
+    def test_round_trip(self, action, oid, node):
+        update = make_update(action=action, oid=oid, node=node)
+        assert HintUpdate.unpack(update.pack()) == update
+
+    def test_batch_round_trip(self):
+        updates = [make_update(oid=i, node=i % 5) for i in range(13)]
+        blob = encode_updates(updates)
+        assert len(blob) == 13 * 20
+        assert decode_updates(blob) == updates
+
+    def test_decode_rejects_ragged_batch(self):
+        with pytest.raises(ValueError, match="multiple"):
+            decode_updates(b"x" * 21)
+
+    def test_unpack_rejects_wrong_length(self):
+        with pytest.raises(ValueError):
+            HintUpdate.unpack(b"x" * 19)
+
+
+class TestUpdateBatcher:
+    def make_batcher(self, seed=0):
+        return UpdateBatcher(rng=np.random.default_rng(seed))
+
+    def test_nothing_to_send_initially(self):
+        assert self.make_batcher().poll(100.0) is None
+
+    def test_flush_after_period(self):
+        batcher = self.make_batcher()
+        batcher.add(make_update(), now=0.0)
+        assert batcher.poll(0.0) is None or batcher.poll(0.0) is not None  # may fire at 0
+        blob = batcher.poll(MAX_UPDATE_PERIOD_S + 1)
+        if blob is None:  # already flushed at time 0 edge case
+            assert batcher.total_flushes == 1
+        else:
+            assert decode_updates(blob) == [make_update()]
+
+    def test_period_within_bounds(self):
+        batcher = self.make_batcher(seed=3)
+        batcher.add(make_update(), now=10.0)
+        assert 10.0 <= batcher._next_flush <= 10.0 + MAX_UPDATE_PERIOD_S
+
+    def test_batching_accumulates(self):
+        batcher = self.make_batcher()
+        for i in range(5):
+            batcher.add(make_update(oid=i), now=0.0)
+        assert batcher.pending_count() == 5
+        blob = batcher.poll(MAX_UPDATE_PERIOD_S + 1)
+        assert blob is not None
+        assert len(decode_updates(blob)) == 5
+        assert batcher.pending_count() == 0
+
+    def test_counters_track_bandwidth(self):
+        batcher = self.make_batcher()
+        for i in range(4):
+            batcher.add(make_update(oid=i), now=0.0)
+        batcher.poll(MAX_UPDATE_PERIOD_S + 1)
+        assert batcher.total_updates == 4
+        assert batcher.total_bytes == 80
+        assert batcher.bandwidth_bytes_per_s(80.0) == 1.0
+
+    def test_bandwidth_rejects_bad_elapsed(self):
+        with pytest.raises(ValueError):
+            self.make_batcher().bandwidth_bytes_per_s(0.0)
+
+    def test_paper_bandwidth_arithmetic(self):
+        # 1.9 updates/s x 20 B = 38 B/s: the paper's busiest-hint-cache load.
+        assert 1.9 * UPDATE_RECORD_BYTES == pytest.approx(38.0)

@@ -1,0 +1,119 @@
+"""End-to-end integration tests across the full stack."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    CentralizedDirectoryArchitecture,
+    DataHierarchy,
+    HintHierarchy,
+    RousskovCostModel,
+    TestbedCostModel,
+    run_simulation,
+)
+from repro.sim.engine import run_comparison
+from repro.traces.io import read_trace, write_trace
+from repro.traces.synthetic import SyntheticTraceGenerator
+
+
+class TestHeadlineResult:
+    """The paper's central claim, end to end on a shared small trace."""
+
+    def test_hints_beat_hierarchy_on_every_cost_model(self, tiny_config, dec_trace):
+        for cost_name, cost in (
+            ("testbed", TestbedCostModel()),
+            ("min", RousskovCostModel("min")),
+            ("max", RousskovCostModel("max")),
+        ):
+            base = run_simulation(
+                dec_trace, DataHierarchy(tiny_config.topology, cost)
+            )
+            ours = run_simulation(
+                dec_trace, HintHierarchy(tiny_config.topology, cost)
+            )
+            speedup = base.mean_response_ms / ours.mean_response_ms
+            assert speedup > 1.1, f"{cost_name}: speedup {speedup:.2f}"
+
+    def test_speedup_from_time_not_hit_rate(self, tiny_config, dec_trace):
+        """Paper: "these improvements ... come not from improving the
+        global hit rate ... but from improving hit times and miss times"."""
+        cost = TestbedCostModel()
+        base = run_simulation(dec_trace, DataHierarchy(tiny_config.topology, cost))
+        ours = run_simulation(dec_trace, HintHierarchy(tiny_config.topology, cost))
+        assert ours.hit_ratio == pytest.approx(base.hit_ratio, abs=0.05)
+        assert ours.mean_response_ms < base.mean_response_ms
+
+    def test_comparison_runner_on_all_architectures(self, tiny_config, dec_trace):
+        cost = TestbedCostModel()
+        results = run_comparison(
+            dec_trace,
+            [
+                DataHierarchy(tiny_config.topology, cost),
+                CentralizedDirectoryArchitecture(tiny_config.topology, cost),
+                HintHierarchy(tiny_config.topology, cost),
+            ],
+        )
+        assert (
+            results["hints"].mean_response_ms
+            <= results["directory"].mean_response_ms
+            <= results["hierarchy"].mean_response_ms
+        )
+
+
+class TestReproducibility:
+    def test_identical_runs_identical_metrics(self, tiny_config):
+        profile = tiny_config.profile("dec")
+
+        def run_once():
+            trace = SyntheticTraceGenerator(profile, seed=3).generate()
+            arch = HintHierarchy(tiny_config.topology, TestbedCostModel())
+            return run_simulation(trace, arch)
+
+        first, second = run_once(), run_once()
+        assert first.mean_response_ms == second.mean_response_ms
+        assert first.requests_by_point == second.requests_by_point
+
+    def test_trace_survives_serialization_round_trip(
+        self, tiny_config, dec_trace, tmp_path
+    ):
+        path = tmp_path / "dec.npz"
+        write_trace(dec_trace, path)
+        reloaded = read_trace(path)
+        cost = TestbedCostModel()
+        original = run_simulation(
+            dec_trace, HintHierarchy(tiny_config.topology, cost)
+        )
+        replayed = run_simulation(
+            reloaded, HintHierarchy(tiny_config.topology, cost)
+        )
+        assert replayed.mean_response_ms == original.mean_response_ms
+
+
+class TestConsistencyAcrossArchitectures:
+    def test_all_architectures_see_the_same_miss_structure(
+        self, tiny_config, dec_trace
+    ):
+        """Infinite caches: hit counts may differ slightly (hint errors)
+        but total requests measured must agree exactly."""
+        cost = TestbedCostModel()
+        architectures = [
+            DataHierarchy(tiny_config.topology, cost),
+            CentralizedDirectoryArchitecture(tiny_config.topology, cost),
+            HintHierarchy(tiny_config.topology, cost),
+        ]
+        measured = {
+            arch.name: run_simulation(dec_trace, arch).measured_requests
+            for arch in architectures
+        }
+        assert len(set(measured.values())) == 1
+
+    def test_prodigy_dynamic_ids_work_everywhere(self, tiny_config, prodigy_trace):
+        cost = TestbedCostModel()
+        for arch in (
+            DataHierarchy(tiny_config.topology, cost),
+            HintHierarchy(tiny_config.topology, cost),
+        ):
+            metrics = run_simulation(prodigy_trace, arch)
+            assert metrics.measured_requests > 0
+            assert metrics.mean_response_ms > 0

@@ -1,0 +1,115 @@
+"""Integration tests for the prototype-faithful hint stack.
+
+Drives the pieces the Squid prototype wired together -- URL hashing, the
+packed hint cache, the 20-byte update wire format, and the Plaxton routing
+fabric -- as one system: two simulated proxies exchange update batches and
+answer find-nearest queries from their own stores.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.common.ids import node_id_from_name, object_id_from_url
+from repro.hints.hintcache import HintCache
+from repro.hints.records import MachineId
+from repro.hints.storage import MmapHintStore
+from repro.hints.wire import HintAction, HintUpdate, UpdateBatcher, decode_updates
+from repro.netmodel.topology import GeographicTopology
+from repro.plaxton.tree import PlaxtonTree
+
+
+class TestTwoProxyExchange:
+    def test_update_batch_propagates_hints(self):
+        """Proxy A caches objects, batches updates, POSTs them to proxy B;
+        B's hint cache then answers find-nearest for A's objects."""
+        cache_a = HintCache(capacity_bytes=64 * 16)
+        cache_b = HintCache(capacity_bytes=64 * 16)
+        machine_a = MachineId.for_node(0)
+        batcher = UpdateBatcher(rng=np.random.default_rng(1))
+
+        urls = [f"http://site-{i}.example.com/page" for i in range(10)]
+        for url in urls:
+            url_hash = object_id_from_url(url)
+            cache_a.inform(url_hash, machine_a)
+            batcher.add(
+                HintUpdate(
+                    action=HintAction.INFORM,
+                    object_id=url_hash,
+                    machine=machine_a,
+                ),
+                now=0.0,
+            )
+
+        blob = batcher.poll(now=61.0)
+        assert blob is not None
+        for update in decode_updates(blob):
+            if update.action is HintAction.INFORM:
+                cache_b.inform(update.object_id, update.machine)
+            else:
+                cache_b.invalidate(update.object_id)
+
+        for url in urls:
+            found = cache_b.find_nearest(object_id_from_url(url))
+            assert found is not None
+            assert found.node == 0
+
+    def test_invalidation_round_trip(self):
+        cache_b = HintCache(capacity_bytes=64 * 16)
+        machine_a = MachineId.for_node(0)
+        url_hash = object_id_from_url("http://gone.example.com/")
+        cache_b.inform(url_hash, machine_a)
+
+        update = HintUpdate(
+            action=HintAction.INVALIDATE, object_id=url_hash, machine=machine_a
+        )
+        decoded = HintUpdate.unpack(update.pack())
+        assert decoded.action is HintAction.INVALIDATE
+        cache_b.invalidate(decoded.object_id)
+        assert cache_b.find_nearest(url_hash) is None
+
+
+class TestPersistentProxyRestart:
+    def test_proxy_restart_recovers_hint_state(self, tmp_path):
+        """A proxy crash/restart keeps its mmap'ed hint file."""
+        path = tmp_path / "proxy-hints.db"
+        urls = [f"http://host-{i}.example.com/obj" for i in range(25)]
+        with MmapHintStore(path, capacity_bytes=256 * 16) as store:
+            for i, url in enumerate(urls):
+                store.inform(object_id_from_url(url), MachineId.for_node(i % 4))
+        with MmapHintStore(path, capacity_bytes=256 * 16) as store:
+            for i, url in enumerate(urls):
+                found = store.find_nearest(object_id_from_url(url))
+                assert found is not None
+                assert found.node == i % 4
+
+
+class TestPlaxtonRoutingFabric:
+    def test_updates_route_to_consistent_roots(self):
+        """Hint updates for one URL, injected at different proxies, all
+        reach the same metadata root -- the property the self-configuring
+        hierarchy needs to aggregate location knowledge."""
+        rng = np.random.default_rng(5)
+        topology = GeographicTopology(16, 4, rng)
+        node_ids = [node_id_from_name(f"proxy-{i}.example.com") for i in range(16)]
+        tree = PlaxtonTree(node_ids, topology)
+
+        url_hash = object_id_from_url("http://popular.example.com/index.html")
+        roots = {tree.route_path(start, url_hash)[-1] for start in range(16)}
+        assert len(roots) == 1
+
+    def test_fabric_survives_root_failure(self):
+        rng = np.random.default_rng(6)
+        topology = GeographicTopology(16, 4, rng)
+        node_ids = [node_id_from_name(f"proxy-{i}.example.com") for i in range(16)]
+        tree = PlaxtonTree(node_ids, topology)
+
+        url_hash = object_id_from_url("http://popular.example.com/index.html")
+        old_root = tree.root_for(url_hash)
+        tree.remove_node(old_root)
+        new_roots = {
+            tree.route_path(start, url_hash)[-1] for start in tree.member_indices
+        }
+        assert len(new_roots) == 1
+        assert old_root not in new_roots

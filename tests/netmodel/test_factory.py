@@ -1,0 +1,28 @@
+"""Tests for the cost-model factory."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netmodel import RousskovCostModel, TestbedCostModel, cost_model_by_name
+
+
+class TestCostModelFactory:
+    def test_testbed(self):
+        assert isinstance(cost_model_by_name("testbed"), TestbedCostModel)
+
+    @pytest.mark.parametrize("bound", ["min", "max"])
+    def test_rousskov_bounds(self, bound):
+        model = cost_model_by_name(bound)
+        assert isinstance(model, RousskovCostModel)
+        assert model.name == bound
+
+    def test_case_insensitive(self):
+        assert isinstance(cost_model_by_name("Testbed"), TestbedCostModel)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown cost model"):
+            cost_model_by_name("median")
+
+    def test_fresh_instance_per_call(self):
+        assert cost_model_by_name("testbed") is not cost_model_by_name("testbed")

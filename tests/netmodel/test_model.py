@@ -1,0 +1,35 @@
+"""Tests for the cost-model interface pieces."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netmodel.model import AccessPoint
+from repro.netmodel.testbed import TestbedCostModel
+
+
+class TestAccessPoint:
+    def test_ordering_reflects_distance(self):
+        assert AccessPoint.L1 < AccessPoint.L2 < AccessPoint.L3 < AccessPoint.SERVER
+
+    def test_is_cache(self):
+        assert AccessPoint.L1.is_cache
+        assert AccessPoint.L3.is_cache
+        assert not AccessPoint.SERVER.is_cache
+
+
+class TestCostModelHelpers:
+    def test_hint_lookup_is_microseconds(self):
+        # The prototype measured 4.3 us for a warm lookup.
+        assert TestbedCostModel().hint_lookup_ms() == pytest.approx(0.0043)
+
+    def test_speedup(self):
+        model = TestbedCostModel()
+        assert model.speedup(200.0, 100.0) == 2.0
+
+    def test_speedup_rejects_zero(self):
+        with pytest.raises(ValueError):
+            TestbedCostModel().speedup(100.0, 0.0)
+
+    def test_repr_names_model(self):
+        assert "testbed" in repr(TestbedCostModel())

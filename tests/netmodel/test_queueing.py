@@ -1,0 +1,82 @@
+"""Tests for the load-aware queueing cost model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.units import KB
+from repro.netmodel.model import AccessPoint
+from repro.netmodel.queueing import LoadAwareCostModel
+from repro.netmodel.testbed import TestbedCostModel
+
+
+def make_model(load):
+    return LoadAwareCostModel(TestbedCostModel(), load=load)
+
+
+class TestInflation:
+    def test_zero_load_matches_base(self):
+        base = TestbedCostModel()
+        loaded = make_model(0.0)
+        for point in AccessPoint:
+            assert loaded.hierarchical_ms(point, 8 * KB) == pytest.approx(
+                base.hierarchical_ms(point, 8 * KB)
+            )
+            assert loaded.direct_ms(point, 8 * KB) == pytest.approx(
+                base.direct_ms(point, 8 * KB)
+            )
+            assert loaded.via_l1_ms(point, 8 * KB) == pytest.approx(
+                base.via_l1_ms(point, 8 * KB)
+            )
+
+    def test_costs_grow_with_load(self):
+        low, high = make_model(0.3), make_model(0.9)
+        for point in (AccessPoint.L1, AccessPoint.L2, AccessPoint.L3):
+            assert high.hierarchical_ms(point, 8 * KB) > low.hierarchical_ms(
+                point, 8 * KB
+            )
+
+    def test_server_fetch_itself_does_not_queue(self):
+        """Only cache service time queues; a pure origin fetch with no
+        cache on the path is untouched."""
+        base = TestbedCostModel()
+        loaded = make_model(0.9)
+        assert loaded.direct_ms(AccessPoint.SERVER, 8 * KB) == pytest.approx(
+            base.direct_ms(AccessPoint.SERVER, 8 * KB)
+        )
+
+    def test_higher_levels_inflate_more(self):
+        """The shared root saturates before the leaves."""
+        base = TestbedCostModel()
+        loaded = make_model(0.9)
+        l1_growth = loaded.direct_ms(AccessPoint.L1, 8 * KB) / base.direct_ms(
+            AccessPoint.L1, 8 * KB
+        )
+        l3_growth = loaded.direct_ms(AccessPoint.L3, 8 * KB) / base.direct_ms(
+            AccessPoint.L3, 8 * KB
+        )
+        assert l3_growth > l1_growth
+
+    def test_hierarchy_pays_more_absolute_queueing_than_via_l1(self):
+        """The paper's hypothesis at the cost-model level: the multi-hop
+        hierarchical path accumulates more queueing delay (in ms) than the
+        one-cache-hop hint path to the same data."""
+        base = TestbedCostModel()
+        loaded = make_model(0.9)
+        hier_penalty = loaded.hierarchical_ms(AccessPoint.L3, 8 * KB) - base.hierarchical_ms(
+            AccessPoint.L3, 8 * KB
+        )
+        via_penalty = loaded.via_l1_ms(AccessPoint.L3, 8 * KB) - base.via_l1_ms(
+            AccessPoint.L3, 8 * KB
+        )
+        assert hier_penalty > via_penalty
+
+    def test_name_encodes_load(self):
+        assert "load0.5" in make_model(0.5).name
+
+
+class TestValidation:
+    @pytest.mark.parametrize("load", [-0.1, 1.0, 2.0])
+    def test_rejects_bad_load(self, load):
+        with pytest.raises(ValueError):
+            make_model(load)

@@ -1,0 +1,73 @@
+"""Tests pinning every derived cell of the paper's Table 3."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netmodel.model import AccessPoint
+from repro.netmodel.rousskov import ComponentTimes, RousskovCostModel
+
+#: (point, bound) -> (hierarchical, direct, via_l1), exactly as published.
+TABLE3 = {
+    (AccessPoint.L1, "min"): (163, 163, 163),
+    (AccessPoint.L1, "max"): (352, 352, 352),
+    (AccessPoint.L2, "min"): (271, 180, 271),
+    (AccessPoint.L2, "max"): (2767, 2550, 2767),
+    (AccessPoint.L3, "min"): (531, 320, 411),
+    (AccessPoint.L3, "max"): (4667, 2850, 3067),
+    (AccessPoint.SERVER, "min"): (981, 550, 641),
+    (AccessPoint.SERVER, "max"): (7217, 3200, 3417),
+}
+
+
+class TestTable3Cells:
+    @pytest.mark.parametrize("point,bound", list(TABLE3))
+    def test_hierarchical(self, point, bound):
+        model = RousskovCostModel(bound)
+        assert model.hierarchical_ms(point) == TABLE3[(point, bound)][0]
+
+    @pytest.mark.parametrize("point,bound", list(TABLE3))
+    def test_direct(self, point, bound):
+        model = RousskovCostModel(bound)
+        assert model.direct_ms(point) == TABLE3[(point, bound)][1]
+
+    @pytest.mark.parametrize("point,bound", list(TABLE3))
+    def test_via_l1(self, point, bound):
+        model = RousskovCostModel(bound)
+        assert model.via_l1_ms(point) == TABLE3[(point, bound)][2]
+
+
+class TestBehaviour:
+    def test_size_is_ignored(self):
+        model = RousskovCostModel("min")
+        assert model.hierarchical_ms(AccessPoint.L3, 0) == model.hierarchical_ms(
+            AccessPoint.L3, 10**6
+        )
+
+    def test_rejects_unknown_bound(self):
+        with pytest.raises(ValueError):
+            RousskovCostModel("median")
+
+    def test_probe_uses_connect_time(self):
+        model = RousskovCostModel("min")
+        assert model.probe_ms(AccessPoint.L3) == 100.0
+
+    def test_probe_on_server_is_miss_time(self):
+        assert RousskovCostModel("max").probe_ms(AccessPoint.SERVER) == 3200.0
+
+    def test_table3_row_helper(self):
+        row = RousskovCostModel("min").table3_row(AccessPoint.L3)
+        assert row == {"hierarchical": 531, "direct": 320, "via_l1": 411}
+
+    def test_component_times_pick(self):
+        component = ComponentTimes(1.0, 2.0)
+        assert component.pick("min") == 1.0
+        assert component.pick("max") == 2.0
+        with pytest.raises(ValueError):
+            component.pick("avg")
+
+    def test_max_dominates_min_everywhere(self):
+        low, high = RousskovCostModel("min"), RousskovCostModel("max")
+        for point in AccessPoint:
+            assert high.hierarchical_ms(point) > low.hierarchical_ms(point)
+            assert high.direct_ms(point) > low.direct_ms(point)

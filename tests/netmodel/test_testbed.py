@@ -1,0 +1,87 @@
+"""Tests for the testbed cost model (Figure 1 calibration)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.units import KB
+from repro.netmodel.model import AccessPoint
+from repro.netmodel.testbed import Segment, TestbedCostModel
+
+
+@pytest.fixture(scope="module")
+def model():
+    return TestbedCostModel()
+
+
+class TestPaperAnchors:
+    """The calibration targets quoted from the paper's text."""
+
+    def test_8kb_l3_hierarchy_vs_direct_gap(self, model):
+        gap = model.hierarchical_ms(AccessPoint.L3, 8 * KB) - model.direct_ms(
+            AccessPoint.L3, 8 * KB
+        )
+        assert gap == pytest.approx(545, rel=0.05)
+
+    def test_8kb_l3_direct_speedup(self, model):
+        ratio = model.hierarchical_ms(AccessPoint.L3, 8 * KB) / model.direct_ms(
+            AccessPoint.L3, 8 * KB
+        )
+        assert ratio == pytest.approx(2.5, rel=0.05)
+
+    def test_l1_hits_much_faster_than_remote(self, model):
+        # Section 4: L1 ~4.75x faster than L2-distance, ~6.2x than L3.
+        l1 = model.direct_ms(AccessPoint.L1, 8 * KB)
+        assert model.direct_ms(AccessPoint.L2, 8 * KB) / l1 > 3.0
+        assert model.direct_ms(AccessPoint.L3, 8 * KB) / l1 > 4.5
+
+    def test_l1_hit_is_tens_of_ms(self, model):
+        assert 10 <= model.direct_ms(AccessPoint.L1, 8 * KB) <= 60
+
+
+class TestStructure:
+    def test_monotone_in_size(self, model):
+        for point in AccessPoint:
+            small = model.hierarchical_ms(point, 2 * KB)
+            large = model.hierarchical_ms(point, 64 * KB)
+            assert large > small
+
+    def test_monotone_in_distance(self, model):
+        for size in (2 * KB, 128 * KB):
+            hier = [model.hierarchical_ms(p, size) for p in AccessPoint]
+            direct = [model.direct_ms(p, size) for p in AccessPoint]
+            assert hier == sorted(hier)
+            assert direct == sorted(direct)
+
+    def test_hierarchical_dominates_direct(self, model):
+        for point in (AccessPoint.L2, AccessPoint.L3, AccessPoint.SERVER):
+            assert model.hierarchical_ms(point, 8 * KB) > model.direct_ms(
+                point, 8 * KB
+            )
+
+    def test_via_l1_between_direct_and_hierarchy(self, model):
+        for point in (AccessPoint.L2, AccessPoint.L3):
+            via = model.via_l1_ms(point, 8 * KB)
+            assert model.direct_ms(point, 8 * KB) < via
+            assert via < model.hierarchical_ms(point, 8 * KB)
+
+    def test_via_l1_at_l1_equals_direct(self, model):
+        assert model.via_l1_ms(AccessPoint.L1, 4 * KB) == model.direct_ms(
+            AccessPoint.L1, 4 * KB
+        )
+
+    def test_probe_is_connect_only(self, model):
+        # A probe moves no data: cheaper than any fetch of real size.
+        for point in AccessPoint:
+            assert model.probe_ms(point) <= model.direct_ms(point, 2 * KB)
+
+
+class TestCustomization:
+    def test_segment_cost_formula(self):
+        segment = Segment(connect_ms=100.0, per_kb_ms=2.0)
+        assert segment.cost_ms(8 * KB) == 116.0
+
+    def test_rejects_missing_access_points(self):
+        partial = {AccessPoint.L1: Segment(1.0, 1.0)}
+        with pytest.raises(ValueError, match="missing"):
+            TestbedCostModel(hierarchy_segments=partial, direct_segments=partial)

@@ -1,0 +1,78 @@
+"""Tests for the synthetic geographic topology."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.common.errors import TopologyError
+from repro.netmodel.topology import GeographicTopology
+
+
+def make_topology(n_nodes=24, n_clusters=4, seed=0, **kw):
+    return GeographicTopology(n_nodes, n_clusters, np.random.default_rng(seed), **kw)
+
+
+class TestGeometry:
+    def test_positions_shape(self):
+        topology = make_topology()
+        assert topology.positions.shape == (24, 2)
+
+    def test_distance_symmetric(self):
+        topology = make_topology()
+        assert topology.distance(1, 5) == topology.distance(5, 1)
+
+    def test_distance_to_self_is_zero(self):
+        assert make_topology().distance(3, 3) == 0.0
+
+    def test_triangle_inequality_samples(self):
+        topology = make_topology(seed=2)
+        for a, b, c in [(0, 5, 10), (1, 7, 20), (3, 11, 17)]:
+            assert topology.distance(a, c) <= (
+                topology.distance(a, b) + topology.distance(b, c) + 1e-9
+            )
+
+    def test_distances_from_matches_pairwise(self):
+        topology = make_topology()
+        vector = topology.distances_from(2)
+        assert vector[9] == pytest.approx(topology.distance(2, 9))
+
+    def test_clusters_are_tighter_than_the_world(self):
+        topology = make_topology(n_nodes=40, n_clusters=5, seed=3)
+        assert topology.mean_intra_cluster_distance() < topology.mean_inter_cluster_distance()
+
+
+class TestNearest:
+    def test_nearest_prefers_closer(self):
+        topology = make_topology(seed=1)
+        distances = topology.distances_from(0)
+        candidates = [5, 9, 13]
+        best = topology.nearest(0, candidates)
+        assert distances[best] == min(distances[c] for c in candidates)
+
+    def test_nearest_tie_breaks_deterministically(self):
+        topology = make_topology()
+        assert topology.nearest(0, [3, 3]) == 3
+
+    def test_nearest_rejects_empty(self):
+        with pytest.raises(TopologyError):
+            make_topology().nearest(0, [])
+
+
+class TestValidation:
+    def test_rejects_zero_nodes(self):
+        with pytest.raises(TopologyError):
+            make_topology(n_nodes=0)
+
+    def test_rejects_more_clusters_than_nodes(self):
+        with pytest.raises(TopologyError):
+            make_topology(n_nodes=3, n_clusters=5)
+
+    def test_rejects_out_of_range_node(self):
+        with pytest.raises(TopologyError):
+            make_topology().distance(0, 99)
+
+    def test_cluster_of(self):
+        topology = make_topology(n_nodes=8, n_clusters=4)
+        assert topology.cluster_of(0) == 0
+        assert topology.cluster_of(5) == 1

@@ -1,0 +1,58 @@
+"""Tests for reconfiguration accounting (the "disturbs very little" claim)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.common.ids import node_id_from_name
+from repro.netmodel.topology import GeographicTopology
+from repro.plaxton.membership import remove_node_report
+from repro.plaxton.tree import PlaxtonTree
+
+
+def make_tree(n_nodes=32, seed=0):
+    rng = np.random.default_rng(seed)
+    topology = GeographicTopology(n_nodes, 4, rng)
+    node_ids = [node_id_from_name(f"m-{i}") for i in range(n_nodes)]
+    return PlaxtonTree(node_ids, topology)
+
+
+@pytest.fixture()
+def report():
+    tree = make_tree()
+    object_ids = [node_id_from_name(f"obj-{i}") for i in range(100)]
+    return remove_node_report(tree, node=3, object_ids=object_ids)
+
+
+class TestReport:
+    def test_identifies_removed_node(self, report):
+        assert report.removed_node == 3
+
+    def test_counts_are_consistent(self, report):
+        assert 0 <= report.changed_entries <= report.surviving_entries
+        assert report.forced_changes <= report.changed_entries
+        assert 0 <= report.roots_moved <= report.objects_sampled
+
+    def test_disturbance_is_small(self, report):
+        """The headline claim: most parent-table entries survive a removal."""
+        assert report.disturbance < 0.25
+
+    def test_gratuitous_disturbance_is_tiny(self, report):
+        """Entries not pointing at the departed node should mostly stay."""
+        assert report.gratuitous_disturbance < 0.10
+
+    def test_few_roots_move(self, report):
+        """Only objects rooted at (or near) the departed node move."""
+        assert report.roots_moved <= report.objects_sampled * 0.25
+
+    def test_tree_is_mutated(self):
+        tree = make_tree(seed=5)
+        remove_node_report(tree, node=3, object_ids=[1, 2, 3])
+        assert 3 not in tree.member_indices
+
+    def test_empty_object_sample(self):
+        tree = make_tree(seed=6)
+        report = remove_node_report(tree, node=0, object_ids=[])
+        assert report.objects_sampled == 0
+        assert report.roots_moved == 0

@@ -1,0 +1,84 @@
+"""Tests for hint-update routing over the Plaxton fabric."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.common.ids import node_id_from_name
+from repro.netmodel.topology import GeographicTopology
+from repro.plaxton.metadata import PlaxtonMetadataFabric
+from repro.plaxton.tree import PlaxtonTree
+
+
+@pytest.fixture()
+def fabric():
+    rng = np.random.default_rng(0)
+    topology = GeographicTopology(16, 4, rng)
+    tree = PlaxtonTree(
+        [node_id_from_name(f"meta-{i}") for i in range(16)], topology
+    )
+    return PlaxtonMetadataFabric(tree)
+
+
+OBJ = node_id_from_name("object-alpha")
+
+
+class TestInform:
+    def test_first_copy_reaches_the_object_root(self, fabric):
+        origin = 3
+        root = fabric.tree.root_for(OBJ)
+        messaged = fabric.inform(origin, OBJ)
+        if origin != root:
+            assert messaged[-1] == root
+        assert origin in fabric.find(root, OBJ) or origin == root
+
+    def test_second_copy_is_filtered_along_the_path(self, fabric):
+        fabric.inform(3, OBJ)
+        first_total = fabric.total_messages
+        fabric.inform(3, OBJ)  # same origin again: path nodes already know
+        # The repeat stops at the first hop that already knew.
+        assert fabric.total_messages - first_total <= 1
+
+    def test_every_node_can_locate_after_climbing(self, fabric):
+        fabric.inform(3, OBJ)
+        root = fabric.tree.root_for(OBJ)
+        assert fabric.find(root, OBJ) == {3} or root == 3
+
+    def test_distinct_objects_use_distinct_roots(self, fabric):
+        object_ids = [node_id_from_name(f"o-{i}") for i in range(60)]
+        distribution = fabric.root_load_distribution(object_ids)
+        assert len(distribution) > 4  # load is spread, not concentrated
+
+
+class TestRetract:
+    def test_retract_removes_knowledge(self, fabric):
+        fabric.inform(3, OBJ)
+        fabric.retract(3, OBJ)
+        root = fabric.tree.root_for(OBJ)
+        assert fabric.find(root, OBJ) == set()
+
+    def test_retract_with_surviving_copy_stops_early(self, fabric):
+        fabric.inform(3, OBJ)
+        fabric.inform(5, OBJ)
+        before = fabric.total_messages
+        fabric.retract(3, OBJ)
+        # The climb stops once a node still knows node 5's copy.
+        root = fabric.tree.root_for(OBJ)
+        known = fabric.find(root, OBJ)
+        assert 3 not in known or 5 in known
+        assert fabric.total_messages > before  # at least one hop messaged
+
+    def test_retract_unknown_copy_is_cheap(self, fabric):
+        fabric.retract(7, OBJ)
+        assert fabric.find(fabric.tree.root_for(OBJ), OBJ) == set()
+
+
+class TestLoadAccounting:
+    def test_message_counters(self, fabric):
+        fabric.inform(3, OBJ)
+        assert fabric.total_messages == sum(fabric.messages_at.values())
+        assert fabric.max_node_load() >= 1
+
+    def test_empty_fabric_has_zero_load(self, fabric):
+        assert fabric.max_node_load() == 0

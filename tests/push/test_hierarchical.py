@@ -1,0 +1,86 @@
+"""Tests for hierarchical push on miss."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hierarchy.topology import HierarchyTopology
+from repro.push.hierarchical import HierarchicalPushOnMiss
+from repro.traces.records import Request
+
+TOPOLOGY = HierarchyTopology(clients_per_l1=1, l1_per_l2=4, n_l2=3)  # 12 L1s
+
+
+def make_request(obj=1, version=0, size=100):
+    return Request(time=0.0, client_id=0, object_id=obj, size=size, version=version)
+
+
+def targets(policy, requester, source, lca):
+    actions = policy.on_remote_fetch(
+        now=0.0, request=make_request(), requester_l1=requester,
+        source_l1=source, lca_level=lca,
+    )
+    return [a.target_l1 for a in actions]
+
+
+class TestEligibleSubtrees:
+    def test_l3_fetch_push_1_hits_each_l2_group_once(self):
+        policy = HierarchicalPushOnMiss(TOPOLOGY, "push-1", seed=0)
+        chosen = targets(policy, requester=0, source=8, lca=3)
+        groups = {TOPOLOGY.l2_of_l1(node) for node in chosen}
+        assert len(chosen) == len(groups) == 3
+
+    def test_l3_fetch_push_all_hits_everyone_else(self):
+        policy = HierarchicalPushOnMiss(TOPOLOGY, "push-all", seed=0)
+        chosen = targets(policy, requester=0, source=8, lca=3)
+        assert sorted(chosen) == [n for n in range(12) if n not in (0, 8)]
+
+    def test_l3_fetch_push_half_takes_half_per_group(self):
+        policy = HierarchicalPushOnMiss(TOPOLOGY, "push-half", seed=0)
+        chosen = targets(policy, requester=0, source=8, lca=3)
+        for group in range(3):
+            members = set(TOPOLOGY.l1_nodes_of_l2(group)) - {0, 8}
+            in_group = [n for n in chosen if TOPOLOGY.l2_of_l1(n) == group]
+            assert 1 <= len(in_group) <= max(1, len(members) // 2) + 1
+
+    def test_l2_fetch_pushes_to_sibling_caches(self):
+        # Level-1 subtrees are single caches: every mode pushes to all
+        # siblings under the shared L2 parent (Figure 9's object B).
+        for mode in ("push-1", "push-half", "push-all"):
+            policy = HierarchicalPushOnMiss(TOPOLOGY, mode, seed=1)
+            chosen = targets(policy, requester=0, source=1, lca=2)
+            assert sorted(chosen) == [2, 3]
+
+    def test_l1_fetch_pushes_nothing(self):
+        policy = HierarchicalPushOnMiss(TOPOLOGY, "push-all", seed=0)
+        assert targets(policy, requester=0, source=0, lca=1) == []
+
+    def test_requester_and_source_never_targeted(self):
+        policy = HierarchicalPushOnMiss(TOPOLOGY, "push-all", seed=0)
+        chosen = targets(policy, requester=5, source=9, lca=3)
+        assert 5 not in chosen
+        assert 9 not in chosen
+
+
+class TestDeterminism:
+    def test_seeded_choices_reproducible(self):
+        a = HierarchicalPushOnMiss(TOPOLOGY, "push-1", seed=3)
+        b = HierarchicalPushOnMiss(TOPOLOGY, "push-1", seed=3)
+        assert targets(a, 0, 8, 3) == targets(b, 0, 8, 3)
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ValueError):
+            HierarchicalPushOnMiss(TOPOLOGY, "push-two")
+
+    def test_name_is_mode(self):
+        assert HierarchicalPushOnMiss(TOPOLOGY, "push-half").name == "push-half"
+
+    def test_actions_carry_request_identity(self):
+        policy = HierarchicalPushOnMiss(TOPOLOGY, "push-1", seed=0)
+        actions = policy.on_remote_fetch(
+            now=0.0, request=make_request(obj=42, version=7, size=555),
+            requester_l1=0, source_l1=8, lca_level=3,
+        )
+        assert all(
+            (a.object_id, a.version, a.size) == (42, 7, 555) for a in actions
+        )

@@ -1,0 +1,62 @@
+"""Tests for experiment configuration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.units import GB, MB
+from repro.sim.config import ExperimentConfig, default_config
+
+
+class TestDefaults:
+    def test_default_keeps_64_l1_shape(self):
+        config = default_config()
+        assert config.topology.n_l1 == 64
+        assert config.topology.l1_per_l2 == 8
+
+    def test_profile_covers_topology(self):
+        config = default_config()
+        profile = config.profile("dec")
+        assert profile.n_clients >= config.topology.n_clients_covered
+
+    def test_profile_scales_requests(self):
+        config = default_config()
+        from repro.traces.profiles import DEC
+
+        profile = config.profile("dec")
+        assert profile.n_requests == pytest.approx(
+            DEC.n_requests * config.trace_scale, rel=0.05
+        )
+
+
+class TestScaling:
+    def test_with_scale_scales_capacities(self):
+        config = default_config()
+        doubled = config.with_scale(config.trace_scale * 2)
+        assert doubled.l1_cache_bytes == pytest.approx(
+            config.l1_cache_bytes * 2, rel=0.01
+        )
+        assert doubled.hint_store_bytes == pytest.approx(
+            config.hint_store_bytes * 2, rel=0.01
+        )
+
+    def test_with_scale_has_floors(self):
+        tiny = default_config().with_scale(1e-9)
+        assert tiny.l1_cache_bytes >= 1 * MB
+
+    def test_paper_scale_parameters(self):
+        paper = ExperimentConfig.paper_scale()
+        assert paper.topology.clients_per_l1 == 256
+        assert paper.trace_scale == 1.0
+        assert paper.l1_cache_bytes == 5 * GB
+        assert paper.hint_data_cache_bytes == int(4.5 * GB)
+        assert paper.hint_store_bytes == 500 * MB
+
+    def test_hint_split_is_ten_percent(self):
+        # The paper carves the 5 GB into 4.5 GB data + 0.5 GB hints.
+        config = default_config()
+        total = config.hint_data_cache_bytes + config.hint_store_bytes
+        assert total == pytest.approx(config.l1_cache_bytes, rel=0.01)
+        assert config.hint_store_bytes == pytest.approx(
+            0.1 * config.l1_cache_bytes, rel=0.01
+        )

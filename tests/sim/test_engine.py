@@ -1,0 +1,99 @@
+"""Tests for the trace-driven simulation driver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hierarchy.base import AccessResult, Architecture
+from repro.netmodel.model import AccessPoint
+from repro.netmodel.testbed import TestbedCostModel
+from repro.sim.engine import run_comparison, run_simulation
+from repro.traces.records import Request, Trace
+
+
+class CountingArchitecture(Architecture):
+    """Deterministic stub: constant 100 ms hit, records what it processed."""
+
+    def __init__(self, name="stub"):
+        super().__init__(TestbedCostModel())
+        self.name = name
+        self.seen: list[Request] = []
+
+    def process(self, request: Request) -> AccessResult:
+        self.seen.append(request)
+        return AccessResult(point=AccessPoint.L1, time_ms=100.0, hit=True)
+
+
+def make_trace(requests):
+    return Trace(
+        profile_name="t", requests=requests, n_objects=10, n_clients=2,
+        duration=100.0, warmup=10.0,
+    )
+
+
+def make_request(time, **kw):
+    defaults = dict(client_id=0, object_id=1, size=100, version=0)
+    defaults.update(kw)
+    return Request(time=time, **defaults)
+
+
+class TestWarmup:
+    def test_warmup_processed_but_not_measured(self):
+        trace = make_trace([make_request(5.0), make_request(50.0)])
+        arch = CountingArchitecture()
+        metrics = run_simulation(trace, arch)
+        assert len(arch.seen) == 2  # both processed (caches warm)
+        assert metrics.measured_requests == 1
+        assert metrics.warmup_requests == 1
+
+    def test_warmup_override(self):
+        trace = make_trace([make_request(5.0), make_request(50.0)])
+        metrics = run_simulation(trace, CountingArchitecture(), warmup_s=0.0)
+        assert metrics.measured_requests == 2
+
+
+class TestFiltering:
+    def test_uncachable_and_error_skipped(self):
+        trace = make_trace(
+            [
+                make_request(50.0),
+                make_request(51.0, cacheable=False),
+                make_request(52.0, error=True),
+            ]
+        )
+        arch = CountingArchitecture()
+        metrics = run_simulation(trace, arch)
+        assert len(arch.seen) == 1
+        assert metrics.measured_requests == 1
+        assert metrics.skipped_uncachable == 1
+        assert metrics.skipped_error == 1
+
+    def test_include_uncachable_processes_them(self):
+        trace = make_trace([make_request(50.0, cacheable=False)])
+        arch = CountingArchitecture()
+        metrics = run_simulation(trace, arch, include_uncachable=True)
+        assert len(arch.seen) == 1
+        assert metrics.measured_requests == 1
+
+
+class TestComparison:
+    def test_runs_each_architecture(self):
+        trace = make_trace([make_request(50.0)])
+        results = run_comparison(
+            trace, [CountingArchitecture("a"), CountingArchitecture("b")]
+        )
+        assert list(results) == ["a", "b"]
+        assert results["a"].mean_response_ms == pytest.approx(100.0)
+
+    def test_rejects_duplicate_names(self):
+        trace = make_trace([make_request(50.0)])
+        with pytest.raises(ValueError, match="duplicate"):
+            run_comparison(
+                trace, [CountingArchitecture("a"), CountingArchitecture("a")]
+            )
+
+    def test_metrics_labelled(self):
+        trace = make_trace([make_request(50.0)])
+        metrics = run_simulation(trace, CountingArchitecture("labelled"))
+        assert metrics.architecture == "labelled"
+        assert metrics.cost_model == "testbed"

@@ -1,0 +1,92 @@
+"""Tests for the log-scale latency histogram and percentile metrics."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hierarchy.base import AccessResult
+from repro.netmodel.model import AccessPoint
+from repro.sim.metrics import LatencyHistogram, SimMetrics
+
+
+class TestLatencyHistogram:
+    def test_empty_percentile_is_zero(self):
+        assert LatencyHistogram().percentile(0.5) == 0.0
+
+    def test_single_sample(self):
+        histogram = LatencyHistogram()
+        histogram.record(100.0)
+        assert histogram.percentile(0.5) == pytest.approx(100.0, rel=0.1)
+
+    def test_median_of_two_groups(self):
+        histogram = LatencyHistogram()
+        for _ in range(50):
+            histogram.record(10.0)
+        for _ in range(50):
+            histogram.record(1000.0)
+        assert histogram.percentile(0.25) == pytest.approx(10.0, rel=0.1)
+        assert histogram.percentile(0.99) == pytest.approx(1000.0, rel=0.1)
+
+    def test_percentiles_are_monotone(self):
+        histogram = LatencyHistogram()
+        for value in (1.0, 5.0, 50.0, 500.0, 5000.0):
+            histogram.record(value)
+        quantiles = [histogram.percentile(q) for q in (0.2, 0.4, 0.6, 0.8, 1.0)]
+        assert quantiles == sorted(quantiles)
+
+    def test_rejects_bad_inputs(self):
+        histogram = LatencyHistogram()
+        with pytest.raises(ValueError):
+            histogram.record(-1.0)
+        with pytest.raises(ValueError):
+            histogram.percentile(0.0)
+        with pytest.raises(ValueError):
+            histogram.percentile(1.5)
+
+    def test_len_counts_samples(self):
+        histogram = LatencyHistogram()
+        histogram.record(1.0)
+        histogram.record(2.0)
+        assert len(histogram) == 2
+
+    @settings(deadline=None, max_examples=40)
+    @given(st.lists(st.floats(0.2, 1e5), min_size=1, max_size=200))
+    def test_percentile_brackets_true_quantile(self, samples):
+        """The histogram estimate is within one bin (~7.5%) of the exact
+        empirical quantile and never under-reports it by more than a bin."""
+        histogram = LatencyHistogram()
+        for value in samples:
+            histogram.record(value)
+        import math
+
+        ordered = sorted(samples)
+        for q in (0.5, 0.9, 1.0):
+            # Same convention as the histogram: smallest x with at least
+            # ceil(q * n) samples <= x.
+            exact = ordered[max(0, math.ceil(q * len(ordered)) - 1)]
+            estimate = histogram.percentile(q)
+            assert estimate >= exact * 0.92
+            assert estimate <= max(ordered) * 1.08
+
+
+class TestSimMetricsPercentiles:
+    def test_percentiles_in_summary(self):
+        metrics = SimMetrics()
+        for time_ms in (10.0, 20.0, 30.0, 4000.0):
+            metrics.record(
+                AccessResult(point=AccessPoint.L1, time_ms=time_ms, hit=True),
+                size=100,
+            )
+        summary = metrics.summary()
+        assert summary["p50_ms"] <= summary["p99_ms"]
+        assert summary["p99_ms"] == pytest.approx(4000.0, rel=0.1)
+
+    def test_percentile_method(self):
+        metrics = SimMetrics()
+        metrics.record(
+            AccessResult(point=AccessPoint.SERVER, time_ms=800.0, hit=False),
+            size=100,
+        )
+        assert metrics.percentile_ms(0.5) == pytest.approx(800.0, rel=0.1)

@@ -1,0 +1,74 @@
+"""Tests for simulation metrics aggregation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hierarchy.base import AccessResult
+from repro.netmodel.model import AccessPoint
+from repro.sim.metrics import SimMetrics
+
+
+def hit(point, time_ms=100.0, **kw):
+    return AccessResult(point=point, time_ms=time_ms, hit=True, **kw)
+
+
+def miss(time_ms=500.0, **kw):
+    return AccessResult(point=AccessPoint.SERVER, time_ms=time_ms, hit=False, **kw)
+
+
+@pytest.fixture()
+def metrics():
+    m = SimMetrics(architecture="test", cost_model="testbed")
+    m.record(hit(AccessPoint.L1, 100.0), size=1000)
+    m.record(hit(AccessPoint.L2, 300.0, remote_hit=True), size=3000)
+    m.record(miss(500.0), size=2000)
+    return m
+
+
+class TestAggregation:
+    def test_mean_response(self, metrics):
+        assert metrics.mean_response_ms == pytest.approx(300.0)
+
+    def test_hit_ratio(self, metrics):
+        assert metrics.hit_ratio == pytest.approx(2 / 3)
+
+    def test_byte_hit_ratio(self, metrics):
+        assert metrics.byte_hit_ratio == pytest.approx(4000 / 6000)
+
+    def test_point_ratio(self, metrics):
+        assert metrics.point_ratio(AccessPoint.L1) == pytest.approx(1 / 3)
+        assert metrics.point_ratio(AccessPoint.SERVER) == pytest.approx(1 / 3)
+
+    def test_remote_hits_counted(self, metrics):
+        assert metrics.remote_hits == 1
+
+    def test_cumulative_ratios(self, metrics):
+        assert metrics.cumulative_hit_ratio_through(AccessPoint.L1) == pytest.approx(1 / 3)
+        assert metrics.cumulative_hit_ratio_through(AccessPoint.L2) == pytest.approx(2 / 3)
+        assert metrics.cumulative_hit_ratio_through(AccessPoint.L3) == pytest.approx(2 / 3)
+
+    def test_cumulative_byte_ratios(self, metrics):
+        assert metrics.cumulative_byte_hit_ratio_through(
+            AccessPoint.L1
+        ) == pytest.approx(1 / 6)
+
+    def test_flag_counters(self):
+        m = SimMetrics()
+        m.record(miss(false_positive=True), size=10)
+        m.record(miss(false_negative=True), size=10)
+        m.record(hit(AccessPoint.L1, push_hit=True), size=10)
+        assert m.false_positives == 1
+        assert m.false_negatives == 1
+        assert m.push_hits == 1
+
+    def test_empty_metrics_are_zero(self):
+        m = SimMetrics()
+        assert m.mean_response_ms == 0.0
+        assert m.hit_ratio == 0.0
+        assert m.byte_hit_ratio == 0.0
+
+    def test_summary_keys(self, metrics):
+        summary = metrics.summary()
+        assert summary["mean_response_ms"] == pytest.approx(300.0)
+        assert set(summary) >= {"hit_ratio", "l1_ratio", "miss_ratio"}

@@ -1,0 +1,77 @@
+"""Tests for seed-replication summaries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.replication import ReplicationSummary, replicate
+from tests.conftest import make_tiny_config
+
+
+class TestReplicationSummary:
+    def test_statistics(self):
+        summary = ReplicationSummary("s", (1.0, 2.0, 3.0))
+        assert summary.n == 3
+        assert summary.mean == pytest.approx(2.0)
+        assert summary.std == pytest.approx(1.0)
+        assert summary.minimum == 1.0
+        assert summary.maximum == 3.0
+        assert summary.relative_spread == pytest.approx(1.0)
+
+    def test_single_value_has_zero_std(self):
+        summary = ReplicationSummary("s", (5.0,))
+        assert summary.std == 0.0
+        assert summary.relative_spread == 0.0
+
+    def test_as_row(self):
+        row = ReplicationSummary("speed", (2.0, 2.0)).as_row()
+        assert row["statistic"] == "speed"
+        assert row["n"] == 2
+
+
+class TestReplicate:
+    def test_runs_statistic_per_seed(self):
+        config = make_tiny_config()
+        summary = replicate(
+            config, "dec", lambda trace: float(len(trace)),
+            statistic_name="requests", n_seeds=3,
+        )
+        assert summary.n == 3
+        # Same profile, same request count every seed.
+        assert summary.relative_spread == 0.0
+
+    def test_seeds_vary_content(self):
+        config = make_tiny_config()
+        summary = replicate(
+            config, "dec", lambda trace: float(trace.requests[0].object_id),
+            statistic_name="first object", n_seeds=4,
+        )
+        assert len(set(summary.values)) > 1
+
+    def test_reproducible(self):
+        config = make_tiny_config()
+
+        def stat(trace):
+            return float(trace.distinct_objects())
+
+        a = replicate(config, "dec", stat, statistic_name="d", n_seeds=2)
+        b = replicate(config, "dec", stat, statistic_name="d", n_seeds=2)
+        assert a.values == b.values
+
+    def test_rejects_zero_seeds(self):
+        with pytest.raises(ValueError):
+            replicate(
+                make_tiny_config(), "dec", lambda t: 0.0,
+                statistic_name="x", n_seeds=0,
+            )
+
+
+class TestSeedSensitivityExperiment:
+    def test_speedup_stable_across_seeds(self):
+        from repro.experiments import seed_sensitivity
+
+        result = seed_sensitivity.run(make_tiny_config(), n_seeds=3)
+        summary_row = result.rows[0]
+        assert summary_row["n"] == 3
+        assert summary_row["mean"] > 1.3  # hints win under every seed
+        assert summary_row["relative_spread"] < 0.25

@@ -1,0 +1,61 @@
+"""The shipped examples stay runnable.
+
+Every example is compiled; the fast ones (no multi-minute simulations) are
+executed end-to-end in a subprocess so their output contracts hold.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import py_compile
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+ALL_EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+#: Examples cheap enough to execute in the test suite.
+FAST_EXAMPLES = {"metadata_fabric.py", "failure_drill.py"}
+
+
+class TestExamples:
+    def test_examples_exist(self):
+        names = {path.name for path in ALL_EXAMPLES}
+        assert {
+            "quickstart.py",
+            "isp_dialup.py",
+            "corporate_push.py",
+            "metadata_fabric.py",
+            "failure_drill.py",
+            "ascii_figures.py",
+        } <= names
+
+    @pytest.mark.parametrize("path", ALL_EXAMPLES, ids=lambda p: p.name)
+    def test_example_compiles(self, path):
+        py_compile.compile(str(path), doraise=True)
+
+    @pytest.mark.parametrize(
+        "name", sorted(FAST_EXAMPLES), ids=lambda n: n.replace(".py", "")
+    )
+    def test_fast_example_runs(self, name):
+        completed = subprocess.run(
+            [sys.executable, str(EXAMPLES_DIR / name)],
+            capture_output=True,
+            text=True,
+            timeout=180,
+        )
+        assert completed.returncode == 0, completed.stderr
+        assert completed.stdout.strip()
+
+    def test_failure_drill_tells_the_recovery_story(self):
+        completed = subprocess.run(
+            [sys.executable, str(EXAMPLES_DIR / "failure_drill.py")],
+            capture_output=True,
+            text=True,
+            timeout=180,
+        )
+        output = completed.stdout
+        assert "crash" in output.lower()
+        assert "100.0%" in output  # coverage restored after reconfiguration

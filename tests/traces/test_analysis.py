@@ -1,0 +1,61 @@
+"""Tests for trace characterization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.units import DAYS
+from repro.traces.analysis import characterize, popularity_histogram, sharing_profile
+from repro.traces.records import Request, Trace
+
+
+def make_trace():
+    requests = [
+        Request(time=0.0, client_id=0, object_id=1, size=100, version=0),
+        Request(time=DAYS, client_id=1, object_id=1, size=100, version=0),
+        Request(time=2 * DAYS, client_id=0, object_id=2, size=300, version=0,
+                cacheable=False),
+        Request(time=3 * DAYS, client_id=2, object_id=3, size=500, version=0,
+                error=True),
+    ]
+    return Trace(
+        profile_name="unit", requests=requests, n_objects=4, n_clients=3,
+        duration=4 * DAYS,
+    )
+
+
+class TestCharacterize:
+    def test_basic_counts(self):
+        stats = characterize(make_trace())
+        assert stats.n_clients == 3
+        assert stats.n_requests == 4
+        assert stats.n_distinct_objects == 3
+        assert stats.days == pytest.approx(3.0)
+        assert stats.total_bytes == 1000
+
+    def test_fractions(self):
+        stats = characterize(make_trace())
+        assert stats.frac_uncachable_requests == pytest.approx(0.25)
+        assert stats.frac_error_requests == pytest.approx(0.25)
+        assert stats.frac_re_references == pytest.approx(0.25)
+
+    def test_distinct_ratio(self):
+        stats = characterize(make_trace())
+        assert stats.distinct_ratio == pytest.approx(0.75)
+
+    def test_table_row_format(self):
+        row = characterize(make_trace()).as_table_row()
+        assert row["Trace"] == "unit"
+        assert row["# of Clients"] == "3"
+        assert row["# of Accesses"] == "4"
+
+
+class TestHelpers:
+    def test_popularity_histogram(self):
+        top = popularity_histogram(make_trace(), top=2)
+        assert top[0] == (1, 2)
+
+    def test_sharing_profile(self):
+        profile = sharing_profile(make_trace())
+        # object 1 is shared by two clients; objects 2 and 3 by one each.
+        assert profile == {1: 2, 2: 1}

@@ -1,0 +1,69 @@
+"""Tests for the trace toolkit CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.traces.cli import main
+from repro.traces.io import read_trace
+
+
+class TestGenerate:
+    def test_generates_npz(self, tmp_path, capsys):
+        out = tmp_path / "t.npz"
+        code = main(
+            [
+                "generate", "--profile", "dec", "--scale", "0.0001",
+                "--seed", "3", "-o", str(out),
+            ]
+        )
+        assert code == 0
+        assert out.exists()
+        trace = read_trace(out)
+        assert len(trace) > 0
+        assert "wrote" in capsys.readouterr().out
+
+    def test_generates_text(self, tmp_path):
+        out = tmp_path / "t.tsv"
+        assert main(["generate", "--scale", "0.0001", "-o", str(out)]) == 0
+        assert out.read_text().startswith("# repro-trace v1")
+
+    def test_unknown_profile_fails_cleanly(self, tmp_path, capsys):
+        code = main(
+            ["generate", "--profile", "nope", "-o", str(tmp_path / "x.npz")]
+        )
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestInspect:
+    @pytest.fixture()
+    def trace_path(self, tmp_path):
+        out = tmp_path / "t.npz"
+        main(["generate", "--scale", "0.0001", "--seed", "1", "-o", str(out)])
+        return out
+
+    def test_inspect_prints_table4_fields(self, trace_path, capsys):
+        assert main(["inspect", str(trace_path)]) == 0
+        output = capsys.readouterr().out
+        assert "# of Clients" in output
+        assert "distinct/request ratio" in output
+
+    def test_inspect_sharing_histogram(self, trace_path, capsys):
+        assert main(["inspect", str(trace_path), "--sharing"]) == 0
+        assert "clients-per-object" in capsys.readouterr().out
+
+    def test_inspect_missing_file(self, tmp_path, capsys):
+        assert main(["inspect", str(tmp_path / "missing.npz")]) == 1
+
+
+class TestConvert:
+    def test_npz_to_text_round_trip(self, tmp_path, capsys):
+        npz = tmp_path / "t.npz"
+        tsv = tmp_path / "t.tsv"
+        main(["generate", "--scale", "0.0001", "--seed", "2", "-o", str(npz)])
+        assert main(["convert", str(npz), str(tsv)]) == 0
+        original = read_trace(npz)
+        converted = read_trace(tsv)
+        assert len(converted) == len(original)
+        assert converted.requests[0].object_id == original.requests[0].object_id

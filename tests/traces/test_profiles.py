@@ -1,0 +1,100 @@
+"""Tests for workload profiles."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.traces.profiles import (
+    BERKELEY,
+    DEC,
+    PRODIGY,
+    WorkloadProfile,
+    all_profiles,
+    profile_by_name,
+)
+
+
+class TestBuiltinProfiles:
+    def test_table4_full_scale_figures(self):
+        assert DEC.n_clients == 16_660
+        assert DEC.n_requests == 22_100_000
+        assert DEC.target_distinct == 4_150_000
+        assert DEC.duration_days == 21
+        assert BERKELEY.n_clients == 8_372
+        assert PRODIGY.duration_days == 3
+
+    def test_only_prodigy_has_dynamic_ids(self):
+        assert PRODIGY.dynamic_client_ids
+        assert not DEC.dynamic_client_ids
+        assert not BERKELEY.dynamic_client_ids
+
+    def test_lookup_by_name(self):
+        assert profile_by_name("dec") is DEC
+        assert profile_by_name("DEC") is DEC
+
+    def test_lookup_unknown_name(self):
+        with pytest.raises(ConfigurationError, match="unknown profile"):
+            profile_by_name("squid")
+
+    def test_all_profiles_order(self):
+        assert all_profiles() == (DEC, BERKELEY, PRODIGY)
+
+
+class TestScaling:
+    def test_scaled_preserves_distinct_ratio(self):
+        scaled = DEC.scaled(0.01)
+        original_ratio = DEC.target_distinct / DEC.n_requests
+        scaled_ratio = scaled.target_distinct / scaled.n_requests
+        assert scaled_ratio == pytest.approx(original_ratio, rel=0.02)
+
+    def test_scaled_keeps_duration(self):
+        assert DEC.scaled(0.01).duration_days == DEC.duration_days
+
+    def test_scaled_min_clients_floor(self):
+        scaled = DEC.scaled(0.0001, min_clients=128)
+        assert scaled.n_clients == 128
+
+    def test_with_requests(self):
+        resized = DEC.with_requests(10_000)
+        assert resized.n_requests == pytest.approx(10_000, rel=0.1)
+
+    @pytest.mark.parametrize("factor", [0.0, -0.5, 1.5])
+    def test_invalid_scale_factor(self, factor):
+        with pytest.raises(ConfigurationError):
+            DEC.scaled(factor)
+
+
+class TestValidation:
+    def base_kwargs(self, **overrides):
+        kwargs = dict(
+            name="t", n_clients=10, n_requests=1000,
+            target_distinct=100, duration_days=3.0,
+        )
+        kwargs.update(overrides)
+        return kwargs
+
+    def test_valid_profile_builds(self):
+        WorkloadProfile(**self.base_kwargs())
+
+    def test_rejects_zero_clients(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadProfile(**self.base_kwargs(n_clients=0))
+
+    def test_rejects_distinct_above_requests(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadProfile(**self.base_kwargs(target_distinct=2000))
+
+    def test_rejects_warmup_longer_than_trace(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadProfile(**self.base_kwargs(duration_days=1.0, warmup_days=2.0))
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadProfile(**self.base_kwargs(frac_uncachable=1.0))
+
+    def test_derived_seconds(self):
+        profile = WorkloadProfile(**self.base_kwargs())
+        assert profile.duration_seconds == 3 * 86400
+        assert profile.warmup_seconds == 2 * 86400
+        assert profile.mean_object_bytes == 10 * 1024

@@ -1,0 +1,70 @@
+"""Tests for request/trace records."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.traces.records import Request, Trace
+
+
+def make_request(time=0.0, client=0, obj=0, **kw):
+    defaults = dict(size=1024, version=0)
+    defaults.update(kw)
+    return Request(time=time, client_id=client, object_id=obj, **defaults)
+
+
+class TestRequest:
+    def test_defaults(self):
+        request = make_request()
+        assert request.cacheable
+        assert not request.error
+
+    def test_is_a_tuple(self):
+        # NamedTuple for speed: field order is part of the contract.
+        request = make_request(time=1.0, client=2, obj=3)
+        assert request[:3] == (1.0, 2, 3)
+
+
+class TestTrace:
+    def make_trace(self, requests=None, **kw):
+        if requests is None:
+            requests = [make_request(time=float(i), obj=i % 3) for i in range(6)]
+        defaults = dict(
+            profile_name="t", n_objects=3, n_clients=1, duration=10.0, warmup=2.0
+        )
+        defaults.update(kw)
+        return Trace(requests=requests, **defaults)
+
+    def test_len_and_iteration(self):
+        trace = self.make_trace()
+        assert len(trace) == 6
+        assert [r.time for r in trace] == [0.0, 1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_rejects_unsorted_requests(self):
+        requests = [make_request(time=5.0), make_request(time=1.0)]
+        with pytest.raises(ValueError, match="sorted"):
+            self.make_trace(requests=requests)
+
+    def test_url_for_is_deterministic_and_cached(self):
+        trace = self.make_trace()
+        assert trace.url_for(7) == trace.url_for(7)
+        assert "7" in trace.url_for(7)
+
+    def test_urls_differ_per_object(self):
+        trace = self.make_trace()
+        assert trace.url_for(1) != trace.url_for(2)
+
+    def test_measured_requests_respect_warmup(self):
+        trace = self.make_trace()
+        measured = trace.measured_requests()
+        assert all(r.time >= 2.0 for r in measured)
+        assert len(measured) == 4
+
+    def test_distinct_counts(self):
+        trace = self.make_trace()
+        assert trace.distinct_objects() == 3
+        assert trace.distinct_clients() == 1
+
+    def test_total_bytes(self):
+        trace = self.make_trace()
+        assert trace.total_bytes() == 6 * 1024

@@ -1,0 +1,99 @@
+"""Tests for reuse-distance (temporal locality) analysis."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.traces.analysis import reuse_distance_cdf, reuse_distances
+from repro.traces.records import Request, Trace
+
+
+def make_trace(object_sequence):
+    requests = [
+        Request(time=float(i), client_id=0, object_id=obj, size=100, version=0)
+        for i, obj in enumerate(object_sequence)
+    ]
+    return Trace(
+        profile_name="t",
+        requests=requests,
+        n_objects=max(object_sequence, default=0) + 1,
+        n_clients=1,
+        duration=float(len(object_sequence)),
+    )
+
+
+def reference_reuse_distances(sequence):
+    """Quadratic oracle: distinct objects between same-object references."""
+    distances = []
+    last_seen: dict[int, int] = {}
+    for position, obj in enumerate(sequence):
+        if obj in last_seen:
+            between = set(sequence[last_seen[obj] + 1 : position])
+            between.discard(obj)
+            distances.append(len(between))
+        last_seen[obj] = position
+    return distances
+
+
+class TestReuseDistances:
+    def test_immediate_rereference_has_distance_zero(self):
+        assert reuse_distances(make_trace([1, 1])) == [0]
+
+    def test_one_intervening_object(self):
+        assert reuse_distances(make_trace([1, 2, 1])) == [1]
+
+    def test_repeated_intervening_object_counted_once(self):
+        assert reuse_distances(make_trace([1, 2, 2, 1])) == [0, 1]
+
+    def test_first_references_omitted(self):
+        assert reuse_distances(make_trace([1, 2, 3])) == []
+
+    def test_classic_stack_example(self):
+        # a b c b a: b reuses at distance 1 (c), a at distance 2 (b, c).
+        assert reuse_distances(make_trace([1, 2, 3, 2, 1])) == [1, 2]
+
+    @settings(deadline=None, max_examples=60)
+    @given(st.lists(st.integers(0, 8), max_size=60))
+    def test_matches_quadratic_oracle(self, sequence):
+        assert reuse_distances(make_trace(sequence)) == reference_reuse_distances(
+            sequence
+        )
+
+
+class TestReuseDistanceCdf:
+    def test_cdf_is_monotone_and_bounded(self):
+        trace = make_trace([1, 2, 3, 1, 2, 3, 1])
+        cdf = reuse_distance_cdf(trace, [0, 1, 2, 10])
+        values = [cdf[p] for p in (0, 1, 2, 10)]
+        assert values == sorted(values)
+        assert values[-1] == 1.0
+
+    def test_empty_trace(self):
+        assert reuse_distance_cdf(make_trace([]), [1]) == {1: 0.0}
+
+    def test_cdf_predicts_lru_hit_rate(self):
+        """cdf[d] equals the hit rate of an LRU holding d+1 objects (every
+        object here has the same size)."""
+        sequence = [1, 2, 3, 1, 2, 3, 1, 2, 3]
+        trace = make_trace(sequence)
+        cdf = reuse_distance_cdf(trace, [2])
+        from repro.cache.lru import LookupResult, LRUCache
+
+        cache = LRUCache(300)  # 3 objects of 100 B
+        hits = 0
+        re_references = 0
+        seen = set()
+        for request in trace.requests:
+            if request.object_id in seen:
+                re_references += 1
+                if cache.lookup(request.object_id, 0) is LookupResult.HIT:
+                    hits += 1
+                else:
+                    cache.insert(request.object_id, 100, 0)
+            else:
+                cache.lookup(request.object_id, 0)
+                cache.insert(request.object_id, 100, 0)
+                seen.add(request.object_id)
+        assert cdf[2] == pytest.approx(hits / re_references)

@@ -1,0 +1,169 @@
+"""Tests for the synthetic trace generator's calibration and determinism."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.traces.profiles import DEC, PRODIGY, WorkloadProfile
+from repro.traces.synthetic import SyntheticTraceGenerator, generate_trace
+
+SMALL = WorkloadProfile(
+    name="small",
+    n_clients=64,
+    n_requests=12_000,
+    target_distinct=2_400,
+    duration_days=4.0,
+    frac_uncachable=0.08,
+    frac_error=0.03,
+    frac_mutable=0.25,
+    mean_mod_interval_days=1.0,
+    warmup_days=0.5,
+)
+
+
+@pytest.fixture(scope="module")
+def small_trace():
+    return SyntheticTraceGenerator(SMALL, seed=11).generate()
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self):
+        a = SyntheticTraceGenerator(SMALL, seed=3).generate()
+        b = SyntheticTraceGenerator(SMALL, seed=3).generate()
+        assert a.requests == b.requests
+
+    def test_different_seed_different_trace(self):
+        a = SyntheticTraceGenerator(SMALL, seed=3).generate()
+        b = SyntheticTraceGenerator(SMALL, seed=4).generate()
+        assert a.requests != b.requests
+
+
+class TestCalibration:
+    def test_request_count(self, small_trace):
+        assert len(small_trace) == SMALL.n_requests
+
+    def test_distinct_objects_near_target(self, small_trace):
+        assert small_trace.distinct_objects() == pytest.approx(
+            SMALL.target_distinct, rel=0.15
+        )
+
+    def test_uncachable_fraction(self, small_trace):
+        frac = sum(not r.cacheable for r in small_trace) / len(small_trace)
+        assert frac == pytest.approx(SMALL.frac_uncachable, abs=0.02)
+
+    def test_error_fraction(self, small_trace):
+        frac = sum(r.error for r in small_trace) / len(small_trace)
+        assert frac == pytest.approx(SMALL.frac_error, abs=0.01)
+
+    def test_mean_size_near_profile(self, small_trace):
+        mean = small_trace.total_bytes() / len(small_trace)
+        assert mean == pytest.approx(SMALL.mean_object_bytes, rel=0.35)
+
+    def test_popularity_is_skewed(self, small_trace):
+        from collections import Counter
+
+        counts = Counter(r.object_id for r in small_trace)
+        top = counts.most_common(1)[0][1]
+        assert top > 5 * len(small_trace) / SMALL.target_distinct
+
+
+class TestStructure:
+    def test_times_sorted_within_duration(self, small_trace):
+        times = [r.time for r in small_trace]
+        assert times == sorted(times)
+        assert times[0] >= 0
+        assert times[-1] <= SMALL.duration_seconds
+
+    def test_warmup_boundary_from_profile(self, small_trace):
+        assert small_trace.warmup == SMALL.warmup_seconds
+
+    def test_client_ids_in_range(self, small_trace):
+        assert all(0 <= r.client_id < SMALL.n_clients for r in small_trace)
+
+    def test_sizes_are_stable_per_object(self, small_trace):
+        sizes: dict[int, int] = {}
+        for request in small_trace:
+            previous = sizes.setdefault(request.object_id, request.size)
+            assert previous == request.size
+
+    def test_versions_monotone_in_time_per_object(self, small_trace):
+        latest: dict[int, int] = {}
+        for request in small_trace:
+            previous = latest.get(request.object_id, -1)
+            assert request.version >= previous
+            latest[request.object_id] = request.version
+
+    def test_some_objects_are_modified(self, small_trace):
+        assert any(r.version > 0 for r in small_trace)
+
+    def test_uncachable_objects_are_distinct_catalog(self, small_trace):
+        cacheable_ids = {r.object_id for r in small_trace if r.cacheable}
+        uncachable_ids = {r.object_id for r in small_trace if not r.cacheable}
+        assert not cacheable_ids & uncachable_ids
+
+
+class TestClientLocality:
+    def test_repeats_raise_per_client_rereference_rate(self):
+        from dataclasses import replace
+
+        def client_rereference_rate(profile):
+            trace = SyntheticTraceGenerator(profile, seed=9).generate()
+            seen: dict[int, set[int]] = {}
+            repeats = 0
+            plain = 0
+            for request in trace:
+                if not request.cacheable:
+                    continue
+                plain += 1
+                client_objects = seen.setdefault(request.client_id, set())
+                if request.object_id in client_objects:
+                    repeats += 1
+                client_objects.add(request.object_id)
+            return repeats / plain
+
+        without = replace(SMALL, client_repeat_prob=0.0)
+        with_repeats = replace(SMALL, client_repeat_prob=0.4)
+        assert client_rereference_rate(with_repeats) > client_rereference_rate(
+            without
+        ) + 0.15
+
+    def test_repeats_preserve_distinct_target(self):
+        from dataclasses import replace
+
+        profile = replace(SMALL, client_repeat_prob=0.4)
+        trace = SyntheticTraceGenerator(profile, seed=9).generate()
+        assert trace.distinct_objects() == pytest.approx(
+            SMALL.target_distinct, rel=0.2
+        )
+
+    def test_zero_repeat_profile_validates(self):
+        from dataclasses import replace
+
+        replace(SMALL, client_repeat_prob=0.0)
+
+    def test_rejects_bad_repeat_prob(self):
+        from dataclasses import replace
+
+        from repro.common.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            replace(SMALL, client_repeat_prob=1.0)
+        with pytest.raises(ConfigurationError):
+            replace(SMALL, client_working_set=0)
+
+
+class TestClientBinding:
+    def test_dynamic_profile_rebinds_users(self):
+        static = SyntheticTraceGenerator(
+            PRODIGY.scaled(0.001), seed=5
+        ).profile
+        assert static.dynamic_client_ids
+        trace = generate_trace(PRODIGY, seed=5, scale=0.001)
+        # Dynamic binding keeps ids in range but spreads a user across ids.
+        assert all(0 <= r.client_id < trace.n_clients for r in trace)
+
+    def test_generate_trace_scale_shortcut(self):
+        trace = generate_trace(DEC, seed=1, scale=0.0002)
+        assert len(trace) == DEC.scaled(0.0002).n_requests
+        assert trace.profile_name == "dec"

@@ -1,0 +1,95 @@
+"""Tests for the bounded Zipf sampler and catalog sizing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.traces.zipf import ZipfSampler, catalog_size_for_distinct
+
+
+def make_sampler(n=100, alpha=0.8, seed=0):
+    return ZipfSampler(n, alpha, np.random.default_rng(seed))
+
+
+class TestZipfSampler:
+    def test_probabilities_sum_to_one(self):
+        sampler = make_sampler(n=50)
+        total = sum(sampler.probability(r) for r in range(50))
+        assert total == pytest.approx(1.0)
+
+    def test_probability_decreases_with_rank(self):
+        sampler = make_sampler(n=50, alpha=0.9)
+        probs = [sampler.probability(r) for r in range(50)]
+        assert all(a >= b for a, b in zip(probs, probs[1:]))
+
+    def test_alpha_zero_is_uniform(self):
+        sampler = make_sampler(n=10, alpha=0.0)
+        for rank in range(10):
+            assert sampler.probability(rank) == pytest.approx(0.1)
+
+    def test_samples_stay_in_range(self):
+        sampler = make_sampler(n=20)
+        draws = sampler.sample(5000)
+        assert draws.min() >= 0
+        assert draws.max() < 20
+
+    def test_empirical_head_frequency_matches(self):
+        sampler = make_sampler(n=100, alpha=0.8, seed=3)
+        draws = sampler.sample(200_000)
+        empirical = np.mean(draws == 0)
+        assert empirical == pytest.approx(sampler.probability(0), rel=0.05)
+
+    def test_sample_zero_count(self):
+        assert len(make_sampler().sample(0)) == 0
+
+    def test_probability_rank_out_of_range(self):
+        with pytest.raises(IndexError):
+            make_sampler(n=5).probability(5)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            make_sampler().sample(-1)
+
+    @pytest.mark.parametrize("n,alpha", [(0, 0.8), (-3, 0.8), (10, -0.1)])
+    def test_invalid_construction(self, n, alpha):
+        with pytest.raises(ValueError):
+            ZipfSampler(n, alpha, np.random.default_rng(0))
+
+    def test_expected_distinct_bounds(self):
+        sampler = make_sampler(n=100)
+        expected = sampler.expected_distinct(1000)
+        assert 0 < expected <= 100
+
+    def test_expected_distinct_matches_empirical(self):
+        sampler = make_sampler(n=200, alpha=0.7, seed=1)
+        expected = sampler.expected_distinct(2000)
+        observed = np.mean(
+            [len(set(make_sampler(200, 0.7, seed).sample(2000))) for seed in range(20)]
+        )
+        assert observed == pytest.approx(expected, rel=0.05)
+
+
+class TestCatalogSizing:
+    @settings(deadline=None, max_examples=25)
+    @given(
+        requests=st.integers(2_000, 50_000),
+        ratio=st.floats(0.05, 0.5),
+        alpha=st.floats(0.5, 1.0),
+    )
+    def test_sized_catalog_hits_target(self, requests, ratio, alpha):
+        target = max(10, int(requests * ratio))
+        n = catalog_size_for_distinct(requests, target, alpha)
+        sampler = ZipfSampler(n, alpha, np.random.default_rng(0))
+        expected = sampler.expected_distinct(requests)
+        assert expected == pytest.approx(target, rel=0.1)
+
+    def test_rejects_distinct_above_requests(self):
+        with pytest.raises(ValueError):
+            catalog_size_for_distinct(100, 200, 0.8)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            catalog_size_for_distinct(0, 10, 0.8)
