@@ -1,12 +1,15 @@
 """Library performance microbenchmarks (not paper artifacts).
 
 How fast is the reproduction itself?  These benches time the hot paths a
-user pays for -- trace generation and per-request simulation throughput
-for each architecture -- so performance regressions in the library are
-visible in benchmark history.
+user pays for -- trace generation, per-request simulation throughput for
+each architecture, warm trace-cache reload vs cold generation, and the
+parallel experiment runner vs the sequential baseline -- so performance
+regressions (and the runner's wins) are visible in benchmark history.
 """
 
 from __future__ import annotations
+
+import time
 
 import pytest
 
@@ -14,6 +17,8 @@ from repro.hierarchy.data_hierarchy import DataHierarchy
 from repro.hierarchy.directory_arch import CentralizedDirectoryArchitecture
 from repro.hierarchy.hint_hierarchy import HintHierarchy
 from repro.netmodel.testbed import TestbedCostModel
+from repro.runner.parallel import run_experiments
+from repro.runner.trace_cache import TraceCache
 from repro.sim.engine import run_simulation
 from repro.traces.profiles import DEC
 from repro.traces.synthetic import SyntheticTraceGenerator
@@ -59,3 +64,66 @@ def test_bench_simulation_throughput(benchmark, small_trace, architecture_factor
     print(f"\nsimulation: {rate:,.0f} requests/s")
     # Regression guard: the simulator must stay usable (>20k req/s here).
     assert rate > 20_000
+
+
+def test_bench_trace_cache_warm_vs_cold(benchmark, small_profile, tmp_path):
+    """Warm disk-cache reload vs cold generation for the same trace.
+
+    Benchmarks the warm path (fresh memo each round, so every fetch
+    deserializes from the .npz store) and compares it against one measured
+    cold generation; the ratio is the per-trace win a warm ``--trace-cache``
+    buys every later session.
+    """
+    store = tmp_path / "store"
+    started = time.perf_counter()
+    TraceCache(store).get(small_profile, 1)  # cold: generates + persists
+    cold_s = time.perf_counter() - started
+
+    def warm_reload():
+        cache = TraceCache(store)  # empty memo: forces the disk layer
+        trace = cache.get(small_profile, 1)
+        assert cache.stats.disk_hits == 1
+        assert cache.stats.generations == 0
+        return trace
+
+    trace = benchmark(warm_reload)
+    assert len(trace) == small_profile.n_requests
+    warm_s = benchmark.stats["mean"]
+    print(
+        f"\ntrace cache: cold generation {cold_s * 1000:.0f} ms, "
+        f"warm reload {warm_s * 1000:.0f} ms "
+        f"({cold_s / warm_s:.1f}x faster warm)"
+    )
+
+
+def test_bench_parallel_runner_speedup(benchmark, tmp_path):
+    """Registry fan-out: sequential baseline vs the process-pool runner.
+
+    Uses a cheap cross-section of the registry at bench scale.  The
+    recorded benchmark is the parallel run (cold store); the sequential
+    baseline is measured once alongside so the speedup lands in the bench
+    log.  On multi-core hosts the ratio reflects real parallelism; on one
+    core it reflects scheduling overhead only, so no floor is asserted.
+    """
+    from repro.sim.config import default_config
+
+    names = ["table4", "figure3", "scaling"]
+    config = default_config().with_scale(0.0005)
+
+    started = time.perf_counter()
+    sequential = run_experiments(names, config, jobs=1)
+    sequential_s = time.perf_counter() - started
+
+    def parallel_run():
+        return run_experiments(
+            names, config, jobs=4, trace_cache_dir=str(tmp_path / "store")
+        )
+
+    summary = benchmark.pedantic(parallel_run, rounds=1, iterations=1)
+    parallel_s = benchmark.stats["mean"]
+    for name in names:
+        assert summary.results[name].rows == sequential.results[name].rows, name
+    print(
+        f"\nrunner: sequential {sequential_s:.2f}s, jobs=4 {parallel_s:.2f}s "
+        f"({sequential_s / parallel_s:.2f}x)"
+    )

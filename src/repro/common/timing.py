@@ -1,0 +1,42 @@
+"""Small wall-clock helpers shared by the runner, CLI, and benches."""
+
+from __future__ import annotations
+
+import time
+
+
+class Stopwatch:
+    """Context-manager stopwatch over ``time.perf_counter``.
+
+    Usable as ``with Stopwatch() as sw: ...; sw.elapsed`` or started
+    implicitly at construction for straight-line timing.
+    """
+
+    def __init__(self) -> None:
+        self._started = time.perf_counter()
+        self._elapsed: float | None = None
+
+    def __enter__(self) -> "Stopwatch":
+        self._started = time.perf_counter()
+        self._elapsed = None
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._elapsed = time.perf_counter() - self._started
+
+    @property
+    def elapsed(self) -> float:
+        """Seconds: frozen at context exit, else live since start."""
+        if self._elapsed is not None:
+            return self._elapsed
+        return time.perf_counter() - self._started
+
+
+def format_seconds(seconds: float) -> str:
+    """Compact human rendering ("0.42s", "12.3s", "2m06s")."""
+    if seconds < 10:
+        return f"{seconds:.2f}s"
+    if seconds < 120:
+        return f"{seconds:.1f}s"
+    minutes, rest = divmod(seconds, 60)
+    return f"{int(minutes)}m{rest:04.1f}s"

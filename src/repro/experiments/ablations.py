@@ -160,7 +160,7 @@ def run_push_locality(
     from repro.netmodel.model import AccessPoint
     from repro.netmodel.testbed import TestbedCostModel
     from repro.push.hierarchical import HierarchicalPushOnMiss
-    from repro.traces.synthetic import SyntheticTraceGenerator
+    from repro.runner.trace_cache import cached_trace
 
     config = resolve_config(config)
     rows = []
@@ -170,7 +170,7 @@ def run_push_locality(
             regional_interest=regional,
             n_regions=config.topology.n_l2,
         )
-        trace = SyntheticTraceGenerator(profile, seed=config.seed).generate()
+        trace = cached_trace(profile, config.seed)
         for push in (False, True):
             policy = (
                 HierarchicalPushOnMiss(config.topology, "push-1", seed=config.seed)

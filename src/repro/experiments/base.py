@@ -6,9 +6,9 @@ from dataclasses import dataclass, field
 
 from repro.reporting.charts import render_bars, render_series
 from repro.reporting.tables import format_table
+from repro.runner.trace_cache import cached_trace
 from repro.sim.config import ExperimentConfig, default_config
 from repro.traces.records import Trace
-from repro.traces.synthetic import SyntheticTraceGenerator
 
 
 @dataclass
@@ -99,20 +99,13 @@ def resolve_config(config: ExperimentConfig | None) -> ExperimentConfig:
     return config if config is not None else default_config()
 
 
-_TRACE_CACHE: dict[tuple, Trace] = {}
-
-
 def trace_for(config: ExperimentConfig, profile_name: str) -> Trace:
-    """Generate (and memoize) the scaled trace for a profile under a config.
+    """Fetch-or-generate the scaled trace for a profile under a config.
 
-    Traces are pure functions of (profile, seed); memoization keeps a
-    multi-experiment CLI run from regenerating the same trace repeatedly.
-    The cache is keyed on everything that affects generation.
+    Traces are pure functions of (profile, seed), so this routes through
+    the active :class:`repro.runner.trace_cache.TraceCache`: one in-process
+    generation per distinct trace, optionally backed by an on-disk store
+    (``--trace-cache`` on the CLI) that eliminates generation entirely on
+    warm runs.  Returned traces are shared read-only between experiments.
     """
-    profile = config.profile(profile_name)
-    key = (profile, config.seed)
-    trace = _TRACE_CACHE.get(key)
-    if trace is None:
-        trace = SyntheticTraceGenerator(profile, seed=config.seed).generate()
-        _TRACE_CACHE[key] = trace
-    return trace
+    return cached_trace(config.profile(profile_name), config.seed)

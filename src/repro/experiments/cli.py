@@ -6,15 +6,24 @@ Examples::
     python -m repro.experiments figure8 table6
     python -m repro.experiments --all
     python -m repro.experiments figure2 --scale 0.002 --seed 7
+    python -m repro.experiments --all --jobs 4 --trace-cache ~/.cache/repro-traces
+
+``--jobs N`` fans independent experiments out across N worker processes;
+``--trace-cache DIR`` persists generated traces content-addressed on disk
+so later runs (and sibling workers) reload instead of regenerating.  Both
+change only wall-clock: results are identical for any job count, and the
+run summary printed at the end shows per-stage timings plus the trace-cache
+counters (a warm-cache run reports ``trace generations this run: 0``).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-import time
 
+from repro.common.timing import Stopwatch, format_seconds
 from repro.experiments.registry import all_experiments, get_experiment
+from repro.runner.parallel import run_experiments
 from repro.sim.config import default_config
 
 
@@ -30,6 +39,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--scale", type=float, default=None, help="trace scale override (e.g. 0.002)"
     )
     parser.add_argument("--seed", type=int, default=None, help="root seed override")
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="run experiments across N worker processes (default 1: in-process)",
+    )
+    parser.add_argument(
+        "--trace-cache", default=None, metavar="DIR",
+        help="content-addressed on-disk trace store; traces found there are "
+        "reloaded instead of regenerated, fresh ones are persisted",
+    )
     parser.add_argument(
         "--chart", action="store_true",
         help="also render an ASCII chart for experiments that define one",
@@ -59,6 +77,9 @@ def main(argv: list[str] | None = None) -> int:
         for name in all_experiments():
             print(name)
         return 0
+    if args.jobs < 1:
+        print(f"--jobs must be at least 1, got {args.jobs}", file=sys.stderr)
+        return 2
 
     names = all_experiments() if args.all else args.experiments
     if not names:
@@ -74,25 +95,69 @@ def main(argv: list[str] | None = None) -> int:
         config = replace(config, seed=args.seed)
 
     status = 0
+    runnable = []
     for name in names:
         try:
-            run = get_experiment(name)
+            get_experiment(name)
         except KeyError as exc:
             print(exc, file=sys.stderr)
             status = 2
             continue
-        started = time.monotonic()
-        if args.profile is not None and _accepts_profile(run):
-            result = run(config, profile_name=args.profile)
-        else:
-            result = run(config)
-        elapsed = time.monotonic() - started
-        print(result.render())
-        if args.chart:
-            chart = result.render_chart()
-            if chart is not None:
-                print()
-                print(chart)
+        if name not in runnable:  # each experiment runs once per invocation
+            runnable.append(name)
+    if not runnable:
+        return status
+
+    # --profile only affects experiments whose run() takes profile_name;
+    # it stays on the sequential in-process path (a per-experiment kwarg
+    # does not fit the uniform parallel work unit).
+    profile_overrides = {
+        name: args.profile
+        for name in runnable
+        if args.profile is not None and _accepts_profile(get_experiment(name))
+    }
+    if profile_overrides and args.jobs > 1:
+        print(
+            "--profile forces --jobs 1 (profile overrides are per-experiment)",
+            file=sys.stderr,
+        )
+        args.jobs = 1
+
+    def announce(timings):
+        # Live status on stderr (results print to stdout, in order, below).
+        print(
+            f"[{timings.experiment} finished in {format_seconds(timings.total_s)}]",
+            file=sys.stderr,
+            flush=True,
+        )
+
+    if profile_overrides:
+        summary = _run_with_profile(
+            runnable, config, profile_overrides, trace_cache_dir=args.trace_cache
+        )
+    else:
+        summary = run_experiments(
+            runnable,
+            config,
+            jobs=args.jobs,
+            trace_cache_dir=args.trace_cache,
+            progress=announce,
+        )
+
+    for name in runnable:
+        result = summary.results[name]
+        timings = next(t for t in summary.timings if t.experiment == name)
+        with Stopwatch() as render_watch:
+            rendered = result.render()
+            chart = result.render_chart() if args.chart else None
+        timings.render_s = render_watch.elapsed
+        # Replace the worker-side note (no render figure yet) with the
+        # complete trace-gen/simulate/render breakdown before export.
+        result.notes[-1] = timings.note()
+        print(rendered)
+        if chart is not None:
+            print()
+            print(chart)
         if args.export_dir is not None:
             import os
 
@@ -103,9 +168,59 @@ def main(argv: list[str] | None = None) -> int:
                 save_result(
                     result, os.path.join(args.export_dir, f"{name}.{extension}")
                 )
-        print(f"[{name} completed in {elapsed:.1f}s]")
+        print(
+            f"[{name} completed in {format_seconds(timings.total_s)}: "
+            f"trace_gen={format_seconds(timings.trace_gen_s)} "
+            f"simulate={format_seconds(timings.simulate_s)} "
+            f"render={format_seconds(timings.render_s)}]"
+        )
         print()
+
+    print(summary.render())
     return status
+
+
+def _run_with_profile(names, config, profile_overrides, trace_cache_dir=None):
+    """Sequential path honouring per-experiment ``--profile`` overrides."""
+    from repro.runner.parallel import RunSummary, StageTimings
+    from repro.runner.trace_cache import (
+        TraceCache,
+        TraceCacheStats,
+        get_trace_cache,
+        set_trace_cache,
+    )
+
+    if trace_cache_dir is not None and get_trace_cache().directory != trace_cache_dir:
+        set_trace_cache(TraceCache(trace_cache_dir))
+    results = {}
+    timings = []
+    cache = get_trace_cache()
+    totals = TraceCacheStats()
+    with Stopwatch() as wall:
+        for name in names:
+            run = get_experiment(name)
+            before = cache.stats.snapshot()
+            with Stopwatch() as stopwatch:
+                if name in profile_overrides:
+                    result = run(config, profile_name=profile_overrides[name])
+                else:
+                    result = run(config)
+            delta = cache.stats.since(before)
+            timing = StageTimings(
+                experiment=name,
+                total_s=stopwatch.elapsed,
+                trace_gen_s=delta.generation_seconds,
+                simulate_s=max(0.0, stopwatch.elapsed - delta.generation_seconds),
+                cache=delta,
+            )
+            result.notes.append(timing.note())
+            results[name] = result
+            timings.append(timing)
+            totals.merge(delta)
+    return RunSummary(
+        results=results, timings=timings, cache_stats=totals, jobs=1,
+        wall_s=wall.elapsed,
+    )
 
 
 if __name__ == "__main__":

@@ -20,10 +20,10 @@ from repro.experiments.base import ExperimentResult, resolve_config
 from repro.hierarchy.data_hierarchy import DataHierarchy
 from repro.netmodel.model import AccessPoint
 from repro.netmodel.testbed import TestbedCostModel
+from repro.runner.trace_cache import cached_trace
 from repro.sim.config import ExperimentConfig
 from repro.sim.engine import run_simulation
 from repro.traces.profiles import profile_by_name
-from repro.traces.synthetic import SyntheticTraceGenerator
 
 #: Population multipliers relative to the config's base population.
 POPULATION_FACTORS = (0.25, 0.5, 1.0, 2.0)
@@ -69,7 +69,7 @@ def run(
                 100, int(expected_distinct / (1.0 - base.frac_uncachable))
             ),
         )
-        trace = SyntheticTraceGenerator(profile, seed=config.seed).generate()
+        trace = cached_trace(profile, config.seed)
         metrics = run_simulation(
             trace, DataHierarchy(config.topology, TestbedCostModel())
         )

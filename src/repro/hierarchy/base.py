@@ -65,6 +65,10 @@ class Architecture(abc.ABC):
 
     def __init__(self, cost_model: CostModel) -> None:
         self.cost_model = cost_model
+        #: Requests driven through this instance by the simulation engine.
+        #: Zero means "freshly constructed" -- the invariant comparison
+        #: runs check, since reusing a warmed architecture biases results.
+        self.processed_requests = 0
 
     @abc.abstractmethod
     def process(self, request: Request) -> AccessResult:

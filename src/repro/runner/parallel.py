@@ -1,0 +1,275 @@
+"""Process-pool execution of experiments and architecture comparisons.
+
+Work units follow the ``(experiment, trace, architecture)`` decomposition:
+
+* :func:`run_experiments` fans whole experiments out -- each of the paper's
+  17 artifacts is independent given a config, so this is the coarse grain
+  that parallelizes the registry-wide ``--all`` run;
+* :func:`run_comparison_parallel` fans the architectures of one comparison
+  out -- each ``(trace, architecture)`` simulation is independent because
+  architectures never share state and traces are shared read-only.
+
+Workers never receive constructed architectures or generated traces.  They
+receive **factory specs** (:class:`~repro.runner.specs.ArchitectureSpec`)
+and ``(profile, seed)`` trace addresses, and rebuild both locally: fresh
+architecture state preserves the freshness invariant
+:func:`repro.sim.engine.run_comparison` enforces, and the worker-local
+:class:`~repro.runner.trace_cache.TraceCache` (pointed at a shared on-disk
+store when one is configured) keeps each distinct trace generated at most
+once per worker -- or, with a warm store, zero times anywhere.
+
+Determinism: a work unit's output depends only on its arguments, never on
+scheduling, so ``jobs=N`` and ``jobs=1`` produce row-for-row identical
+results; only wall-clock (and the timing notes derived from it) differs.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Sequence
+
+from repro.common.timing import Stopwatch, format_seconds
+from repro.runner.specs import ArchitectureSpec
+from repro.runner.trace_cache import (
+    TraceCache,
+    TraceCacheStats,
+    cached_trace,
+    get_trace_cache,
+    set_trace_cache,
+)
+from repro.sim.engine import run_comparison, run_simulation
+from repro.sim.metrics import SimMetrics
+from repro.traces.profiles import WorkloadProfile
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.experiments.base import ExperimentResult
+    from repro.sim.config import ExperimentConfig
+
+
+@dataclass
+class StageTimings:
+    """Per-stage wall-clock for one experiment run.
+
+    ``simulate_s`` is everything inside ``run()`` that is not trace
+    generation (dominated by the per-request simulation loops);
+    ``render_s`` is filled in by the CLI after rendering the result.
+    """
+
+    experiment: str
+    total_s: float
+    trace_gen_s: float
+    simulate_s: float
+    render_s: float | None = None
+    cache: TraceCacheStats = field(default_factory=TraceCacheStats)
+
+    def note(self) -> str:
+        """The ``[stage timing]`` line surfaced in ``ExperimentResult.notes``."""
+        parts = [
+            f"trace_gen={format_seconds(self.trace_gen_s)}",
+            f"simulate={format_seconds(self.simulate_s)}",
+        ]
+        if self.render_s is not None:
+            parts.append(f"render={format_seconds(self.render_s)}")
+        return "[stage timing] " + " ".join(parts)
+
+    def as_row(self) -> dict:
+        return {
+            "experiment": self.experiment,
+            "total": format_seconds(self.total_s),
+            "trace_gen": format_seconds(self.trace_gen_s),
+            "simulate": format_seconds(self.simulate_s),
+            "trace_generations": self.cache.generations,
+        }
+
+
+@dataclass
+class RunSummary:
+    """Everything a multi-experiment run produced, plus its instrumentation.
+
+    Attributes:
+        results: Experiment name -> result, in the order requested
+            (identical for any ``jobs``).
+        timings: Per-experiment stage timings, same order.
+        cache_stats: Trace-cache counters aggregated across every process
+            that participated in the run.  ``cache_stats.generations == 0``
+            is the warm-cache proof the acceptance check looks for.
+        jobs: Worker processes used (1 = in-process sequential).
+        wall_s: End-to-end wall-clock for the whole run.
+    """
+
+    results: dict[str, "ExperimentResult"]
+    timings: list[StageTimings]
+    cache_stats: TraceCacheStats
+    jobs: int
+    wall_s: float
+
+    def render(self) -> str:
+        """The run summary block printed after a CLI run."""
+        from repro.reporting.tables import format_table
+
+        lines = [
+            format_table(
+                [t.as_row() for t in self.timings],
+                title=f"run summary ({self.jobs} job{'s' if self.jobs != 1 else ''})",
+            ),
+            f"wall-clock: {format_seconds(self.wall_s)} "
+            f"(sum of experiment time {format_seconds(sum(t.total_s for t in self.timings))})",
+            self.cache_stats.describe(),
+            f"trace generations this run: {self.cache_stats.generations}",
+        ]
+        return "\n".join(lines)
+
+
+def _worker_init(cache_directory: str | None) -> None:
+    """Give each worker its own trace cache over the shared disk store."""
+    set_trace_cache(TraceCache(cache_directory))
+
+
+def _run_experiment_task(
+    name: str, config: "ExperimentConfig | None"
+) -> tuple[str, "ExperimentResult", StageTimings]:
+    """One experiment work unit (runs in a worker or inline for jobs=1)."""
+    # Imported lazily: the registry pulls in every experiment module, and
+    # experiments.base imports this package's trace cache.
+    from repro.experiments.registry import get_experiment
+
+    cache = get_trace_cache()
+    before = cache.stats.snapshot()
+    with Stopwatch() as stopwatch:
+        result = get_experiment(name)(config)
+    delta = cache.stats.since(before)
+    timings = StageTimings(
+        experiment=name,
+        total_s=stopwatch.elapsed,
+        trace_gen_s=delta.generation_seconds,
+        simulate_s=max(0.0, stopwatch.elapsed - delta.generation_seconds),
+        cache=delta,
+    )
+    result.notes.append(timings.note())
+    return name, result, timings
+
+
+def run_experiments(
+    names: Sequence[str],
+    config: "ExperimentConfig | None" = None,
+    *,
+    jobs: int = 1,
+    trace_cache_dir: str | None = None,
+    progress: Callable[[StageTimings], None] | None = None,
+) -> RunSummary:
+    """Run several experiments, optionally across worker processes.
+
+    Args:
+        names: Experiment names from the registry, run/reported in order.
+        config: Shared experiment config (None = each run defaults it).
+        jobs: Worker processes; 1 runs inline in this process.
+        trace_cache_dir: On-disk trace store shared by every participating
+            process.  With ``jobs == 1`` this (re)installs the process-wide
+            active cache pointed at the store.
+        progress: Called with each experiment's :class:`StageTimings` as it
+            completes (completion order, which for ``jobs > 1`` need not be
+            input order) -- the CLI streams status lines from this.
+
+    Raises whatever the first failing experiment raised; sibling work units
+    already running are allowed to finish, queued ones are cancelled.
+    """
+    if jobs < 1:
+        raise ValueError(f"jobs must be at least 1, got {jobs}")
+    names = list(names)
+    if trace_cache_dir is not None and (
+        jobs == 1 and get_trace_cache().directory != trace_cache_dir
+    ):
+        set_trace_cache(TraceCache(trace_cache_dir))
+
+    outcomes: dict[str, tuple["ExperimentResult", StageTimings]] = {}
+    with Stopwatch() as stopwatch:
+        if jobs == 1:
+            for name in names:
+                _, result, timings = _run_experiment_task(name, config)
+                outcomes[name] = (result, timings)
+                if progress is not None:
+                    progress(timings)
+        else:
+            with ProcessPoolExecutor(
+                max_workers=jobs,
+                initializer=_worker_init,
+                initargs=(trace_cache_dir,),
+            ) as pool:
+                futures = {
+                    pool.submit(_run_experiment_task, name, config): name
+                    for name in names
+                }
+                try:
+                    for future in as_completed(futures):
+                        name, result, timings = future.result()
+                        outcomes[name] = (result, timings)
+                        if progress is not None:
+                            progress(timings)
+                except BaseException:
+                    for future in futures:
+                        future.cancel()
+                    raise
+
+    results = {name: outcomes[name][0] for name in names}
+    timings = [outcomes[name][1] for name in names]
+    totals = TraceCacheStats()
+    for timing in timings:
+        totals.merge(timing.cache)
+    return RunSummary(
+        results=results,
+        timings=timings,
+        cache_stats=totals,
+        jobs=jobs,
+        wall_s=stopwatch.elapsed,
+    )
+
+
+def _comparison_task(
+    profile: WorkloadProfile,
+    seed: int,
+    spec: ArchitectureSpec,
+    warmup_s: float | None,
+) -> SimMetrics:
+    """One (trace, architecture) simulation work unit."""
+    trace = cached_trace(profile, seed)
+    return run_simulation(trace, spec.build(), warmup_s=warmup_s)
+
+
+def run_comparison_parallel(
+    profile: WorkloadProfile,
+    seed: int,
+    specs: Sequence[ArchitectureSpec],
+    *,
+    jobs: int = 1,
+    warmup_s: float | None = None,
+    trace_cache_dir: str | None = None,
+) -> dict[str, SimMetrics]:
+    """Parallel twin of :func:`repro.sim.engine.run_comparison`.
+
+    Takes the trace's ``(profile, seed)`` address instead of a generated
+    trace, and factory specs instead of constructed architectures, so the
+    expensive objects are built where they are used.  Results are keyed by
+    architecture name in spec order, exactly like ``run_comparison``.
+    """
+    if jobs < 1:
+        raise ValueError(f"jobs must be at least 1, got {jobs}")
+    if jobs == 1:
+        trace = cached_trace(profile, seed)
+        return run_comparison(
+            trace, [spec.build() for spec in specs], warmup_s=warmup_s
+        )
+    with ProcessPoolExecutor(
+        max_workers=jobs, initializer=_worker_init, initargs=(trace_cache_dir,)
+    ) as pool:
+        futures = [
+            pool.submit(_comparison_task, profile, seed, spec, warmup_s)
+            for spec in specs
+        ]
+        metrics = [future.result() for future in futures]
+    results: dict[str, SimMetrics] = {}
+    for item in metrics:
+        if item.architecture in results:
+            raise ValueError(f"duplicate architecture name {item.architecture!r}")
+        results[item.architecture] = item
+    return results

@@ -1,0 +1,43 @@
+"""Picklable architecture factory specs.
+
+``run_comparison`` requires freshly constructed architectures, and the
+parallel executor needs to build them *inside* worker processes -- shipping
+a constructed architecture across a process boundary would both cost
+serialization of its cache state and blur the freshness invariant.  An
+:class:`ArchitectureSpec` is the deferred constructor call that crosses the
+boundary instead: a module-level factory plus its arguments, all picklable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.hierarchy.base import Architecture
+
+
+@dataclass(frozen=True)
+class ArchitectureSpec:
+    """A deferred, repeatable architecture construction.
+
+    Attributes:
+        factory: Module-level callable returning an
+            :class:`~repro.hierarchy.base.Architecture` (a class like
+            ``DataHierarchy`` works; a lambda or closure does not pickle).
+        args: Positional arguments for ``factory``.
+        kwargs: Keyword arguments for ``factory``.
+    """
+
+    factory: Callable[..., Architecture]
+    args: tuple = ()
+    kwargs: dict[str, Any] = field(default_factory=dict)
+
+    def build(self) -> Architecture:
+        """Construct a fresh architecture (new state on every call)."""
+        architecture = self.factory(*self.args, **self.kwargs)
+        if not isinstance(architecture, Architecture):
+            raise TypeError(
+                f"factory {self.factory!r} returned {type(architecture).__name__}, "
+                "not an Architecture"
+            )
+        return architecture

@@ -1,0 +1,183 @@
+"""Content-addressed trace cache: generate each distinct trace once.
+
+Two layers, consulted in order:
+
+* an **in-process memo** (fingerprint -> :class:`~repro.traces.records.Trace`),
+  so one CLI/pytest session never generates the same trace twice;
+* an optional **on-disk store** (``<dir>/<fingerprint>.npz`` via the
+  column-array serialization in :mod:`repro.traces.io`), so traces survive
+  across sessions and are shared between the worker processes of a
+  parallel run.
+
+Traces handed out are shared **read-only**: nothing in the simulator
+mutates a :class:`~repro.traces.records.Trace` (architectures only read
+requests), which is what makes handing the same object to many
+``run_simulation`` calls safe.  The cache keeps :class:`TraceCacheStats`
+counters -- generations, hits per layer, and generation wall-clock -- so a
+run summary can *prove* a warm run performed zero generations.
+
+A module-level *active* cache backs :func:`cached_trace`, which is what
+`repro.experiments.base.trace_for` and the other generation sites call;
+installing a disk-backed cache (``--trace-cache DIR`` on the experiments
+CLI) upgrades every experiment at once.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, replace
+
+from repro.common.errors import TraceFormatError
+from repro.runner.fingerprint import trace_fingerprint
+from repro.traces.io import read_trace, write_trace
+from repro.traces.profiles import WorkloadProfile
+from repro.traces.records import Trace
+from repro.traces.synthetic import SyntheticTraceGenerator
+
+
+@dataclass
+class TraceCacheStats:
+    """Instrumentation counters for one :class:`TraceCache`.
+
+    Attributes:
+        generations: Traces built from scratch by the generator (the
+            expensive path the cache exists to avoid).
+        generation_seconds: Wall-clock spent inside those generations.
+        memory_hits: Requests served from the in-process memo.
+        disk_hits: Requests served by deserializing an ``.npz`` file.
+        disk_writes: Freshly generated traces persisted to the store.
+    """
+
+    generations: int = 0
+    generation_seconds: float = 0.0
+    memory_hits: int = 0
+    disk_hits: int = 0
+    disk_writes: int = 0
+
+    def snapshot(self) -> "TraceCacheStats":
+        """An independent copy (for before/after deltas)."""
+        return replace(self)
+
+    def since(self, earlier: "TraceCacheStats") -> "TraceCacheStats":
+        """Counter deltas accumulated after ``earlier`` was snapshotted."""
+        return TraceCacheStats(
+            generations=self.generations - earlier.generations,
+            generation_seconds=self.generation_seconds - earlier.generation_seconds,
+            memory_hits=self.memory_hits - earlier.memory_hits,
+            disk_hits=self.disk_hits - earlier.disk_hits,
+            disk_writes=self.disk_writes - earlier.disk_writes,
+        )
+
+    def merge(self, other: "TraceCacheStats") -> None:
+        """Fold another stats object (e.g. a worker's delta) into this one."""
+        self.generations += other.generations
+        self.generation_seconds += other.generation_seconds
+        self.memory_hits += other.memory_hits
+        self.disk_hits += other.disk_hits
+        self.disk_writes += other.disk_writes
+
+    def describe(self) -> str:
+        """One-line human rendering for run summaries."""
+        return (
+            f"traces: {self.generations} generated "
+            f"({self.generation_seconds:.1f}s), "
+            f"{self.memory_hits} memory hits, {self.disk_hits} disk hits, "
+            f"{self.disk_writes} disk writes"
+        )
+
+
+class TraceCache:
+    """Memoizing trace factory keyed by content fingerprint.
+
+    Args:
+        directory: Optional on-disk store.  Created on first write; shared
+            safely between concurrent processes (writes are atomic
+            temp-file + rename, and identical fingerprints imply identical
+            bytes, so a lost race wastes one generation, never corrupts).
+    """
+
+    def __init__(self, directory: str | os.PathLike | None = None) -> None:
+        self.directory = os.fspath(directory) if directory is not None else None
+        self.stats = TraceCacheStats()
+        self._memory: dict[str, Trace] = {}
+
+    def get(self, profile: WorkloadProfile, seed: int) -> Trace:
+        """The trace for ``(profile, seed)``: memo, then disk, then generate."""
+        fingerprint = trace_fingerprint(profile, seed)
+        trace = self._memory.get(fingerprint)
+        if trace is not None:
+            self.stats.memory_hits += 1
+            return trace
+        trace = self._load(fingerprint)
+        if trace is None:
+            started = time.perf_counter()
+            trace = SyntheticTraceGenerator(profile, seed=seed).generate()
+            self.stats.generation_seconds += time.perf_counter() - started
+            self.stats.generations += 1
+            self._store(fingerprint, trace)
+        self._memory[fingerprint] = trace
+        return trace
+
+    def clear_memory(self) -> None:
+        """Drop the in-process memo (disk files are left in place)."""
+        self._memory.clear()
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def _path(self, fingerprint: str) -> str:
+        assert self.directory is not None
+        return os.path.join(self.directory, f"{fingerprint}.npz")
+
+    def _load(self, fingerprint: str) -> Trace | None:
+        if self.directory is None:
+            return None
+        path = self._path(fingerprint)
+        if not os.path.exists(path):
+            return None
+        try:
+            trace = read_trace(path)
+        except TraceFormatError:
+            # Unreadable entry (truncated write from a killed process, or
+            # foreign file): regenerate rather than fail the run.
+            return None
+        self.stats.disk_hits += 1
+        return trace
+
+    def _store(self, fingerprint: str, trace: Trace) -> None:
+        if self.directory is None:
+            return
+        os.makedirs(self.directory, exist_ok=True)
+        path = self._path(fingerprint)
+        # Atomic publish: concurrent workers may race on the same
+        # fingerprint; both produce identical bytes and os.replace makes
+        # whichever finishes last win without readers ever seeing a
+        # partial file.
+        temporary = os.path.join(
+            self.directory, f".{fingerprint}.{os.getpid()}.tmp.npz"
+        )
+        write_trace(trace, temporary)
+        os.replace(temporary, path)
+        self.stats.disk_writes += 1
+
+
+_ACTIVE = TraceCache()
+
+
+def get_trace_cache() -> TraceCache:
+    """The process-wide cache backing :func:`cached_trace`."""
+    return _ACTIVE
+
+
+def set_trace_cache(cache: TraceCache) -> TraceCache:
+    """Install a new active cache; returns the previous one."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = cache
+    return previous
+
+
+def cached_trace(profile: WorkloadProfile, seed: int) -> Trace:
+    """Fetch-or-generate a trace through the active cache (read-only share)."""
+    return _ACTIVE.get(profile, seed)

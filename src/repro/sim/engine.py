@@ -44,6 +44,7 @@ def run_simulation(
         architecture=architecture.name,
         cost_model=architecture.cost_model.name,
     )
+    processed = 0
     for request in trace.requests:
         if request.error:
             metrics.skipped_error += 1
@@ -54,10 +55,15 @@ def run_simulation(
             if not include_uncachable:
                 continue
         result = architecture.process(request)
+        processed += 1
         if request.time < boundary:
             metrics.warmup_requests += 1
             continue
         metrics.record(result, request.size)
+    # getattr tolerates Architecture subclasses that skip super().__init__.
+    architecture.processed_requests = (
+        getattr(architecture, "processed_requests", 0) + processed
+    )
     return metrics
 
 
@@ -71,12 +77,20 @@ def run_comparison(
 
     Returns metrics keyed by architecture name, in input order (dicts
     preserve insertion order).  Architectures must be freshly constructed;
-    reusing a warmed architecture would bias the comparison.
+    reusing a warmed architecture would bias the comparison, so any
+    instance that has already processed requests is rejected.
     """
     results: dict[str, SimMetrics] = {}
     for architecture in architectures:
         if architecture.name in results:
             raise ValueError(f"duplicate architecture name {architecture.name!r}")
+        already = getattr(architecture, "processed_requests", 0)
+        if already:
+            raise ValueError(
+                f"architecture {architecture.name!r} has already processed "
+                f"{already} requests; comparisons need freshly constructed "
+                "architectures (reuse would bias results)"
+            )
         results[architecture.name] = run_simulation(
             trace, architecture, warmup_s=warmup_s
         )

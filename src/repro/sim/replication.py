@@ -14,9 +14,9 @@ import math
 from dataclasses import dataclass
 from typing import Callable
 
+from repro.runner.trace_cache import cached_trace
 from repro.sim.config import ExperimentConfig
 from repro.traces.records import Trace
-from repro.traces.synthetic import SyntheticTraceGenerator
 
 
 @dataclass(frozen=True)
@@ -91,8 +91,6 @@ def replicate(
     profile = config.profile(profile_name)
     values = []
     for replica in range(n_seeds):
-        trace = SyntheticTraceGenerator(
-            profile, seed=config.seed * 1000 + replica
-        ).generate()
+        trace = cached_trace(profile, config.seed * 1000 + replica)
         values.append(float(statistic(trace)))
     return ReplicationSummary(statistic=statistic_name, values=tuple(values))

@@ -73,7 +73,9 @@ class Trace:
     n_clients: int
     duration: float
     warmup: float = 0.0
-    _url_cache: dict[int, str] = field(default_factory=dict, repr=False)
+    #: Lazily filled by url_for; excluded from equality so a used trace
+    #: still compares equal to a freshly generated/deserialized twin.
+    _url_cache: dict[int, str] = field(default_factory=dict, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         for earlier, later in zip(self.requests, self.requests[1:]):

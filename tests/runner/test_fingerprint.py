@@ -1,0 +1,46 @@
+"""Trace fingerprints: complete, stable, and collision-sensitive."""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.runner.fingerprint import trace_fingerprint
+from repro.traces.profiles import DEC, PRODIGY
+
+
+class TestFingerprint:
+    def test_deterministic(self):
+        assert trace_fingerprint(DEC, 42) == trace_fingerprint(DEC, 42)
+
+    def test_seed_changes_fingerprint(self):
+        assert trace_fingerprint(DEC, 42) != trace_fingerprint(DEC, 43)
+
+    def test_profile_identity_not_object_identity(self):
+        clone = dataclasses.replace(DEC)
+        assert clone is not DEC
+        assert trace_fingerprint(clone, 42) == trace_fingerprint(DEC, 42)
+
+    def test_every_profile_field_is_significant(self):
+        """No field allowlist to fall out of date: perturb each field."""
+        base = trace_fingerprint(DEC, 42)
+        for field in dataclasses.fields(DEC):
+            value = getattr(DEC, field.name)
+            if isinstance(value, bool):
+                changed = not value
+            elif isinstance(value, int):
+                changed = value + 1
+            elif isinstance(value, float):
+                changed = value * 0.5 if value else 0.25
+            else:  # name
+                changed = value + "-x"
+            mutated = dataclasses.replace(DEC, **{field.name: changed})
+            assert trace_fingerprint(mutated, 42) != base, field.name
+
+    def test_distinct_profiles_distinct(self):
+        assert trace_fingerprint(DEC, 42) != trace_fingerprint(PRODIGY, 42)
+
+    def test_filename_safe(self):
+        fingerprint = trace_fingerprint(DEC, 42)
+        assert len(fingerprint) == 32
+        assert fingerprint == fingerprint.lower()
+        assert fingerprint.isalnum()

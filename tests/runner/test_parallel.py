@@ -1,0 +1,158 @@
+"""Parallel execution: deterministic, cache-sharing, invariant-preserving.
+
+The headline property: ``run_experiments(..., jobs=4)`` produces
+row-for-row identical :class:`ExperimentResult`s to ``jobs=1``.  Work
+units depend only on their arguments, never on scheduling, so parallelism
+may only change wall-clock (timing notes are therefore excluded from the
+equality check).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hierarchy.data_hierarchy import DataHierarchy
+from repro.hierarchy.directory_arch import CentralizedDirectoryArchitecture
+from repro.hierarchy.hint_hierarchy import HintHierarchy
+from repro.netmodel.testbed import TestbedCostModel
+from repro.runner.parallel import run_comparison_parallel, run_experiments
+from repro.runner.specs import ArchitectureSpec
+from repro.runner.trace_cache import TraceCache, cached_trace
+from repro.sim.engine import run_comparison
+from tests.conftest import make_tiny_config
+
+#: A cheap cross-section of the registry: a characterization table, a
+#: figure sweep, and an experiment that builds custom per-row profiles.
+EXPERIMENTS = ["table4", "figure3", "scaling"]
+
+
+def strip_timing(result):
+    """Everything that must match across job counts (notes carry timings)."""
+    return (
+        result.experiment,
+        result.description,
+        result.rows,
+        result.paper_claims,
+        result.chart_spec,
+    )
+
+
+class TestRunExperiments:
+    def test_jobs4_identical_to_jobs1(self, tmp_path):
+        config = make_tiny_config()
+        sequential = run_experiments(EXPERIMENTS, config, jobs=1)
+        parallel = run_experiments(
+            EXPERIMENTS, config, jobs=4, trace_cache_dir=str(tmp_path / "store")
+        )
+        assert list(sequential.results) == list(parallel.results) == EXPERIMENTS
+        for name in EXPERIMENTS:
+            assert strip_timing(sequential.results[name]) == strip_timing(
+                parallel.results[name]
+            ), name
+
+    def test_timing_notes_and_summary(self):
+        config = make_tiny_config()
+        summary = run_experiments(["table4"], config, jobs=1)
+        result = summary.results["table4"]
+        assert any(note.startswith("[stage timing]") for note in result.notes)
+        assert summary.timings[0].experiment == "table4"
+        assert summary.timings[0].total_s >= summary.timings[0].trace_gen_s
+        rendered = summary.render()
+        assert "trace generations this run:" in rendered
+
+    def test_warm_disk_cache_performs_zero_generations(self, tmp_path):
+        config = make_tiny_config()
+        store = str(tmp_path / "store")
+        cold = run_experiments(EXPERIMENTS, config, jobs=2, trace_cache_dir=store)
+        assert cold.cache_stats.generations > 0
+        warm = run_experiments(EXPERIMENTS, config, jobs=2, trace_cache_dir=store)
+        assert warm.cache_stats.generations == 0
+        assert warm.cache_stats.disk_hits > 0
+        for name in EXPERIMENTS:
+            assert strip_timing(cold.results[name]) == strip_timing(
+                warm.results[name]
+            ), name
+
+    def test_rejects_bad_jobs(self):
+        with pytest.raises(ValueError, match="jobs"):
+            run_experiments(["table4"], make_tiny_config(), jobs=0)
+
+    def test_worker_failure_propagates(self):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            run_experiments(["no_such_experiment"], make_tiny_config(), jobs=2)
+
+
+class TestRunComparisonParallel:
+    def specs(self, config):
+        topology = config.topology
+        return [
+            ArchitectureSpec(DataHierarchy, (topology, TestbedCostModel())),
+            ArchitectureSpec(
+                CentralizedDirectoryArchitecture, (topology, TestbedCostModel())
+            ),
+            ArchitectureSpec(HintHierarchy, (topology, TestbedCostModel())),
+        ]
+
+    def test_matches_sequential_run_comparison(self, tmp_path):
+        config = make_tiny_config()
+        profile = config.profile("dec")
+        specs = self.specs(config)
+
+        trace = cached_trace(profile, config.seed)
+        sequential = run_comparison(trace, [spec.build() for spec in specs])
+        parallel = run_comparison_parallel(
+            profile,
+            config.seed,
+            specs,
+            jobs=3,
+            trace_cache_dir=str(tmp_path / "store"),
+        )
+        assert list(parallel) == list(sequential)
+        for name in sequential:
+            assert parallel[name].total_ms == sequential[name].total_ms
+            assert (
+                parallel[name].requests_by_point
+                == sequential[name].requests_by_point
+            )
+
+    def test_jobs1_inline_path(self):
+        config = make_tiny_config()
+        results = run_comparison_parallel(
+            config.profile("dec"), config.seed, self.specs(config), jobs=1
+        )
+        assert len(results) == 3
+
+    def test_specs_build_fresh_state_every_time(self):
+        config = make_tiny_config()
+        spec = self.specs(config)[0]
+        first, second = spec.build(), spec.build()
+        assert first is not second
+        assert first.processed_requests == 0
+        assert second.processed_requests == 0
+
+    def test_spec_rejects_non_architecture_factory(self):
+        spec = ArchitectureSpec(dict)
+        with pytest.raises(TypeError, match="not an Architecture"):
+            spec.build()
+
+
+class TestWorkerTraceSharing:
+    def test_workers_share_one_disk_store(self, tmp_path):
+        """Many workers, one store: the trace is generated at most once
+        per process and persisted once (content-addressed writes race
+        benignly)."""
+        config = make_tiny_config()
+        store = tmp_path / "store"
+        run_comparison_parallel(
+            config.profile("dec"),
+            config.seed,
+            TestRunComparisonParallel().specs(config),
+            jobs=3,
+            trace_cache_dir=str(store),
+        )
+        files = list(store.glob("*.npz"))
+        assert len(files) == 1
+        reloaded = TraceCache(store)
+        trace = reloaded.get(config.profile("dec"), config.seed)
+        assert reloaded.stats.disk_hits == 1
+        assert len(trace) > 0

@@ -97,3 +97,38 @@ class TestComparison:
         metrics = run_simulation(trace, CountingArchitecture("labelled"))
         assert metrics.architecture == "labelled"
         assert metrics.cost_model == "testbed"
+
+    def test_rejects_warmed_architecture(self):
+        """Reusing an architecture would bias the comparison: hard error."""
+        trace = make_trace([make_request(50.0)])
+        warmed = CountingArchitecture("warmed")
+        run_simulation(trace, warmed)
+        with pytest.raises(ValueError, match="already processed"):
+            run_comparison(trace, [warmed])
+
+    def test_accepts_fresh_architectures(self):
+        trace = make_trace([make_request(50.0)])
+        results = run_comparison(trace, [CountingArchitecture("fresh")])
+        assert results["fresh"].measured_requests == 1
+
+
+class TestProcessedRequestsCounter:
+    def test_counts_only_processed_requests(self):
+        trace = make_trace(
+            [
+                make_request(5.0),  # warmup: processed, not measured
+                make_request(50.0),
+                make_request(51.0, cacheable=False),  # skipped entirely
+            ]
+        )
+        arch = CountingArchitecture()
+        assert arch.processed_requests == 0
+        run_simulation(trace, arch)
+        assert arch.processed_requests == 2
+
+    def test_accumulates_across_runs(self):
+        trace = make_trace([make_request(50.0)])
+        arch = CountingArchitecture()
+        run_simulation(trace, arch)
+        run_simulation(trace, arch)
+        assert arch.processed_requests == 2
