@@ -1,14 +1,19 @@
 #!/usr/bin/env python
 """Failure drill: what happens when a metadata node dies mid-flight?
 
-An operations-runbook walk through the hint fabric's failure story:
+An operations-runbook walk through the hint fabric's failure story, driven
+by the same :mod:`repro.faults` vocabulary trace simulations use -- the
+crash is a scheduled :class:`~repro.faults.events.NodeCrash` in a
+:class:`~repro.faults.events.FaultPlan`, replayed against the live cluster
+by :class:`~repro.faults.cluster_driver.ClusterFaultDriver`:
 
 1. A 64-proxy hint cluster is humming: updates batch and flow, every hint
    cache converges.
-2. An interior metadata node crashes.  Its subtree partitions -- updates
-   from eight proxies silently stop reaching the rest of the system, and
-   hint caches go stale (requests fall back to origin servers: slower,
-   never wrong; the "do not slow down misses" rule degrades gracefully).
+2. An interior metadata node crashes (per the fault plan).  Its subtree
+   partitions -- updates from eight proxies silently stop reaching the
+   rest of the system, and hint caches go stale (requests fall back to
+   origin servers: slower, never wrong; the "do not slow down misses"
+   rule degrades gracefully).
 3. The Plaxton layer hands down a reconfigured tree over the survivors
    (the paper's "automatic reconfiguration" property), the cluster
    re-advertises local holdings, and coverage returns to 100%.
@@ -21,13 +26,19 @@ from __future__ import annotations
 import numpy as np
 
 from repro.common.ids import object_id_from_url
+from repro.faults import FaultPlan, NodeCrash
+from repro.faults.cluster_driver import ClusterFaultDriver
 from repro.hints.cluster import HintCluster
 from repro.hints.propagation import HintPropagationTree
+
+#: The interior metadata node the drill kills (it fronts proxies 0-7).
+CRASHED_NODE = 64
+CRASH_TIME_S = 600.0
 
 
 def fresh_cluster() -> tuple[HintCluster, list[int | None]]:
     tree = HintPropagationTree.balanced(branching=8, leaves=64)
-    parents = tree._parent_vector()
+    parents = tree.parent_vector()
     return HintCluster(parents=parents, link_latency_s=0.1, seed=11), parents
 
 
@@ -42,20 +53,24 @@ def main() -> None:
     n_leaves = 64
     rng = np.random.default_rng(5)
 
+    plan = FaultPlan(
+        events=(NodeCrash(time=CRASH_TIME_S, kind="meta", node=CRASHED_NODE),)
+    )
+    driver = ClusterFaultDriver(cluster, plan)
+
     print("Phase 1: steady state")
     warm = [object_id_from_url(f"http://warm-{i}.example.com/") for i in range(20)]
     for i, url_hash in enumerate(warm):
         cluster.local_inform(int(rng.integers(0, n_leaves)), url_hash, now=float(i))
-    cluster.run_until(600.0)
+    driver.run_until(CRASH_TIME_S)
     coverage_report(cluster, warm, "after convergence")
 
-    print("\nPhase 2: interior metadata node 64 crashes "
+    print(f"\nPhase 2: interior metadata node {CRASHED_NODE} crashes "
           "(it fronts proxies 0-7's updates)")
-    cluster.fail_node(64, now=600.0)
     fresh = [object_id_from_url(f"http://fresh-{i}.example.com/") for i in range(20)]
     for i, url_hash in enumerate(fresh):
-        cluster.local_inform(int(rng.integers(0, 8)), url_hash, now=600.0 + i)
-    cluster.run_until(1200.0)
+        cluster.local_inform(int(rng.integers(0, 8)), url_hash, now=CRASH_TIME_S + i)
+    driver.run_until(1200.0)
     coverage_report(cluster, fresh, "post-crash (updates from the cut subtree)")
     found = cluster.find_nearest(60, fresh[0], now=1200.0)
     print(f"  proxy 60 looking for a cut-subtree object: "
@@ -67,7 +82,7 @@ def main() -> None:
     for leaf in range(8):
         new_parents[leaf] = 65
     cluster.reconfigure(new_parents, now=1200.0)
-    cluster.run_until(2400.0)
+    driver.run_until(2400.0)
     coverage_report(cluster, fresh, "after reconfiguration + re-advertising")
     found = cluster.find_nearest(60, fresh[0], now=2400.0)
     print(f"  proxy 60 retries: {'found at proxy ' + str(found.node) if found else 'still missing'}")

@@ -141,6 +141,24 @@ class LRUCache:
         self._delete(key, "remove")
         return True
 
+    def clear(self, *, notify: bool = False, reason: str = "remove") -> list[int]:
+        """Drop every entry at once; returns the keys that were present.
+
+        Models a node crash losing its volatile contents.  With
+        ``notify=False`` (the default) the ``on_evict`` callback is *not*
+        invoked -- a crashed node cannot announce what it lost, which is
+        precisely how stale hints are born; the caller decides what, if
+        anything, to tell the metadata layer.
+        """
+        keys = list(self._entries)
+        if notify and self._on_evict is not None:
+            for key in keys:
+                self._delete(key, reason)
+        else:
+            self._entries.clear()
+            self._used_bytes = 0
+        return keys
+
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------

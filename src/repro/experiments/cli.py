@@ -32,7 +32,11 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro-experiments",
         description="Regenerate the paper's tables and figures.",
     )
-    parser.add_argument("experiments", nargs="*", help="experiment names to run")
+    parser.add_argument(
+        "experiments", nargs="*",
+        help="experiment names to run (an optional leading 'run' verb is "
+        "accepted: 'python -m repro.experiments run figure8')",
+    )
     parser.add_argument("--list", action="store_true", help="list experiment names")
     parser.add_argument("--all", action="store_true", help="run every experiment")
     parser.add_argument(
@@ -73,6 +77,11 @@ def _accepts_profile(run) -> bool:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    # "run" is accepted as an optional leading verb ("repro.experiments run
+    # figure8"); "run" itself is not an experiment name, so this is never
+    # ambiguous.
+    if args.experiments and args.experiments[0] == "run":
+        args.experiments = args.experiments[1:]
     if args.list:
         for name in all_experiments():
             print(name)

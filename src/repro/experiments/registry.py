@@ -7,6 +7,7 @@ from typing import Callable
 from repro.experiments import (
     ablations,
     client_hints,
+    failure_sensitivity,
     figure1,
     figure2,
     figure3,
@@ -44,6 +45,7 @@ _REGISTRY: dict[str, Callable[[ExperimentConfig | None], ExperimentResult]] = {
     "client_hints": client_hints.run,
     "message_level": message_level.run,
     "load_sensitivity": load_sensitivity.run,
+    "failure_sensitivity": failure_sensitivity.run,
     "queueing_validation": queueing_validation.run,
     "seed_sensitivity": seed_sensitivity.run,
     "scaling": scaling.run,

@@ -1,0 +1,57 @@
+"""Applies a fault plan to the live event-driven hint cluster.
+
+:class:`~repro.hints.cluster.HintCluster` simulates hint propagation as
+discrete events; this driver is the bridge that lets the same
+:class:`~repro.faults.events.FaultPlan` vocabulary used by trace
+simulations (``run_simulation(..., fault_plan=...)``) drive the cluster's
+failure API -- ``examples/failure_drill.py`` is the canonical user.
+
+Only ``meta``-kind crash/recover events apply (the cluster *is* the
+metadata fabric; it has no data caches or origin servers); other events
+are ignored with a note in :attr:`ClusterFaultDriver.skipped_events`.
+"""
+
+from __future__ import annotations
+
+from repro.faults.events import FaultPlan, NodeCrash, NodeKind, NodeRecover
+from repro.hints.cluster import HintCluster
+
+
+class ClusterFaultDriver:
+    """Replays a plan's metadata crashes/recoveries against a cluster.
+
+    Args:
+        cluster: The live cluster to inject into.
+        plan: Fault schedule; ``meta`` node indices address cluster nodes.
+
+    Use :meth:`run_until` instead of ``cluster.run_until`` so scheduled
+    faults fire at their plan times, interleaved with cluster events.
+    """
+
+    def __init__(self, cluster: HintCluster, plan: FaultPlan) -> None:
+        self.cluster = cluster
+        self.plan = plan
+        self._events = []
+        #: Plan events that do not map onto the cluster (kept for audit).
+        self.skipped_events = []
+        for event in plan:
+            if (
+                isinstance(event, (NodeCrash, NodeRecover))
+                and event.kind is NodeKind.META
+            ):
+                self._events.append(event)
+            else:
+                self.skipped_events.append(event)
+        self._next = 0
+
+    def run_until(self, time: float) -> None:
+        """Advance the cluster to ``time``, firing due plan events en route."""
+        while self._next < len(self._events) and self._events[self._next].time <= time:
+            event = self._events[self._next]
+            self.cluster.run_until(event.time)
+            if isinstance(event, NodeCrash):
+                self.cluster.fail_node(event.node, now=event.time)
+            else:
+                self.cluster.recover_node(event.node, now=event.time)
+            self._next += 1
+        self.cluster.run_until(time)

@@ -1,0 +1,276 @@
+"""Fault vocabulary and the deterministic fault schedule.
+
+A :class:`FaultPlan` is the complete, explicit description of every bad
+thing that happens during one simulation run: which nodes crash and
+recover when, how lossy hint propagation becomes, how much extra
+staleness hint caches accumulate, and how degraded the network or origin
+servers are.  Plans are immutable, picklable (they cross process
+boundaries with :mod:`repro.runner.parallel`), and canonically
+serializable so they can join the runner's content-address fingerprints.
+
+Event semantics
+---------------
+
+* :class:`NodeCrash` / :class:`NodeRecover` -- a node goes down/comes
+  back at ``time``.  ``kind`` says which population the index addresses:
+  ``"l1"``/``"l2"``/``"l3"`` are data-cache nodes, ``"meta"`` are
+  metadata-hierarchy nodes (hint propagation interior nodes; in the
+  centralized-directory architecture, meta node 0 **is** the directory).
+  A crash loses the node's volatile state -- caches come back empty.
+* :class:`HintBatchLoss` -- from ``time`` on, each hint inform/retract
+  batch is lost with probability ``prob`` (seeded draw; ``prob=0``
+  restores health).
+* :class:`StaleHintDrift` -- from ``time`` on, hint visibility lags an
+  extra ``ttl_skew_s`` seconds beyond the architecture's configured
+  propagation delay (``0`` restores health).
+* :class:`OriginSlowdown` -- from ``time`` on, origin-server fetches
+  cost ``factor`` times their normal charge (``1.0`` restores health).
+* :class:`LinkDegrade` -- from ``time`` on, every network charge is
+  multiplied by ``latency_mult`` (``1.0`` restores health).
+
+"Level" events (loss, drift, slowdown, degrade) are step functions: each
+occurrence sets the level until the next occurrence of the same kind.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from enum import Enum
+from typing import Iterable, Iterator
+
+#: Timeout charged when a request waits out a dead node before falling
+#: back (milliseconds).  Chosen at the scale of the testbed's worst
+#: store-and-forward miss so "timed out then fell back" is never cheaper
+#: than any healthy path.
+DEFAULT_TIMEOUT_MS = 4_000.0
+
+
+class NodeKind(str, Enum):
+    """Which node population a crash/recover index addresses."""
+
+    L1 = "l1"
+    L2 = "l2"
+    L3 = "l3"
+    META = "meta"
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """Base fault event: something happens at ``time`` seconds."""
+
+    time: float
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError(f"fault time must be non-negative, got {self.time}")
+
+
+@dataclass(frozen=True)
+class NodeCrash(FaultEvent):
+    """Node ``(kind, node)`` dies: unreachable, volatile state lost."""
+
+    kind: NodeKind = NodeKind.L2
+    node: int = 0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        object.__setattr__(self, "kind", NodeKind(self.kind))
+        if self.node < 0:
+            raise ValueError(f"node index must be non-negative, got {self.node}")
+
+
+@dataclass(frozen=True)
+class NodeRecover(FaultEvent):
+    """Node ``(kind, node)`` rejoins (with empty caches -- it crashed)."""
+
+    kind: NodeKind = NodeKind.L2
+    node: int = 0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        object.__setattr__(self, "kind", NodeKind(self.kind))
+        if self.node < 0:
+            raise ValueError(f"node index must be non-negative, got {self.node}")
+
+
+@dataclass(frozen=True)
+class HintBatchLoss(FaultEvent):
+    """Hint update batches are lost with probability ``prob`` from now on."""
+
+    prob: float = 0.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not 0.0 <= self.prob <= 1.0:
+            raise ValueError(f"loss probability must be in [0, 1], got {self.prob}")
+
+
+@dataclass(frozen=True)
+class StaleHintDrift(FaultEvent):
+    """Hint visibility lags an extra ``ttl_skew_s`` seconds from now on."""
+
+    ttl_skew_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.ttl_skew_s < 0:
+            raise ValueError(f"ttl skew must be non-negative, got {self.ttl_skew_s}")
+
+
+@dataclass(frozen=True)
+class OriginSlowdown(FaultEvent):
+    """Origin fetches cost ``factor`` x their normal charge from now on."""
+
+    factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.factor < 1.0:
+            raise ValueError(
+                f"origin slowdown factor must be >= 1 (faults never speed "
+                f"anything up), got {self.factor}"
+            )
+
+
+@dataclass(frozen=True)
+class LinkDegrade(FaultEvent):
+    """Every network charge is multiplied by ``latency_mult`` from now on."""
+
+    latency_mult: float = 1.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.latency_mult < 1.0:
+            raise ValueError(
+                f"latency multiplier must be >= 1 (faults never speed "
+                f"anything up), got {self.latency_mult}"
+            )
+
+
+#: Event-type tag used in canonical payloads, stable across refactors.
+_EVENT_TAGS: dict[type, str] = {
+    NodeCrash: "crash",
+    NodeRecover: "recover",
+    HintBatchLoss: "hint_batch_loss",
+    StaleHintDrift: "stale_hint_drift",
+    OriginSlowdown: "origin_slowdown",
+    LinkDegrade: "link_degrade",
+}
+_TAG_TYPES = {tag: cls for cls, tag in _EVENT_TAGS.items()}
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A time-ordered, immutable schedule of fault events.
+
+    Args:
+        events: The schedule; stored sorted by (time, insertion order).
+        seed: Seed for the injector's stochastic draws (hint batch loss).
+            Part of the plan so two runs of the same plan lose the same
+            batches.
+        timeout_ms: Milliseconds a request waits at a dead node before
+            falling back to the origin server.
+
+    An empty plan is valid and behaves exactly like no plan at all.
+    """
+
+    events: tuple[FaultEvent, ...] = ()
+    seed: int = 0
+    timeout_ms: float = DEFAULT_TIMEOUT_MS
+
+    def __post_init__(self) -> None:
+        ordered = tuple(
+            sorted(self.events, key=lambda e: e.time)
+        )  # stable: simultaneous events keep input order
+        object.__setattr__(self, "events", ordered)
+        if self.timeout_ms < 0:
+            raise ValueError(f"timeout must be non-negative, got {self.timeout_ms}")
+        for event in ordered:
+            if type(event) not in _EVENT_TAGS:
+                raise TypeError(f"unknown fault event type {type(event).__name__}")
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[FaultEvent]:
+        return iter(self.events)
+
+    def __bool__(self) -> bool:
+        """True when the plan schedules anything at all."""
+        return bool(self.events)
+
+    # ------------------------------------------------------------------
+    # canonical serialization (fingerprints, JSON export, plan transport)
+    # ------------------------------------------------------------------
+    def to_payload(self) -> dict:
+        """Canonical JSON-able rendering (feeds the runner fingerprint)."""
+        return {
+            "seed": self.seed,
+            "timeout_ms": self.timeout_ms,
+            "events": [
+                {"type": _EVENT_TAGS[type(event)], **_event_fields(event)}
+                for event in self.events
+            ],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "FaultPlan":
+        """Inverse of :meth:`to_payload`."""
+        events = []
+        for item in payload.get("events", []):
+            fields = dict(item)
+            tag = fields.pop("type")
+            try:
+                event_type = _TAG_TYPES[tag]
+            except KeyError:
+                raise ValueError(f"unknown fault event tag {tag!r}") from None
+            events.append(event_type(**fields))
+        return cls(
+            events=tuple(events),
+            seed=payload.get("seed", 0),
+            timeout_ms=payload.get("timeout_ms", DEFAULT_TIMEOUT_MS),
+        )
+
+    def to_json(self) -> str:
+        """Canonical JSON string (sorted keys, no whitespace)."""
+        return json.dumps(self.to_payload(), sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        return cls.from_payload(json.loads(text))
+
+    def fingerprint(self) -> str:
+        """Content address of this plan (see :mod:`repro.runner.fingerprint`)."""
+        from repro.runner.fingerprint import fault_fingerprint
+
+        return fault_fingerprint(self)
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def outage(
+        cls,
+        targets: Iterable[tuple[NodeKind | str, int]],
+        start: float,
+        end: float | None = None,
+        **kwargs,
+    ) -> "FaultPlan":
+        """Crash every target at ``start``; recover at ``end`` if given."""
+        events: list[FaultEvent] = []
+        for kind, node in targets:
+            events.append(NodeCrash(time=start, kind=NodeKind(kind), node=node))
+            if end is not None:
+                if end <= start:
+                    raise ValueError(f"recovery {end} must follow crash {start}")
+                events.append(NodeRecover(time=end, kind=NodeKind(kind), node=node))
+        return cls(events=tuple(events), **kwargs)
+
+
+def _event_fields(event: FaultEvent) -> dict:
+    fields = asdict(event)
+    kind = fields.get("kind")
+    if isinstance(kind, NodeKind):
+        fields["kind"] = kind.value
+    return fields

@@ -1,0 +1,100 @@
+"""Seeded MTBF/MTTR fault-plan generation.
+
+Explicit plans are right for drills and unit tests; sweeps want a
+*statistical* failure regime: "each node fails on average every ``mtbf``
+seconds and stays down ``mttr`` seconds".  :class:`FaultProfile` turns
+those two parameters into a concrete :class:`~repro.faults.events.FaultPlan`
+with a seeded RNG, so the same profile + seed always yields the same
+schedule -- sweep points are reproducible, cacheable, and comparable
+across architectures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.faults.events import (
+    DEFAULT_TIMEOUT_MS,
+    FaultEvent,
+    FaultPlan,
+    NodeCrash,
+    NodeKind,
+    NodeRecover,
+)
+
+
+@dataclass(frozen=True)
+class FaultProfile:
+    """A crash/repair regime: exponential failures, exponential repairs.
+
+    Args:
+        mtbf_s: Mean time between failures per target node, in seconds of
+            simulation time (measured from recovery to the next crash).
+        mttr_s: Mean time to repair, in seconds.  ``None`` means crashed
+            nodes never recover within the run (fail-stop).
+        seed: RNG seed for the draw sequence.
+        timeout_ms: Dead-node timeout carried onto the generated plan.
+    """
+
+    mtbf_s: float
+    mttr_s: float | None = None
+    seed: int = 0
+    timeout_ms: float = DEFAULT_TIMEOUT_MS
+
+    def __post_init__(self) -> None:
+        if self.mtbf_s <= 0:
+            raise ValueError(f"mtbf must be positive, got {self.mtbf_s}")
+        if self.mttr_s is not None and self.mttr_s <= 0:
+            raise ValueError(f"mttr must be positive, got {self.mttr_s}")
+
+    def plan(
+        self,
+        targets: Sequence[tuple[NodeKind | str, int]] | Iterable[tuple[NodeKind | str, int]],
+        *,
+        duration_s: float,
+        start_s: float = 0.0,
+    ) -> FaultPlan:
+        """Generate the crash/recover schedule over ``[start_s, duration_s)``.
+
+        Each target gets an independent alternating renewal process (up
+        for Exp(mtbf), down for Exp(mttr)), drawn from a per-target RNG
+        stream derived from ``seed`` and the target's identity -- adding
+        or removing one target never perturbs another's schedule.
+        """
+        if duration_s <= start_s:
+            raise ValueError(
+                f"duration {duration_s} must exceed the start time {start_s}"
+            )
+        events: list[FaultEvent] = []
+        for kind, node in targets:
+            kind = NodeKind(kind)
+            stream = np.random.default_rng(
+                [self.seed, _KIND_STREAM[kind], node]
+            )
+            now = start_s
+            while True:
+                now += float(stream.exponential(self.mtbf_s))
+                if now >= duration_s:
+                    break
+                events.append(NodeCrash(time=now, kind=kind, node=node))
+                if self.mttr_s is None:
+                    break  # fail-stop: down for the rest of the run
+                now += float(stream.exponential(self.mttr_s))
+                if now >= duration_s:
+                    break
+                events.append(NodeRecover(time=now, kind=kind, node=node))
+        return FaultPlan(
+            events=tuple(events), seed=self.seed, timeout_ms=self.timeout_ms
+        )
+
+
+#: Stable per-kind stream offsets so (seed, kind, node) streams never collide.
+_KIND_STREAM: dict[NodeKind, int] = {
+    NodeKind.L1: 1,
+    NodeKind.L2: 2,
+    NodeKind.L3: 3,
+    NodeKind.META: 4,
+}

@@ -10,9 +10,14 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.netmodel.model import AccessPoint, CostModel
 from repro.traces.records import Request
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.faults.events import NodeKind
+    from repro.faults.injector import FaultInjector
 
 
 @dataclass(frozen=True)
@@ -37,6 +42,16 @@ class AccessResult:
             3.1.1).
         push_hit: The hit was served from an object that a push algorithm
             had placed at the proxy before any local demand.
+        timeout_fallback: The request waited out a dead node's timeout and
+            then fell back (to the origin server, or around the dead
+            level) -- only set under fault injection.
+        stale_hint_forward: A hint/directory entry forwarded the request
+            to a crashed or emptied node (a *wasted forward*: the copy is
+            unreachable although metadata still advertises it) -- only
+            set under fault injection.
+        fault_added_ms: Portion of ``time_ms`` attributable to injected
+            faults (timeouts, origin slowdown, link degradation).  Zero
+            on every healthy run.
     """
 
     point: AccessPoint
@@ -47,10 +62,18 @@ class AccessResult:
     false_negative: bool = False
     suboptimal_positive: bool = False
     push_hit: bool = False
+    timeout_fallback: bool = False
+    stale_hint_forward: bool = False
+    fault_added_ms: float = 0.0
 
     def __post_init__(self) -> None:
         if self.time_ms < 0:
             raise ValueError(f"response time must be non-negative, got {self.time_ms}")
+        if not 0 <= self.fault_added_ms <= self.time_ms:
+            raise ValueError(
+                f"fault-added time must be within [0, time_ms], got "
+                f"{self.fault_added_ms} of {self.time_ms}"
+            )
         if self.hit and self.point is AccessPoint.SERVER:
             raise ValueError("a hit cannot be satisfied at the server")
         if not self.hit and self.point is not AccessPoint.SERVER:
@@ -69,10 +92,34 @@ class Architecture(abc.ABC):
         #: Zero means "freshly constructed" -- the invariant comparison
         #: runs check, since reusing a warmed architecture biases results.
         self.processed_requests = 0
+        #: Bound fault injector, or None (the default healthy case).  Set
+        #: via :meth:`attach_faults`; architectures branch to their
+        #: fault-aware request path only when this is not None, so a
+        #: plan-free run takes exactly the original code path.
+        self.faults: "FaultInjector | None" = None
 
     @abc.abstractmethod
     def process(self, request: Request) -> AccessResult:
         """Serve one request, mutating internal cache state."""
+
+    # ------------------------------------------------------------------
+    # fault injection (opt-in; see repro.faults)
+    # ------------------------------------------------------------------
+    def attach_faults(self, injector: "FaultInjector") -> None:
+        """Opt this instance into fault injection for the coming run."""
+        self.faults = injector
+
+    def on_fault_crash(self, kind: "NodeKind", node: int) -> None:
+        """Injector callback: node ``(kind, node)`` just crashed.
+
+        Subclasses drop the volatile state the crash destroys (cache
+        contents, pending metadata).  The base implementation ignores
+        kinds an architecture has no node for -- crashing an L3 data
+        node cannot hurt an architecture that stores data only at L1.
+        """
+
+    def on_fault_recover(self, kind: "NodeKind", node: int) -> None:
+        """Injector callback: node ``(kind, node)`` just rejoined (empty)."""
 
     def describe(self) -> str:
         """One-line description for experiment logs."""

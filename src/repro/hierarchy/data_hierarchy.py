@@ -9,6 +9,12 @@ time of the deepest level reached.
 Consistency is invalidation-based: a cache that finds it holds an older
 version than the request wants invalidates the copy and the walk continues
 upward (the paper's strong-consistency assumption).
+
+Under fault injection (:mod:`repro.faults`) the hierarchy shows its
+structural weakness: every request *must* route through its fixed chain of
+parents, so a dead L2 or L3 costs a full timeout before the proxy falls
+back to the origin server, and the crashed cache comes back empty -- the
+whole subtree re-faults its working set.
 """
 
 from __future__ import annotations
@@ -49,6 +55,8 @@ class DataHierarchy(Architecture):
         self.l3_cache = LRUCache(l3_bytes)
 
     def process(self, request: Request) -> AccessResult:
+        if self.faults is not None:
+            return self._process_faulted(request)
         l1_index = self.topology.l1_of_client(request.client_id)
         l2_index = self.topology.l2_of_l1(l1_index)
         l1 = self.l1_caches[l1_index]
@@ -83,4 +91,106 @@ class DataHierarchy(Architecture):
             time_ms=self.cost_model.hierarchical_ms(point, size),
             hit=hit,
             remote_hit=remote,
+        )
+
+    # ------------------------------------------------------------------
+    # degraded mode (active only when a FaultInjector is attached)
+    # ------------------------------------------------------------------
+    def on_fault_crash(self, kind, node: int) -> None:
+        """A cache node dies: its contents are gone when it recovers."""
+        from repro.faults.events import NodeKind
+
+        if kind is NodeKind.L1 and node < len(self.l1_caches):
+            self.l1_caches[node].clear()
+        elif kind is NodeKind.L2 and node < len(self.l2_caches):
+            self.l2_caches[node].clear()
+        elif kind is NodeKind.L3:
+            self.l3_cache.clear()
+
+    def _process_faulted(self, request: Request) -> AccessResult:
+        """The walk-up with dead parents: timeout, then fall back to origin.
+
+        Charging rule: a timeout fallback pays the dead node's timeout
+        plus the *full* hierarchical miss charge (the request waited at
+        the dead level, then completed as a worst-case origin fetch), so
+        a faulted request is never cheaper than its healthy counterpart.
+        Dead caches are neither read nor written -- their subtree refills
+        only after recovery.
+        """
+        faults = self.faults
+        assert faults is not None
+        l1_index = self.topology.l1_of_client(request.client_id)
+        l2_index = self.topology.l2_of_l1(l1_index)
+        oid, version, size = request.object_id, request.version, request.size
+
+        if faults.is_down("l1", l1_index):
+            # The client's own proxy is dead: wait out the timeout, then
+            # fetch from the origin directly.  Nothing is cached.
+            faults.note_dead_probe()
+            return self._fallback_result(size)
+
+        l1 = self.l1_caches[l1_index]
+        if l1.lookup(oid, version) is LookupResult.HIT:
+            return self._degraded_result(AccessPoint.L1, size, hit=True, remote=False)
+
+        if faults.is_down("l2", l2_index):
+            faults.note_dead_probe()
+            l1.insert(oid, size, version)
+            return self._fallback_result(size)
+
+        l2 = self.l2_caches[l2_index]
+        if l2.lookup(oid, version) is LookupResult.HIT:
+            l1.insert(oid, size, version)
+            return self._degraded_result(AccessPoint.L2, size, hit=True, remote=True)
+
+        if faults.is_down("l3", 0):
+            faults.note_dead_probe()
+            l2.insert(oid, size, version)
+            l1.insert(oid, size, version)
+            return self._fallback_result(size)
+
+        l3 = self.l3_cache
+        if l3.lookup(oid, version) is LookupResult.HIT:
+            l2.insert(oid, size, version)
+            l1.insert(oid, size, version)
+            return self._degraded_result(AccessPoint.L3, size, hit=True, remote=True)
+
+        l3.insert(oid, size, version)
+        l2.insert(oid, size, version)
+        l1.insert(oid, size, version)
+        return self._degraded_result(
+            AccessPoint.SERVER, size, hit=False, remote=False, origin=True
+        )
+
+    def _degraded_result(
+        self,
+        point: AccessPoint,
+        size: int,
+        *,
+        hit: bool,
+        remote: bool,
+        origin: bool = False,
+    ) -> AccessResult:
+        charged, added = self.faults.degraded_ms(
+            self.cost_model.hierarchical_ms(point, size), origin=origin
+        )
+        return AccessResult(
+            point=point,
+            time_ms=charged,
+            hit=hit,
+            remote_hit=remote,
+            fault_added_ms=added,
+        )
+
+    def _fallback_result(self, size: int) -> AccessResult:
+        faults = self.faults
+        charged, added = faults.degraded_ms(
+            self.cost_model.hierarchical_ms(AccessPoint.SERVER, size), origin=True
+        )
+        return AccessResult(
+            point=AccessPoint.SERVER,
+            time_ms=charged + faults.timeout_ms,
+            hit=False,
+            timeout_fallback=True,
+            fault_added_ms=added + faults.timeout_ms,
         )

@@ -55,7 +55,12 @@ class CentralizedDirectoryArchitecture(Architecture):
             for node in range(topology.n_l1)
         ]
 
+    #: The central directory is metadata node 0 in fault plans.
+    DIRECTORY_META_NODE = 0
+
     def process(self, request: Request) -> AccessResult:
+        if self.faults is not None:
+            return self._process_faulted(request)
         self._now = request.time
         l1_index = self.topology.l1_of_client(request.client_id)
         oid, version, size = request.object_id, request.version, request.size
@@ -113,3 +118,142 @@ class CentralizedDirectoryArchitecture(Architecture):
             self.directory.retract(self._now, key, node)
 
         return on_evict
+
+    # ------------------------------------------------------------------
+    # degraded mode (active only when a FaultInjector is attached)
+    # ------------------------------------------------------------------
+    def on_fault_crash(self, kind, node: int) -> None:
+        """Crashes hurt CRISP two ways: dead proxies leave the directory
+        pointing at data that no longer exists (the node died without
+        retracting), and a dead directory makes *every* local miss pay a
+        query timeout before going to the origin server."""
+        from repro.faults.events import NodeKind
+
+        if kind is NodeKind.L1 and node < len(self.l1_caches):
+            # The node cannot say goodbye: directory entries go stale.
+            for key in self.l1_caches[node].clear():
+                self.directory.retract(self._now, key, node, visible=False)
+
+    def _process_faulted(self, request: Request) -> AccessResult:
+        faults = self.faults
+        assert faults is not None
+        self._now = request.time
+        l1_index = self.topology.l1_of_client(request.client_id)
+        oid, version, size = request.object_id, request.version, request.size
+        cost = self.cost_model
+
+        if faults.is_down("l1", l1_index):
+            # Client's own proxy dead: timeout, then direct origin fetch.
+            faults.note_dead_probe()
+            charged, added = faults.degraded_ms(
+                cost.via_l1_ms(AccessPoint.SERVER, size), origin=True
+            )
+            return AccessResult(
+                point=AccessPoint.SERVER,
+                time_ms=charged + faults.timeout_ms,
+                hit=False,
+                timeout_fallback=True,
+                fault_added_ms=added + faults.timeout_ms,
+            )
+
+        if self.l1_caches[l1_index].lookup(oid, version) is LookupResult.HIT:
+            charged, added = faults.degraded_ms(cost.via_l1_ms(AccessPoint.L1, size))
+            return AccessResult(
+                point=AccessPoint.L1, time_ms=charged, hit=True, fault_added_ms=added
+            )
+
+        if faults.is_down("meta", self.DIRECTORY_META_NODE):
+            # The directory itself is down: the query times out and the
+            # miss goes straight to the origin server.  The copy is still
+            # cached locally, but the directory never hears about it --
+            # its map silently erodes for the outage's duration.
+            faults.note_dead_probe()
+            self.l1_caches[l1_index].insert(oid, size, version)
+            charged, added = faults.degraded_ms(
+                cost.via_l1_ms(AccessPoint.SERVER, size), origin=True
+            )
+            return AccessResult(
+                point=AccessPoint.SERVER,
+                time_ms=charged + faults.timeout_ms,
+                hit=False,
+                timeout_fallback=True,
+                fault_added_ms=added + faults.timeout_ms,
+            )
+
+        query_ms, query_added = faults.degraded_ms(cost.probe_ms(self.directory_point))
+        lookup = self.directory.find(self._now, oid, l1_index)
+        # Under faults the directory's freshness premise is void: crashed
+        # proxies died without retracting, so the visible map may name
+        # holders that no longer exist.  Trust the map (that is what a
+        # real CRISP client does) and let the fetch discover the truth.
+        holder = self._nearest_visible_holder(lookup.holders, l1_index)
+
+        if holder is not None and faults.is_down("l1", holder):
+            # Stale map: the fetch hangs on a dead peer until the timeout,
+            # then the directory drops the entry and the request goes to
+            # the origin server.
+            faults.note_dead_probe()
+            self.directory.drop_visible(oid, holder)
+            self._store(l1_index, request)
+            charged, added = faults.degraded_ms(
+                cost.via_l1_ms(AccessPoint.SERVER, size), origin=True
+            )
+            return AccessResult(
+                point=AccessPoint.SERVER,
+                time_ms=query_ms + charged + faults.timeout_ms,
+                hit=False,
+                timeout_fallback=True,
+                stale_hint_forward=True,
+                fault_added_ms=query_added + added + faults.timeout_ms,
+            )
+
+        if holder is not None:
+            point = self.topology.distance_class(l1_index, holder)
+            if self.l1_caches[holder].lookup(oid, version) is LookupResult.HIT:
+                self._store(l1_index, request)
+                charged, added = faults.degraded_ms(cost.via_l1_ms(point, size))
+                return AccessResult(
+                    point=point,
+                    time_ms=query_ms + charged,
+                    hit=True,
+                    remote_hit=True,
+                    fault_added_ms=query_added + added,
+                )
+            # The peer is alive but the copy is gone (it crashed and came
+            # back empty while the directory still advertised the entry):
+            # a wasted forward the healthy directory can never produce.
+            self.directory.drop_visible(oid, holder)
+            probe_ms, probe_added = faults.degraded_ms(cost.probe_ms(point))
+            self._store(l1_index, request)
+            charged, added = faults.degraded_ms(
+                cost.via_l1_ms(AccessPoint.SERVER, size), origin=True
+            )
+            return AccessResult(
+                point=AccessPoint.SERVER,
+                time_ms=query_ms + probe_ms + charged,
+                hit=False,
+                stale_hint_forward=True,
+                fault_added_ms=query_added + probe_added + added,
+            )
+
+        self._store(l1_index, request)
+        charged, added = faults.degraded_ms(
+            cost.via_l1_ms(AccessPoint.SERVER, size), origin=True
+        )
+        return AccessResult(
+            point=AccessPoint.SERVER,
+            time_ms=query_ms + charged,
+            hit=False,
+            fault_added_ms=query_added + added,
+        )
+
+    def _nearest_visible_holder(
+        self, holders: tuple[int, ...], requester: int
+    ) -> int | None:
+        """Nearest holder the (possibly stale) visible map advertises."""
+        if not holders:
+            return None
+        return min(
+            holders,
+            key=lambda h: (int(self.topology.distance_class(requester, h)), h),
+        )

@@ -77,6 +77,7 @@ class HintHierarchy(Architecture):
             self.name = f"hints+{push_policy.name}"
 
         self._now = 0.0
+        self._base_hint_delay_s = hint_delay_s
         # (node, object) -> pushed version, for replicas awaiting first use.
         self._pending_push: dict[tuple[int, int], int] = {}
         self.l1_caches = [
@@ -88,6 +89,8 @@ class HintHierarchy(Architecture):
     # request processing
     # ------------------------------------------------------------------
     def process(self, request: Request) -> AccessResult:
+        if self.faults is not None:
+            return self._process_faulted(request)
         self._now = request.time
         l1_index = self.topology.l1_of_client(request.client_id)
         cache = self.l1_caches[l1_index]
@@ -132,6 +135,174 @@ class HintHierarchy(Architecture):
         return self._server_fetch(
             request, l1_index, local_had_stale, stale_holders,
             false_negative=lookup.false_negative,
+        )
+
+    # ------------------------------------------------------------------
+    # degraded mode (active only when a FaultInjector is attached)
+    # ------------------------------------------------------------------
+    def on_fault_crash(self, kind, node: int) -> None:
+        """An L1 proxy dies without a goodbye.
+
+        Its data is gone (ground truth updated) but the retractions were
+        never sent (``visible=False``), so every hint cache keeps
+        advertising the dead node's holdings -- the paper's "stale but
+        never wrong" hints become plain wrong until probes discover the
+        corpse.  Metadata-node crashes need no state change here; they
+        suppress hint visibility on the request path instead.
+        """
+        from repro.faults.events import NodeKind
+
+        if kind is NodeKind.L1 and node < len(self.l1_caches):
+            for key in self.l1_caches[node].clear():
+                self.directory.retract(self._now, key, node, visible=False)
+                self._pending_push.pop((node, key), None)
+
+    def _meta_node_of(self, l1_index: int) -> int:
+        """Metadata-hierarchy node relaying hint updates for this proxy.
+
+        The metadata hierarchy follows the data topology's shape, so the
+        interior node covering an L1 proxy is its L2 group index.
+        """
+        return self.topology.l2_of_l1(l1_index)
+
+    def _process_faulted(self, request: Request) -> AccessResult:
+        """The hint walk under faults.
+
+        The structural claim under test (section 5's availability
+        argument): hints keep working when nodes die, because any live
+        peer or the origin server remains reachable without a fixed
+        chain of parents.  The costs of degradation are wasted forwards
+        to dead holders (timeout, counted as ``stale_hint_forward``) and
+        eroding hint coverage (lost batches and dead metadata nodes make
+        stores invisible, so future lookups miss straight to the server
+        -- slower, never wrong).
+
+        Push policies and the ideal-push accounting are not exercised in
+        degraded mode; fault experiments run the plain hint architecture.
+        """
+        faults = self.faults
+        assert faults is not None
+        self._now = request.time
+        # StaleHintDrift: extra visibility lag on top of the configured
+        # propagation delay, applied to every event scheduled from now on.
+        self.directory.propagation_delay_s = (
+            self._base_hint_delay_s + faults.hint_delay_skew_s
+        )
+        l1_index = self.topology.l1_of_client(request.client_id)
+        oid, version, size = request.object_id, request.version, request.size
+        cost = self.cost_model
+
+        if faults.is_down("l1", l1_index):
+            # The client's own proxy is dead: wait out the timeout, then
+            # fetch from the origin directly.  Nothing is cached.
+            faults.note_dead_probe()
+            charged, added = faults.degraded_ms(
+                cost.via_l1_ms(AccessPoint.SERVER, size), origin=True
+            )
+            return AccessResult(
+                point=AccessPoint.SERVER,
+                time_ms=charged + faults.timeout_ms,
+                hit=False,
+                timeout_fallback=True,
+                fault_added_ms=added + faults.timeout_ms,
+            )
+
+        cache = self.l1_caches[l1_index]
+        if cache.lookup(oid, version) is LookupResult.HIT:
+            charged, added = faults.degraded_ms(cost.via_l1_ms(AccessPoint.L1, size))
+            return AccessResult(
+                point=AccessPoint.L1, time_ms=charged, hit=True, fault_added_ms=added
+            )
+
+        lookup = self.directory.find(self._now, oid, l1_index)
+        holder = self._nearest_holder(lookup.holders, l1_index)
+
+        if holder is not None and faults.is_down("l1", holder):
+            # A stale hint forwarded the request to a crashed peer: the
+            # probe times out, the requester discards the bad hint, and
+            # the request completes at the origin server.
+            faults.note_dead_probe()
+            self.directory.drop_visible(oid, holder)
+            self.directory.record_false_positive()
+            self._store_faulted(l1_index, request)
+            charged, added = faults.degraded_ms(
+                cost.via_l1_ms(AccessPoint.SERVER, size), origin=True
+            )
+            return AccessResult(
+                point=AccessPoint.SERVER,
+                time_ms=cost.hint_lookup_ms() + charged + faults.timeout_ms,
+                hit=False,
+                false_positive=True,
+                timeout_fallback=True,
+                stale_hint_forward=True,
+                fault_added_ms=added + faults.timeout_ms,
+            )
+
+        if holder is not None:
+            point = self.topology.distance_class(l1_index, holder)
+            if self.l1_caches[holder].lookup(oid, version) is LookupResult.HIT:
+                suboptimal = any(
+                    held >= version
+                    and node != l1_index
+                    and self.topology.distance_class(l1_index, node) < point
+                    for node, held in self.directory.truth_holders(oid).items()
+                )
+                self._store_faulted(l1_index, request)
+                charged, added = faults.degraded_ms(cost.via_l1_ms(point, size))
+                return AccessResult(
+                    point=point,
+                    time_ms=charged + cost.hint_lookup_ms(),
+                    hit=True,
+                    remote_hit=True,
+                    suboptimal_positive=suboptimal,
+                    fault_added_ms=added,
+                )
+            # Ordinary false positive: the live peer no longer holds the
+            # object (or invalidated a stale copy); wasted probe, then
+            # the origin server.
+            self.directory.record_false_positive()
+            probe_ms, probe_added = faults.degraded_ms(cost.probe_ms(point))
+            self._store_faulted(l1_index, request)
+            charged, added = faults.degraded_ms(
+                cost.via_l1_ms(AccessPoint.SERVER, size), origin=True
+            )
+            return AccessResult(
+                point=AccessPoint.SERVER,
+                time_ms=cost.hint_lookup_ms() + probe_ms + charged,
+                hit=False,
+                false_positive=True,
+                fault_added_ms=probe_added + added,
+            )
+
+        self._store_faulted(l1_index, request)
+        charged, added = faults.degraded_ms(
+            cost.via_l1_ms(AccessPoint.SERVER, size), origin=True
+        )
+        return AccessResult(
+            point=AccessPoint.SERVER,
+            time_ms=cost.hint_lookup_ms() + charged,
+            hit=False,
+            false_negative=lookup.false_negative,
+            fault_added_ms=added,
+        )
+
+    def _store_faulted(self, l1_index: int, request: Request) -> None:
+        """Store a demand copy; the hint announcement may be lost in flight.
+
+        The copy always lands in the data cache (ground truth), but the
+        inform is invisible when the seeded batch-loss draw says so or
+        when the metadata node relaying this proxy's updates is down --
+        either way the system accrues future false negatives, never
+        incorrect data.
+        """
+        faults = self.faults
+        self.l1_caches[l1_index].insert(
+            request.object_id, request.size, request.version
+        )
+        dropped = faults.hint_update_dropped()
+        visible = not dropped and not faults.is_down("meta", self._meta_node_of(l1_index))
+        self.directory.inform(
+            self._now, request.object_id, l1_index, request.version, visible=visible
         )
 
     # ------------------------------------------------------------------

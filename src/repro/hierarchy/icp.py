@@ -47,6 +47,8 @@ class IcpHierarchy(Architecture):
         self.sibling_queries = 0
 
     def process(self, request: Request) -> AccessResult:
+        if self.faults is not None:
+            return self._process_faulted(request)
         l1_index = self.topology.l1_of_client(request.client_id)
         l2_index = self.topology.l2_of_l1(l1_index)
         oid, version, size = request.object_id, request.version, request.size
@@ -97,4 +99,137 @@ class IcpHierarchy(Architecture):
             point=AccessPoint.SERVER,
             time_ms=query_ms + self.cost_model.hierarchical_ms(AccessPoint.SERVER, size),
             hit=False,
+        )
+
+    # ------------------------------------------------------------------
+    # degraded mode (active only when a FaultInjector is attached)
+    # ------------------------------------------------------------------
+    def on_fault_crash(self, kind, node: int) -> None:
+        from repro.faults.events import NodeKind
+
+        if kind is NodeKind.L1 and node < len(self.l1_caches):
+            self.l1_caches[node].clear()
+        elif kind is NodeKind.L2 and node < len(self.l2_caches):
+            self.l2_caches[node].clear()
+        elif kind is NodeKind.L3:
+            self.l3_cache.clear()
+
+    def _process_faulted(self, request: Request) -> AccessResult:
+        """ICP under faults: queries to dead siblings wait out the timeout.
+
+        The multicast query only completes when every queried peer has
+        answered, so *one* dead sibling stalls every local miss for the
+        full timeout -- the protocol-level fragility the paper's related
+        -work section points at.  Dead parents behave as in the plain
+        data hierarchy: timeout, then fall back to the origin server.
+        """
+        faults = self.faults
+        assert faults is not None
+        l1_index = self.topology.l1_of_client(request.client_id)
+        l2_index = self.topology.l2_of_l1(l1_index)
+        oid, version, size = request.object_id, request.version, request.size
+        cost = self.cost_model
+
+        if faults.is_down("l1", l1_index):
+            faults.note_dead_probe()
+            return self._fault_fallback(size, extra_ms=0.0)
+
+        if self.l1_caches[l1_index].lookup(oid, version) is LookupResult.HIT:
+            charged, added = faults.degraded_ms(cost.hierarchical_ms(AccessPoint.L1, size))
+            return AccessResult(
+                point=AccessPoint.L1, time_ms=charged, hit=True, fault_added_ms=added
+            )
+
+        self.sibling_queries += 1
+        query_ms, query_added = faults.degraded_ms(cost.probe_ms(AccessPoint.L2))
+        live_siblings = []
+        dead_sibling = False
+        for sibling in self.topology.siblings_of(l1_index):
+            if faults.is_down("l1", sibling):
+                dead_sibling = True
+            else:
+                live_siblings.append(sibling)
+        if dead_sibling:
+            # The query round only resolves at the timeout deadline.
+            faults.note_dead_probe()
+            query_ms += faults.timeout_ms
+            query_added += faults.timeout_ms
+
+        for sibling in live_siblings:
+            if self.l1_caches[sibling].lookup(oid, version) is LookupResult.HIT:
+                self.sibling_hits += 1
+                self.l1_caches[l1_index].insert(oid, size, version)
+                charged, added = faults.degraded_ms(cost.via_l1_ms(AccessPoint.L2, size))
+                return AccessResult(
+                    point=AccessPoint.L2,
+                    time_ms=query_ms + charged,
+                    hit=True,
+                    remote_hit=True,
+                    timeout_fallback=dead_sibling,
+                    fault_added_ms=query_added + added,
+                )
+
+        if faults.is_down("l2", l2_index):
+            faults.note_dead_probe()
+            self.l1_caches[l1_index].insert(oid, size, version)
+            return self._fault_fallback(size, extra_ms=query_ms, extra_added=query_added)
+
+        if self.l2_caches[l2_index].lookup(oid, version) is LookupResult.HIT:
+            self.l1_caches[l1_index].insert(oid, size, version)
+            charged, added = faults.degraded_ms(cost.hierarchical_ms(AccessPoint.L2, size))
+            return AccessResult(
+                point=AccessPoint.L2,
+                time_ms=query_ms + charged,
+                hit=True,
+                remote_hit=True,
+                timeout_fallback=dead_sibling,
+                fault_added_ms=query_added + added,
+            )
+
+        if faults.is_down("l3", 0):
+            faults.note_dead_probe()
+            self.l2_caches[l2_index].insert(oid, size, version)
+            self.l1_caches[l1_index].insert(oid, size, version)
+            return self._fault_fallback(size, extra_ms=query_ms, extra_added=query_added)
+
+        if self.l3_cache.lookup(oid, version) is LookupResult.HIT:
+            self.l2_caches[l2_index].insert(oid, size, version)
+            self.l1_caches[l1_index].insert(oid, size, version)
+            charged, added = faults.degraded_ms(cost.hierarchical_ms(AccessPoint.L3, size))
+            return AccessResult(
+                point=AccessPoint.L3,
+                time_ms=query_ms + charged,
+                hit=True,
+                remote_hit=True,
+                timeout_fallback=dead_sibling,
+                fault_added_ms=query_added + added,
+            )
+
+        self.l3_cache.insert(oid, size, version)
+        self.l2_caches[l2_index].insert(oid, size, version)
+        self.l1_caches[l1_index].insert(oid, size, version)
+        charged, added = faults.degraded_ms(
+            cost.hierarchical_ms(AccessPoint.SERVER, size), origin=True
+        )
+        return AccessResult(
+            point=AccessPoint.SERVER,
+            time_ms=query_ms + charged,
+            hit=False,
+            timeout_fallback=dead_sibling,
+            fault_added_ms=query_added + added,
+        )
+
+    def _fault_fallback(
+        self, size: int, *, extra_ms: float = 0.0, extra_added: float = 0.0
+    ) -> AccessResult:
+        faults = self.faults
+        charged, added = faults.degraded_ms(
+            self.cost_model.hierarchical_ms(AccessPoint.SERVER, size), origin=True
+        )
+        return AccessResult(
+            point=AccessPoint.SERVER,
+            time_ms=extra_ms + charged + faults.timeout_ms,
+            hit=False,
+            timeout_fallback=True,
+            fault_added_ms=extra_added + added + faults.timeout_ms,
         )

@@ -90,7 +90,7 @@ class HintCluster:
         from repro.hints.propagation import HintPropagationTree
 
         tree = HintPropagationTree.balanced(branching=branching, leaves=leaves)
-        return cls(parents=tree._parent_vector(), **kwargs)
+        return cls(parents=tree.parent_vector(), **kwargs)
 
     # ------------------------------------------------------------------
     # external API
@@ -152,6 +152,29 @@ class HintCluster:
         if not 0 <= node < len(self.nodes):
             raise TopologyError(f"no such node {node}")
         self._failed[node] = True
+
+    def recover_node(self, node: int, now: float) -> None:
+        """Bring a crashed metadata node back on its existing tree edges.
+
+        The node resumes flushing/forwarding/receiving and re-advertises
+        its own holdings (its hint cache survived locally; what it missed
+        while down re-converges as neighbors keep batching).  Use
+        :meth:`reconfigure` instead when the topology itself changed.
+        """
+        self._advance(now)
+        if not 0 <= node < len(self.nodes):
+            raise TopologyError(f"no such node {node}")
+        if not self._failed[node]:
+            return
+        self._failed[node] = False
+        revived = self.nodes[node]
+        machine = revived.machine
+        for url_hash in list(revived.first_learned):
+            existing = revived.cache.find_nearest(url_hash)
+            if existing is not None and existing == machine:
+                revived.inform(url_hash, now)
+        if revived.outbox:
+            self._ensure_flush(node, now)
 
     def reconfigure(self, parents: list[int | None], now: float) -> None:
         """Install a new metadata tree over the surviving nodes.

@@ -90,21 +90,53 @@ class HintDirectory:
     # ------------------------------------------------------------------
     # ground-truth maintenance (called synchronously by architectures)
     # ------------------------------------------------------------------
-    def inform(self, now: float, object_id: int, node: int, version: int) -> None:
-        """A copy of ``object_id`` is now stored at ``node``."""
+    def inform(
+        self, now: float, object_id: int, node: int, version: int, *, visible: bool = True
+    ) -> None:
+        """A copy of ``object_id`` is now stored at ``node``.
+
+        ``visible=False`` updates ground truth only: the copy exists, but
+        the announcement was lost in flight (a dropped hint batch or a
+        dead metadata subtree under fault injection), so no hint cache
+        will ever learn of it -- a future *false negative*.
+        """
         self._truth.setdefault(object_id, {})[node] = version
         self.inform_events += 1
-        self._schedule(now, "add", object_id, node)
+        if visible:
+            self._schedule(now, "add", object_id, node)
 
-    def retract(self, now: float, object_id: int, node: int) -> None:
-        """The copy at ``node`` is gone (evicted or invalidated)."""
+    def retract(
+        self, now: float, object_id: int, node: int, *, visible: bool = True
+    ) -> None:
+        """The copy at ``node`` is gone (evicted or invalidated).
+
+        ``visible=False`` updates ground truth only: the copy is gone but
+        the retraction was lost (dropped batch, dead metadata node, or
+        the holder itself crashed without a goodbye), so hint caches keep
+        advertising it -- a future *false positive*, the paper's "stale
+        but never wrong" mode.
+        """
         holders = self._truth.get(object_id)
         if holders is not None:
             holders.pop(node, None)
             if not holders:
                 del self._truth[object_id]
         self.retract_events += 1
-        self._schedule(now, "remove", object_id, node)
+        if visible:
+            self._schedule(now, "remove", object_id, node)
+
+    def drop_visible(self, object_id: int, node: int) -> None:
+        """Immediately forget the visible hint ``object_id -> node``.
+
+        Used after a probe finds the advertised holder dead: the
+        requester discards the bad hint locally so it does not keep
+        forwarding to a crashed node for the same object.
+        """
+        existing = self._visible_get(object_id)
+        if existing is not None:
+            existing.discard(node)
+            if not existing:
+                self._visible_remove(object_id)
 
     def truth_holders(self, object_id: int) -> dict[int, int]:
         """Ground-truth ``{node: version}`` map for an object (may be empty)."""

@@ -123,9 +123,18 @@ class HintPropagationTree:
         """Does ``node`` know of a copy within its subtree?"""
         return bool(self._nodes[node].subtree_copies.get(object_id))
 
-    def _parent_vector(self) -> list[int | None]:
-        """The tree as a parent vector (for reuse by other components)."""
+    def parent_vector(self) -> list[int | None]:
+        """The tree as a parent vector (``None`` marks the root).
+
+        Public so other components -- :class:`repro.hints.cluster.HintCluster`,
+        the failure-drill example -- can build over the same shape without
+        reaching into internals.
+        """
         return [node.parent for node in self._nodes]
+
+    def _parent_vector(self) -> list[int | None]:
+        """Deprecated private alias of :meth:`parent_vector`."""
+        return self.parent_vector()
 
     # ------------------------------------------------------------------
     # propagation internals

@@ -44,6 +44,7 @@ from repro.traces.profiles import WorkloadProfile
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
     from repro.experiments.base import ExperimentResult
+    from repro.faults.events import FaultPlan
     from repro.sim.config import ExperimentConfig
 
 
@@ -230,10 +231,13 @@ def _comparison_task(
     seed: int,
     spec: ArchitectureSpec,
     warmup_s: float | None,
+    fault_plan: "FaultPlan | None" = None,
 ) -> SimMetrics:
     """One (trace, architecture) simulation work unit."""
     trace = cached_trace(profile, seed)
-    return run_simulation(trace, spec.build(), warmup_s=warmup_s)
+    return run_simulation(
+        trace, spec.build(), warmup_s=warmup_s, fault_plan=fault_plan
+    )
 
 
 def run_comparison_parallel(
@@ -244,6 +248,7 @@ def run_comparison_parallel(
     jobs: int = 1,
     warmup_s: float | None = None,
     trace_cache_dir: str | None = None,
+    fault_plan: "FaultPlan | None" = None,
 ) -> dict[str, SimMetrics]:
     """Parallel twin of :func:`repro.sim.engine.run_comparison`.
 
@@ -251,19 +256,27 @@ def run_comparison_parallel(
     trace, and factory specs instead of constructed architectures, so the
     expensive objects are built where they are used.  Results are keyed by
     architecture name in spec order, exactly like ``run_comparison``.
+
+    ``fault_plan`` (a pure value, picklable) rides along to every worker;
+    each architecture's simulation replays it with a fresh injector, so
+    faulted comparisons are as deterministic -- and as jobs-invariant --
+    as clean ones.
     """
     if jobs < 1:
         raise ValueError(f"jobs must be at least 1, got {jobs}")
     if jobs == 1:
         trace = cached_trace(profile, seed)
         return run_comparison(
-            trace, [spec.build() for spec in specs], warmup_s=warmup_s
+            trace,
+            [spec.build() for spec in specs],
+            warmup_s=warmup_s,
+            fault_plan=fault_plan,
         )
     with ProcessPoolExecutor(
         max_workers=jobs, initializer=_worker_init, initargs=(trace_cache_dir,)
     ) as pool:
         futures = [
-            pool.submit(_comparison_task, profile, seed, spec, warmup_s)
+            pool.submit(_comparison_task, profile, seed, spec, warmup_s, fault_plan)
             for spec in specs
         ]
         metrics = [future.result() for future in futures]

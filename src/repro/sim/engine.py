@@ -15,9 +15,14 @@ One call = one architecture over one trace:
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.hierarchy.base import Architecture
 from repro.sim.metrics import SimMetrics
 from repro.traces.records import Trace
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.events import FaultPlan
 
 
 def run_simulation(
@@ -26,6 +31,7 @@ def run_simulation(
     *,
     warmup_s: float | None = None,
     include_uncachable: bool = False,
+    fault_plan: "FaultPlan | None" = None,
 ) -> SimMetrics:
     """Drive ``architecture`` over ``trace`` and return aggregated metrics.
 
@@ -38,12 +44,27 @@ def run_simulation(
             architecture instead of skipping them.  The paper's evaluation
             skips them; Figure 2 (miss taxonomy) is computed by the
             dedicated classifier, not through this engine.
+        fault_plan: Optional deterministic fault schedule
+            (:class:`repro.faults.events.FaultPlan`).  A fresh
+            :class:`~repro.faults.injector.FaultInjector` replays it
+            against this run: crash/recover events fire as simulation
+            time passes each event, the architecture serves requests in
+            degraded mode, and ``metrics.degraded`` accounts for the
+            damage.  ``None`` (the default) takes the original code path
+            and produces byte-identical metrics to a build without fault
+            support.
     """
     boundary = trace.warmup if warmup_s is None else warmup_s
     metrics = SimMetrics(
         architecture=architecture.name,
         cost_model=architecture.cost_model.name,
     )
+    injector = None
+    if fault_plan is not None and fault_plan:
+        from repro.faults.injector import FaultInjector
+
+        injector = FaultInjector(fault_plan)
+        injector.bind(architecture)
     processed = 0
     for request in trace.requests:
         if request.error:
@@ -54,16 +75,23 @@ def run_simulation(
             metrics.skipped_uncachable += 1
             if not include_uncachable:
                 continue
+        if injector is not None:
+            injector.advance(request.time)
         result = architecture.process(request)
         processed += 1
         if request.time < boundary:
             metrics.warmup_requests += 1
             continue
-        metrics.record(result, request.size)
+        metrics.record(
+            result,
+            request.size,
+            faulted=injector is not None and injector.faults_active,
+        )
     # getattr tolerates Architecture subclasses that skip super().__init__.
     architecture.processed_requests = (
         getattr(architecture, "processed_requests", 0) + processed
     )
+    metrics.validate()
     return metrics
 
 
@@ -72,6 +100,7 @@ def run_comparison(
     architectures: list[Architecture],
     *,
     warmup_s: float | None = None,
+    fault_plan: "FaultPlan | None" = None,
 ) -> dict[str, SimMetrics]:
     """Run several architectures over the same trace (fresh state each).
 
@@ -79,6 +108,10 @@ def run_comparison(
     preserve insertion order).  Architectures must be freshly constructed;
     reusing a warmed architecture would bias the comparison, so any
     instance that has already processed requests is rejected.
+
+    ``fault_plan`` applies the same schedule to every architecture (each
+    gets its own injector, so stochastic hint-loss draws are identical
+    across them -- the comparison stays apples-to-apples).
     """
     results: dict[str, SimMetrics] = {}
     for architecture in architectures:
@@ -92,6 +125,6 @@ def run_comparison(
                 "architectures (reuse would bias results)"
             )
         results[architecture.name] = run_simulation(
-            trace, architecture, warmup_s=warmup_s
+            trace, architecture, warmup_s=warmup_s, fault_plan=fault_plan
         )
     return results

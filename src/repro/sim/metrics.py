@@ -64,6 +64,43 @@ class LatencyHistogram:
 
 
 @dataclass
+class DegradedMetrics:
+    """Degraded-mode counters (all zero unless faults were injected).
+
+    The paper's graceful-degradation story (section 3.4) needs numbers:
+    how many requests ran during failure windows, how often stale
+    metadata forwarded a request to a dead node, how often a timeout
+    fallback saved the request, and how much response time the faults
+    added in total.  ``fault_added_ms`` is additive decomposition, not
+    estimate: every fault-aware charge splits into (healthy charge,
+    surcharge) at the point it is computed.
+    """
+
+    faulted_requests: int = 0
+    stale_hint_forwards: int = 0
+    timeout_fallbacks: int = 0
+    fault_added_ms: float = 0.0
+
+    def __bool__(self) -> bool:
+        """True when any degradation was recorded."""
+        return (
+            self.faulted_requests > 0
+            or self.stale_hint_forwards > 0
+            or self.timeout_fallbacks > 0
+            or self.fault_added_ms > 0.0
+        )
+
+    def summary(self) -> dict[str, float]:
+        """Flat dict for table rendering (mirrors ``SimMetrics.summary``)."""
+        return {
+            "faulted_requests": float(self.faulted_requests),
+            "stale_hint_forwards": float(self.stale_hint_forwards),
+            "timeout_fallbacks": float(self.timeout_fallbacks),
+            "fault_added_ms": self.fault_added_ms,
+        }
+
+
+@dataclass
 class SimMetrics:
     """Counters accumulated over the measured window of one simulation."""
 
@@ -86,9 +123,15 @@ class SimMetrics:
     false_negatives: int = 0
     suboptimal_positives: int = 0
     latency: LatencyHistogram = field(default_factory=LatencyHistogram)
+    degraded: DegradedMetrics = field(default_factory=DegradedMetrics)
 
-    def record(self, result: AccessResult, size: int) -> None:
-        """Accumulate one measured-window access result."""
+    def record(self, result: AccessResult, size: int, *, faulted: bool = False) -> None:
+        """Accumulate one measured-window access result.
+
+        ``faulted`` marks requests processed while the run's fault
+        injector had any fault in force (the engine passes it; plan-free
+        runs never set it).
+        """
         self.measured_requests += 1
         self.total_ms += result.time_ms
         self.latency.record(result.time_ms)
@@ -104,6 +147,48 @@ class SimMetrics:
             self.false_negatives += 1
         if result.suboptimal_positive:
             self.suboptimal_positives += 1
+        if faulted:
+            self.degraded.faulted_requests += 1
+        if result.timeout_fallback:
+            self.degraded.timeout_fallbacks += 1
+        if result.stale_hint_forward:
+            self.degraded.stale_hint_forwards += 1
+        if result.fault_added_ms:
+            self.degraded.fault_added_ms += result.fault_added_ms
+
+    def validate(self) -> None:
+        """Check conservation invariants; raises ``ValueError`` on breakage.
+
+        Every measured request is satisfied at exactly one access point,
+        so the per-point counts (and the latency histogram) must sum to
+        ``measured_requests``; degraded counters can never exceed it, and
+        fault-added time can never exceed total time.  The engine calls
+        this after every run so a mis-accounted path fails loudly instead
+        of skewing a table.
+        """
+        by_point = sum(self.requests_by_point.values())
+        if by_point != self.measured_requests:
+            raise ValueError(
+                f"access-point counts sum to {by_point}, expected "
+                f"{self.measured_requests} measured requests"
+            )
+        if len(self.latency) != self.measured_requests:
+            raise ValueError(
+                f"latency histogram holds {len(self.latency)} samples, expected "
+                f"{self.measured_requests}"
+            )
+        for name in ("faulted_requests", "stale_hint_forwards", "timeout_fallbacks"):
+            count = getattr(self.degraded, name)
+            if not 0 <= count <= self.measured_requests:
+                raise ValueError(
+                    f"degraded counter {name}={count} outside "
+                    f"[0, {self.measured_requests}]"
+                )
+        if not 0.0 <= self.degraded.fault_added_ms <= self.total_ms:
+            raise ValueError(
+                f"fault-added time {self.degraded.fault_added_ms} outside "
+                f"[0, {self.total_ms}]"
+            )
 
     # ------------------------------------------------------------------
     # derived statistics

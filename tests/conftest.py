@@ -15,6 +15,16 @@ from repro.traces.records import Trace
 from repro.traces.synthetic import SyntheticTraceGenerator
 
 
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--force-regen",
+        action="store_true",
+        default=False,
+        help="rewrite golden regression snapshots (tests/regression/golden/) "
+        "from the current code instead of comparing against them",
+    )
+
+
 def make_tiny_config(**overrides) -> ExperimentConfig:
     """A small-but-complete experiment configuration."""
     defaults = dict(

@@ -1,0 +1,87 @@
+"""The failure_sensitivity experiment: registration, determinism, fail-soft."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import failure_sensitivity
+from repro.experiments.cli import main as cli_main
+from repro.experiments.registry import all_experiments, get_experiment
+from tests.conftest import make_tiny_config
+
+
+@pytest.fixture(scope="module")
+def result():
+    return failure_sensitivity.run(make_tiny_config())
+
+
+class TestRegistration:
+    def test_registered(self):
+        assert "failure_sensitivity" in all_experiments()
+        assert get_experiment("failure_sensitivity") is failure_sensitivity.run
+
+
+class TestPlans:
+    def test_rate_zero_is_clean(self):
+        config = make_tiny_config()
+        assert failure_sensitivity.plan_for_rate(config, 1000.0, 0.0, 0) is None
+
+    def test_plans_are_deterministic_and_distinct_per_point(self):
+        config = make_tiny_config()
+        first = failure_sensitivity.plan_for_rate(config, 1000.0, 2.0, 1)
+        again = failure_sensitivity.plan_for_rate(config, 1000.0, 2.0, 1)
+        other = failure_sensitivity.plan_for_rate(config, 1000.0, 2.0, 2)
+        assert first == again
+        assert first != other
+
+    def test_targets_cover_every_population(self):
+        config = make_tiny_config()
+        kinds = {kind for kind, _node in failure_sensitivity.fault_targets(config)}
+        assert kinds == {"l1", "l2", "l3", "meta"}
+
+
+class TestResult:
+    def test_sweep_shape(self, result):
+        assert [row["crashes_per_node"] for row in result.rows] == list(
+            failure_sensitivity.CRASH_RATES
+        )
+        for row in result.rows:
+            for name in ("hierarchy", "hints", "directory"):
+                assert f"{name}_ms" in row
+                assert f"{name}_degradation_ms" in row
+
+    def test_baseline_row_is_clean(self, result):
+        baseline = result.rows[0]
+        assert baseline["crashes_per_node"] == 0.0
+        for name in ("hierarchy", "hints", "directory"):
+            assert baseline[f"{name}_degradation_ms"] == 0.0
+        assert baseline["hierarchy_timeouts"] == 0
+        assert baseline["directory_timeouts"] == 0
+
+    def test_crashes_degrade_everyone(self, result):
+        worst = result.rows[-1]
+        for name in ("hierarchy", "hints", "directory"):
+            assert worst[f"{name}_degradation_ms"] > 0.0
+        assert worst["hierarchy_timeouts"] > 0
+        assert worst["hints_stale_forwards"] > 0
+
+    def test_hints_fail_soft(self, result):
+        """The ISSUE's acceptance claim: at the highest crash rate the
+        hint architecture degrades strictly less than the data hierarchy."""
+        worst = result.rows[-1]
+        assert (
+            worst["hints_degradation_ms"] < worst["hierarchy_degradation_ms"]
+        )
+        assert not any("claim violated" in note for note in result.notes)
+
+    def test_deterministic(self, result):
+        assert failure_sensitivity.run(make_tiny_config()).rows == result.rows
+
+
+class TestCli:
+    def test_accepts_leading_run_verb(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        # `python -m repro.experiments run <name>` and `<name>` both work.
+        code = cli_main(["run", "--list"])
+        assert code == 0
+        assert "failure_sensitivity" in capsys.readouterr().out

@@ -133,8 +133,8 @@ class TestRegistry:
         for name in all_experiments():
             assert callable(get_experiment(name))
 
-    def test_nineteen_experiments_registered(self):
-        assert len(all_experiments()) == 19
+    def test_twenty_experiments_registered(self):
+        assert len(all_experiments()) == 20
 
     def test_unknown_name_raises(self):
         with pytest.raises(KeyError, match="unknown experiment"):

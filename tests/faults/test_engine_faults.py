@@ -1,0 +1,115 @@
+"""Fault plans through the simulation engine and the parallel runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import FaultPlan, NodeCrash
+from repro.hierarchy.data_hierarchy import DataHierarchy
+from repro.netmodel.model import AccessPoint
+from repro.netmodel.testbed import TestbedCostModel
+from repro.runner.parallel import run_comparison_parallel
+from repro.runner.specs import ArchitectureSpec
+from repro.sim.engine import run_simulation
+
+
+def make_hierarchy(tiny_config):
+    return DataHierarchy(tiny_config.topology, TestbedCostModel())
+
+
+def mid_run_outage(trace, kinds=(("l2", 0),)):
+    """Crash targets a third of the way into the measured window."""
+    start = trace.warmup + (trace.duration - trace.warmup) / 3
+    end = trace.warmup + 2 * (trace.duration - trace.warmup) / 3
+    return FaultPlan.outage(kinds, start=start, end=end)
+
+
+class TestPlanFreeEquivalence:
+    def test_empty_plan_equals_no_plan(self, dec_trace, tiny_config):
+        """FaultPlan() must be indistinguishable from fault_plan=None."""
+        bare = run_simulation(dec_trace, make_hierarchy(tiny_config))
+        empty = run_simulation(
+            dec_trace, make_hierarchy(tiny_config), fault_plan=FaultPlan()
+        )
+        assert empty.summary() == bare.summary()
+        assert empty.total_ms == bare.total_ms
+        assert not empty.degraded
+
+    def test_future_only_plan_changes_nothing(self, dec_trace, tiny_config):
+        """Events scheduled after the trace ends never fire."""
+        plan = FaultPlan.outage([("l2", 0)], start=dec_trace.duration + 1.0)
+        bare = run_simulation(dec_trace, make_hierarchy(tiny_config))
+        faulted = run_simulation(
+            dec_trace, make_hierarchy(tiny_config), fault_plan=plan
+        )
+        assert faulted.total_ms == bare.total_ms
+        assert not faulted.degraded
+
+
+class TestDegradation:
+    def test_outage_costs_time_and_is_accounted(self, dec_trace, tiny_config):
+        bare = run_simulation(dec_trace, make_hierarchy(tiny_config))
+        faulted = run_simulation(
+            dec_trace,
+            make_hierarchy(tiny_config),
+            fault_plan=mid_run_outage(dec_trace),
+        )
+        assert faulted.measured_requests == bare.measured_requests
+        assert faulted.total_ms > bare.total_ms
+        assert faulted.degraded.faulted_requests > 0
+        assert faulted.degraded.timeout_fallbacks > 0
+        assert 0.0 < faulted.degraded.fault_added_ms <= faulted.total_ms
+
+    def test_crashed_cache_comes_back_empty(self, dec_trace, tiny_config):
+        """Post-recovery the L2 lost its contents: more misses than clean."""
+        bare = run_simulation(dec_trace, make_hierarchy(tiny_config))
+        faulted = run_simulation(
+            dec_trace,
+            make_hierarchy(tiny_config),
+            fault_plan=mid_run_outage(dec_trace),
+        )
+        assert (
+            faulted.requests_by_point[AccessPoint.SERVER]
+            >= bare.requests_by_point[AccessPoint.SERVER]
+        )
+        assert faulted.hit_ratio <= bare.hit_ratio
+
+    def test_same_plan_same_metrics(self, dec_trace, tiny_config):
+        plan = mid_run_outage(dec_trace)
+        first = run_simulation(
+            dec_trace, make_hierarchy(tiny_config), fault_plan=plan
+        )
+        second = run_simulation(
+            dec_trace, make_hierarchy(tiny_config), fault_plan=plan
+        )
+        assert first.summary() == second.summary()
+        assert first.degraded.summary() == second.degraded.summary()
+
+
+class TestParallelRunner:
+    def test_jobs_invariant_with_fault_plan(self, tiny_config):
+        profile = tiny_config.profile("dec")
+        plan = FaultPlan(
+            events=(
+                NodeCrash(time=0.0, kind="l2", node=0),
+                NodeCrash(time=0.0, kind="l1", node=1),
+            )
+        )
+        specs = [
+            ArchitectureSpec(
+                DataHierarchy, args=(tiny_config.topology, TestbedCostModel())
+            )
+        ]
+        serial = run_comparison_parallel(
+            profile, tiny_config.seed, specs, jobs=1, fault_plan=plan
+        )
+        pooled = run_comparison_parallel(
+            profile, tiny_config.seed, specs, jobs=2, fault_plan=plan
+        )
+        assert list(serial) == list(pooled) == ["hierarchy"]
+        assert serial["hierarchy"].summary() == pooled["hierarchy"].summary()
+        assert serial["hierarchy"].degraded.faulted_requests > 0
+        assert (
+            serial["hierarchy"].degraded.summary()
+            == pooled["hierarchy"].degraded.summary()
+        )

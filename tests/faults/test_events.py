@@ -1,0 +1,194 @@
+"""FaultPlan / FaultProfile: validation, ordering, serialization, identity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import (
+    FaultPlan,
+    FaultProfile,
+    HintBatchLoss,
+    LinkDegrade,
+    NodeCrash,
+    NodeKind,
+    NodeRecover,
+    OriginSlowdown,
+    StaleHintDrift,
+)
+from repro.runner.fingerprint import (
+    fault_fingerprint,
+    simulation_fingerprint,
+    trace_fingerprint,
+)
+from repro.sim.config import default_config
+
+
+class TestEventValidation:
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            NodeCrash(time=-1.0)
+
+    def test_negative_node_rejected(self):
+        with pytest.raises(ValueError):
+            NodeCrash(time=0.0, kind="l1", node=-2)
+
+    def test_loss_probability_bounds(self):
+        with pytest.raises(ValueError):
+            HintBatchLoss(time=0.0, prob=1.5)
+        HintBatchLoss(time=0.0, prob=1.0)  # boundary is legal
+
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: OriginSlowdown(time=0.0, factor=0.5),
+            lambda: LinkDegrade(time=0.0, latency_mult=0.9),
+        ],
+    )
+    def test_speedups_rejected(self, factory):
+        """Faults never make anything faster: multipliers must be >= 1."""
+        with pytest.raises(ValueError):
+            factory()
+
+    def test_drift_must_be_non_negative(self):
+        with pytest.raises(ValueError):
+            StaleHintDrift(time=0.0, ttl_skew_s=-1.0)
+
+    def test_kind_coerced_from_string(self):
+        assert NodeCrash(time=0.0, kind="meta", node=3).kind is NodeKind.META
+
+
+class TestFaultPlan:
+    def test_events_sorted_by_time(self):
+        plan = FaultPlan(
+            events=(
+                NodeRecover(time=9.0, kind="l2", node=0),
+                NodeCrash(time=1.0, kind="l2", node=0),
+                OriginSlowdown(time=5.0, factor=2.0),
+            )
+        )
+        assert [event.time for event in plan] == [1.0, 5.0, 9.0]
+
+    def test_empty_plan_is_falsy(self):
+        assert not FaultPlan()
+        assert len(FaultPlan()) == 0
+        assert FaultPlan(events=(NodeCrash(time=0.0),))
+
+    def test_json_round_trip(self):
+        plan = FaultPlan(
+            events=(
+                NodeCrash(time=1.0, kind="meta", node=2),
+                HintBatchLoss(time=2.0, prob=0.25),
+                StaleHintDrift(time=3.0, ttl_skew_s=60.0),
+                OriginSlowdown(time=4.0, factor=3.0),
+                LinkDegrade(time=5.0, latency_mult=1.5),
+                NodeRecover(time=6.0, kind="meta", node=2),
+            ),
+            seed=99,
+            timeout_ms=1234.0,
+        )
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan.from_payload({"events": [{"type": "asteroid", "time": 0.0}]})
+
+    def test_outage_helper(self):
+        plan = FaultPlan.outage([("l2", 0), ("meta", 1)], start=10.0, end=50.0)
+        crashes = [e for e in plan if isinstance(e, NodeCrash)]
+        recoveries = [e for e in plan if isinstance(e, NodeRecover)]
+        assert {(e.kind, e.node) for e in crashes} == {
+            (NodeKind.L2, 0),
+            (NodeKind.META, 1),
+        }
+        assert all(e.time == 10.0 for e in crashes)
+        assert all(e.time == 50.0 for e in recoveries)
+        with pytest.raises(ValueError):
+            FaultPlan.outage([("l2", 0)], start=10.0, end=10.0)
+
+
+class TestFingerprints:
+    def test_equal_plans_fingerprint_identically(self):
+        make = lambda: FaultPlan(
+            events=(NodeCrash(time=1.0, kind="l2", node=0),), seed=3
+        )
+        assert fault_fingerprint(make()) == fault_fingerprint(make())
+        assert make().fingerprint() == fault_fingerprint(make())
+
+    def test_any_field_changes_the_fingerprint(self):
+        base = FaultPlan(events=(NodeCrash(time=1.0, kind="l2", node=0),), seed=3)
+        variants = [
+            FaultPlan(events=(NodeCrash(time=2.0, kind="l2", node=0),), seed=3),
+            FaultPlan(events=(NodeCrash(time=1.0, kind="l3", node=0),), seed=3),
+            FaultPlan(events=(NodeCrash(time=1.0, kind="l2", node=0),), seed=4),
+            FaultPlan(
+                events=(NodeCrash(time=1.0, kind="l2", node=0),),
+                seed=3,
+                timeout_ms=1.0,
+            ),
+        ]
+        fingerprints = {fault_fingerprint(v) for v in variants}
+        assert fault_fingerprint(base) not in fingerprints
+        assert len(fingerprints) == len(variants)
+
+    def test_simulation_fingerprint_reduces_without_plan(self):
+        config = default_config()
+        profile = config.profile("dec")
+        bare = trace_fingerprint(profile, config.seed)
+        assert simulation_fingerprint(profile, config.seed) == bare
+        assert simulation_fingerprint(profile, config.seed, FaultPlan()) == bare
+        faulted = simulation_fingerprint(
+            profile,
+            config.seed,
+            FaultPlan(events=(NodeCrash(time=0.0, kind="l2", node=0),)),
+        )
+        assert faulted != bare
+
+
+class TestFaultProfile:
+    TARGETS = [("l1", 0), ("l1", 1), ("l2", 0)]
+
+    def test_same_seed_same_plan(self):
+        a = FaultProfile(mtbf_s=100.0, mttr_s=25.0, seed=5)
+        b = FaultProfile(mtbf_s=100.0, mttr_s=25.0, seed=5)
+        assert a.plan(self.TARGETS, duration_s=1000.0) == b.plan(
+            self.TARGETS, duration_s=1000.0
+        )
+
+    def test_different_seed_different_plan(self):
+        a = FaultProfile(mtbf_s=100.0, mttr_s=25.0, seed=5)
+        b = FaultProfile(mtbf_s=100.0, mttr_s=25.0, seed=6)
+        assert a.plan(self.TARGETS, duration_s=1000.0) != b.plan(
+            self.TARGETS, duration_s=1000.0
+        )
+
+    def test_targets_draw_independent_streams(self):
+        """Adding a target never perturbs another target's schedule."""
+        profile = FaultProfile(mtbf_s=100.0, mttr_s=25.0, seed=5)
+        small = profile.plan([("l1", 0)], duration_s=1000.0)
+        large = profile.plan(self.TARGETS, duration_s=1000.0)
+        of_node0 = lambda plan: [
+            e for e in plan if getattr(e, "node", None) == 0 and e.kind is NodeKind.L1
+        ]
+        assert of_node0(small) == of_node0(large)
+
+    def test_fail_stop_without_mttr(self):
+        profile = FaultProfile(mtbf_s=50.0, seed=1)
+        plan = profile.plan(self.TARGETS, duration_s=10_000.0)
+        assert plan  # mtbf << duration: crashes happen
+        assert not any(isinstance(e, NodeRecover) for e in plan)
+        # Fail-stop: at most one crash per target.
+        assert len(plan) <= len(self.TARGETS)
+
+    def test_events_alternate_per_target(self):
+        profile = FaultProfile(mtbf_s=30.0, mttr_s=10.0, seed=2)
+        plan = profile.plan([("meta", 4)], duration_s=5000.0)
+        states = [isinstance(e, NodeCrash) for e in plan]
+        assert states == [i % 2 == 0 for i in range(len(states))]
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            FaultProfile(mtbf_s=0.0)
+        with pytest.raises(ValueError):
+            FaultProfile(mtbf_s=1.0, mttr_s=0.0)
+        with pytest.raises(ValueError):
+            FaultProfile(mtbf_s=1.0).plan([("l1", 0)], duration_s=0.0)

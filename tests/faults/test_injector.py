@@ -1,0 +1,206 @@
+"""FaultInjector: replay semantics, latency arithmetic, stats."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import (
+    FaultInjector,
+    FaultPlan,
+    HintBatchLoss,
+    LinkDegrade,
+    NodeCrash,
+    NodeKind,
+    NodeRecover,
+    OriginSlowdown,
+    StaleHintDrift,
+)
+from repro.hierarchy.base import Architecture
+from repro.netmodel.model import AccessPoint
+from repro.netmodel.testbed import TestbedCostModel
+
+
+class RecordingArchitecture(Architecture):
+    """Stub that records the crash/recover callbacks it receives."""
+
+    name = "recording"
+
+    def __init__(self):
+        super().__init__(TestbedCostModel())
+        self.calls: list[tuple[str, NodeKind, int]] = []
+
+    def process(self, request):  # pragma: no cover - never driven here
+        raise NotImplementedError
+
+    def on_fault_crash(self, kind, node):
+        self.calls.append(("crash", kind, node))
+
+    def on_fault_recover(self, kind, node):
+        self.calls.append(("recover", kind, node))
+
+
+class TestAdvance:
+    def test_applies_events_up_to_now_inclusive(self):
+        plan = FaultPlan(
+            events=(
+                NodeCrash(time=10.0, kind="l2", node=1),
+                NodeRecover(time=20.0, kind="l2", node=1),
+            )
+        )
+        injector = FaultInjector(plan)
+        injector.advance(9.99)
+        assert not injector.is_down("l2", 1)
+        injector.advance(10.0)  # boundary: events at exactly `now` fire
+        assert injector.is_down("l2", 1)
+        assert injector.any_down("l2")
+        assert not injector.any_down("l3")
+        injector.advance(20.0)
+        assert not injector.is_down("l2", 1)
+        assert injector.now == 20.0
+
+    def test_advance_is_monotone(self):
+        injector = FaultInjector(
+            FaultPlan(events=(NodeCrash(time=5.0, kind="l1", node=0),))
+        )
+        injector.advance(10.0)
+        injector.advance(3.0)  # going "back" neither rewinds state nor time
+        assert injector.is_down("l1", 0)
+        assert injector.now == 10.0
+
+    def test_callbacks_fire_on_bound_architectures(self):
+        arch = RecordingArchitecture()
+        injector = FaultInjector(
+            FaultPlan(
+                events=(
+                    NodeCrash(time=1.0, kind="meta", node=3),
+                    NodeRecover(time=2.0, kind="meta", node=3),
+                )
+            )
+        )
+        injector.bind(arch)
+        assert arch.faults is injector
+        injector.advance(5.0)
+        assert arch.calls == [
+            ("crash", NodeKind.META, 3),
+            ("recover", NodeKind.META, 3),
+        ]
+
+    def test_double_crash_counts_once(self):
+        """Crashing a dead node (or recovering a live one) is a no-op."""
+        arch = RecordingArchitecture()
+        injector = FaultInjector(
+            FaultPlan(
+                events=(
+                    NodeCrash(time=1.0, kind="l1", node=0),
+                    NodeCrash(time=2.0, kind="l1", node=0),
+                    NodeRecover(time=3.0, kind="l1", node=0),
+                    NodeRecover(time=4.0, kind="l1", node=0),
+                )
+            )
+        )
+        injector.bind(arch)
+        injector.advance(10.0)
+        assert injector.stats.crashes == 1
+        assert injector.stats.recoveries == 1
+        assert len(arch.calls) == 2
+
+    def test_inject_applies_immediately(self):
+        injector = FaultInjector(FaultPlan())
+        injector.inject(NodeCrash(time=0.0, kind="l3", node=0))
+        assert injector.is_down("l3", 0)
+        injector.inject(NodeRecover(time=0.0, kind="l3", node=0))
+        assert not injector.is_down("l3", 0)
+        assert injector.stats.crashes == 1
+        assert injector.stats.recoveries == 1
+
+
+class TestLevels:
+    def test_levels_are_step_functions(self):
+        injector = FaultInjector(
+            FaultPlan(
+                events=(
+                    OriginSlowdown(time=1.0, factor=3.0),
+                    LinkDegrade(time=1.0, latency_mult=2.0),
+                    StaleHintDrift(time=1.0, ttl_skew_s=30.0),
+                    HintBatchLoss(time=1.0, prob=0.5),
+                    OriginSlowdown(time=5.0, factor=1.0),  # restores health
+                )
+            )
+        )
+        injector.advance(1.0)
+        assert injector.origin_factor == 3.0
+        assert injector.latency_mult == 2.0
+        assert injector.hint_delay_skew_s == 30.0
+        assert injector.hint_loss_prob == 0.5
+        assert injector.faults_active
+        injector.advance(5.0)
+        assert injector.origin_factor == 1.0
+        assert injector.faults_active  # link/loss/drift still in force
+
+    def test_faults_active_false_when_healthy(self):
+        injector = FaultInjector(FaultPlan())
+        assert not injector.faults_active
+        injector.advance(1e9)
+        assert not injector.faults_active
+
+
+class TestLatencyArithmetic:
+    def test_healthy_charge_unchanged(self):
+        injector = FaultInjector(FaultPlan())
+        assert injector.degraded_ms(70.0) == (70.0, 0.0)
+        assert injector.degraded_ms(70.0, origin=True) == (70.0, 0.0)
+
+    def test_link_degrade_applies_everywhere(self):
+        injector = FaultInjector(FaultPlan())
+        injector.inject(LinkDegrade(time=0.0, latency_mult=2.0))
+        assert injector.degraded_ms(100.0) == (200.0, 100.0)
+
+    def test_origin_slowdown_only_on_origin_charges(self):
+        injector = FaultInjector(FaultPlan())
+        injector.inject(OriginSlowdown(time=0.0, factor=3.0))
+        assert injector.degraded_ms(100.0) == (100.0, 0.0)
+        assert injector.degraded_ms(100.0, origin=True) == (300.0, 200.0)
+
+    def test_multipliers_compose(self):
+        injector = FaultInjector(FaultPlan())
+        injector.inject(LinkDegrade(time=0.0, latency_mult=2.0))
+        injector.inject(OriginSlowdown(time=0.0, factor=3.0))
+        charged, added = injector.degraded_ms(100.0, origin=True)
+        assert charged == pytest.approx(600.0)
+        assert added == pytest.approx(500.0)
+
+    def test_timeout_comes_from_plan(self):
+        assert FaultInjector(FaultPlan(timeout_ms=123.0)).timeout_ms == 123.0
+
+
+class TestHintLoss:
+    def test_no_loss_draws_nothing(self):
+        injector = FaultInjector(FaultPlan())
+        assert not any(injector.hint_update_dropped() for _ in range(100))
+        assert injector.stats.hint_updates_dropped == 0
+
+    def test_draws_are_seed_deterministic(self):
+        def stream(seed):
+            injector = FaultInjector(FaultPlan(seed=seed))
+            injector.inject(HintBatchLoss(time=0.0, prob=0.5))
+            return [injector.hint_update_dropped() for _ in range(200)]
+
+        assert stream(1) == stream(1)
+        assert stream(1) != stream(2)
+        assert any(stream(1)) and not all(stream(1))
+
+    def test_stats_count_only_drops(self):
+        injector = FaultInjector(FaultPlan(seed=3))
+        injector.inject(HintBatchLoss(time=0.0, prob=0.5))
+        drops = sum(injector.hint_update_dropped() for _ in range(200))
+        assert injector.stats.hint_updates_dropped == drops
+        injector.note_dead_probe()
+        assert injector.stats.dead_probes == 1
+        assert injector.stats.as_dict()["dead_probes"] == 1
+
+
+def test_access_point_population_matches_node_kinds():
+    """Every cache AccessPoint has a crashable NodeKind counterpart."""
+    cache_points = {p.name.lower() for p in AccessPoint if p.is_cache}
+    kinds = {k.value for k in NodeKind}
+    assert cache_points <= kinds

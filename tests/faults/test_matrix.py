@@ -1,0 +1,111 @@
+"""Every architecture x every fault kind: conservation under degradation.
+
+The failure matrix drives each architecture through the same small trace
+under each fault kind in isolation and checks the accounting invariants
+that make degraded-mode numbers trustworthy: every measured request is
+satisfied at exactly one access point, every timeout fallback went to the
+origin, and the fault-added ledger stays within the total.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import (
+    FaultPlan,
+    HintBatchLoss,
+    LinkDegrade,
+    NodeCrash,
+    OriginSlowdown,
+    StaleHintDrift,
+)
+from repro.hierarchy.data_hierarchy import DataHierarchy
+from repro.hierarchy.directory_arch import CentralizedDirectoryArchitecture
+from repro.hierarchy.hint_hierarchy import HintHierarchy
+from repro.hierarchy.icp import IcpHierarchy
+from repro.netmodel.model import AccessPoint
+from repro.netmodel.testbed import TestbedCostModel
+from repro.sim.engine import run_simulation
+
+ARCHITECTURES = {
+    "hierarchy": DataHierarchy,
+    "hints": HintHierarchy,
+    "directory": CentralizedDirectoryArchitecture,
+    "icp": IcpHierarchy,
+}
+
+#: One plan per fault kind, active from t=0 so the whole run is degraded.
+FAULT_KINDS = {
+    "l1_crash": (NodeCrash(time=0.0, kind="l1", node=0),),
+    "l2_crash": (NodeCrash(time=0.0, kind="l2", node=0),),
+    "l3_crash": (NodeCrash(time=0.0, kind="l3", node=0),),
+    "meta_crash": (NodeCrash(time=0.0, kind="meta", node=0),),
+    "hint_batch_loss": (HintBatchLoss(time=0.0, prob=0.3),),
+    "stale_hint_drift": (StaleHintDrift(time=0.0, ttl_skew_s=120.0),),
+    "origin_slowdown": (OriginSlowdown(time=0.0, factor=2.0),),
+    "link_degrade": (LinkDegrade(time=0.0, latency_mult=1.5),),
+}
+
+
+@pytest.fixture(scope="module")
+def clean_runs(tiny_config, dec_trace):
+    """Fault-free reference metrics per architecture (shared, read-only)."""
+    return {
+        name: run_simulation(
+            dec_trace, cls(tiny_config.topology, TestbedCostModel())
+        )
+        for name, cls in ARCHITECTURES.items()
+    }
+
+
+@pytest.mark.parametrize("fault_name", sorted(FAULT_KINDS))
+@pytest.mark.parametrize("arch_name", sorted(ARCHITECTURES))
+def test_matrix_cell(arch_name, fault_name, tiny_config, dec_trace, clean_runs):
+    plan = FaultPlan(events=FAULT_KINDS[fault_name], seed=tiny_config.seed)
+    architecture = ARCHITECTURES[arch_name](
+        tiny_config.topology, TestbedCostModel()
+    )
+    metrics = run_simulation(dec_trace, architecture, fault_plan=plan)
+    clean = clean_runs[arch_name]
+
+    # No request lost or invented: degradation changes *where* and *how
+    # slowly* requests are served, never how many.
+    assert metrics.measured_requests == clean.measured_requests
+    assert sum(metrics.requests_by_point.values()) == metrics.measured_requests
+    metrics.validate()  # conservation + degraded-counter bounds
+
+    # The fault is in force for the entire run, so every measured request
+    # is a degraded-mode request.
+    assert metrics.degraded.faulted_requests == metrics.measured_requests
+
+    # Every timeout fallback ends at the origin server.
+    assert (
+        metrics.degraded.timeout_fallbacks
+        <= metrics.requests_by_point[AccessPoint.SERVER]
+    )
+
+    # Whole-run multipliers slow every architecture down, strictly, and
+    # where the faulted walk mirrors the clean walk exactly (everywhere
+    # except the directory, which deliberately trusts its stale visible
+    # map instead of the clean path's freshness filter) the fault-added
+    # ledger accounts for the entire difference.
+    if fault_name in ("origin_slowdown", "link_degrade"):
+        assert metrics.total_ms > clean.total_ms
+        if arch_name != "directory":
+            assert metrics.degraded.fault_added_ms == pytest.approx(
+                metrics.total_ms - clean.total_ms
+            )
+
+
+def test_crashes_hurt_where_they_apply(tiny_config, dec_trace, clean_runs):
+    """Spot-check the matrix is not vacuous: a whole-run L1-0 crash costs
+    every architecture timeout fallbacks and real response time."""
+    plan = FaultPlan(events=FAULT_KINDS["l1_crash"], seed=tiny_config.seed)
+    for name, cls in ARCHITECTURES.items():
+        metrics = run_simulation(
+            dec_trace,
+            cls(tiny_config.topology, TestbedCostModel()),
+            fault_plan=plan,
+        )
+        assert metrics.degraded.timeout_fallbacks > 0, name
+        assert metrics.total_ms > clean_runs[name].total_ms, name

@@ -1,0 +1,165 @@
+"""Model-based fault interleavings: a faulted twin never beats its clean twin.
+
+Each machine drives the *same* request sequence through two copies of one
+architecture -- a clean twin and a twin bound to a FaultInjector -- while
+Hypothesis interleaves crashes, recoveries, and level faults arbitrarily.
+
+Invariants checked on every step/sequence:
+
+* **No request lost.**  Every request gets exactly one AccessResult from
+  each twin; the faulted twin's metrics conserve counts (``validate()``).
+* **Faults never speed anything up.**  Per request, the faulted response
+  time is >= the clean response time.  This holds because the machine
+  fixes ``version=0`` (immutable objects) and leaves caches unbounded:
+  a faulted cache's contents are then always a subset of its clean
+  twin's, every hint the faulted twin can see its clean twin can see
+  too, and all fault charges are multipliers >= 1 or added timeouts.
+  (With mutable objects a *lost* hint can dodge a false-positive probe
+  the clean twin pays for -- cheaper by accident -- so that regime is
+  deliberately out of scope here.)
+"""
+
+from __future__ import annotations
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, rule
+
+from repro.faults import (
+    FaultInjector,
+    FaultPlan,
+    HintBatchLoss,
+    LinkDegrade,
+    NodeCrash,
+    NodeRecover,
+    OriginSlowdown,
+    StaleHintDrift,
+)
+from repro.hierarchy.data_hierarchy import DataHierarchy
+from repro.hierarchy.directory_arch import CentralizedDirectoryArchitecture
+from repro.hierarchy.hint_hierarchy import HintHierarchy
+from repro.hierarchy.icp import IcpHierarchy
+from repro.hierarchy.topology import HierarchyTopology
+from repro.netmodel.testbed import TestbedCostModel
+from repro.sim.metrics import SimMetrics
+from repro.traces.records import Request
+
+TOPOLOGY = HierarchyTopology(clients_per_l1=2, l1_per_l2=2, n_l2=2)
+
+#: Every node a fault can address in this topology.
+TARGETS = (
+    [("l1", node) for node in range(TOPOLOGY.n_l1)]
+    + [("l2", node) for node in range(TOPOLOGY.n_l2)]
+    + [("l3", 0)]
+    + [("meta", node) for node in range(TOPOLOGY.n_l2)]
+)
+
+CLIENTS = st.integers(0, TOPOLOGY.n_clients_covered - 1)
+OBJECTS = st.integers(0, 15)
+SIZES = st.integers(1, 8000)
+
+
+class FaultedTwinMachine(RuleBasedStateMachine):
+    """Drive clean and faulted twins of one architecture in lockstep."""
+
+    architecture_class: type
+
+    def __init__(self):
+        super().__init__()
+        cost = TestbedCostModel()
+        self.clean = self.architecture_class(TOPOLOGY, cost)
+        self.faulted = self.architecture_class(TOPOLOGY, cost)
+        self.injector = FaultInjector(FaultPlan())
+        self.injector.bind(self.faulted)
+        self.metrics = SimMetrics(architecture=self.faulted.name)
+        self.sent = 0
+        self.t = 0.0
+
+    # ------------------------------------------------------------------
+    # fault rules (applied to the faulted twin only)
+    # ------------------------------------------------------------------
+    @rule(target_index=st.integers(0, len(TARGETS) - 1))
+    def crash(self, target_index):
+        kind, node = TARGETS[target_index]
+        self.injector.inject(NodeCrash(time=self.t, kind=kind, node=node))
+
+    @rule(target_index=st.integers(0, len(TARGETS) - 1))
+    def recover(self, target_index):
+        kind, node = TARGETS[target_index]
+        self.injector.inject(NodeRecover(time=self.t, kind=kind, node=node))
+
+    @rule(prob=st.sampled_from([0.0, 0.3, 1.0]))
+    def set_hint_loss(self, prob):
+        self.injector.inject(HintBatchLoss(time=self.t, prob=prob))
+
+    @rule(skew=st.sampled_from([0.0, 5.0, 60.0]))
+    def set_hint_drift(self, skew):
+        self.injector.inject(StaleHintDrift(time=self.t, ttl_skew_s=skew))
+
+    @rule(factor=st.sampled_from([1.0, 2.0, 4.0]))
+    def set_origin_slowdown(self, factor):
+        self.injector.inject(OriginSlowdown(time=self.t, factor=factor))
+
+    @rule(mult=st.sampled_from([1.0, 1.5, 3.0]))
+    def set_link_degrade(self, mult):
+        self.injector.inject(LinkDegrade(time=self.t, latency_mult=mult))
+
+    # ------------------------------------------------------------------
+    # requests (both twins, in lockstep)
+    # ------------------------------------------------------------------
+    @rule(client=CLIENTS, oid=OBJECTS, size=SIZES)
+    def request(self, client, oid, size):
+        self.t += 1.0
+        self.injector.advance(self.t)
+        request = Request(
+            time=self.t, client_id=client, object_id=oid, size=size, version=0
+        )
+        clean_result = self.clean.process(request)
+        faulted_result = self.faulted.process(request)
+        self.sent += 1
+        self.metrics.record(
+            faulted_result, size, faulted=self.injector.faults_active
+        )
+        assert faulted_result.time_ms >= clean_result.time_ms - 1e-9, (
+            f"faults sped up {self.faulted.name}: "
+            f"{faulted_result.time_ms} < {clean_result.time_ms}"
+        )
+        assert clean_result.fault_added_ms == 0.0
+        assert faulted_result.fault_added_ms <= faulted_result.time_ms + 1e-9
+
+    def teardown(self):
+        # Conservation: every request recorded exactly once, counters in
+        # bounds -- the same checks the engine runs after a real trace.
+        assert self.metrics.measured_requests == self.sent
+        self.metrics.validate()
+
+
+class DataHierarchyFaults(FaultedTwinMachine):
+    architecture_class = DataHierarchy
+
+
+class HintHierarchyFaults(FaultedTwinMachine):
+    architecture_class = HintHierarchy
+
+
+class DirectoryFaults(FaultedTwinMachine):
+    architecture_class = CentralizedDirectoryArchitecture
+
+
+class IcpFaults(FaultedTwinMachine):
+    architecture_class = IcpHierarchy
+
+
+_SETTINGS = settings(max_examples=25, stateful_step_count=40, deadline=None)
+
+TestDataHierarchyFaults = DataHierarchyFaults.TestCase
+TestDataHierarchyFaults.settings = _SETTINGS
+
+TestHintHierarchyFaults = HintHierarchyFaults.TestCase
+TestHintHierarchyFaults.settings = _SETTINGS
+
+TestDirectoryFaults = DirectoryFaults.TestCase
+TestDirectoryFaults.settings = _SETTINGS
+
+TestIcpFaults = IcpFaults.TestCase
+TestIcpFaults.settings = _SETTINGS

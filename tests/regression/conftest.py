@@ -1,0 +1,16 @@
+"""Fixtures for the golden-snapshot regression tests.
+
+The ``--force-regen`` command-line flag itself is registered in the
+top-level ``tests/conftest.py`` (pytest only honours ``pytest_addoption``
+in initial conftests); this one exposes it as a fixture.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def force_regen(request: pytest.FixtureRequest) -> bool:
+    """True when the run should rewrite golden snapshots in place."""
+    return bool(request.config.getoption("--force-regen"))

@@ -58,4 +58,20 @@ class TestExamples:
         )
         output = completed.stdout
         assert "crash" in output.lower()
-        assert "100.0%" in output  # coverage restored after reconfiguration
+        # Recovery must reach exactly 100% coverage: the final coverage
+        # report (after reconfiguration + re-advertising) says so.
+        coverage_lines = [
+            line for line in output.splitlines() if "mean hint coverage" in line
+        ]
+        assert len(coverage_lines) == 3  # converged / post-crash / recovered
+        assert "100.0%" in coverage_lines[-1]
+        # The crash partitioned the subtree in between.
+        assert "100.0%" not in coverage_lines[1]
+
+    def test_failure_drill_uses_the_faults_api(self):
+        """The drill schedules its crash as a FaultPlan, not by poking
+        cluster internals (no private ``_parent_vector`` reaches)."""
+        source = (EXAMPLES_DIR / "failure_drill.py").read_text()
+        assert "_parent_vector" not in source
+        assert "FaultPlan" in source
+        assert "ClusterFaultDriver" in source

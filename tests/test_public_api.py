@@ -29,6 +29,7 @@ class TestPublicApi:
     def test_subpackages_import(self):
         import repro.cache
         import repro.experiments
+        import repro.faults
         import repro.hierarchy
         import repro.hints
         import repro.netmodel
