@@ -35,7 +35,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiments", nargs="*",
         help="experiment names to run (an optional leading 'run' verb is "
-        "accepted: 'python -m repro.experiments run figure8')",
+        "accepted: 'python -m repro.experiments run figure8'; the "
+        "'decompose' verb instead renders the latency-decomposition "
+        "table for the standard architectures over one trace)",
     )
     parser.add_argument("--list", action="store_true", help="list experiment names")
     parser.add_argument("--all", action="store_true", help="run every experiment")
@@ -65,6 +67,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--export-dir", default=None,
         help="also write each result as <dir>/<experiment>.json and .csv",
     )
+    parser.add_argument(
+        "--journeys", default=None, metavar="OUT.jsonl",
+        help="with the 'decompose' verb: also stream every measured "
+        "request's hop ledger to OUT.jsonl (one JSON object per request)",
+    )
     return parser
 
 
@@ -82,6 +89,14 @@ def main(argv: list[str] | None = None) -> int:
     # ambiguous.
     if args.experiments and args.experiments[0] == "run":
         args.experiments = args.experiments[1:]
+    if args.experiments and args.experiments[0] == "decompose":
+        if args.experiments[1:]:
+            print("'decompose' takes no experiment names", file=sys.stderr)
+            return 2
+        return _run_decompose(args)
+    if args.journeys is not None:
+        print("--journeys requires the 'decompose' verb", file=sys.stderr)
+        return 2
     if args.list:
         for name in all_experiments():
             print(name)
@@ -187,6 +202,70 @@ def main(argv: list[str] | None = None) -> int:
 
     print(summary.render())
     return status
+
+
+def _run_decompose(args) -> int:
+    """The ``decompose`` verb: latency decomposition of the standard four.
+
+    Runs the data hierarchy, ICP, hints, and the centralized directory
+    over one trace and prints the per-step-kind table; with ``--journeys``
+    every measured request's hop ledger streams to one JSONL file (the
+    ``arch`` field distinguishes the four runs).
+    """
+    from repro.experiments.base import trace_for
+    from repro.hierarchy.data_hierarchy import DataHierarchy
+    from repro.hierarchy.directory_arch import CentralizedDirectoryArchitecture
+    from repro.hierarchy.hint_hierarchy import HintHierarchy
+    from repro.hierarchy.icp import IcpHierarchy
+    from repro.netmodel.testbed import TestbedCostModel
+    from repro.obs.sink import JourneySink, JsonlJourneySink
+    from repro.reporting.tables import format_decomposition_table
+    from repro.sim.engine import run_simulation
+
+    config = default_config()
+    if args.scale is not None:
+        config = config.with_scale(args.scale)
+    if args.seed is not None:
+        from dataclasses import replace
+
+        config = replace(config, seed=args.seed)
+    profile_name = args.profile or "dec"
+    if args.trace_cache is not None:
+        from repro.runner.trace_cache import (
+            TraceCache,
+            get_trace_cache,
+            set_trace_cache,
+        )
+
+        if get_trace_cache().directory != args.trace_cache:
+            set_trace_cache(TraceCache(args.trace_cache))
+    trace = trace_for(config, profile_name)
+    cost = TestbedCostModel()
+    architectures = [
+        DataHierarchy(config.topology, cost),
+        IcpHierarchy(config.topology, cost),
+        HintHierarchy(config.topology, cost),
+        CentralizedDirectoryArchitecture(config.topology, cost),
+    ]
+    sink = (
+        JsonlJourneySink(args.journeys) if args.journeys is not None else JourneySink()
+    )
+    results = {}
+    with sink:
+        for architecture in architectures:
+            sink.architecture = architecture.name
+            results[architecture.name] = run_simulation(
+                trace, architecture, journey_sink=sink
+            )
+    print(
+        format_decomposition_table(
+            results,
+            title=f"latency decomposition ({profile_name}, mean ms/request)",
+        )
+    )
+    if args.journeys is not None:
+        print(f"[journeys written to {args.journeys}]")
+    return 0
 
 
 def _run_with_profile(names, config, profile_overrides, trace_cache_dir=None):

@@ -9,7 +9,7 @@ into the statistics the figures report.
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 from repro.netmodel.model import AccessPoint, CostModel
@@ -18,6 +18,7 @@ from repro.traces.records import Request
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
     from repro.faults.events import NodeKind
     from repro.faults.injector import FaultInjector
+    from repro.obs.journey import Journey
 
 
 @dataclass(frozen=True)
@@ -52,6 +53,14 @@ class AccessResult:
         fault_added_ms: Portion of ``time_ms`` attributable to injected
             faults (timeouts, origin slowdown, link degradation).  Zero
             on every healthy run.
+        journey: The hop ledger this result was derived from
+            (:class:`repro.obs.journey.Journey`), or ``None`` for results
+            built directly (test stubs).  When present, ``time_ms`` is
+            exactly the left-to-right sum of the steps' ``cost_ms`` and
+            ``fault_added_ms`` the sum of their ``fault_ms`` -- see
+            :meth:`repro.obs.journey.Journey.result`.  Excluded from
+            equality/repr: two results are the same outcome even if their
+            narrations are distinct objects.
     """
 
     point: AccessPoint
@@ -65,6 +74,7 @@ class AccessResult:
     timeout_fallback: bool = False
     stale_hint_forward: bool = False
     fault_added_ms: float = 0.0
+    journey: "Journey | None" = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.time_ms < 0:

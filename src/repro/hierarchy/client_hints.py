@@ -24,6 +24,7 @@ from repro.hierarchy.base import AccessResult, Architecture
 from repro.hierarchy.topology import HierarchyTopology
 from repro.hints.directory import HintDirectory
 from repro.netmodel.model import AccessPoint, CostModel
+from repro.obs.journey import Journey
 from repro.traces.records import Request
 
 
@@ -75,11 +76,12 @@ class ClientHintHierarchy(Architecture):
         # and the proxy is one switch away regardless.
         local = self.l1_caches[l1_index].lookup(oid, version)
         if local is LookupResult.HIT:
-            return AccessResult(
-                point=AccessPoint.L1,
-                time_ms=self.cost_model.direct_ms(AccessPoint.L1, size),
-                hit=True,
+            journey = Journey()
+            journey.local_lookup(
+                self.cost_model.direct_ms(AccessPoint.L1, size),
+                target=f"l1:{l1_index}",
             )
+            return journey.result(AccessPoint.L1, hit=True)
         # Capacity pressure on the small client hint cache falls on the
         # long tail of *remote* entries: with probability fn_rate the
         # client's cache has no entry for a copy the system holds.
@@ -97,30 +99,33 @@ class ClientHintHierarchy(Architecture):
                     # Direct client-to-peer transfer; the client's proxy
                     # still receives the copy (data lives at L1 proxies).
                     self._store(l1_index, request)
-                    return AccessResult(
-                        point=point,
-                        time_ms=self.cost_model.direct_ms(point, size),
-                        hit=True,
-                        remote_hit=True,
+                    journey = Journey()
+                    journey.transfer(
+                        self.cost_model.direct_ms(point, size),
+                        target=f"l1:{holder}",
                     )
+                    return journey.result(point, hit=True, remote_hit=True)
                 self.directory.record_false_positive()
                 self._store(l1_index, request)
-                return AccessResult(
-                    point=AccessPoint.SERVER,
-                    time_ms=self.cost_model.direct_ms(AccessPoint.SERVER, size)
-                    + self.cost_model.probe_ms(point),
-                    hit=False,
-                    false_positive=True,
+                journey = Journey()
+                journey.peer_probe(
+                    self.cost_model.probe_ms(point),
+                    target=f"l1:{holder}",
+                    wasted=True,
                 )
+                journey.mark_false_positive()
+                journey.origin_fetch(
+                    self.cost_model.direct_ms(AccessPoint.SERVER, size)
+                )
+                return journey.result(AccessPoint.SERVER, hit=False)
         # Degraded (client hint cache too small) or genuinely no holder:
         # the client goes straight to the server.
         self._store(l1_index, request)
-        return AccessResult(
-            point=AccessPoint.SERVER,
-            time_ms=self.cost_model.direct_ms(AccessPoint.SERVER, size),
-            hit=False,
-            false_negative=degraded,
-        )
+        journey = Journey()
+        if degraded:
+            journey.mark_false_negative()
+        journey.origin_fetch(self.cost_model.direct_ms(AccessPoint.SERVER, size))
+        return journey.result(AccessPoint.SERVER, hit=False)
 
     def _store(self, l1_index: int, request: Request) -> None:
         self.l1_caches[l1_index].insert(request.object_id, request.size, request.version)

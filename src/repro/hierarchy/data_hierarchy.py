@@ -23,7 +23,17 @@ from repro.cache.lru import LookupResult, LRUCache
 from repro.hierarchy.base import AccessResult, Architecture
 from repro.hierarchy.topology import HierarchyTopology
 from repro.netmodel.model import AccessPoint, CostModel
+from repro.obs.journey import Journey
 from repro.traces.records import Request
+
+#: Journey step appender per access point (the hierarchy's fixed chain):
+#: an L1 hit is a local lookup, deeper hits are store-and-forward walks,
+#: and a miss is an origin fetch.
+_POINT_STEP = {
+    AccessPoint.L1: Journey.local_lookup,
+    AccessPoint.L2: Journey.level_traversal,
+    AccessPoint.L3: Journey.level_traversal,
+}
 
 
 class DataHierarchy(Architecture):
@@ -65,33 +75,39 @@ class DataHierarchy(Architecture):
         oid, version, size = request.object_id, request.version, request.size
 
         if l1.lookup(oid, version) is LookupResult.HIT:
-            return self._result(AccessPoint.L1, size, hit=True, remote=False)
+            journey = Journey()
+            journey.local_lookup(
+                self.cost_model.hierarchical_ms(AccessPoint.L1, size),
+                target=f"l1:{l1_index}",
+            )
+            return journey.result(AccessPoint.L1, hit=True)
 
         if l2.lookup(oid, version) is LookupResult.HIT:
             l1.insert(oid, size, version)
-            return self._result(AccessPoint.L2, size, hit=True, remote=True)
+            journey = Journey()
+            journey.level_traversal(
+                self.cost_model.hierarchical_ms(AccessPoint.L2, size),
+                target=f"l2:{l2_index}",
+            )
+            return journey.result(AccessPoint.L2, hit=True, remote_hit=True)
 
         if l3.lookup(oid, version) is LookupResult.HIT:
             l2.insert(oid, size, version)
             l1.insert(oid, size, version)
-            return self._result(AccessPoint.L3, size, hit=True, remote=True)
+            journey = Journey()
+            journey.level_traversal(
+                self.cost_model.hierarchical_ms(AccessPoint.L3, size), target="l3"
+            )
+            return journey.result(AccessPoint.L3, hit=True, remote_hit=True)
 
         # Full miss: the root fetches from the origin server and the object
         # is cached at every level on the way down.
         l3.insert(oid, size, version)
         l2.insert(oid, size, version)
         l1.insert(oid, size, version)
-        return self._result(AccessPoint.SERVER, size, hit=False, remote=False)
-
-    def _result(
-        self, point: AccessPoint, size: int, *, hit: bool, remote: bool
-    ) -> AccessResult:
-        return AccessResult(
-            point=point,
-            time_ms=self.cost_model.hierarchical_ms(point, size),
-            hit=hit,
-            remote_hit=remote,
-        )
+        journey = Journey()
+        journey.origin_fetch(self.cost_model.hierarchical_ms(AccessPoint.SERVER, size))
+        return journey.result(AccessPoint.SERVER, hit=False)
 
     # ------------------------------------------------------------------
     # degraded mode (active only when a FaultInjector is attached)
@@ -127,33 +143,39 @@ class DataHierarchy(Architecture):
             # The client's own proxy is dead: wait out the timeout, then
             # fetch from the origin directly.  Nothing is cached.
             faults.note_dead_probe()
-            return self._fallback_result(size)
+            return self._fallback_result(size, target=f"l1:{l1_index}")
 
         l1 = self.l1_caches[l1_index]
         if l1.lookup(oid, version) is LookupResult.HIT:
-            return self._degraded_result(AccessPoint.L1, size, hit=True, remote=False)
+            return self._degraded_result(
+                AccessPoint.L1, size, hit=True, remote=False, target=f"l1:{l1_index}"
+            )
 
         if faults.is_down("l2", l2_index):
             faults.note_dead_probe()
             l1.insert(oid, size, version)
-            return self._fallback_result(size)
+            return self._fallback_result(size, target=f"l2:{l2_index}")
 
         l2 = self.l2_caches[l2_index]
         if l2.lookup(oid, version) is LookupResult.HIT:
             l1.insert(oid, size, version)
-            return self._degraded_result(AccessPoint.L2, size, hit=True, remote=True)
+            return self._degraded_result(
+                AccessPoint.L2, size, hit=True, remote=True, target=f"l2:{l2_index}"
+            )
 
         if faults.is_down("l3", 0):
             faults.note_dead_probe()
             l2.insert(oid, size, version)
             l1.insert(oid, size, version)
-            return self._fallback_result(size)
+            return self._fallback_result(size, target="l3")
 
         l3 = self.l3_cache
         if l3.lookup(oid, version) is LookupResult.HIT:
             l2.insert(oid, size, version)
             l1.insert(oid, size, version)
-            return self._degraded_result(AccessPoint.L3, size, hit=True, remote=True)
+            return self._degraded_result(
+                AccessPoint.L3, size, hit=True, remote=True, target="l3"
+            )
 
         l3.insert(oid, size, version)
         l2.insert(oid, size, version)
@@ -169,28 +191,25 @@ class DataHierarchy(Architecture):
         *,
         hit: bool,
         remote: bool,
+        target: str = "",
         origin: bool = False,
     ) -> AccessResult:
         charged, added = self.faults.degraded_ms(
             self.cost_model.hierarchical_ms(point, size), origin=origin
         )
-        return AccessResult(
-            point=point,
-            time_ms=charged,
-            hit=hit,
-            remote_hit=remote,
-            fault_added_ms=added,
-        )
+        journey = Journey()
+        if point is AccessPoint.SERVER:
+            journey.origin_fetch(charged, fault_ms=added)
+        else:
+            _POINT_STEP[point](journey, charged, target=target, fault_ms=added)
+        return journey.result(point, hit=hit, remote_hit=remote)
 
-    def _fallback_result(self, size: int) -> AccessResult:
+    def _fallback_result(self, size: int, *, target: str) -> AccessResult:
         faults = self.faults
         charged, added = faults.degraded_ms(
             self.cost_model.hierarchical_ms(AccessPoint.SERVER, size), origin=True
         )
-        return AccessResult(
-            point=AccessPoint.SERVER,
-            time_ms=charged + faults.timeout_ms,
-            hit=False,
-            timeout_fallback=True,
-            fault_added_ms=added + faults.timeout_ms,
-        )
+        journey = Journey()
+        journey.timeout(faults.timeout_ms, target=target)
+        journey.origin_fetch(charged, fault_ms=added)
+        return journey.result(AccessPoint.SERVER, hit=False)

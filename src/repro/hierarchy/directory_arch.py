@@ -20,6 +20,7 @@ from repro.hierarchy.base import AccessResult, Architecture
 from repro.hierarchy.topology import HierarchyTopology
 from repro.hints.directory import HintDirectory
 from repro.netmodel.model import AccessPoint, CostModel
+from repro.obs.journey import Journey
 from repro.traces.records import Request
 
 
@@ -66,11 +67,12 @@ class CentralizedDirectoryArchitecture(Architecture):
         oid, version, size = request.object_id, request.version, request.size
 
         if self.l1_caches[l1_index].lookup(oid, version) is LookupResult.HIT:
-            return AccessResult(
-                point=AccessPoint.L1,
-                time_ms=self.cost_model.via_l1_ms(AccessPoint.L1, size),
-                hit=True,
+            journey = Journey()
+            journey.local_lookup(
+                self.cost_model.via_l1_ms(AccessPoint.L1, size),
+                target=f"l1:{l1_index}",
             )
+            return journey.result(AccessPoint.L1, hit=True)
 
         query_ms = self.cost_model.probe_ms(self.directory_point)
         lookup = self.directory.find(self._now, oid, l1_index)
@@ -82,19 +84,18 @@ class CentralizedDirectoryArchitecture(Architecture):
             # current copy (we filtered stale versions above).
             self.l1_caches[holder].lookup(oid, version)  # refresh peer LRU
             self._store(l1_index, request)
-            return AccessResult(
-                point=point,
-                time_ms=query_ms + self.cost_model.via_l1_ms(point, size),
-                hit=True,
-                remote_hit=True,
+            journey = Journey()
+            journey.peer_probe(query_ms, target="directory")
+            journey.transfer(
+                self.cost_model.via_l1_ms(point, size), target=f"l1:{holder}"
             )
+            return journey.result(point, hit=True, remote_hit=True)
 
         self._store(l1_index, request)
-        return AccessResult(
-            point=AccessPoint.SERVER,
-            time_ms=query_ms + self.cost_model.via_l1_ms(AccessPoint.SERVER, size),
-            hit=False,
-        )
+        journey = Journey()
+        journey.peer_probe(query_ms, target="directory")
+        journey.origin_fetch(self.cost_model.via_l1_ms(AccessPoint.SERVER, size))
+        return journey.result(AccessPoint.SERVER, hit=False)
 
     def _nearest_fresh_holder(
         self, holders: tuple[int, ...], requester: int, oid: int, version: int
@@ -148,19 +149,16 @@ class CentralizedDirectoryArchitecture(Architecture):
             charged, added = faults.degraded_ms(
                 cost.via_l1_ms(AccessPoint.SERVER, size), origin=True
             )
-            return AccessResult(
-                point=AccessPoint.SERVER,
-                time_ms=charged + faults.timeout_ms,
-                hit=False,
-                timeout_fallback=True,
-                fault_added_ms=added + faults.timeout_ms,
-            )
+            journey = Journey()
+            journey.timeout(faults.timeout_ms, target=f"l1:{l1_index}")
+            journey.origin_fetch(charged, fault_ms=added)
+            return journey.result(AccessPoint.SERVER, hit=False)
 
         if self.l1_caches[l1_index].lookup(oid, version) is LookupResult.HIT:
             charged, added = faults.degraded_ms(cost.via_l1_ms(AccessPoint.L1, size))
-            return AccessResult(
-                point=AccessPoint.L1, time_ms=charged, hit=True, fault_added_ms=added
-            )
+            journey = Journey()
+            journey.local_lookup(charged, target=f"l1:{l1_index}", fault_ms=added)
+            return journey.result(AccessPoint.L1, hit=True)
 
         if faults.is_down("meta", self.DIRECTORY_META_NODE):
             # The directory itself is down: the query times out and the
@@ -172,13 +170,10 @@ class CentralizedDirectoryArchitecture(Architecture):
             charged, added = faults.degraded_ms(
                 cost.via_l1_ms(AccessPoint.SERVER, size), origin=True
             )
-            return AccessResult(
-                point=AccessPoint.SERVER,
-                time_ms=charged + faults.timeout_ms,
-                hit=False,
-                timeout_fallback=True,
-                fault_added_ms=added + faults.timeout_ms,
-            )
+            journey = Journey()
+            journey.timeout(faults.timeout_ms, target="directory")
+            journey.origin_fetch(charged, fault_ms=added)
+            return journey.result(AccessPoint.SERVER, hit=False)
 
         query_ms, query_added = faults.degraded_ms(cost.probe_ms(self.directory_point))
         lookup = self.directory.find(self._now, oid, l1_index)
@@ -198,27 +193,21 @@ class CentralizedDirectoryArchitecture(Architecture):
             charged, added = faults.degraded_ms(
                 cost.via_l1_ms(AccessPoint.SERVER, size), origin=True
             )
-            return AccessResult(
-                point=AccessPoint.SERVER,
-                time_ms=query_ms + charged + faults.timeout_ms,
-                hit=False,
-                timeout_fallback=True,
-                stale_hint_forward=True,
-                fault_added_ms=query_added + added + faults.timeout_ms,
-            )
+            journey = Journey()
+            journey.peer_probe(query_ms, target="directory", fault_ms=query_added)
+            journey.timeout(faults.timeout_ms, target=f"l1:{holder}", stale=True)
+            journey.origin_fetch(charged, fault_ms=added)
+            return journey.result(AccessPoint.SERVER, hit=False)
 
         if holder is not None:
             point = self.topology.distance_class(l1_index, holder)
             if self.l1_caches[holder].lookup(oid, version) is LookupResult.HIT:
                 self._store(l1_index, request)
                 charged, added = faults.degraded_ms(cost.via_l1_ms(point, size))
-                return AccessResult(
-                    point=point,
-                    time_ms=query_ms + charged,
-                    hit=True,
-                    remote_hit=True,
-                    fault_added_ms=query_added + added,
-                )
+                journey = Journey()
+                journey.peer_probe(query_ms, target="directory", fault_ms=query_added)
+                journey.transfer(charged, target=f"l1:{holder}", fault_ms=added)
+                return journey.result(point, hit=True, remote_hit=True)
             # The peer is alive but the copy is gone (it crashed and came
             # back empty while the directory still advertised the entry):
             # a wasted forward the healthy directory can never produce.
@@ -228,24 +217,23 @@ class CentralizedDirectoryArchitecture(Architecture):
             charged, added = faults.degraded_ms(
                 cost.via_l1_ms(AccessPoint.SERVER, size), origin=True
             )
-            return AccessResult(
-                point=AccessPoint.SERVER,
-                time_ms=query_ms + probe_ms + charged,
-                hit=False,
-                stale_hint_forward=True,
-                fault_added_ms=query_added + probe_added + added,
+            journey = Journey()
+            journey.peer_probe(query_ms, target="directory", fault_ms=query_added)
+            journey.peer_probe(
+                probe_ms, target=f"l1:{holder}", fault_ms=probe_added, wasted=True
             )
+            journey.mark_stale_forward()
+            journey.origin_fetch(charged, fault_ms=added)
+            return journey.result(AccessPoint.SERVER, hit=False)
 
         self._store(l1_index, request)
         charged, added = faults.degraded_ms(
             cost.via_l1_ms(AccessPoint.SERVER, size), origin=True
         )
-        return AccessResult(
-            point=AccessPoint.SERVER,
-            time_ms=query_ms + charged,
-            hit=False,
-            fault_added_ms=query_added + added,
-        )
+        journey = Journey()
+        journey.peer_probe(query_ms, target="directory", fault_ms=query_added)
+        journey.origin_fetch(charged, fault_ms=added)
+        return journey.result(AccessPoint.SERVER, hit=False)
 
     def _nearest_visible_holder(
         self, holders: tuple[int, ...], requester: int

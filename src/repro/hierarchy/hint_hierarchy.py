@@ -30,6 +30,7 @@ from repro.hierarchy.base import AccessResult, Architecture
 from repro.hierarchy.topology import HierarchyTopology
 from repro.hints.directory import HintDirectory
 from repro.netmodel.model import AccessPoint, CostModel
+from repro.obs.journey import Journey
 from repro.push.base import PushAction, PushPolicy, PushStats
 from repro.traces.records import Request
 
@@ -98,13 +99,14 @@ class HintHierarchy(Architecture):
 
         local = cache.lookup(oid, version)
         if local is LookupResult.HIT:
-            push_hit = self._consume_push_mark(l1_index, oid, version)
-            return AccessResult(
-                point=AccessPoint.L1,
-                time_ms=self.cost_model.via_l1_ms(AccessPoint.L1, size),
-                hit=True,
-                push_hit=push_hit,
+            journey = Journey()
+            journey.local_lookup(
+                self.cost_model.via_l1_ms(AccessPoint.L1, size),
+                target=f"l1:{l1_index}",
             )
+            if self._consume_push_mark(l1_index, oid, version):
+                journey.mark_push_hit()
+            return journey.result(AccessPoint.L1, hit=True)
         local_had_stale = local is LookupResult.STALE
 
         lookup = self.directory.find(self._now, oid, l1_index)
@@ -126,10 +128,11 @@ class HintHierarchy(Architecture):
             # The advertised copy is gone or stale: a false positive.  The
             # probed cache replies with an error; go straight to the server.
             self.directory.record_false_positive()
-            probe = self.cost_model.probe_ms(point)
             return self._server_fetch(
                 request, l1_index, local_had_stale, stale_holders,
-                extra_ms=probe, false_positive=True,
+                probe_ms=self.cost_model.probe_ms(point),
+                probe_target=f"l1:{holder}",
+                false_positive=True,
             )
 
         return self._server_fetch(
@@ -199,20 +202,17 @@ class HintHierarchy(Architecture):
             charged, added = faults.degraded_ms(
                 cost.via_l1_ms(AccessPoint.SERVER, size), origin=True
             )
-            return AccessResult(
-                point=AccessPoint.SERVER,
-                time_ms=charged + faults.timeout_ms,
-                hit=False,
-                timeout_fallback=True,
-                fault_added_ms=added + faults.timeout_ms,
-            )
+            journey = Journey()
+            journey.timeout(faults.timeout_ms, target=f"l1:{l1_index}")
+            journey.origin_fetch(charged, fault_ms=added)
+            return journey.result(AccessPoint.SERVER, hit=False)
 
         cache = self.l1_caches[l1_index]
         if cache.lookup(oid, version) is LookupResult.HIT:
             charged, added = faults.degraded_ms(cost.via_l1_ms(AccessPoint.L1, size))
-            return AccessResult(
-                point=AccessPoint.L1, time_ms=charged, hit=True, fault_added_ms=added
-            )
+            journey = Journey()
+            journey.local_lookup(charged, target=f"l1:{l1_index}", fault_ms=added)
+            return journey.result(AccessPoint.L1, hit=True)
 
         lookup = self.directory.find(self._now, oid, l1_index)
         holder = self._nearest_holder(lookup.holders, l1_index)
@@ -228,15 +228,12 @@ class HintHierarchy(Architecture):
             charged, added = faults.degraded_ms(
                 cost.via_l1_ms(AccessPoint.SERVER, size), origin=True
             )
-            return AccessResult(
-                point=AccessPoint.SERVER,
-                time_ms=cost.hint_lookup_ms() + charged + faults.timeout_ms,
-                hit=False,
-                false_positive=True,
-                timeout_fallback=True,
-                stale_hint_forward=True,
-                fault_added_ms=added + faults.timeout_ms,
-            )
+            journey = Journey()
+            journey.hint_lookup(cost.hint_lookup_ms(), target=f"l1:{holder}")
+            journey.timeout(faults.timeout_ms, target=f"l1:{holder}", stale=True)
+            journey.mark_false_positive()
+            journey.origin_fetch(charged, fault_ms=added)
+            return journey.result(AccessPoint.SERVER, hit=False)
 
         if holder is not None:
             point = self.topology.distance_class(l1_index, holder)
@@ -249,14 +246,12 @@ class HintHierarchy(Architecture):
                 )
                 self._store_faulted(l1_index, request)
                 charged, added = faults.degraded_ms(cost.via_l1_ms(point, size))
-                return AccessResult(
-                    point=point,
-                    time_ms=charged + cost.hint_lookup_ms(),
-                    hit=True,
-                    remote_hit=True,
-                    suboptimal_positive=suboptimal,
-                    fault_added_ms=added,
-                )
+                journey = Journey()
+                journey.hint_lookup(cost.hint_lookup_ms(), target=f"l1:{holder}")
+                journey.transfer(charged, target=f"l1:{holder}", fault_ms=added)
+                if suboptimal:
+                    journey.mark_suboptimal()
+                return journey.result(point, hit=True, remote_hit=True)
             # Ordinary false positive: the live peer no longer holds the
             # object (or invalidated a stale copy); wasted probe, then
             # the origin server.
@@ -266,25 +261,25 @@ class HintHierarchy(Architecture):
             charged, added = faults.degraded_ms(
                 cost.via_l1_ms(AccessPoint.SERVER, size), origin=True
             )
-            return AccessResult(
-                point=AccessPoint.SERVER,
-                time_ms=cost.hint_lookup_ms() + probe_ms + charged,
-                hit=False,
-                false_positive=True,
-                fault_added_ms=probe_added + added,
+            journey = Journey()
+            journey.hint_lookup(cost.hint_lookup_ms(), target=f"l1:{holder}")
+            journey.peer_probe(
+                probe_ms, target=f"l1:{holder}", fault_ms=probe_added, wasted=True
             )
+            journey.mark_false_positive()
+            journey.origin_fetch(charged, fault_ms=added)
+            return journey.result(AccessPoint.SERVER, hit=False)
 
         self._store_faulted(l1_index, request)
         charged, added = faults.degraded_ms(
             cost.via_l1_ms(AccessPoint.SERVER, size), origin=True
         )
-        return AccessResult(
-            point=AccessPoint.SERVER,
-            time_ms=cost.hint_lookup_ms() + charged,
-            hit=False,
-            false_negative=lookup.false_negative,
-            fault_added_ms=added,
-        )
+        journey = Journey()
+        journey.hint_lookup(cost.hint_lookup_ms())
+        if lookup.false_negative:
+            journey.mark_false_negative()
+        journey.origin_fetch(charged, fault_ms=added)
+        return journey.result(AccessPoint.SERVER, hit=False)
 
     def _store_faulted(self, l1_index: int, request: Request) -> None:
         """Store a demand copy; the hint announcement may be lost in flight.
@@ -337,13 +332,14 @@ class HintHierarchy(Architecture):
                 lca_level=int(point),
             )
             self._apply_pushes(actions, exclude={l1_index, holder})
-        return AccessResult(
-            point=charged_point,
-            time_ms=self._charge(charged_point, size),
-            hit=True,
-            remote_hit=True,
-            suboptimal_positive=suboptimal,
+        journey = Journey()
+        journey.hint_lookup(self.cost_model.hint_lookup_ms(), target=f"l1:{holder}")
+        journey.transfer(
+            self.cost_model.via_l1_ms(charged_point, size), target=f"l1:{holder}"
         )
+        if suboptimal:
+            journey.mark_suboptimal()
+        return journey.result(charged_point, hit=True, remote_hit=True)
 
     def _server_fetch(
         self,
@@ -352,7 +348,8 @@ class HintHierarchy(Architecture):
         local_had_stale: bool,
         stale_holders: dict[int, int],
         *,
-        extra_ms: float = 0.0,
+        probe_ms: float = 0.0,
+        probe_target: str = "",
         false_positive: bool = False,
         false_negative: bool = False,
     ) -> AccessResult:
@@ -370,15 +367,15 @@ class HintHierarchy(Architecture):
                 stale_holders=stale_holders,
             )
             self._apply_pushes(actions, exclude={l1_index})
-        return AccessResult(
-            point=AccessPoint.SERVER,
-            time_ms=self.cost_model.via_l1_ms(AccessPoint.SERVER, size)
-            + self.cost_model.hint_lookup_ms()
-            + extra_ms,
-            hit=False,
-            false_positive=false_positive,
-            false_negative=false_negative,
-        )
+        journey = Journey()
+        journey.hint_lookup(self.cost_model.hint_lookup_ms())
+        if false_positive:
+            journey.peer_probe(probe_ms, target=probe_target, wasted=True)
+            journey.mark_false_positive()
+        if false_negative:
+            journey.mark_false_negative()
+        journey.origin_fetch(self.cost_model.via_l1_ms(AccessPoint.SERVER, size))
+        return journey.result(AccessPoint.SERVER, hit=False)
 
     # ------------------------------------------------------------------
     # storage and hint bookkeeping
@@ -440,6 +437,3 @@ class HintHierarchy(Architecture):
             holders,
             key=lambda h: (int(self.topology.distance_class(requester, h)), h),
         )
-
-    def _charge(self, point: AccessPoint, size: int) -> float:
-        return self.cost_model.via_l1_ms(point, size) + self.cost_model.hint_lookup_ms()

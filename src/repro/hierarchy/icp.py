@@ -22,6 +22,7 @@ from repro.cache.lru import LookupResult, LRUCache
 from repro.hierarchy.base import AccessResult, Architecture
 from repro.hierarchy.topology import HierarchyTopology
 from repro.netmodel.model import AccessPoint, CostModel
+from repro.obs.journey import Journey
 from repro.traces.records import Request
 
 
@@ -54,11 +55,12 @@ class IcpHierarchy(Architecture):
         oid, version, size = request.object_id, request.version, request.size
 
         if self.l1_caches[l1_index].lookup(oid, version) is LookupResult.HIT:
-            return AccessResult(
-                point=AccessPoint.L1,
-                time_ms=self.cost_model.hierarchical_ms(AccessPoint.L1, size),
-                hit=True,
+            journey = Journey()
+            journey.local_lookup(
+                self.cost_model.hierarchical_ms(AccessPoint.L1, size),
+                target=f"l1:{l1_index}",
             )
+            return journey.result(AccessPoint.L1, hit=True)
 
         # ICP query: every local miss waits for the sibling round trip.
         self.sibling_queries += 1
@@ -67,39 +69,42 @@ class IcpHierarchy(Architecture):
             if self.l1_caches[sibling].lookup(oid, version) is LookupResult.HIT:
                 self.sibling_hits += 1
                 self.l1_caches[l1_index].insert(oid, size, version)
-                return AccessResult(
-                    point=AccessPoint.L2,
-                    time_ms=query_ms + self.cost_model.via_l1_ms(AccessPoint.L2, size),
-                    hit=True,
-                    remote_hit=True,
+                journey = Journey()
+                journey.peer_probe(query_ms, target="siblings")
+                journey.transfer(
+                    self.cost_model.via_l1_ms(AccessPoint.L2, size),
+                    target=f"l1:{sibling}",
                 )
+                return journey.result(AccessPoint.L2, hit=True, remote_hit=True)
 
         # No sibling: proceed up the data hierarchy, query time included.
         if self.l2_caches[l2_index].lookup(oid, version) is LookupResult.HIT:
             self.l1_caches[l1_index].insert(oid, size, version)
-            return AccessResult(
-                point=AccessPoint.L2,
-                time_ms=query_ms + self.cost_model.hierarchical_ms(AccessPoint.L2, size),
-                hit=True,
-                remote_hit=True,
+            journey = Journey()
+            journey.peer_probe(query_ms, target="siblings")
+            journey.level_traversal(
+                self.cost_model.hierarchical_ms(AccessPoint.L2, size),
+                target=f"l2:{l2_index}",
             )
+            return journey.result(AccessPoint.L2, hit=True, remote_hit=True)
         if self.l3_cache.lookup(oid, version) is LookupResult.HIT:
             self.l2_caches[l2_index].insert(oid, size, version)
             self.l1_caches[l1_index].insert(oid, size, version)
-            return AccessResult(
-                point=AccessPoint.L3,
-                time_ms=query_ms + self.cost_model.hierarchical_ms(AccessPoint.L3, size),
-                hit=True,
-                remote_hit=True,
+            journey = Journey()
+            journey.peer_probe(query_ms, target="siblings")
+            journey.level_traversal(
+                self.cost_model.hierarchical_ms(AccessPoint.L3, size), target="l3"
             )
+            return journey.result(AccessPoint.L3, hit=True, remote_hit=True)
         self.l3_cache.insert(oid, size, version)
         self.l2_caches[l2_index].insert(oid, size, version)
         self.l1_caches[l1_index].insert(oid, size, version)
-        return AccessResult(
-            point=AccessPoint.SERVER,
-            time_ms=query_ms + self.cost_model.hierarchical_ms(AccessPoint.SERVER, size),
-            hit=False,
+        journey = Journey()
+        journey.peer_probe(query_ms, target="siblings")
+        journey.origin_fetch(
+            self.cost_model.hierarchical_ms(AccessPoint.SERVER, size)
         )
+        return journey.result(AccessPoint.SERVER, hit=False)
 
     # ------------------------------------------------------------------
     # degraded mode (active only when a FaultInjector is attached)
@@ -132,13 +137,13 @@ class IcpHierarchy(Architecture):
 
         if faults.is_down("l1", l1_index):
             faults.note_dead_probe()
-            return self._fault_fallback(size, extra_ms=0.0)
+            return self._fault_fallback(size, Journey(), target=f"l1:{l1_index}")
 
         if self.l1_caches[l1_index].lookup(oid, version) is LookupResult.HIT:
             charged, added = faults.degraded_ms(cost.hierarchical_ms(AccessPoint.L1, size))
-            return AccessResult(
-                point=AccessPoint.L1, time_ms=charged, hit=True, fault_added_ms=added
-            )
+            journey = Journey()
+            journey.local_lookup(charged, target=f"l1:{l1_index}", fault_ms=added)
+            return journey.result(AccessPoint.L1, hit=True)
 
         self.sibling_queries += 1
         query_ms, query_added = faults.degraded_ms(cost.probe_ms(AccessPoint.L2))
@@ -149,61 +154,44 @@ class IcpHierarchy(Architecture):
                 dead_sibling = True
             else:
                 live_siblings.append(sibling)
+        journey = Journey()
+        journey.peer_probe(query_ms, target="siblings", fault_ms=query_added)
         if dead_sibling:
             # The query round only resolves at the timeout deadline.
             faults.note_dead_probe()
-            query_ms += faults.timeout_ms
-            query_added += faults.timeout_ms
+            journey.timeout(faults.timeout_ms, target="siblings")
 
         for sibling in live_siblings:
             if self.l1_caches[sibling].lookup(oid, version) is LookupResult.HIT:
                 self.sibling_hits += 1
                 self.l1_caches[l1_index].insert(oid, size, version)
                 charged, added = faults.degraded_ms(cost.via_l1_ms(AccessPoint.L2, size))
-                return AccessResult(
-                    point=AccessPoint.L2,
-                    time_ms=query_ms + charged,
-                    hit=True,
-                    remote_hit=True,
-                    timeout_fallback=dead_sibling,
-                    fault_added_ms=query_added + added,
-                )
+                journey.transfer(charged, target=f"l1:{sibling}", fault_ms=added)
+                return journey.result(AccessPoint.L2, hit=True, remote_hit=True)
 
         if faults.is_down("l2", l2_index):
             faults.note_dead_probe()
             self.l1_caches[l1_index].insert(oid, size, version)
-            return self._fault_fallback(size, extra_ms=query_ms, extra_added=query_added)
+            return self._fault_fallback(size, journey, target=f"l2:{l2_index}")
 
         if self.l2_caches[l2_index].lookup(oid, version) is LookupResult.HIT:
             self.l1_caches[l1_index].insert(oid, size, version)
             charged, added = faults.degraded_ms(cost.hierarchical_ms(AccessPoint.L2, size))
-            return AccessResult(
-                point=AccessPoint.L2,
-                time_ms=query_ms + charged,
-                hit=True,
-                remote_hit=True,
-                timeout_fallback=dead_sibling,
-                fault_added_ms=query_added + added,
-            )
+            journey.level_traversal(charged, target=f"l2:{l2_index}", fault_ms=added)
+            return journey.result(AccessPoint.L2, hit=True, remote_hit=True)
 
         if faults.is_down("l3", 0):
             faults.note_dead_probe()
             self.l2_caches[l2_index].insert(oid, size, version)
             self.l1_caches[l1_index].insert(oid, size, version)
-            return self._fault_fallback(size, extra_ms=query_ms, extra_added=query_added)
+            return self._fault_fallback(size, journey, target="l3")
 
         if self.l3_cache.lookup(oid, version) is LookupResult.HIT:
             self.l2_caches[l2_index].insert(oid, size, version)
             self.l1_caches[l1_index].insert(oid, size, version)
             charged, added = faults.degraded_ms(cost.hierarchical_ms(AccessPoint.L3, size))
-            return AccessResult(
-                point=AccessPoint.L3,
-                time_ms=query_ms + charged,
-                hit=True,
-                remote_hit=True,
-                timeout_fallback=dead_sibling,
-                fault_added_ms=query_added + added,
-            )
+            journey.level_traversal(charged, target="l3", fault_ms=added)
+            return journey.result(AccessPoint.L3, hit=True, remote_hit=True)
 
         self.l3_cache.insert(oid, size, version)
         self.l2_caches[l2_index].insert(oid, size, version)
@@ -211,25 +199,22 @@ class IcpHierarchy(Architecture):
         charged, added = faults.degraded_ms(
             cost.hierarchical_ms(AccessPoint.SERVER, size), origin=True
         )
-        return AccessResult(
-            point=AccessPoint.SERVER,
-            time_ms=query_ms + charged,
-            hit=False,
-            timeout_fallback=dead_sibling,
-            fault_added_ms=query_added + added,
-        )
+        journey.origin_fetch(charged, fault_ms=added)
+        return journey.result(AccessPoint.SERVER, hit=False)
 
     def _fault_fallback(
-        self, size: int, *, extra_ms: float = 0.0, extra_added: float = 0.0
+        self, size: int, journey: Journey, *, target: str
     ) -> AccessResult:
+        """Complete a walk blocked by a dead parent: timeout, then origin.
+
+        ``journey`` carries the steps already charged (the sibling query
+        round, possibly its own timeout); the dead parent's timeout and
+        the origin fetch are appended here.
+        """
         faults = self.faults
         charged, added = faults.degraded_ms(
             self.cost_model.hierarchical_ms(AccessPoint.SERVER, size), origin=True
         )
-        return AccessResult(
-            point=AccessPoint.SERVER,
-            time_ms=extra_ms + charged + faults.timeout_ms,
-            hit=False,
-            timeout_fallback=True,
-            fault_added_ms=extra_added + added + faults.timeout_ms,
-        )
+        journey.timeout(faults.timeout_ms, target=target)
+        journey.origin_fetch(charged, fault_ms=added)
+        return journey.result(AccessPoint.SERVER, hit=False)

@@ -33,6 +33,7 @@ from repro.hints.cluster import HintCluster
 from repro.hints.propagation import HintPropagationTree
 from repro.hints.wire import MAX_UPDATE_PERIOD_S
 from repro.netmodel.model import AccessPoint, CostModel
+from repro.obs.journey import Journey
 from repro.traces.records import Request
 
 
@@ -94,11 +95,12 @@ class MessageLevelHintHierarchy(Architecture):
         oid, version, size = request.object_id, request.version, request.size
 
         if cache.lookup(oid, version) is LookupResult.HIT:
-            return AccessResult(
-                point=AccessPoint.L1,
-                time_ms=self.cost_model.via_l1_ms(AccessPoint.L1, size),
-                hit=True,
+            journey = Journey()
+            journey.local_lookup(
+                self.cost_model.via_l1_ms(AccessPoint.L1, size),
+                target=f"l1:{l1_index}",
             )
+            return journey.result(AccessPoint.L1, hit=True)
 
         url_hash = self._hash_of(oid)
         found = self.cluster.find_nearest(l1_index, url_hash, self._now)
@@ -108,33 +110,33 @@ class MessageLevelHintHierarchy(Architecture):
             remote = self.l1_caches[holder].lookup(oid, version)
             if remote is LookupResult.HIT:
                 self._store(l1_index, request)
-                return AccessResult(
-                    point=point,
-                    time_ms=self.cost_model.via_l1_ms(point, size)
-                    + self.cost_model.hint_lookup_ms(),
-                    hit=True,
-                    remote_hit=True,
+                journey = Journey()
+                journey.hint_lookup(
+                    self.cost_model.hint_lookup_ms(), target=f"l1:{holder}"
                 )
+                journey.transfer(
+                    self.cost_model.via_l1_ms(point, size), target=f"l1:{holder}"
+                )
+                return journey.result(point, hit=True, remote_hit=True)
             self.false_positive_probes += 1
             self._store(l1_index, request)
-            return AccessResult(
-                point=AccessPoint.SERVER,
-                time_ms=self.cost_model.via_l1_ms(AccessPoint.SERVER, size)
-                + self.cost_model.probe_ms(point),
-                hit=False,
-                false_positive=True,
+            journey = Journey()
+            journey.peer_probe(
+                self.cost_model.probe_ms(point), target=f"l1:{holder}", wasted=True
             )
+            journey.mark_false_positive()
+            journey.origin_fetch(self.cost_model.via_l1_ms(AccessPoint.SERVER, size))
+            return journey.result(AccessPoint.SERVER, hit=False)
 
         false_negative = self._other_holder_exists(oid, version, l1_index)
         if false_negative:
             self.false_negative_misses += 1
         self._store(l1_index, request)
-        return AccessResult(
-            point=AccessPoint.SERVER,
-            time_ms=self.cost_model.via_l1_ms(AccessPoint.SERVER, size),
-            hit=False,
-            false_negative=false_negative,
-        )
+        journey = Journey()
+        if false_negative:
+            journey.mark_false_negative()
+        journey.origin_fetch(self.cost_model.via_l1_ms(AccessPoint.SERVER, size))
+        return journey.result(AccessPoint.SERVER, hit=False)
 
     # ------------------------------------------------------------------
     # internals

@@ -1,0 +1,31 @@
+"""Observability: typed per-request latency decomposition and trace export.
+
+The paper's core argument (sections 2-3) is a *decomposition* of response
+time into hops -- local hit vs. remote probe vs. hierarchy traversal vs.
+origin fetch.  This package makes that decomposition a first-class value:
+
+* :class:`~repro.obs.journey.Journey` -- the hop ledger every architecture
+  builds per request from typed :class:`~repro.obs.journey.Step` entries;
+  ``AccessResult.time_ms`` and ``fault_added_ms`` are *sums over the
+  ledger*, never hand-assembled arithmetic.
+* :class:`~repro.obs.sink.JourneySink` -- optional per-request trace
+  export: a bounded-buffer JSONL writer
+  (:class:`~repro.obs.sink.JsonlJourneySink`) and an in-memory sampler
+  (:class:`~repro.obs.sink.SamplingJourneySink`), zero-cost when absent.
+
+Downstream, :class:`repro.sim.metrics.SimMetrics` aggregates the ledgers
+per step kind and :func:`repro.reporting.tables.format_decomposition_table`
+renders where every millisecond went.
+"""
+
+from repro.obs.journey import Journey, Step, StepKind
+from repro.obs.sink import JourneySink, JsonlJourneySink, SamplingJourneySink
+
+__all__ = [
+    "Journey",
+    "JourneySink",
+    "JsonlJourneySink",
+    "SamplingJourneySink",
+    "Step",
+    "StepKind",
+]

@@ -1,0 +1,262 @@
+"""The hop ledger: one request's response time as a list of typed steps.
+
+Every architecture narrates each request as a :class:`Journey`: a local
+lookup, maybe a hint-cache consultation, maybe a probe or a timeout, then
+the hop that finally moved the data.  ``AccessResult.time_ms`` and
+``fault_added_ms`` are **derived** from the ledger -- a left-to-right sum
+over the steps' ``cost_ms`` / ``fault_ms`` -- so nothing downstream has to
+trust per-architecture arithmetic, and any millisecond in any table can be
+traced back to the hop that charged it.
+
+Exact-sum invariant
+-------------------
+``result.time_ms == sum(step.cost_ms)`` and ``result.fault_added_ms ==
+sum(step.fault_ms)`` hold *bit-for-bit* (left-to-right float accumulation,
+the same order the steps were appended).  The regression suite relies on
+this: ledger-derived times reproduce the pre-ledger golden snapshots
+byte-identically, and the fault matrix asserts the invariant for every
+architecture x fault-kind cell.
+
+Step semantics
+--------------
+``LOCAL_LOOKUP``
+    Satisfied from the client's own L1 proxy (or the walk's first stop).
+``HINT_LOOKUP``
+    Local, in-memory hint-cache consultation (microseconds; charged so the
+    accounting is honest, per section 3.2.1).
+``PEER_PROBE``
+    A control round trip to a remote node -- an ICP sibling query, a CRISP
+    directory query, or a wasted forward to a cache that no longer holds
+    the object (``wasted=True`` marks the pathological case).
+``LEVEL_TRAVERSAL``
+    Store-and-forward walk through data-hierarchy levels.
+``TIMEOUT``
+    Waiting out a dead node's silence; always pure fault cost, and its
+    presence is what makes ``AccessResult.timeout_fallback`` true.
+``TRANSFER``
+    The data-bearing cache-to-cache (or cache-to-client) hop of a hit.
+``ORIGIN_FETCH``
+    The origin-server fetch of a miss.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, NamedTuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.hierarchy.base import AccessResult
+    from repro.netmodel.model import AccessPoint
+
+
+class StepKind(enum.Enum):
+    """What a journey step spent its milliseconds on."""
+
+    LOCAL_LOOKUP = "local_lookup"
+    HINT_LOOKUP = "hint_lookup"
+    PEER_PROBE = "peer_probe"
+    LEVEL_TRAVERSAL = "level_traversal"
+    TIMEOUT = "timeout"
+    TRANSFER = "transfer"
+    ORIGIN_FETCH = "origin_fetch"
+
+
+class Step(NamedTuple):
+    """One ledger entry: where ``cost_ms`` of the response time went.
+
+    Attributes:
+        kind: The step's type (see module docstring for semantics).
+        cost_ms: Milliseconds charged to the request by this step.
+        target: Where the step went ("l1:3", "l2:0", "directory",
+            "siblings", "origin", "" for purely local work).
+        fault_ms: Portion of ``cost_ms`` attributable to injected faults
+            (surcharges, timeouts).  Zero on every healthy step.
+        wasted: True for control traffic that bought nothing -- a probe to
+            a cache that no longer held the object, or to a corpse.
+    """
+
+    kind: StepKind
+    cost_ms: float
+    target: str = ""
+    fault_ms: float = 0.0
+    wasted: bool = False
+
+    def to_payload(self) -> dict:
+        """JSON-ready rendering (used by the JSONL sink)."""
+        payload = {
+            "kind": self.kind.value,
+            "cost_ms": self.cost_ms,
+            "target": self.target,
+            "fault_ms": self.fault_ms,
+        }
+        if self.wasted:
+            payload["wasted"] = True
+        return payload
+
+
+class Journey:
+    """Mutable per-request ledger builder (one instance per request).
+
+    Architectures append steps in the order the request experienced them
+    and finish with :meth:`result`, which derives the
+    :class:`~repro.hierarchy.base.AccessResult` from the ledger: time and
+    fault totals are left-to-right sums over the steps, and
+    ``timeout_fallback`` is the presence of a ``TIMEOUT`` step.  Flags the
+    ledger cannot see structurally (a hint that *should* have existed, a
+    nearer copy the hint missed, a pushed replica paying off) are recorded
+    with the ``mark_*`` methods.
+    """
+
+    __slots__ = (
+        "steps",
+        "_false_positive",
+        "_false_negative",
+        "_suboptimal",
+        "_push_hit",
+        "_stale_forward",
+    )
+
+    def __init__(self) -> None:
+        self.steps: list[Step] = []
+        self._false_positive = False
+        self._false_negative = False
+        self._suboptimal = False
+        self._push_hit = False
+        self._stale_forward = False
+
+    # ------------------------------------------------------------------
+    # step appenders (hot path: keep them thin)
+    # ------------------------------------------------------------------
+    def local_lookup(self, cost_ms: float, target: str = "", fault_ms: float = 0.0) -> None:
+        """The request was satisfied at (or walked through) its own proxy."""
+        self.steps.append(Step(StepKind.LOCAL_LOOKUP, cost_ms, target, fault_ms))
+
+    def hint_lookup(self, cost_ms: float, target: str = "") -> None:
+        """Local hint-cache consultation (never a network operation)."""
+        self.steps.append(Step(StepKind.HINT_LOOKUP, cost_ms, target))
+
+    def peer_probe(
+        self,
+        cost_ms: float,
+        target: str = "",
+        fault_ms: float = 0.0,
+        wasted: bool = False,
+    ) -> None:
+        """A control round trip to a remote node (query or wasted forward)."""
+        self.steps.append(Step(StepKind.PEER_PROBE, cost_ms, target, fault_ms, wasted))
+
+    def level_traversal(
+        self, cost_ms: float, target: str = "", fault_ms: float = 0.0
+    ) -> None:
+        """Store-and-forward walk through the data hierarchy to a hit."""
+        self.steps.append(Step(StepKind.LEVEL_TRAVERSAL, cost_ms, target, fault_ms))
+
+    def timeout(self, cost_ms: float, target: str = "", stale: bool = False) -> None:
+        """Waiting out a dead node (pure fault cost; implies a fallback).
+
+        ``stale=True`` records that stale metadata *sent* the request to
+        the corpse (a wasted forward), which surfaces as
+        ``stale_hint_forward`` on the derived result.
+        """
+        self.steps.append(Step(StepKind.TIMEOUT, cost_ms, target, cost_ms, stale))
+        if stale:
+            self._stale_forward = True
+
+    def transfer(self, cost_ms: float, target: str = "", fault_ms: float = 0.0) -> None:
+        """The data-bearing hop of a hit (local, peer, or via-L1)."""
+        self.steps.append(Step(StepKind.TRANSFER, cost_ms, target, fault_ms))
+
+    def origin_fetch(self, cost_ms: float, fault_ms: float = 0.0) -> None:
+        """The origin-server fetch of a miss."""
+        self.steps.append(Step(StepKind.ORIGIN_FETCH, cost_ms, "origin", fault_ms))
+
+    # ------------------------------------------------------------------
+    # pathology marks (facts the step list cannot carry structurally)
+    # ------------------------------------------------------------------
+    def mark_false_positive(self) -> None:
+        """A hint named a cache that no longer held the object."""
+        self._false_positive = True
+
+    def mark_false_negative(self) -> None:
+        """No hint although a remote copy existed (priced as a plain miss)."""
+        self._false_negative = True
+
+    def mark_suboptimal(self) -> None:
+        """The hint named a farther cache although a closer copy existed."""
+        self._suboptimal = True
+
+    def mark_push_hit(self) -> None:
+        """The hit was served from a replica a push policy planted."""
+        self._push_hit = True
+
+    def mark_stale_forward(self) -> None:
+        """Stale metadata forwarded the request to a dead/emptied node."""
+        self._stale_forward = True
+
+    # ------------------------------------------------------------------
+    # derivation
+    # ------------------------------------------------------------------
+    @property
+    def total_ms(self) -> float:
+        """Left-to-right sum of step costs (the exact-sum invariant)."""
+        total = 0.0
+        for step in self.steps:
+            total += step.cost_ms
+        return total
+
+    @property
+    def fault_added_ms(self) -> float:
+        """Left-to-right sum of step fault surcharges."""
+        total = 0.0
+        for step in self.steps:
+            total += step.fault_ms
+        return total
+
+    def result(
+        self, point: "AccessPoint", *, hit: bool, remote_hit: bool = False
+    ) -> "AccessResult":
+        """Derive the :class:`~repro.hierarchy.base.AccessResult`.
+
+        ``time_ms``/``fault_added_ms`` are the ledger sums;
+        ``timeout_fallback`` is true iff a ``TIMEOUT`` step was charged;
+        the remaining flags come from the ``mark_*`` calls.  The journey
+        itself rides along on ``result.journey`` for sinks and metrics.
+        """
+        from repro.hierarchy.base import AccessResult
+
+        total = 0.0
+        fault = 0.0
+        timeout_fallback = False
+        for step in self.steps:
+            total += step.cost_ms
+            fault += step.fault_ms
+            if step.kind is StepKind.TIMEOUT:
+                timeout_fallback = True
+        return AccessResult(
+            point=point,
+            time_ms=total,
+            hit=hit,
+            remote_hit=remote_hit,
+            false_positive=self._false_positive,
+            false_negative=self._false_negative,
+            suboptimal_positive=self._suboptimal,
+            push_hit=self._push_hit,
+            timeout_fallback=timeout_fallback,
+            stale_hint_forward=self._stale_forward,
+            fault_added_ms=fault,
+            journey=self,
+        )
+
+    def to_payload(self) -> list[dict]:
+        """JSON-ready step list (used by the JSONL sink)."""
+        return [step.to_payload() for step in self.steps]
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        inner = ", ".join(
+            f"{s.kind.value}({s.cost_ms:g}ms{'->' + s.target if s.target else ''})"
+            for s in self.steps
+        )
+        return f"Journey[{inner}]"

@@ -1,0 +1,160 @@
+"""Structured per-request trace export for simulation runs.
+
+A :class:`JourneySink` receives every *measured* request of a run together
+with its ledger-derived :class:`~repro.hierarchy.base.AccessResult`.  Two
+implementations cover the common needs:
+
+* :class:`JsonlJourneySink` -- streams line-delimited JSON to a file
+  through a bounded buffer, so a multi-million-request run exports traces
+  with O(buffer) memory and batched writes;
+* :class:`SamplingJourneySink` -- keeps the first N journeys in memory for
+  interactive inspection and tests, plus a count of everything seen.
+
+Sinks are pure observers: they never mutate the simulation, and
+:func:`repro.sim.engine.run_simulation` touches them behind a single
+``is not None`` check, so a run without a sink takes exactly the original
+code path.  Sink output is also excluded from run identity -- the
+content addresses in :mod:`repro.runner.fingerprint` are functions of
+(profile, seed, fault plan) only, so attaching a sink can never perturb
+trace-cache keys or golden snapshots.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import IO, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.hierarchy.base import AccessResult
+    from repro.traces.records import Request
+
+
+class JourneySink:
+    """Interface: receives each measured request's journey as it completes.
+
+    Subclasses implement :meth:`emit`; :meth:`close` flushes/releases any
+    resources and is idempotent.  The base class is a no-op sink, usable
+    as a null object.
+    """
+
+    def emit(self, seq: int, request: "Request", result: "AccessResult") -> None:
+        """One measured request completed.
+
+        Args:
+            seq: 0-based index among the run's *measured* requests (warmup
+                and skipped requests are not emitted), so ``seq`` lines up
+                with ``SimMetrics.measured_requests``.
+            request: The trace request that was served.
+            result: Its ledger-derived access result (``result.journey``
+                carries the typed steps).
+        """
+
+    def close(self) -> None:
+        """Flush and release resources (idempotent)."""
+
+    def __enter__(self) -> "JourneySink":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class JsonlJourneySink(JourneySink):
+    """Bounded-buffer JSONL writer: one JSON object per measured request.
+
+    Each line is a self-describing record::
+
+        {"seq": 17, "arch": "hints", "t": 123.4, "client": 3, "object": 9,
+         "size": 2048, "point": "L2", "hit": true, "time_ms": 62.1,
+         "fault_ms": 0.0, "steps": [{"kind": "hint_lookup", ...}, ...]}
+
+    ``arch`` comes from :attr:`architecture`, which may be (re)assigned
+    between runs so one file can hold several architectures' journeys
+    (the CLI's ``decompose --journeys`` does exactly that).
+
+    Args:
+        path: Output file (parent directory must exist) or an open text
+            stream.  Paths are opened lazily on the first emit, so
+            constructing a sink that never fires creates no file.
+        architecture: Label stamped on every record.
+        buffer_lines: Lines buffered between writes (bounded memory).
+    """
+
+    def __init__(
+        self,
+        path: str | os.PathLike | IO[str],
+        *,
+        architecture: str = "",
+        buffer_lines: int = 1024,
+    ) -> None:
+        if buffer_lines < 1:
+            raise ValueError(f"buffer_lines must be positive, got {buffer_lines}")
+        self.architecture = architecture
+        self.buffer_lines = buffer_lines
+        self.emitted = 0
+        self._buffer: list[str] = []
+        if isinstance(path, (str, os.PathLike)):
+            self._path: str | None = os.fspath(path)
+            self._stream: IO[str] | None = None
+            self._owns_stream = True
+        else:
+            self._path = None
+            self._stream = path
+            self._owns_stream = False
+
+    def emit(self, seq: int, request: "Request", result: "AccessResult") -> None:
+        journey = result.journey
+        record = {
+            "seq": seq,
+            "arch": self.architecture,
+            "t": request.time,
+            "client": request.client_id,
+            "object": request.object_id,
+            "size": request.size,
+            "point": result.point.name,
+            "hit": result.hit,
+            "time_ms": result.time_ms,
+            "fault_ms": result.fault_added_ms,
+            "steps": journey.to_payload() if journey is not None else [],
+        }
+        self._buffer.append(json.dumps(record, separators=(",", ":")))
+        self.emitted += 1
+        if len(self._buffer) >= self.buffer_lines:
+            self.flush()
+
+    def flush(self) -> None:
+        """Drain the line buffer to the underlying stream."""
+        if not self._buffer:
+            return
+        if self._stream is None:
+            self._stream = open(self._path, "w", encoding="utf-8")
+        self._stream.write("\n".join(self._buffer) + "\n")
+        self._buffer.clear()
+
+    def close(self) -> None:
+        self.flush()
+        if self._stream is not None and self._owns_stream:
+            self._stream.close()
+            self._stream = None
+
+
+class SamplingJourneySink(JourneySink):
+    """In-memory sampler: keeps the first ``capacity`` journeys, counts all.
+
+    Bounded by construction (``capacity=None`` keeps everything -- use
+    only at test scale).  ``samples`` holds ``(seq, request, result)``
+    triples in emit order.
+    """
+
+    def __init__(self, capacity: int | None = 1024) -> None:
+        if capacity is not None and capacity < 0:
+            raise ValueError(f"capacity must be non-negative, got {capacity}")
+        self.capacity = capacity
+        self.seen = 0
+        self.samples: list[tuple[int, "Request", "AccessResult"]] = []
+
+    def emit(self, seq: int, request: "Request", result: "AccessResult") -> None:
+        self.seen += 1
+        if self.capacity is None or len(self.samples) < self.capacity:
+            self.samples.append((seq, request, result))

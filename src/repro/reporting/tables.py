@@ -73,3 +73,53 @@ def format_series(
     """Render an (x, y) series as a two-column table."""
     rows = [{x_label: x, y_label: y} for x, y in points]
     return format_table(rows, title=title, columns=[x_label, y_label])
+
+
+#: Column order for the latency-decomposition table: the step kinds in the
+#: order a request experiences them (see repro.obs.journey's semantics).
+DECOMPOSITION_KINDS = (
+    "local_lookup",
+    "hint_lookup",
+    "peer_probe",
+    "level_traversal",
+    "timeout",
+    "transfer",
+    "origin_fetch",
+)
+
+
+def decomposition_rows(metrics_by_arch: Mapping[str, object]) -> list[dict]:
+    """Latency-decomposition rows: mean ms/request charged per step kind.
+
+    Args:
+        metrics_by_arch: Architecture name -> :class:`repro.sim.metrics.
+            SimMetrics` (``run_comparison``'s return shape).
+
+    Each row decomposes an architecture's mean response time into the
+    step kinds its journeys charged -- the per-kind columns sum to
+    ``mean_ms`` (up to float rounding), which makes the table an audit of
+    the paper's hop argument: *where* the hierarchy loses its
+    milliseconds, and where hints spend theirs.
+    """
+    rows = []
+    for name, metrics in metrics_by_arch.items():
+        measured = metrics.measured_requests
+        row: dict[str, object] = {"architecture": name}
+        for kind in DECOMPOSITION_KINDS:
+            aggregate = metrics.steps.get(kind)
+            total = aggregate.total_ms if aggregate is not None else 0.0
+            row[kind] = total / measured if measured else 0.0
+        row["mean_ms"] = metrics.mean_response_ms
+        if metrics.degraded.fault_added_ms:
+            row["fault_ms"] = (
+                metrics.degraded.fault_added_ms / measured if measured else 0.0
+            )
+        rows.append(row)
+    return rows
+
+
+def format_decomposition_table(
+    metrics_by_arch: Mapping[str, object], *, title: str = "latency decomposition"
+) -> str:
+    """Render per-architecture mean-ms-per-request by journey step kind."""
+    return format_table(decomposition_rows(metrics_by_arch), title=title)

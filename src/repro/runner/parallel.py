@@ -25,6 +25,7 @@ results; only wall-clock (and the timing notes derived from it) differs.
 
 from __future__ import annotations
 
+import os
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Sequence
@@ -232,12 +233,32 @@ def _comparison_task(
     spec: ArchitectureSpec,
     warmup_s: float | None,
     fault_plan: "FaultPlan | None" = None,
+    journey_dir: str | None = None,
 ) -> SimMetrics:
-    """One (trace, architecture) simulation work unit."""
+    """One (trace, architecture) simulation work unit.
+
+    With ``journey_dir`` set, the unit also streams its journeys to
+    ``<journey_dir>/<architecture>.jsonl``.  The file is written whole by
+    whichever process runs this unit and its contents are a pure function
+    of the unit's arguments, so the export is identical for any ``jobs``.
+    """
     trace = cached_trace(profile, seed)
-    return run_simulation(
-        trace, spec.build(), warmup_s=warmup_s, fault_plan=fault_plan
-    )
+    architecture = spec.build()
+    if journey_dir is None:
+        return run_simulation(
+            trace, architecture, warmup_s=warmup_s, fault_plan=fault_plan
+        )
+    from repro.obs.sink import JsonlJourneySink
+
+    path = os.path.join(journey_dir, f"{architecture.name}.jsonl")
+    with JsonlJourneySink(path, architecture=architecture.name) as sink:
+        return run_simulation(
+            trace,
+            architecture,
+            warmup_s=warmup_s,
+            fault_plan=fault_plan,
+            journey_sink=sink,
+        )
 
 
 def run_comparison_parallel(
@@ -249,6 +270,7 @@ def run_comparison_parallel(
     warmup_s: float | None = None,
     trace_cache_dir: str | None = None,
     fault_plan: "FaultPlan | None" = None,
+    journey_dir: str | None = None,
 ) -> dict[str, SimMetrics]:
     """Parallel twin of :func:`repro.sim.engine.run_comparison`.
 
@@ -261,25 +283,47 @@ def run_comparison_parallel(
     each architecture's simulation replays it with a fresh injector, so
     faulted comparisons are as deterministic -- and as jobs-invariant --
     as clean ones.
+
+    ``journey_dir`` enables structured trace export: each architecture's
+    journeys land in ``<journey_dir>/<name>.jsonl`` (directory created if
+    needed), written entirely by the process that ran that architecture --
+    no cross-process interleaving, so each file is byte-identical for any
+    ``jobs`` value.
     """
     if jobs < 1:
         raise ValueError(f"jobs must be at least 1, got {jobs}")
+    if journey_dir is not None:
+        os.makedirs(journey_dir, exist_ok=True)
     if jobs == 1:
-        trace = cached_trace(profile, seed)
-        return run_comparison(
-            trace,
-            [spec.build() for spec in specs],
-            warmup_s=warmup_s,
-            fault_plan=fault_plan,
-        )
-    with ProcessPoolExecutor(
-        max_workers=jobs, initializer=_worker_init, initargs=(trace_cache_dir,)
-    ) as pool:
-        futures = [
-            pool.submit(_comparison_task, profile, seed, spec, warmup_s, fault_plan)
+        if journey_dir is None:
+            trace = cached_trace(profile, seed)
+            return run_comparison(
+                trace,
+                [spec.build() for spec in specs],
+                warmup_s=warmup_s,
+                fault_plan=fault_plan,
+            )
+        metrics = [
+            _comparison_task(profile, seed, spec, warmup_s, fault_plan, journey_dir)
             for spec in specs
         ]
-        metrics = [future.result() for future in futures]
+    else:
+        with ProcessPoolExecutor(
+            max_workers=jobs, initializer=_worker_init, initargs=(trace_cache_dir,)
+        ) as pool:
+            futures = [
+                pool.submit(
+                    _comparison_task,
+                    profile,
+                    seed,
+                    spec,
+                    warmup_s,
+                    fault_plan,
+                    journey_dir,
+                )
+                for spec in specs
+            ]
+            metrics = [future.result() for future in futures]
     results: dict[str, SimMetrics] = {}
     for item in metrics:
         if item.architecture in results:

@@ -23,6 +23,7 @@ from repro.traces.records import Trace
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.faults.events import FaultPlan
+    from repro.obs.sink import JourneySink
 
 
 def run_simulation(
@@ -32,6 +33,7 @@ def run_simulation(
     warmup_s: float | None = None,
     include_uncachable: bool = False,
     fault_plan: "FaultPlan | None" = None,
+    journey_sink: "JourneySink | None" = None,
 ) -> SimMetrics:
     """Drive ``architecture`` over ``trace`` and return aggregated metrics.
 
@@ -42,7 +44,9 @@ def run_simulation(
             own warmup boundary.
         include_uncachable: Process uncachable/error requests through the
             architecture instead of skipping them.  The paper's evaluation
-            skips them; Figure 2 (miss taxonomy) is computed by the
+            skips them (counted under ``metrics.skipped_*``); when
+            processed anyway they are counted under ``metrics.included_*``
+            instead.  Figure 2 (miss taxonomy) is computed by the
             dedicated classifier, not through this engine.
         fault_plan: Optional deterministic fault schedule
             (:class:`repro.faults.events.FaultPlan`).  A fresh
@@ -53,6 +57,12 @@ def run_simulation(
             damage.  ``None`` (the default) takes the original code path
             and produces byte-identical metrics to a build without fault
             support.
+        journey_sink: Optional :class:`repro.obs.sink.JourneySink`
+            receiving every measured request with its ledger-derived
+            result (warmup and skipped requests are not emitted).  The
+            caller keeps ownership: the engine never closes it, so one
+            sink can span several runs.  ``None`` (the default) costs a
+            single predicate per measured request.
     """
     boundary = trace.warmup if warmup_s is None else warmup_s
     metrics = SimMetrics(
@@ -68,13 +78,15 @@ def run_simulation(
     processed = 0
     for request in trace.requests:
         if request.error:
-            metrics.skipped_error += 1
             if not include_uncachable:
+                metrics.skipped_error += 1
                 continue
+            metrics.included_error += 1
         if not request.cacheable:
-            metrics.skipped_uncachable += 1
             if not include_uncachable:
+                metrics.skipped_uncachable += 1
                 continue
+            metrics.included_uncachable += 1
         if injector is not None:
             injector.advance(request.time)
         result = architecture.process(request)
@@ -87,10 +99,9 @@ def run_simulation(
             request.size,
             faulted=injector is not None and injector.faults_active,
         )
-    # getattr tolerates Architecture subclasses that skip super().__init__.
-    architecture.processed_requests = (
-        getattr(architecture, "processed_requests", 0) + processed
-    )
+        if journey_sink is not None:
+            journey_sink.emit(metrics.measured_requests - 1, request, result)
+    architecture.processed_requests += processed
     metrics.validate()
     return metrics
 
@@ -117,7 +128,7 @@ def run_comparison(
     for architecture in architectures:
         if architecture.name in results:
             raise ValueError(f"duplicate architecture name {architecture.name!r}")
-        already = getattr(architecture, "processed_requests", 0)
+        already = architecture.processed_requests
         if already:
             raise ValueError(
                 f"architecture {architecture.name!r} has already processed "

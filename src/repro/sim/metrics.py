@@ -101,8 +101,40 @@ class DegradedMetrics:
 
 
 @dataclass
+class StepAggregate:
+    """Per-step-kind totals over every journey of the measured window.
+
+    One instance per :class:`repro.obs.journey.StepKind` that actually
+    occurred; together they decompose ``SimMetrics.total_ms`` into where
+    the milliseconds went (probe vs. traversal vs. origin fetch), which is
+    what :func:`repro.reporting.tables.format_decomposition_table` renders.
+    """
+
+    kind: str = ""
+    count: int = 0
+    total_ms: float = 0.0
+    fault_ms: float = 0.0
+    wasted: int = 0
+    latency: LatencyHistogram = field(default_factory=LatencyHistogram)
+
+    @property
+    def mean_ms(self) -> float:
+        """Mean per-step cost (0 when the kind never occurred)."""
+        if self.count == 0:
+            return 0.0
+        return self.total_ms / self.count
+
+
+@dataclass
 class SimMetrics:
-    """Counters accumulated over the measured window of one simulation."""
+    """Counters accumulated over the measured window of one simulation.
+
+    ``skipped_error``/``skipped_uncachable`` count requests the run
+    *excluded* (the paper's section 2.2.2 default); ``included_error``/
+    ``included_uncachable`` count the same request classes when
+    ``include_uncachable=True`` processed them anyway.  For any single
+    run one of the two pairs is all zeros.
+    """
 
     architecture: str = ""
     cost_model: str = ""
@@ -110,6 +142,8 @@ class SimMetrics:
     warmup_requests: int = 0
     skipped_uncachable: int = 0
     skipped_error: int = 0
+    included_uncachable: int = 0
+    included_error: int = 0
     total_ms: float = 0.0
     requests_by_point: dict[AccessPoint, int] = field(
         default_factory=lambda: {p: 0 for p in AccessPoint}
@@ -124,6 +158,12 @@ class SimMetrics:
     suboptimal_positives: int = 0
     latency: LatencyHistogram = field(default_factory=LatencyHistogram)
     degraded: DegradedMetrics = field(default_factory=DegradedMetrics)
+    #: Per-step-kind latency decomposition, keyed by ``StepKind.value``
+    #: (only kinds that occurred appear).  Populated from each result's
+    #: journey ledger; ``journeyed_requests`` counts how many measured
+    #: results carried one (test stubs may build ledger-free results).
+    steps: dict[str, StepAggregate] = field(default_factory=dict)
+    journeyed_requests: int = 0
 
     def record(self, result: AccessResult, size: int, *, faulted: bool = False) -> None:
         """Accumulate one measured-window access result.
@@ -155,6 +195,20 @@ class SimMetrics:
             self.degraded.stale_hint_forwards += 1
         if result.fault_added_ms:
             self.degraded.fault_added_ms += result.fault_added_ms
+        journey = result.journey
+        if journey is not None:
+            self.journeyed_requests += 1
+            steps = self.steps
+            for step in journey.steps:
+                agg = steps.get(step.kind.value)
+                if agg is None:
+                    agg = steps[step.kind.value] = StepAggregate(kind=step.kind.value)
+                agg.count += 1
+                agg.total_ms += step.cost_ms
+                agg.fault_ms += step.fault_ms
+                if step.wasted:
+                    agg.wasted += 1
+                agg.latency.record(step.cost_ms)
 
     def validate(self) -> None:
         """Check conservation invariants; raises ``ValueError`` on breakage.
@@ -189,6 +243,35 @@ class SimMetrics:
                 f"fault-added time {self.degraded.fault_added_ms} outside "
                 f"[0, {self.total_ms}]"
             )
+        if not 0 <= self.journeyed_requests <= self.measured_requests:
+            raise ValueError(
+                f"journeyed_requests={self.journeyed_requests} outside "
+                f"[0, {self.measured_requests}]"
+            )
+        if self.journeyed_requests == self.measured_requests and self.steps:
+            # Every measured result carried a ledger, so the per-kind
+            # decomposition must re-sum to the scalar totals.  Tolerance
+            # covers accumulation-order rounding only (per-kind buckets
+            # vs. per-request float sums), not accounting slack.
+            step_total = sum(agg.total_ms for agg in self.steps.values())
+            if not math.isclose(
+                step_total, self.total_ms, rel_tol=1e-9, abs_tol=1e-6
+            ):
+                raise ValueError(
+                    f"step decomposition sums to {step_total} ms, expected "
+                    f"{self.total_ms} ms total"
+                )
+            step_fault = sum(agg.fault_ms for agg in self.steps.values())
+            if not math.isclose(
+                step_fault,
+                self.degraded.fault_added_ms,
+                rel_tol=1e-9,
+                abs_tol=1e-6,
+            ):
+                raise ValueError(
+                    f"step fault surcharges sum to {step_fault} ms, expected "
+                    f"{self.degraded.fault_added_ms} ms fault-added"
+                )
 
     # ------------------------------------------------------------------
     # derived statistics

@@ -173,3 +173,23 @@ class TestCli:
     def test_profile_flag_ignored_by_sweeping_experiments(self, capsys):
         # table4 sweeps all traces and takes no profile_name; must not crash.
         assert main(["table4", "--profile", "berkeley", "--scale", "0.0002"]) == 0
+
+    def test_decompose_prints_latency_table(self, capsys, tmp_path):
+        out = tmp_path / "j.jsonl"
+        assert main(["decompose", "--scale", "0.0002", "--journeys", str(out)]) == 0
+        output = capsys.readouterr().out
+        assert "latency decomposition" in output
+        for column in ("origin_fetch", "level_traversal", "mean_ms"):
+            assert column in output
+        lines = out.read_text().splitlines()
+        assert lines  # every measured request of all four architectures
+        import json as _json
+
+        arches = {_json.loads(line)["arch"] for line in lines}
+        assert arches == {"hierarchy", "icp", "hints", "directory"}
+
+    def test_decompose_takes_no_experiment_names(self, capsys):
+        assert main(["decompose", "figure1"]) == 2
+
+    def test_journeys_requires_decompose(self, capsys):
+        assert main(["figure1", "--journeys", "x.jsonl"]) == 2

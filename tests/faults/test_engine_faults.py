@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.faults import FaultPlan, NodeCrash
 from repro.hierarchy.data_hierarchy import DataHierarchy
 from repro.netmodel.model import AccessPoint

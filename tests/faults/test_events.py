@@ -108,9 +108,9 @@ class TestFaultPlan:
 
 class TestFingerprints:
     def test_equal_plans_fingerprint_identically(self):
-        make = lambda: FaultPlan(
-            events=(NodeCrash(time=1.0, kind="l2", node=0),), seed=3
-        )
+        def make():
+            return FaultPlan(events=(NodeCrash(time=1.0, kind="l2", node=0),), seed=3)
+
         assert fault_fingerprint(make()) == fault_fingerprint(make())
         assert make().fingerprint() == fault_fingerprint(make())
 
@@ -166,9 +166,11 @@ class TestFaultProfile:
         profile = FaultProfile(mtbf_s=100.0, mttr_s=25.0, seed=5)
         small = profile.plan([("l1", 0)], duration_s=1000.0)
         large = profile.plan(self.TARGETS, duration_s=1000.0)
-        of_node0 = lambda plan: [
-            e for e in plan if getattr(e, "node", None) == 0 and e.kind is NodeKind.L1
-        ]
+        def of_node0(plan):
+            return [
+                e for e in plan if getattr(e, "node", None) == 0 and e.kind is NodeKind.L1
+            ]
+
         assert of_node0(small) == of_node0(large)
 
     def test_fail_stop_without_mttr(self):

@@ -25,6 +25,8 @@ from repro.hierarchy.hint_hierarchy import HintHierarchy
 from repro.hierarchy.icp import IcpHierarchy
 from repro.netmodel.model import AccessPoint
 from repro.netmodel.testbed import TestbedCostModel
+from repro.obs.journey import StepKind
+from repro.obs.sink import SamplingJourneySink
 from repro.sim.engine import run_simulation
 
 ARCHITECTURES = {
@@ -65,8 +67,23 @@ def test_matrix_cell(arch_name, fault_name, tiny_config, dec_trace, clean_runs):
     architecture = ARCHITECTURES[arch_name](
         tiny_config.topology, TestbedCostModel()
     )
-    metrics = run_simulation(dec_trace, architecture, fault_plan=plan)
+    sink = SamplingJourneySink(capacity=None)
+    metrics = run_simulation(
+        dec_trace, architecture, fault_plan=plan, journey_sink=sink
+    )
     clean = clean_runs[arch_name]
+
+    # Exact-sum invariant: every measured request carries a hop ledger
+    # whose left-to-right sums *are* the charged totals, bit-for-bit, and
+    # whose TIMEOUT steps are exactly the timeout-fallback flag.
+    assert sink.seen == metrics.measured_requests
+    for _seq, _request, result in sink.samples:
+        journey = result.journey
+        assert journey is not None and len(journey) > 0
+        assert sum(step.cost_ms for step in journey.steps) == result.time_ms
+        assert sum(step.fault_ms for step in journey.steps) == result.fault_added_ms
+        timed_out = any(step.kind is StepKind.TIMEOUT for step in journey.steps)
+        assert timed_out == result.timeout_fallback
 
     # No request lost or invented: degradation changes *where* and *how
     # slowly* requests are served, never how many.

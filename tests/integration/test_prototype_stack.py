@@ -9,7 +9,6 @@ answer find-nearest queries from their own stores.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.common.ids import node_id_from_name, object_id_from_url
 from repro.hints.hintcache import HintCache

@@ -1,0 +1,156 @@
+"""Tests for the hop-ledger Journey and its AccessResult derivation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netmodel.model import AccessPoint
+from repro.obs.journey import Journey, Step, StepKind
+
+
+class TestStepAppenders:
+    def test_each_appender_records_its_kind(self):
+        journey = Journey()
+        journey.local_lookup(1.0, target="l1:0")
+        journey.hint_lookup(0.004)
+        journey.peer_probe(7.0, target="siblings")
+        journey.level_traversal(30.0, target="l2:1")
+        journey.timeout(4000.0, target="l3")
+        journey.transfer(50.0, target="l1:3")
+        journey.origin_fetch(300.0)
+        kinds = [step.kind for step in journey.steps]
+        assert kinds == [
+            StepKind.LOCAL_LOOKUP,
+            StepKind.HINT_LOOKUP,
+            StepKind.PEER_PROBE,
+            StepKind.LEVEL_TRAVERSAL,
+            StepKind.TIMEOUT,
+            StepKind.TRANSFER,
+            StepKind.ORIGIN_FETCH,
+        ]
+        assert len(journey) == 7
+
+    def test_origin_fetch_targets_origin(self):
+        journey = Journey()
+        journey.origin_fetch(100.0)
+        assert journey.steps[0].target == "origin"
+
+    def test_timeout_is_pure_fault_cost(self):
+        journey = Journey()
+        journey.timeout(4000.0, target="l2:0")
+        step = journey.steps[0]
+        assert step.fault_ms == step.cost_ms == 4000.0
+
+    def test_wasted_probe_flagged(self):
+        journey = Journey()
+        journey.peer_probe(7.0, target="l1:5", wasted=True)
+        assert journey.steps[0].wasted
+
+
+class TestSums:
+    def test_totals_are_left_to_right_sums(self):
+        journey = Journey()
+        costs = [0.1, 0.2, 0.3]
+        for cost in costs:
+            journey.transfer(cost)
+        expected = 0.0
+        for cost in costs:
+            expected += cost
+        assert journey.total_ms == expected  # bitwise, not approx
+
+    def test_fault_sum_is_independent_of_cost_sum(self):
+        journey = Journey()
+        journey.level_traversal(30.0, fault_ms=10.0)
+        journey.origin_fetch(300.0, fault_ms=150.0)
+        assert journey.total_ms == 330.0
+        assert journey.fault_added_ms == 160.0
+
+    def test_empty_journey_sums_to_zero(self):
+        assert Journey().total_ms == 0.0
+        assert Journey().fault_added_ms == 0.0
+
+
+class TestResultDerivation:
+    def test_times_come_from_the_ledger(self):
+        journey = Journey()
+        journey.hint_lookup(0.004)
+        journey.transfer(62.0, target="l1:3")
+        result = journey.result(AccessPoint.L2, hit=True, remote_hit=True)
+        assert result.time_ms == journey.total_ms
+        assert result.fault_added_ms == 0.0
+        assert result.hit and result.remote_hit
+        assert result.point is AccessPoint.L2
+        assert result.journey is journey
+
+    def test_timeout_step_implies_timeout_fallback(self):
+        journey = Journey()
+        journey.timeout(4000.0, target="l1:0")
+        journey.origin_fetch(300.0)
+        result = journey.result(AccessPoint.SERVER, hit=False)
+        assert result.timeout_fallback
+        assert result.fault_added_ms == 4000.0
+
+    def test_no_timeout_step_no_fallback(self):
+        journey = Journey()
+        journey.origin_fetch(300.0)
+        assert not journey.result(AccessPoint.SERVER, hit=False).timeout_fallback
+
+    def test_stale_timeout_sets_stale_forward(self):
+        journey = Journey()
+        journey.timeout(4000.0, target="l1:2", stale=True)
+        journey.origin_fetch(300.0)
+        assert journey.result(AccessPoint.SERVER, hit=False).stale_hint_forward
+
+    def test_marks_surface_as_flags(self):
+        journey = Journey()
+        journey.hint_lookup(0.004)
+        journey.peer_probe(7.0, wasted=True)
+        journey.origin_fetch(300.0)
+        journey.mark_false_positive()
+        result = journey.result(AccessPoint.SERVER, hit=False)
+        assert result.false_positive
+        assert not result.false_negative
+
+        journey = Journey()
+        journey.origin_fetch(300.0)
+        journey.mark_false_negative()
+        assert journey.result(AccessPoint.SERVER, hit=False).false_negative
+
+        journey = Journey()
+        journey.local_lookup(8.0, target="l1:0")
+        journey.mark_push_hit()
+        assert journey.result(AccessPoint.L1, hit=True).push_hit
+
+        journey = Journey()
+        journey.transfer(90.0, target="l1:6")
+        journey.mark_suboptimal()
+        result = journey.result(AccessPoint.L3, hit=True, remote_hit=True)
+        assert result.suboptimal_positive
+
+    def test_result_validates_fault_within_total(self):
+        journey = Journey()
+        journey.origin_fetch(10.0, fault_ms=20.0)  # fault exceeds cost
+        with pytest.raises(ValueError):
+            journey.result(AccessPoint.SERVER, hit=False)
+
+
+class TestPayload:
+    def test_step_payload_shape(self):
+        step = Step(StepKind.PEER_PROBE, 7.0, "l1:3", 0.0, True)
+        assert step.to_payload() == {
+            "kind": "peer_probe",
+            "cost_ms": 7.0,
+            "target": "l1:3",
+            "fault_ms": 0.0,
+            "wasted": True,
+        }
+
+    def test_wasted_key_omitted_when_clean(self):
+        assert "wasted" not in Step(StepKind.TRANSFER, 1.0).to_payload()
+
+    def test_journey_payload_is_step_list(self):
+        journey = Journey()
+        journey.hint_lookup(0.004)
+        journey.origin_fetch(300.0)
+        payload = journey.to_payload()
+        assert [p["kind"] for p in payload] == ["hint_lookup", "origin_fetch"]

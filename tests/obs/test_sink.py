@@ -1,0 +1,158 @@
+"""Tests for journey sinks: JSONL export, sampling, and non-perturbation."""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+
+import pytest
+
+from repro.hierarchy.data_hierarchy import DataHierarchy
+from repro.hierarchy.hint_hierarchy import HintHierarchy
+from repro.netmodel.testbed import TestbedCostModel
+from repro.obs.sink import JourneySink, JsonlJourneySink, SamplingJourneySink
+from repro.sim.engine import run_simulation
+
+
+class TestBaseSink:
+    def test_noop_and_context_manager(self):
+        with JourneySink() as sink:
+            sink.emit(0, None, None)  # accepts anything, does nothing
+        sink.close()  # idempotent
+
+
+class TestJsonlSink:
+    def test_lazy_open_creates_no_file(self, tmp_path):
+        path = tmp_path / "never.jsonl"
+        with JsonlJourneySink(path):
+            pass
+        assert not path.exists()
+
+    def test_writes_valid_jsonl(self, tiny_config, dec_trace, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with JsonlJourneySink(path, architecture="hierarchy") as sink:
+            metrics = run_simulation(
+                dec_trace,
+                DataHierarchy(tiny_config.topology, TestbedCostModel()),
+                journey_sink=sink,
+            )
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        assert len(records) == metrics.measured_requests == sink.emitted
+        assert [r["seq"] for r in records] == list(range(len(records)))
+        assert all(r["arch"] == "hierarchy" for r in records)
+
+    def test_line_sums_and_file_totals_match_metrics(
+        self, tiny_config, dec_trace, tmp_path
+    ):
+        path = tmp_path / "j.jsonl"
+        with JsonlJourneySink(path) as sink:
+            metrics = run_simulation(
+                dec_trace,
+                HintHierarchy(tiny_config.topology, TestbedCostModel()),
+                journey_sink=sink,
+            )
+        total = 0.0
+        for line in path.read_text().splitlines():
+            record = json.loads(line)
+            assert sum(s["cost_ms"] for s in record["steps"]) == pytest.approx(
+                record["time_ms"]
+            )
+            assert record["point"] in ("L1", "L2", "L3", "SERVER")
+            total += record["time_ms"]
+        assert total == pytest.approx(metrics.total_ms)
+
+    def test_buffer_holds_lines_until_threshold(self, tmp_path):
+        path = tmp_path / "b.jsonl"
+        sink = JsonlJourneySink(path, buffer_lines=1000)
+        from repro.obs.journey import Journey
+        from repro.netmodel.model import AccessPoint
+        from repro.traces.records import Request
+
+        journey = Journey()
+        journey.origin_fetch(10.0)
+        result = journey.result(AccessPoint.SERVER, hit=False)
+        request = Request(time=0.0, client_id=0, object_id=1, size=100, version=0)
+        sink.emit(0, request, result)
+        assert not path.exists()  # buffered, not yet written
+        sink.close()
+        assert len(path.read_text().splitlines()) == 1
+
+    def test_rejects_nonpositive_buffer(self, tmp_path):
+        with pytest.raises(ValueError, match="buffer_lines"):
+            JsonlJourneySink(tmp_path / "x.jsonl", buffer_lines=0)
+
+    def test_borrowed_stream_not_closed(self):
+        stream = io.StringIO()
+        sink = JsonlJourneySink(stream, architecture="a")
+        sink.close()
+        assert not stream.closed
+
+    def test_one_file_many_architectures(self, tiny_config, dec_trace, tmp_path):
+        """decompose-style use: relabel the sink between runs."""
+        path = tmp_path / "multi.jsonl"
+        with JsonlJourneySink(path) as sink:
+            for cls in (DataHierarchy, HintHierarchy):
+                architecture = cls(tiny_config.topology, TestbedCostModel())
+                sink.architecture = architecture.name
+                run_simulation(dec_trace, architecture, journey_sink=sink)
+        arches = {json.loads(line)["arch"] for line in path.read_text().splitlines()}
+        assert arches == {"hierarchy", "hints"}
+
+
+class TestSamplingSink:
+    def test_capacity_bounds_samples_not_seen(self, tiny_config, dec_trace):
+        sink = SamplingJourneySink(capacity=5)
+        metrics = run_simulation(
+            dec_trace,
+            DataHierarchy(tiny_config.topology, TestbedCostModel()),
+            journey_sink=sink,
+        )
+        assert len(sink.samples) == 5
+        assert sink.seen == metrics.measured_requests
+
+    def test_unbounded_keeps_everything(self, tiny_config, dec_trace):
+        sink = SamplingJourneySink(capacity=None)
+        metrics = run_simulation(
+            dec_trace,
+            DataHierarchy(tiny_config.topology, TestbedCostModel()),
+            journey_sink=sink,
+        )
+        assert len(sink.samples) == metrics.measured_requests
+        seqs = [seq for seq, _, _ in sink.samples]
+        assert seqs == list(range(metrics.measured_requests))
+
+    def test_rejects_negative_capacity(self):
+        with pytest.raises(ValueError, match="capacity"):
+            SamplingJourneySink(capacity=-1)
+
+
+class TestNonPerturbation:
+    def test_sink_does_not_change_metrics(self, tiny_config, dec_trace):
+        """Observation is free: a run with a sink is metric-identical to a
+        run without one (and fingerprints never hash sink output at all)."""
+        plain = run_simulation(
+            dec_trace, DataHierarchy(tiny_config.topology, TestbedCostModel())
+        )
+        observed = run_simulation(
+            dec_trace,
+            DataHierarchy(tiny_config.topology, TestbedCostModel()),
+            journey_sink=SamplingJourneySink(capacity=0),
+        )
+        assert observed.total_ms == plain.total_ms
+        assert observed.mean_response_ms == plain.mean_response_ms
+        assert observed.requests_by_point == plain.requests_by_point
+        assert observed.remote_hits == plain.remote_hits
+
+    def test_fingerprints_take_no_sink_input(self, tiny_config):
+        """Run identity is (profile, seed, plan) -- there is no journey
+        parameter to perturb; the same inputs address the same run."""
+        import inspect
+
+        from repro.runner.fingerprint import simulation_fingerprint, trace_fingerprint
+
+        params = set(inspect.signature(simulation_fingerprint).parameters)
+        params |= set(inspect.signature(trace_fingerprint).parameters)
+        assert not any("journey" in p or "sink" in p for p in params)
+        profile = tiny_config.profile("dec")
+        assert simulation_fingerprint(profile, 7) == simulation_fingerprint(profile, 7)

@@ -1,0 +1,60 @@
+"""Tests for the ASCII chart renderers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.reporting.charts import render_bars, render_series
+
+
+class TestRenderSeries:
+    def test_empty_series(self):
+        assert render_series({}, title="t") == "t\n(no data)"
+
+    def test_plots_each_series_with_distinct_glyph(self):
+        text = render_series(
+            {"a": [(1, 1), (2, 2)], "b": [(1, 2), (2, 1)]}, width=20, height=5
+        )
+        assert "o" in text and "x" in text
+        assert "o=a" in text and "x=b" in text
+
+    def test_axis_captions(self):
+        text = render_series(
+            {"s": [(1, 10), (100, 20)]},
+            log_x=True,
+            x_label="size",
+            y_label="ms",
+        )
+        assert "log size: 1 .. 100" in text
+        assert "ms (top=20, bottom=10)" in text
+
+    def test_log_x_rejects_nonpositive(self):
+        with pytest.raises(ValueError, match="log axes"):
+            render_series({"s": [(0, 1), (10, 2)]}, log_x=True)
+
+    def test_extremes_land_on_grid_edges(self):
+        text = render_series({"s": [(0, 0), (10, 10)]}, width=10, height=4)
+        rows = [line[1:] for line in text.splitlines() if line.startswith("|")]
+        assert rows[0].rstrip().endswith("o")  # max point: top-right
+        assert rows[-1].startswith("o")  # min point: bottom-left
+
+
+class TestRenderBars:
+    def test_empty_values(self):
+        assert render_bars({}) == "(no data)"
+
+    def test_bars_scale_to_peak(self):
+        text = render_bars({"big": 10.0, "small": 5.0}, width=10)
+        lines = {line.split()[0]: line for line in text.splitlines()}
+        assert lines["big"].count("#") == 10
+        assert lines["small"].count("#") == 5
+
+    def test_zero_value_has_no_bar(self):
+        text = render_bars({"none": 0.0, "some": 1.0})
+        none_line = next(line for line in text.splitlines() if line.startswith("none"))
+        assert "#" not in none_line
+
+    def test_unit_suffix_and_title(self):
+        text = render_bars({"a": 2.0}, title="T", unit="ms")
+        assert text.splitlines()[0] == "T"
+        assert "2ms" in text

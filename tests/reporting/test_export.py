@@ -1,0 +1,80 @@
+"""Tests for JSON/CSV experiment-result export."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.base import ExperimentResult
+from repro.reporting.export import (
+    load_result,
+    result_from_json,
+    result_to_csv,
+    result_to_json,
+    save_result,
+)
+
+
+def make_result() -> ExperimentResult:
+    return ExperimentResult(
+        experiment="figure8",
+        description="mean response times",
+        rows=[
+            {"architecture": "hierarchy", "mean_ms": 650.0},
+            {"architecture": "hints", "mean_ms": 306.0, "extra": "x"},
+        ],
+        paper_claims={"speedup": "1.3-2.3x"},
+        notes=["scaled run"],
+        chart_spec={"kind": "bars", "label": "architecture", "value": "mean_ms"},
+    )
+
+
+class TestJsonRoundTrip:
+    def test_round_trip_preserves_everything(self):
+        result = make_result()
+        loaded = result_from_json(result_to_json(result))
+        assert loaded == result
+
+    def test_json_is_one_document(self):
+        data = json.loads(result_to_json(make_result()))
+        assert data["experiment"] == "figure8"
+        assert data["rows"][0]["mean_ms"] == 650.0
+        assert data["paper_claims"] == {"speedup": "1.3-2.3x"}
+
+    def test_missing_optional_fields_default(self):
+        loaded = result_from_json('{"experiment": "e", "description": "d"}')
+        assert loaded.rows == [] and loaded.notes == []
+        assert loaded.chart_spec is None
+
+
+class TestCsv:
+    def test_columns_are_union_of_row_keys(self):
+        lines = result_to_csv(make_result()).strip().splitlines()
+        assert lines[0] == "architecture,mean_ms,extra"
+        assert lines[1] == "hierarchy,650.0,"
+        assert lines[2] == "hints,306.0,x"
+
+    def test_empty_rows_give_header_only(self):
+        text = result_to_csv(ExperimentResult(experiment="e", description="d"))
+        assert text.strip() == ""
+
+
+class TestSaveLoad:
+    def test_save_json_and_load_back(self, tmp_path):
+        path = tmp_path / "r.json"
+        save_result(make_result(), path)
+        assert load_result(path) == make_result()
+
+    def test_save_csv(self, tmp_path):
+        path = tmp_path / "r.csv"
+        save_result(make_result(), path)
+        assert path.read_text().startswith("architecture,mean_ms,extra")
+
+    def test_unknown_extension_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="extension"):
+            save_result(make_result(), tmp_path / "r.txt")
+
+    def test_load_rejects_csv(self, tmp_path):
+        with pytest.raises(ValueError, match="JSON"):
+            load_result(tmp_path / "r.csv")

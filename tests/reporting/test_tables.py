@@ -1,0 +1,122 @@
+"""Tests for ASCII table rendering, including the decomposition table."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netmodel.model import AccessPoint
+from repro.obs.journey import Journey
+from repro.reporting.tables import (
+    DECOMPOSITION_KINDS,
+    _cell,
+    decomposition_rows,
+    format_decomposition_table,
+    format_series,
+    format_table,
+)
+from repro.sim.metrics import SimMetrics
+
+
+class TestCell:
+    def test_zero_float_renders_bare(self):
+        assert _cell(0.0) == "0"
+
+    def test_large_floats_group_thousands(self):
+        assert _cell(1234.5) == "1,234"
+
+    def test_mid_floats_two_decimals(self):
+        assert _cell(12.345) == "12.35"
+
+    def test_small_floats_four_decimals(self):
+        assert _cell(0.12345) == "0.1235"
+
+    def test_non_floats_pass_through(self):
+        assert _cell("hints") == "hints"
+        assert _cell(7) == "7"
+
+
+class TestFormatTable:
+    def test_empty_rows(self):
+        assert format_table([], title="t") == "t\n(no rows)"
+
+    def test_renders_header_rule_and_rows(self):
+        text = format_table([{"a": 1, "b": "x"}, {"a": 2, "b": "y"}])
+        lines = text.splitlines()
+        assert lines[0].split() == ["a", "b"]
+        assert set(lines[1]) <= {"-", " "}
+        assert lines[2].split() == ["1", "x"]
+        assert lines[3].split() == ["2", "y"]
+
+    def test_heterogeneous_rows_union_columns(self):
+        text = format_table([{"a": 1}, {"b": 2}])
+        assert text.splitlines()[0].split() == ["a", "b"]
+
+    def test_explicit_column_order(self):
+        text = format_table([{"a": 1, "b": 2}], columns=["b", "a"])
+        assert text.splitlines()[0].split() == ["b", "a"]
+
+    def test_title_prepended(self):
+        assert format_table([{"a": 1}], title="T").splitlines()[0] == "T"
+
+
+class TestFormatSeries:
+    def test_two_column_shape(self):
+        text = format_series([(1, 2.0), (3, 4.0)], x_label="size", y_label="ms")
+        lines = text.splitlines()
+        assert lines[0].split() == ["size", "ms"]
+        assert lines[2].split() == ["1", "2.00"]
+
+
+def _metrics_with_journeys() -> dict[str, SimMetrics]:
+    """Two architectures' metrics built from hand-rolled ledgers."""
+    hier = SimMetrics(architecture="hierarchy")
+    for _ in range(2):
+        journey = Journey()
+        journey.level_traversal(30.0, target="l2:0")
+        hier.record(journey.result(AccessPoint.L2, hit=True, remote_hit=True), 100)
+    hints = SimMetrics(architecture="hints")
+    journey = Journey()
+    journey.hint_lookup(0.5)
+    journey.origin_fetch(99.5)
+    hints.record(journey.result(AccessPoint.SERVER, hit=False), 100)
+    return {"hierarchy": hier, "hints": hints}
+
+
+class TestDecomposition:
+    def test_rows_sum_to_mean(self):
+        rows = decomposition_rows(_metrics_with_journeys())
+        for row in rows:
+            total = sum(row[kind] for kind in DECOMPOSITION_KINDS)
+            assert total == pytest.approx(row["mean_ms"])
+
+    def test_per_kind_means(self):
+        rows = {r["architecture"]: r for r in decomposition_rows(_metrics_with_journeys())}
+        assert rows["hierarchy"]["level_traversal"] == pytest.approx(30.0)
+        assert rows["hierarchy"]["origin_fetch"] == 0.0
+        assert rows["hints"]["hint_lookup"] == pytest.approx(0.5)
+        assert rows["hints"]["origin_fetch"] == pytest.approx(99.5)
+
+    def test_zero_measured_requests(self):
+        rows = decomposition_rows({"empty": SimMetrics(architecture="empty")})
+        assert rows[0]["mean_ms"] == 0.0
+        assert all(rows[0][kind] == 0.0 for kind in DECOMPOSITION_KINDS)
+
+    def test_fault_column_appears_only_when_faulted(self):
+        metrics = _metrics_with_journeys()
+        rows = decomposition_rows(metrics)
+        assert all("fault_ms" not in row for row in rows)
+        faulted = SimMetrics(architecture="faulted")
+        journey = Journey()
+        journey.timeout(4000.0, target="l2:0")
+        journey.origin_fetch(100.0)
+        faulted.record(journey.result(AccessPoint.SERVER, hit=False), 10)
+        row = decomposition_rows({"faulted": faulted})[0]
+        assert row["fault_ms"] == pytest.approx(4000.0)
+        assert row["timeout"] == pytest.approx(4000.0)
+
+    def test_format_includes_all_kind_columns(self):
+        text = format_decomposition_table(_metrics_with_journeys(), title="decomp")
+        header = text.splitlines()[1]
+        for kind in DECOMPOSITION_KINDS:
+            assert kind in header
+        assert text.splitlines()[0] == "decomp"

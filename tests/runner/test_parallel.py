@@ -136,6 +136,39 @@ class TestRunComparisonParallel:
             spec.build()
 
 
+class TestJourneyExport:
+    def test_jobs4_journey_files_byte_identical_to_jobs1(self, tmp_path):
+        """Journey export is jobs-invariant: each architecture's JSONL file
+        is written whole by one process, and its contents are a pure
+        function of (profile, seed, spec), never of scheduling."""
+        config = make_tiny_config()
+        specs = TestRunComparisonParallel().specs(config)
+        dirs = {1: tmp_path / "j1", 4: tmp_path / "j4"}
+        results = {
+            jobs: run_comparison_parallel(
+                config.profile("dec"),
+                config.seed,
+                specs,
+                jobs=jobs,
+                journey_dir=str(dirs[jobs]),
+                trace_cache_dir=str(tmp_path / "store"),
+            )
+            for jobs in dirs
+        }
+        names = [spec.build().name for spec in specs]
+        assert sorted(p.name for p in dirs[1].iterdir()) == sorted(
+            f"{name}.jsonl" for name in names
+        )
+        for name in names:
+            one = (dirs[1] / f"{name}.jsonl").read_bytes()
+            four = (dirs[4] / f"{name}.jsonl").read_bytes()
+            assert one == four, name
+            lines = one.decode().splitlines()
+            assert len(lines) == results[1][name].measured_requests
+        for name in names:
+            assert results[1][name].total_ms == results[4][name].total_ms
+
+
 class TestWorkerTraceSharing:
     def test_workers_share_one_disk_store(self, tmp_path):
         """Many workers, one store: the trace is generated at most once

@@ -67,6 +67,9 @@ class TestFiltering:
         assert metrics.measured_requests == 1
         assert metrics.skipped_uncachable == 1
         assert metrics.skipped_error == 1
+        # Nothing was processed-but-flagged: the included_* pair stays zero.
+        assert metrics.included_uncachable == 0
+        assert metrics.included_error == 0
 
     def test_include_uncachable_processes_them(self):
         trace = make_trace([make_request(50.0, cacheable=False)])
@@ -74,6 +77,28 @@ class TestFiltering:
         metrics = run_simulation(trace, arch, include_uncachable=True)
         assert len(arch.seen) == 1
         assert metrics.measured_requests == 1
+        assert metrics.included_uncachable == 1
+        # A processed request was never skipped: the skipped_* pair stays
+        # zero (these used to be conflated under one mislabeled counter).
+        assert metrics.skipped_uncachable == 0
+        assert metrics.skipped_error == 0
+
+    def test_include_uncachable_counts_errors_separately(self):
+        trace = make_trace(
+            [
+                make_request(50.0),
+                make_request(51.0, cacheable=False),
+                make_request(52.0, error=True),
+            ]
+        )
+        arch = CountingArchitecture()
+        metrics = run_simulation(trace, arch, include_uncachable=True)
+        assert len(arch.seen) == 3
+        assert metrics.measured_requests == 3
+        assert metrics.included_uncachable == 1
+        assert metrics.included_error == 1
+        assert metrics.skipped_uncachable == 0
+        assert metrics.skipped_error == 0
 
 
 class TestComparison:

@@ -72,3 +72,73 @@ class TestAggregation:
         summary = metrics.summary()
         assert summary["mean_response_ms"] == pytest.approx(300.0)
         assert set(summary) >= {"hit_ratio", "l1_ratio", "miss_ratio"}
+
+
+def journeyed_hit(point, steps):
+    """Build a ledger-backed hit via the Journey API."""
+    from repro.obs.journey import Journey
+
+    journey = Journey()
+    for appender, args, kwargs in steps:
+        getattr(journey, appender)(*args, **kwargs)
+    return journey.result(point, hit=point is not AccessPoint.SERVER)
+
+
+class TestStepAggregation:
+    def test_journeys_fold_into_per_kind_aggregates(self):
+        m = SimMetrics()
+        m.record(
+            journeyed_hit(
+                AccessPoint.L1, [("local_lookup", (8.0,), {"target": "l1:0"})]
+            ),
+            size=10,
+        )
+        m.record(
+            journeyed_hit(
+                AccessPoint.SERVER,
+                [
+                    ("peer_probe", (7.0,), {"wasted": True}),
+                    ("origin_fetch", (300.0,), {}),
+                ],
+            ),
+            size=10,
+        )
+        assert m.journeyed_requests == 2
+        assert set(m.steps) == {"local_lookup", "peer_probe", "origin_fetch"}
+        probe = m.steps["peer_probe"]
+        assert probe.count == 1 and probe.wasted == 1
+        assert probe.mean_ms == pytest.approx(7.0)
+        assert m.steps["origin_fetch"].total_ms == pytest.approx(300.0)
+        m.validate()  # step totals re-sum to total_ms
+
+    def test_ledger_free_results_still_count(self):
+        m = SimMetrics()
+        m.record(miss(500.0), size=10)  # plain AccessResult, journey=None
+        assert m.journeyed_requests == 0
+        assert m.steps == {}
+        m.validate()  # decomposition check skipped, nothing raises
+
+    def test_validate_rejects_drifted_decomposition(self):
+        m = SimMetrics()
+        m.record(
+            journeyed_hit(AccessPoint.L1, [("local_lookup", (8.0,), {})]), size=10
+        )
+        m.steps["local_lookup"].total_ms += 1.0  # corrupt the ledger sums
+        with pytest.raises(ValueError, match="decompos"):
+            m.validate()
+
+    def test_validate_rejects_impossible_journey_count(self):
+        m = SimMetrics()
+        m.record(miss(), size=10)
+        m.journeyed_requests = 2
+        with pytest.raises(ValueError, match="journeyed_requests"):
+            m.validate()
+
+    def test_mixed_coverage_skips_decomposition_check(self):
+        m = SimMetrics()
+        m.record(
+            journeyed_hit(AccessPoint.L1, [("local_lookup", (8.0,), {})]), size=10
+        )
+        m.record(miss(500.0), size=10)  # no ledger -> partial coverage
+        m.steps["local_lookup"].total_ms += 1.0  # would fail if checked
+        m.validate()
