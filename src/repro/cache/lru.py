@@ -58,6 +58,11 @@ class LRUCache:
         self._on_evict = on_evict
         self._entries: OrderedDict[int, CacheEntry] = OrderedDict()
         self._used_bytes = 0
+        #: Lifetime churn counters (monotone; plain ints so the hot path
+        #: pays one addition -- telemetry reads them via callbacks).
+        self.insertions = 0
+        self.evictions = 0  # capacity evictions only
+        self.invalidations = 0  # consistency invalidations (incl. stale hits)
         # Objects this cache has ever stored, with the last stored version;
         # the miss classifier uses it to tell capacity misses (seen before,
         # same version) from compulsory misses (never seen).
@@ -115,6 +120,7 @@ class LRUCache:
             self._used_bytes -= existing.size
         self._entries[key] = CacheEntry(size=size, version=version)
         self._used_bytes += size
+        self.insertions += 1
         self._ever_stored[key] = max(self._ever_stored.get(key, -1), version)
         return self._evict_to_fit()
 
@@ -175,5 +181,9 @@ class LRUCache:
     def _delete(self, key: int, reason: str) -> None:
         entry = self._entries.pop(key)
         self._used_bytes -= entry.size
+        if reason == "capacity":
+            self.evictions += 1
+        elif reason == "invalidate":
+            self.invalidations += 1
         if self._on_evict is not None:
             self._on_evict(key, entry, reason)

@@ -39,6 +39,8 @@ class SetAssociativeCache(Generic[V]):
         self._size = 0
         #: Entries displaced by set conflicts since construction.
         self.conflict_evictions = 0
+        #: New keys stored since construction (in-place updates excluded).
+        self.insertions = 0
 
     @property
     def capacity(self) -> int:
@@ -85,6 +87,7 @@ class SetAssociativeCache(Generic[V]):
             self.conflict_evictions += 1
         bucket[key] = value
         self._size += 1
+        self.insertions += 1
         return displaced
 
     def remove(self, key: int) -> bool:

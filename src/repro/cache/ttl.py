@@ -59,6 +59,11 @@ class TTLCache:
         self._used_bytes = 0
         self.stale_hits_served = 0
         self.fresh_discards = 0  # current-version entries dropped by age
+        #: Lifetime churn counters (monotone, telemetry-readable).
+        self.insertions = 0
+        self.evictions = 0  # capacity evictions only
+        self.invalidations = 0  # age expiries (fresh_discards is the subset
+        # whose copy was in fact still current)
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -78,6 +83,7 @@ class TTLCache:
             # the "discarding perfectly good data" distortion.
             if entry.version >= version:
                 self.fresh_discards += 1
+            self.invalidations += 1
             self._delete(key)
             return TTLLookupResult.EXPIRED
         self._entries.move_to_end(key)
@@ -99,11 +105,13 @@ class TTLCache:
             self._used_bytes -= existing.size
         self._entries[key] = TTLEntry(size=size, version=version, stored_at=now)
         self._used_bytes += size
+        self.insertions += 1
         evicted: list[int] = []
         if self.capacity_bytes is not None:
             while self._used_bytes > self.capacity_bytes and self._entries:
                 victim = next(iter(self._entries))
                 self._delete(victim)
+                self.evictions += 1
                 evicted.append(victim)
         return evicted
 

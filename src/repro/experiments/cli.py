@@ -37,7 +37,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="experiment names to run (an optional leading 'run' verb is "
         "accepted: 'python -m repro.experiments run figure8'; the "
         "'decompose' verb instead renders the latency-decomposition "
-        "table for the standard architectures over one trace)",
+        "table for the standard architectures over one trace; the "
+        "'timeline' verb runs them with telemetry attached and exports "
+        "per-bin time-series rows plus a hit-rate-vs-time chart)",
     )
     parser.add_argument("--list", action="store_true", help="list experiment names")
     parser.add_argument("--all", action="store_true", help="run every experiment")
@@ -72,6 +74,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="with the 'decompose' verb: also stream every measured "
         "request's hop ledger to OUT.jsonl (one JSON object per request)",
     )
+    parser.add_argument(
+        "--timeline", default=None, metavar="OUT.jsonl",
+        help="with the 'timeline' verb: write per-bin telemetry rows to "
+        "this file (JSONL, or CSV when the name ends in .csv; default "
+        "timeline.jsonl)",
+    )
+    parser.add_argument(
+        "--bin", type=float, default=3600.0, metavar="SECONDS",
+        help="timeline bin width in simulated seconds (default 3600 = 1 h)",
+    )
+    parser.add_argument(
+        "--prometheus", default=None, metavar="OUT.prom",
+        help="with the 'timeline' verb: also write the final metrics "
+        "registry as a Prometheus text exposition",
+    )
     return parser
 
 
@@ -94,8 +111,18 @@ def main(argv: list[str] | None = None) -> int:
             print("'decompose' takes no experiment names", file=sys.stderr)
             return 2
         return _run_decompose(args)
+    if args.experiments and args.experiments[0] == "timeline":
+        if args.experiments[1:]:
+            print("'timeline' takes no experiment names", file=sys.stderr)
+            return 2
+        return _run_timeline(args)
     if args.journeys is not None:
         print("--journeys requires the 'decompose' verb", file=sys.stderr)
+        return 2
+    if args.timeline is not None or args.prometheus is not None:
+        print(
+            "--timeline/--prometheus require the 'timeline' verb", file=sys.stderr
+        )
         return 2
     if args.list:
         for name in all_experiments():
@@ -265,6 +292,97 @@ def _run_decompose(args) -> int:
     )
     if args.journeys is not None:
         print(f"[journeys written to {args.journeys}]")
+    return 0
+
+
+def _run_timeline(args) -> int:
+    """The ``timeline`` verb: the standard four with telemetry attached.
+
+    Runs each architecture with a :class:`repro.obs.telemetry.RunTelemetry`
+    sampling one shared registry into fixed-width simulated-time bins,
+    writes the per-bin rows (``--timeline``, JSONL or CSV), optionally the
+    final registry as a Prometheus exposition (``--prometheus``), and
+    prints the comparison table, per-architecture warmup-convergence
+    lines, and a hit-rate-vs-time chart.
+    """
+    from repro.experiments.base import trace_for
+    from repro.hierarchy.data_hierarchy import DataHierarchy
+    from repro.hierarchy.directory_arch import CentralizedDirectoryArchitecture
+    from repro.hierarchy.hint_hierarchy import HintHierarchy
+    from repro.hierarchy.icp import IcpHierarchy
+    from repro.netmodel.testbed import TestbedCostModel
+    from repro.obs.export import (
+        prometheus_text,
+        write_timeline_csv,
+        write_timeline_jsonl,
+    )
+    from repro.obs.telemetry import MetricsRegistry, RunTelemetry, warmup_convergence
+    from repro.reporting.tables import format_comparison_table
+    from repro.reporting.timeline import render_hit_rate_chart, render_occupancy_chart
+    from repro.sim.engine import run_simulation
+
+    if args.bin <= 0:
+        print(f"--bin must be positive, got {args.bin}", file=sys.stderr)
+        return 2
+    config = default_config()
+    if args.scale is not None:
+        config = config.with_scale(args.scale)
+    if args.seed is not None:
+        from dataclasses import replace
+
+        config = replace(config, seed=args.seed)
+    profile_name = args.profile or "dec"
+    if args.trace_cache is not None:
+        from repro.runner.trace_cache import (
+            TraceCache,
+            get_trace_cache,
+            set_trace_cache,
+        )
+
+        if get_trace_cache().directory != args.trace_cache:
+            set_trace_cache(TraceCache(args.trace_cache))
+    trace = trace_for(config, profile_name)
+    cost = TestbedCostModel()
+    architectures = [
+        DataHierarchy(config.topology, cost),
+        IcpHierarchy(config.topology, cost),
+        HintHierarchy(config.topology, cost),
+        CentralizedDirectoryArchitecture(config.topology, cost),
+    ]
+    registry = MetricsRegistry()
+    results = {}
+    rows = []
+    for architecture in architectures:
+        telemetry = RunTelemetry(registry, bin_s=args.bin)
+        results[architecture.name] = run_simulation(
+            trace, architecture, telemetry=telemetry
+        )
+        rows.extend(telemetry.rows)
+    out_path = args.timeline if args.timeline is not None else "timeline.jsonl"
+    if out_path.endswith(".csv"):
+        write_timeline_csv(rows, out_path)
+    else:
+        write_timeline_jsonl(rows, out_path)
+    if args.prometheus is not None:
+        with open(args.prometheus, "w", encoding="utf-8") as stream:
+            stream.write(prometheus_text(registry))
+    print(
+        format_comparison_table(
+            results, title=f"architecture comparison ({profile_name})"
+        )
+    )
+    print()
+    for name in results:
+        arch_rows = [row for row in rows if row["arch"] == name]
+        print(warmup_convergence(arch_rows).summary_line())
+    print()
+    print(render_hit_rate_chart(rows))
+    if args.chart:
+        print()
+        print(render_occupancy_chart(rows))
+    print(f"[timeline rows written to {out_path}]")
+    if args.prometheus is not None:
+        print(f"[prometheus exposition written to {args.prometheus}]")
     return 0
 
 

@@ -153,6 +153,11 @@ class FaultInjector:
         return any(k == kind for k, _n in self._down)
 
     @property
+    def down_nodes(self) -> frozenset[tuple[NodeKind, int]]:
+        """Snapshot of every currently crashed ``(kind, node)`` pair."""
+        return frozenset(self._down)
+
+    @property
     def faults_active(self) -> bool:
         """True while any fault condition is in force."""
         return (

@@ -19,6 +19,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
     from repro.faults.events import NodeKind
     from repro.faults.injector import FaultInjector
     from repro.obs.journey import Journey
+    from repro.obs.telemetry import MetricsRegistry
 
 
 @dataclass(frozen=True)
@@ -130,6 +131,23 @@ class Architecture(abc.ABC):
 
     def on_fault_recover(self, kind: "NodeKind", node: int) -> None:
         """Injector callback: node ``(kind, node)`` just rejoined (empty)."""
+
+    # ------------------------------------------------------------------
+    # telemetry (opt-in; see repro.obs.telemetry)
+    # ------------------------------------------------------------------
+    def register_telemetry(self, registry: "MetricsRegistry") -> None:
+        """Register this instance's layers as callback-backed instruments.
+
+        The base implementation introspects the structural conventions
+        every shipped architecture follows (``l1_caches``/``l2_caches``
+        lists, a single ``l3_cache``, a hint ``directory``, ICP sibling
+        counters); subclasses with extra state can extend it.  Called by
+        :class:`repro.obs.telemetry.RunTelemetry` at run start -- never
+        on the request path, so un-telemetered runs pay nothing.
+        """
+        from repro.obs.telemetry import bind_architecture
+
+        bind_architecture(registry, self)
 
     def describe(self) -> str:
         """One-line description for experiment logs."""

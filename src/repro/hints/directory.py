@@ -86,6 +86,9 @@ class HintDirectory:
         self.retract_events = 0
         self.false_negatives = 0
         self.false_positives_recorded = 0
+        #: Stale hints actively dropped after a probe found the copy gone
+        #: (:meth:`drop_visible` successes -- the staleness corrections).
+        self.corrections = 0
 
     # ------------------------------------------------------------------
     # ground-truth maintenance (called synchronously by architectures)
@@ -133,10 +136,16 @@ class HintDirectory:
         forwarding to a crashed node for the same object.
         """
         existing = self._visible_get(object_id)
-        if existing is not None:
+        if existing is not None and node in existing:
             existing.discard(node)
+            self.corrections += 1
             if not existing:
                 self._visible_remove(object_id)
+
+    @property
+    def visible_entries(self) -> int:
+        """Objects with at least one visible hint (the hint count gauge)."""
+        return len(self._visible)
 
     def truth_holders(self, object_id: int) -> dict[int, int]:
         """Ground-truth ``{node: version}`` map for an object (may be empty)."""

@@ -64,6 +64,8 @@ class HintCache:
         self.lookups = 0
         self.insertions = 0
         self.conflict_evictions = 0
+        #: Successful *invalidate* commands (staleness corrections).
+        self.invalidations = 0
 
     # ------------------------------------------------------------------
     # geometry
@@ -136,6 +138,7 @@ class HintCache:
             record = HintRecord.unpack(bytes(self._slot(start, way)))
             if record is not None and record.url_hash == url_hash:
                 self._slot(start, way)[:] = bytes(HINT_RECORD_BYTES)
+                self.invalidations += 1
                 return True
         return False
 

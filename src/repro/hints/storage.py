@@ -85,6 +85,28 @@ class MmapHintStore:
         """Maximum number of hints the store can hold."""
         return self._cache.capacity_entries
 
+    # Monotone churn counters, delegated so the mmap-backed store exposes
+    # the same telemetry surface as the in-memory cache.
+    @property
+    def lookups(self) -> int:
+        """Find-nearest commands served since construction."""
+        return self._cache.lookups
+
+    @property
+    def insertions(self) -> int:
+        """Inform commands applied since construction."""
+        return self._cache.insertions
+
+    @property
+    def conflict_evictions(self) -> int:
+        """Hints displaced by set conflicts since construction."""
+        return self._cache.conflict_evictions
+
+    @property
+    def invalidations(self) -> int:
+        """Successful invalidate commands since construction."""
+        return self._cache.invalidations
+
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------

@@ -12,20 +12,75 @@ origin fetch.  This package makes that decomposition a first-class value:
   export: a bounded-buffer JSONL writer
   (:class:`~repro.obs.sink.JsonlJourneySink`) and an in-memory sampler
   (:class:`~repro.obs.sink.SamplingJourneySink`), zero-cost when absent.
+* :mod:`~repro.obs.telemetry` -- time-series telemetry: a typed
+  :class:`~repro.obs.telemetry.MetricsRegistry` of Counter/Gauge/Histogram
+  instruments, a :class:`~repro.obs.telemetry.Timeline` sampler that
+  snapshots them into fixed-width simulated-time bins, and the
+  :class:`~repro.obs.telemetry.RunTelemetry` bundle ``run_simulation``
+  drives; :mod:`~repro.obs.export` renders the registry as a Prometheus
+  text exposition and the bins as canonical JSONL/CSV rows.
 
 Downstream, :class:`repro.sim.metrics.SimMetrics` aggregates the ledgers
 per step kind and :func:`repro.reporting.tables.format_decomposition_table`
-renders where every millisecond went.
+renders where every millisecond went;
+:mod:`repro.reporting.timeline` charts the bins as hit-rate-vs-time and
+occupancy-vs-time series.
 """
 
+from repro.obs.export import (
+    check_prometheus_text,
+    check_timeline_rows,
+    parse_prometheus_text,
+    prometheus_text,
+    read_timeline_jsonl,
+    sum_counters,
+    timeline_counter_totals,
+    write_timeline_csv,
+    write_timeline_jsonl,
+)
 from repro.obs.journey import Journey, Step, StepKind
 from repro.obs.sink import JourneySink, JsonlJourneySink, SamplingJourneySink
+from repro.obs.telemetry import (
+    ConvergenceReport,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    RunTelemetry,
+    Timeline,
+    bind_architecture,
+    bind_injector,
+    parse_metric_key,
+    render_metric_key,
+    warmup_convergence,
+)
 
 __all__ = [
+    "ConvergenceReport",
+    "Counter",
+    "Gauge",
+    "Histogram",
     "Journey",
     "JourneySink",
     "JsonlJourneySink",
+    "MetricsRegistry",
+    "RunTelemetry",
     "SamplingJourneySink",
     "Step",
     "StepKind",
+    "Timeline",
+    "bind_architecture",
+    "bind_injector",
+    "check_prometheus_text",
+    "check_timeline_rows",
+    "parse_metric_key",
+    "parse_prometheus_text",
+    "prometheus_text",
+    "read_timeline_jsonl",
+    "render_metric_key",
+    "sum_counters",
+    "timeline_counter_totals",
+    "warmup_convergence",
+    "write_timeline_csv",
+    "write_timeline_jsonl",
 ]

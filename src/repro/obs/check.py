@@ -1,0 +1,63 @@
+"""Artifact gate for telemetry exports (the CI smoke job's check step).
+
+Usage::
+
+    python -m repro.obs.check --prometheus metrics.prom --timeline timeline.jsonl
+
+Exits 0 when every given artifact is clean, 1 with one problem per line
+otherwise.  The checks are the library validators --
+:func:`repro.obs.export.check_prometheus_text` (parseable exposition, no
+duplicate metric/label pairs, monotone counters, cumulative histogram
+buckets) and :func:`repro.obs.export.check_timeline_rows` (contiguous
+bins, non-negative counter deltas) -- so CI and tests enforce the same
+contract.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-obs-check", description="Validate exported telemetry artifacts."
+    )
+    parser.add_argument(
+        "--prometheus", default=None, metavar="FILE", help="exposition file to validate"
+    )
+    parser.add_argument(
+        "--timeline", default=None, metavar="FILE", help="timeline JSONL to validate"
+    )
+    args = parser.parse_args(argv)
+    if args.prometheus is None and args.timeline is None:
+        parser.error("nothing to check; give --prometheus and/or --timeline")
+
+    from repro.obs.export import (
+        check_prometheus_text,
+        check_timeline_rows,
+        parse_prometheus_text,
+        read_timeline_jsonl,
+    )
+
+    problems: list[str] = []
+    if args.prometheus is not None:
+        with open(args.prometheus, encoding="utf-8") as stream:
+            text = stream.read()
+        for problem in check_prometheus_text(text):
+            problems.append(f"{args.prometheus}: {problem}")
+        if not problems:
+            print(f"{args.prometheus}: {len(parse_prometheus_text(text))} samples ok")
+    if args.timeline is not None:
+        rows = read_timeline_jsonl(args.timeline)
+        for problem in check_timeline_rows(rows):
+            problems.append(f"{args.timeline}: {problem}")
+        if not any(p.startswith(args.timeline) for p in problems):
+            print(f"{args.timeline}: {len(rows)} bin rows ok")
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

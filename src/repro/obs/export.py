@@ -1,0 +1,292 @@
+"""Exporters for telemetry: Prometheus text exposition and per-bin rows.
+
+Two audiences:
+
+* a scrape endpoint / human -- :func:`prometheus_text` renders a
+  :class:`~repro.obs.telemetry.MetricsRegistry` in the Prometheus text
+  exposition format (``# HELP`` / ``# TYPE`` / samples, histograms with
+  cumulative ``_bucket``/``_sum``/``_count`` series);
+* offline analysis -- :func:`write_timeline_jsonl` /
+  :func:`write_timeline_csv` persist :class:`~repro.obs.telemetry.Timeline`
+  rows.  JSONL lines are canonical (sorted keys, compact separators), so
+  identical rows serialize to identical bytes -- that is what makes the
+  parallel runner's per-architecture timeline files jobs-invariant.
+
+The parsers (:func:`parse_prometheus_text`, :func:`read_timeline_jsonl`)
+and validators (:func:`check_prometheus_text`, :func:`check_timeline_rows`)
+close the loop: CI's smoke job re-reads what a run exported and fails on
+duplicate metric/label pairs, negative counters, or gapped bins.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import math
+import re
+from typing import IO, Iterable, Mapping, Sequence
+
+from repro.obs.telemetry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    parse_metric_key,
+    render_metric_key,
+)
+
+_SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})?"
+    r"\s+(-?(?:\d+\.?\d*(?:[eE][+-]?\d+)?|Inf|NaN|\+Inf))$"
+)
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """Render the registry in the Prometheus text exposition format.
+
+    Families are sorted by name, children by label values, so the output
+    is deterministic; each ``(name, labels)`` pair appears exactly once.
+    """
+    lines: list[str] = []
+    for family in registry.families():
+        if family.help:
+            lines.append(f"# HELP {family.name} {family.help}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        for child_key in sorted(family.instruments):
+            instrument = family.instruments[child_key]
+            if isinstance(instrument, Histogram):
+                for bound, cumulative in instrument.cumulative_buckets():
+                    labels = dict(instrument.labels)
+                    labels["le"] = _format_value(bound)
+                    key = render_metric_key(instrument.name + "_bucket", labels)
+                    lines.append(f"{key} {cumulative}")
+                sum_key = render_metric_key(instrument.name + "_sum", instrument.labels)
+                count_key = render_metric_key(
+                    instrument.name + "_count", instrument.labels
+                )
+                lines.append(f"{sum_key} {_format_value(instrument.sum)}")
+                lines.append(f"{count_key} {instrument.count}")
+            elif isinstance(instrument, (Counter, Gauge)):
+                lines.append(f"{instrument.key} {_format_value(instrument.value)}")
+    return "\n".join(lines) + "\n"
+
+
+def parse_prometheus_text(
+    text: str,
+) -> list[tuple[str, dict[str, str], float]]:
+    """Parse an exposition into ``(name, labels, value)`` samples.
+
+    Raises ``ValueError`` on the first malformed line; comments and blank
+    lines are skipped.
+    """
+    samples: list[tuple[str, dict[str, str], float]] = []
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValueError(f"line {line_number}: unparseable sample {line!r}")
+        name, label_block, raw_value = match.groups()
+        labels = parse_metric_key(name + (label_block or ""))[1]
+        value = math.inf if raw_value in ("Inf", "+Inf") else float(raw_value)
+        samples.append((name, labels, value))
+    return samples
+
+
+def check_prometheus_text(text: str) -> list[str]:
+    """Validate an exposition; returns a list of problems (empty = clean).
+
+    Checks: every sample parses, no duplicate ``(name, labels)`` pair,
+    counter samples are non-negative, and histogram bucket series are
+    cumulative (monotone in ``le``) and consistent with ``_count``.
+    """
+    problems: list[str] = []
+    try:
+        samples = parse_prometheus_text(text)
+    except ValueError as exc:
+        return [str(exc)]
+    kinds: dict[str, str] = {}
+    for line in text.splitlines():
+        if line.startswith("# TYPE "):
+            _prefix, name, kind = line.rsplit(" ", 2)
+            if name in kinds:
+                problems.append(f"duplicate TYPE declaration for {name}")
+            kinds[name] = kind
+    seen: set[tuple[str, tuple[tuple[str, str], ...]]] = set()
+    buckets: dict[tuple[str, tuple[tuple[str, str], ...]], list[tuple[float, float]]] = {}
+    counts: dict[tuple[str, tuple[tuple[str, str], ...]], float] = {}
+    for name, labels, value in samples:
+        identity = (name, tuple(sorted(labels.items())))
+        if identity in seen:
+            problems.append(f"duplicate sample {render_metric_key(name, labels)}")
+        seen.add(identity)
+        base = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[: -len(suffix)] in kinds:
+                base = name[: -len(suffix)]
+        kind = kinds.get(base)
+        if kind is None:
+            problems.append(f"sample {name} has no TYPE declaration")
+            continue
+        monotone = kind == "counter" or (kind == "histogram" and base != name)
+        if monotone and value < 0:
+            problems.append(
+                f"negative {kind} sample {render_metric_key(name, labels)} = {value}"
+            )
+        if kind == "histogram" and name == base + "_bucket":
+            series_labels = {k: v for k, v in labels.items() if k != "le"}
+            series = (base, tuple(sorted(series_labels.items())))
+            bound = labels.get("le", "")
+            le = math.inf if bound == "+Inf" else float(bound)
+            buckets.setdefault(series, []).append((le, value))
+        if kind == "histogram" and name == base + "_count":
+            counts[(base, tuple(sorted(labels.items())))] = value
+    for series, pairs in buckets.items():
+        pairs.sort()
+        values = [count for _le, count in pairs]
+        if any(b < a for a, b in zip(values, values[1:])):
+            problems.append(f"non-cumulative histogram buckets for {series[0]}")
+        if pairs and pairs[-1][0] != math.inf:
+            problems.append(f"histogram {series[0]} missing +Inf bucket")
+        total = counts.get(series)
+        if total is not None and pairs and pairs[-1][1] != total:
+            problems.append(
+                f"histogram {series[0]} +Inf bucket {pairs[-1][1]} != count {total}"
+            )
+    return problems
+
+
+# ----------------------------------------------------------------------
+# timeline rows
+# ----------------------------------------------------------------------
+def timeline_json_line(row: Mapping) -> str:
+    """Canonical one-line JSON for one bin row (sorted keys, compact)."""
+    return json.dumps(row, sort_keys=True, separators=(",", ":"))
+
+
+def write_timeline_jsonl(rows: Iterable[Mapping], path_or_stream: str | IO[str]) -> None:
+    """Write bin rows as canonical JSONL (one row per line)."""
+    if hasattr(path_or_stream, "write"):
+        for row in rows:
+            path_or_stream.write(timeline_json_line(row) + "\n")
+        return
+    with open(path_or_stream, "w", encoding="utf-8") as stream:
+        for row in rows:
+            stream.write(timeline_json_line(row) + "\n")
+
+
+def read_timeline_jsonl(path: str) -> list[dict]:
+    """Read rows back from :func:`write_timeline_jsonl` output."""
+    rows: list[dict] = []
+    with open(path, encoding="utf-8") as stream:
+        for line in stream:
+            line = line.strip()
+            if line:
+                rows.append(json.loads(line))
+    return rows
+
+
+def write_timeline_csv(rows: Sequence[Mapping], path_or_stream: str | IO[str]) -> None:
+    """Write bin rows as CSV: fixed columns, then every counter/gauge key.
+
+    Counter columns are prefixed ``delta:`` and gauge columns ``value:``;
+    the header is the sorted union over all rows, so heterogeneous runs
+    (several architectures in one file) stay rectangular.
+    """
+    counter_keys: set[str] = set()
+    gauge_keys: set[str] = set()
+    for row in rows:
+        counter_keys.update(row.get("counters", {}))
+        gauge_keys.update(row.get("gauges", {}))
+    header = (
+        ["arch", "bin", "t_start", "t_end"]
+        + [f"delta:{key}" for key in sorted(counter_keys)]
+        + [f"value:{key}" for key in sorted(gauge_keys)]
+    )
+
+    def _write(stream: IO[str]) -> None:
+        writer = csv.writer(stream, lineterminator="\n")
+        writer.writerow(header)
+        for row in rows:
+            counters = row.get("counters", {})
+            gauges = row.get("gauges", {})
+            writer.writerow(
+                [row.get("arch", ""), row["bin"], row["t_start"], row["t_end"]]
+                + [counters.get(key, 0) for key in sorted(counter_keys)]
+                + [gauges.get(key, "") for key in sorted(gauge_keys)]
+            )
+
+    if hasattr(path_or_stream, "write"):
+        _write(path_or_stream)
+    else:
+        with open(path_or_stream, "w", encoding="utf-8", newline="") as stream:
+            _write(stream)
+
+
+def timeline_counter_totals(
+    rows: Iterable[Mapping],
+    *,
+    name: str | None = None,
+    labels: Mapping[str, str] | None = None,
+) -> dict[str, float]:
+    """Re-sum per-bin counter deltas back into run totals.
+
+    Optionally filtered to one metric ``name`` and/or a label subset
+    (every given label must match).  Because deltas telescope, the result
+    equals the instruments' final values -- the reconciliation tests lean
+    on this to compare timeline output against ``SimMetrics``.
+    """
+    totals: dict[str, float] = {}
+    for row in rows:
+        for key, delta in row.get("counters", {}).items():
+            if name is not None or labels:
+                sample_name, sample_labels = parse_metric_key(key)
+                if name is not None and sample_name != name:
+                    continue
+                if labels and any(
+                    sample_labels.get(k) != v for k, v in labels.items()
+                ):
+                    continue
+            totals[key] = totals.get(key, 0.0) + delta
+    return totals
+
+
+def sum_counters(
+    rows: Iterable[Mapping], name: str, labels: Mapping[str, str] | None = None
+) -> float:
+    """Scalar convenience over :func:`timeline_counter_totals`."""
+    return sum(timeline_counter_totals(rows, name=name, labels=labels).values())
+
+
+def check_timeline_rows(rows: Sequence[Mapping]) -> list[str]:
+    """Validate bin rows; returns a list of problems (empty = clean).
+
+    Per architecture: bins must be contiguous from 0, ``t_start``/``t_end``
+    must tile the clock without gaps, and counter deltas must be
+    non-negative (counters never run backwards).
+    """
+    problems: list[str] = []
+    expected: dict[str, int] = {}
+    for row in rows:
+        arch = str(row.get("arch", ""))
+        index = expected.get(arch, 0)
+        if row["bin"] != index:
+            problems.append(f"{arch}: bin {row['bin']} out of order (expected {index})")
+        expected[arch] = int(row["bin"]) + 1
+        if row["t_end"] < row["t_start"]:
+            problems.append(f"{arch}: bin {row['bin']} has t_end < t_start")
+        for key, delta in row.get("counters", {}).items():
+            if delta < 0:
+                problems.append(
+                    f"{arch}: bin {row['bin']} counter {key} went backwards ({delta})"
+                )
+    return problems

@@ -8,13 +8,30 @@ from repro.reporting.export import (
     result_to_json,
     save_result,
 )
-from repro.reporting.tables import format_series, format_table
+from repro.reporting.tables import (
+    comparison_rows,
+    format_comparison_table,
+    format_series,
+    format_table,
+)
+from repro.reporting.timeline import (
+    hit_rate_series,
+    occupancy_series,
+    render_hit_rate_chart,
+    render_occupancy_chart,
+)
 
 __all__ = [
+    "comparison_rows",
+    "format_comparison_table",
     "format_series",
     "format_table",
+    "hit_rate_series",
     "load_result",
+    "occupancy_series",
     "render_bars",
+    "render_hit_rate_chart",
+    "render_occupancy_chart",
     "render_series",
     "result_from_json",
     "result_to_csv",

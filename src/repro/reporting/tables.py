@@ -99,7 +99,9 @@ def decomposition_rows(metrics_by_arch: Mapping[str, object]) -> list[dict]:
     step kinds its journeys charged -- the per-kind columns sum to
     ``mean_ms`` (up to float rounding), which makes the table an audit of
     the paper's hop argument: *where* the hierarchy loses its
-    milliseconds, and where hints spend theirs.
+    milliseconds, and where hints spend theirs.  The mean is joined by
+    the tail (p50/p95/p99 from the run's latency histogram) so a flat
+    mean hiding a fat tail is visible in the same row.
     """
     rows = []
     for name, metrics in metrics_by_arch.items():
@@ -110,6 +112,9 @@ def decomposition_rows(metrics_by_arch: Mapping[str, object]) -> list[dict]:
             total = aggregate.total_ms if aggregate is not None else 0.0
             row[kind] = total / measured if measured else 0.0
         row["mean_ms"] = metrics.mean_response_ms
+        row["p50_ms"] = metrics.percentile_ms(0.50)
+        row["p95_ms"] = metrics.percentile_ms(0.95)
+        row["p99_ms"] = metrics.percentile_ms(0.99)
         if metrics.degraded.fault_added_ms:
             row["fault_ms"] = (
                 metrics.degraded.fault_added_ms / measured if measured else 0.0
@@ -123,3 +128,24 @@ def format_decomposition_table(
 ) -> str:
     """Render per-architecture mean-ms-per-request by journey step kind."""
     return format_table(decomposition_rows(metrics_by_arch), title=title)
+
+
+def comparison_rows(metrics_by_arch: Mapping[str, object]) -> list[dict]:
+    """One summary row per architecture: mean, tail percentiles, ratios.
+
+    The shape ``run_comparison`` callers render: each row is the
+    architecture name plus :meth:`repro.sim.metrics.SimMetrics.summary`
+    (which includes the p50/p95/p99 response-time percentiles from the
+    latency histogram that is collected on every run).
+    """
+    return [
+        {"architecture": name, **metrics.summary()}
+        for name, metrics in metrics_by_arch.items()
+    ]
+
+
+def format_comparison_table(
+    metrics_by_arch: Mapping[str, object], *, title: str = "architecture comparison"
+) -> str:
+    """Render the per-architecture summary table (mean + tail + ratios)."""
+    return format_table(comparison_rows(metrics_by_arch), title=title)

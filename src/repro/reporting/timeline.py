@@ -1,0 +1,105 @@
+"""Charts over telemetry timeline rows (hit rate and occupancy vs time).
+
+Bridges :class:`repro.obs.telemetry.Timeline` output to the ASCII chart
+helpers in :mod:`repro.reporting.charts`: per-bin counter deltas become
+per-bin hit-rate points, occupancy gauges become byte curves, one series
+per architecture.  The x-axis is simulated time in hours -- the axis the
+paper's warmup argument (section 2.2) lives on.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.obs.telemetry import parse_metric_key
+from repro.reporting.charts import render_series
+
+
+def hit_rate_series(
+    rows: Sequence[Mapping], *, window: str | None = None
+) -> dict[str, list[tuple[float, float]]]:
+    """Per-bin hit rate by architecture: ``{arch: [(t_end_hours, rate)]}``.
+
+    A bin's hit rate is the fraction of its requests satisfied by any
+    cache (point != SERVER), computed from the ``repro_requests_total``
+    deltas.  ``window`` restricts to ``"warmup"`` or ``"measured"``
+    requests; the default counts both (the warmup ramp is usually the
+    interesting part).  Empty bins contribute no point.
+    """
+    series: dict[str, list[tuple[float, float]]] = {}
+    for row in rows:
+        requests = 0.0
+        hits = 0.0
+        for key, delta in row.get("counters", {}).items():
+            if not key.startswith("repro_requests_total"):
+                continue
+            _name, labels = parse_metric_key(key)
+            if window is not None and labels.get("window") != window:
+                continue
+            requests += delta
+            if labels.get("point") != "SERVER":
+                hits += delta
+        if requests > 0:
+            arch = str(row.get("arch", ""))
+            series.setdefault(arch, []).append(
+                (float(row["t_end"]) / 3600.0, hits / requests)
+            )
+    return series
+
+
+def occupancy_series(
+    rows: Sequence[Mapping], *, level: str | None = None
+) -> dict[str, list[tuple[float, float]]]:
+    """Cache occupancy by architecture: ``{arch: [(t_end_hours, bytes)]}``.
+
+    Sums the ``repro_cache_occupancy_bytes`` gauges across nodes at each
+    bin edge; ``level`` restricts to one cache level (``"l1"``/``"l2"``/
+    ``"l3"``), the default sums the whole architecture.
+    """
+    series: dict[str, list[tuple[float, float]]] = {}
+    for row in rows:
+        total = 0.0
+        seen = False
+        for key, value in row.get("gauges", {}).items():
+            if not key.startswith("repro_cache_occupancy_bytes"):
+                continue
+            _name, labels = parse_metric_key(key)
+            if level is not None and labels.get("level") != level:
+                continue
+            total += value
+            seen = True
+        if seen:
+            arch = str(row.get("arch", ""))
+            series.setdefault(arch, []).append((float(row["t_end"]) / 3600.0, total))
+    return series
+
+
+def render_hit_rate_chart(
+    rows: Sequence[Mapping],
+    *,
+    window: str | None = None,
+    title: str = "hit rate vs simulated time",
+) -> str:
+    """ASCII chart of per-bin hit rate over simulated hours."""
+    return render_series(
+        hit_rate_series(rows, window=window),
+        title=title,
+        x_label="t (h)",
+        y_label="hit rate",
+    )
+
+
+def render_occupancy_chart(
+    rows: Sequence[Mapping],
+    *,
+    level: str | None = None,
+    title: str = "cache occupancy vs simulated time",
+) -> str:
+    """ASCII chart of summed cache occupancy bytes over simulated hours."""
+    suffix = f" ({level})" if level else ""
+    return render_series(
+        occupancy_series(rows, level=level),
+        title=title + suffix,
+        x_label="t (h)",
+        y_label="bytes",
+    )

@@ -234,31 +234,56 @@ def _comparison_task(
     warmup_s: float | None,
     fault_plan: "FaultPlan | None" = None,
     journey_dir: str | None = None,
+    include_uncachable: bool = False,
+    timeline_dir: str | None = None,
+    timeline_bin_s: float = 3600.0,
 ) -> SimMetrics:
     """One (trace, architecture) simulation work unit.
 
     With ``journey_dir`` set, the unit also streams its journeys to
-    ``<journey_dir>/<architecture>.jsonl``.  The file is written whole by
-    whichever process runs this unit and its contents are a pure function
-    of the unit's arguments, so the export is identical for any ``jobs``.
+    ``<journey_dir>/<architecture>.jsonl``; with ``timeline_dir`` set it
+    writes per-bin telemetry rows to ``<timeline_dir>/<architecture>.jsonl``.
+    Each file is written whole by whichever process runs this unit and its
+    contents are a pure function of the unit's arguments, so the exports
+    are identical for any ``jobs``.
     """
     trace = cached_trace(profile, seed)
     architecture = spec.build()
-    if journey_dir is None:
-        return run_simulation(
-            trace, architecture, warmup_s=warmup_s, fault_plan=fault_plan
-        )
-    from repro.obs.sink import JsonlJourneySink
+    telemetry = None
+    if timeline_dir is not None:
+        from repro.obs.telemetry import RunTelemetry
 
-    path = os.path.join(journey_dir, f"{architecture.name}.jsonl")
-    with JsonlJourneySink(path, architecture=architecture.name) as sink:
-        return run_simulation(
+        telemetry = RunTelemetry(bin_s=timeline_bin_s)
+    if journey_dir is None:
+        metrics = run_simulation(
             trace,
             architecture,
             warmup_s=warmup_s,
+            include_uncachable=include_uncachable,
             fault_plan=fault_plan,
-            journey_sink=sink,
+            telemetry=telemetry,
         )
+    else:
+        from repro.obs.sink import JsonlJourneySink
+
+        path = os.path.join(journey_dir, f"{architecture.name}.jsonl")
+        with JsonlJourneySink(path, architecture=architecture.name) as sink:
+            metrics = run_simulation(
+                trace,
+                architecture,
+                warmup_s=warmup_s,
+                include_uncachable=include_uncachable,
+                fault_plan=fault_plan,
+                journey_sink=sink,
+                telemetry=telemetry,
+            )
+    if telemetry is not None:
+        from repro.obs.export import write_timeline_jsonl
+
+        write_timeline_jsonl(
+            telemetry.rows, os.path.join(timeline_dir, f"{architecture.name}.jsonl")
+        )
+    return metrics
 
 
 def run_comparison_parallel(
@@ -268,9 +293,12 @@ def run_comparison_parallel(
     *,
     jobs: int = 1,
     warmup_s: float | None = None,
+    include_uncachable: bool = False,
     trace_cache_dir: str | None = None,
     fault_plan: "FaultPlan | None" = None,
     journey_dir: str | None = None,
+    timeline_dir: str | None = None,
+    timeline_bin_s: float = 3600.0,
 ) -> dict[str, SimMetrics]:
     """Parallel twin of :func:`repro.sim.engine.run_comparison`.
 
@@ -282,29 +310,48 @@ def run_comparison_parallel(
     ``fault_plan`` (a pure value, picklable) rides along to every worker;
     each architecture's simulation replays it with a fresh injector, so
     faulted comparisons are as deterministic -- and as jobs-invariant --
-    as clean ones.
+    as clean ones.  ``include_uncachable`` forwards to every simulation,
+    matching the serial comparison's knob.
 
     ``journey_dir`` enables structured trace export: each architecture's
     journeys land in ``<journey_dir>/<name>.jsonl`` (directory created if
     needed), written entirely by the process that ran that architecture --
     no cross-process interleaving, so each file is byte-identical for any
-    ``jobs`` value.
+    ``jobs`` value.  ``timeline_dir`` does the same for telemetry: the
+    unit attaches a fresh :class:`repro.obs.telemetry.RunTelemetry`
+    (``timeline_bin_s``-wide bins) and writes the per-bin rows to
+    ``<timeline_dir>/<name>.jsonl`` as canonical JSONL -- rows are a pure
+    function of (trace, architecture, plan), so these files too are
+    byte-identical for any ``jobs`` value.
     """
     if jobs < 1:
         raise ValueError(f"jobs must be at least 1, got {jobs}")
     if journey_dir is not None:
         os.makedirs(journey_dir, exist_ok=True)
+    if timeline_dir is not None:
+        os.makedirs(timeline_dir, exist_ok=True)
     if jobs == 1:
-        if journey_dir is None:
+        if journey_dir is None and timeline_dir is None:
             trace = cached_trace(profile, seed)
             return run_comparison(
                 trace,
                 [spec.build() for spec in specs],
                 warmup_s=warmup_s,
+                include_uncachable=include_uncachable,
                 fault_plan=fault_plan,
             )
         metrics = [
-            _comparison_task(profile, seed, spec, warmup_s, fault_plan, journey_dir)
+            _comparison_task(
+                profile,
+                seed,
+                spec,
+                warmup_s,
+                fault_plan,
+                journey_dir,
+                include_uncachable,
+                timeline_dir,
+                timeline_bin_s,
+            )
             for spec in specs
         ]
     else:
@@ -320,6 +367,9 @@ def run_comparison_parallel(
                     warmup_s,
                     fault_plan,
                     journey_dir,
+                    include_uncachable,
+                    timeline_dir,
+                    timeline_bin_s,
                 )
                 for spec in specs
             ]

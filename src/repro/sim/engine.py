@@ -24,6 +24,7 @@ from repro.traces.records import Trace
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.faults.events import FaultPlan
     from repro.obs.sink import JourneySink
+    from repro.obs.telemetry import RunTelemetry
 
 
 def run_simulation(
@@ -34,6 +35,7 @@ def run_simulation(
     include_uncachable: bool = False,
     fault_plan: "FaultPlan | None" = None,
     journey_sink: "JourneySink | None" = None,
+    telemetry: "RunTelemetry | None" = None,
 ) -> SimMetrics:
     """Drive ``architecture`` over ``trace`` and return aggregated metrics.
 
@@ -63,6 +65,17 @@ def run_simulation(
             caller keeps ownership: the engine never closes it, so one
             sink can span several runs.  ``None`` (the default) costs a
             single predicate per measured request.
+        telemetry: Optional :class:`repro.obs.telemetry.RunTelemetry`.
+            When present, the engine advances its timeline with the
+            simulated clock (closing fixed-width bins as time passes),
+            accounts every processed request into per-window counters
+            (``warmup``/``measured`` -- the measured slice reconciles
+            exactly with this function's return value), and closes the
+            final bin at ``trace.duration``.  The timeline is advanced
+            *before* the fault injector, so bin-close snapshots observe
+            the plan state as of the bin edge.  ``None`` (the default)
+            costs one pointer check per site; telemetry output never
+            feeds run fingerprints or golden snapshots.
     """
     boundary = trace.warmup if warmup_s is None else warmup_s
     metrics = SimMetrics(
@@ -75,6 +88,8 @@ def run_simulation(
 
         injector = FaultInjector(fault_plan)
         injector.bind(architecture)
+    if telemetry is not None:
+        telemetry.begin(architecture, injector=injector)
     processed = 0
     for request in trace.requests:
         if request.error:
@@ -87,21 +102,29 @@ def run_simulation(
                 metrics.skipped_uncachable += 1
                 continue
             metrics.included_uncachable += 1
+        if telemetry is not None:
+            telemetry.advance(request.time)
         if injector is not None:
             injector.advance(request.time)
         result = architecture.process(request)
         processed += 1
         if request.time < boundary:
             metrics.warmup_requests += 1
+            if telemetry is not None:
+                telemetry.observe(request, result, measured=False)
             continue
         metrics.record(
             result,
             request.size,
             faulted=injector is not None and injector.faults_active,
         )
+        if telemetry is not None:
+            telemetry.observe(request, result, measured=True)
         if journey_sink is not None:
             journey_sink.emit(metrics.measured_requests - 1, request, result)
     architecture.processed_requests += processed
+    if telemetry is not None:
+        telemetry.finish(trace.duration)
     metrics.validate()
     return metrics
 
@@ -111,7 +134,9 @@ def run_comparison(
     architectures: list[Architecture],
     *,
     warmup_s: float | None = None,
+    include_uncachable: bool = False,
     fault_plan: "FaultPlan | None" = None,
+    journey_sink: "JourneySink | None" = None,
 ) -> dict[str, SimMetrics]:
     """Run several architectures over the same trace (fresh state each).
 
@@ -123,6 +148,11 @@ def run_comparison(
     ``fault_plan`` applies the same schedule to every architecture (each
     gets its own injector, so stochastic hint-loss draws are identical
     across them -- the comparison stays apples-to-apples).
+    ``include_uncachable`` and ``journey_sink`` forward to every
+    per-architecture :func:`run_simulation`, so the serial comparison
+    exposes the same knobs as a single run (and as the parallel twin);
+    the sink's ``architecture`` label is restamped before each run, so
+    one sink collects all architectures' journeys distinguishably.
     """
     results: dict[str, SimMetrics] = {}
     for architecture in architectures:
@@ -135,7 +165,14 @@ def run_comparison(
                 f"{already} requests; comparisons need freshly constructed "
                 "architectures (reuse would bias results)"
             )
+        if journey_sink is not None:
+            journey_sink.architecture = architecture.name
         results[architecture.name] = run_simulation(
-            trace, architecture, warmup_s=warmup_s, fault_plan=fault_plan
+            trace,
+            architecture,
+            warmup_s=warmup_s,
+            include_uncachable=include_uncachable,
+            fault_plan=fault_plan,
+            journey_sink=journey_sink,
         )
     return results

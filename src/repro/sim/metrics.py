@@ -341,6 +341,7 @@ class SimMetrics:
         return {
             "mean_response_ms": self.mean_response_ms,
             "p50_ms": self.percentile_ms(0.50),
+            "p95_ms": self.percentile_ms(0.95),
             "p99_ms": self.percentile_ms(0.99),
             "hit_ratio": self.hit_ratio,
             "byte_hit_ratio": self.byte_hit_ratio,

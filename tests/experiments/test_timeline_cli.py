@@ -1,0 +1,74 @@
+"""The ``timeline`` CLI verb: exports, validation, and flag guards."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.cli import main
+from repro.obs.export import (
+    check_prometheus_text,
+    check_timeline_rows,
+    read_timeline_jsonl,
+)
+
+
+@pytest.fixture(scope="module")
+def outputs(tmp_path_factory):
+    """One tiny timeline run shared by the assertions below."""
+    out = tmp_path_factory.mktemp("timeline")
+    jsonl = out / "timeline.jsonl"
+    prom = out / "metrics.prom"
+    status = main(
+        [
+            "timeline",
+            "--scale", "0.0002",
+            "--timeline", str(jsonl),
+            "--prometheus", str(prom),
+        ]
+    )
+    return status, jsonl, prom
+
+
+class TestTimelineVerb:
+    def test_exits_cleanly(self, outputs):
+        assert outputs[0] == 0
+
+    def test_jsonl_rows_valid_for_all_architectures(self, outputs):
+        rows = read_timeline_jsonl(str(outputs[1]))
+        assert check_timeline_rows(rows) == []
+        assert {row["arch"] for row in rows} == {
+            "hierarchy", "icp", "hints", "directory",
+        }
+
+    def test_prometheus_exposition_valid(self, outputs):
+        problems = check_prometheus_text(outputs[2].read_text())
+        assert problems == []
+
+    def test_exported_rows_render_chart_and_convergence(self, outputs):
+        from repro.obs.telemetry import warmup_convergence
+        from repro.reporting.timeline import render_hit_rate_chart
+
+        rows = read_timeline_jsonl(str(outputs[1]))
+        assert "hit rate" in render_hit_rate_chart(rows)
+        hierarchy = [row for row in rows if row["arch"] == "hierarchy"]
+        assert "L1 hit rate" in warmup_convergence(hierarchy).summary_line()
+
+    def test_csv_extension_switches_format(self, tmp_path):
+        out = tmp_path / "timeline.csv"
+        assert main(["timeline", "--scale", "0.0002", "--timeline", str(out)]) == 0
+        header = out.read_text().splitlines()[0]
+        assert header.startswith("arch,bin,t_start,t_end")
+
+
+class TestGuards:
+    def test_timeline_takes_no_experiment_names(self):
+        assert main(["timeline", "figure1"]) == 2
+
+    def test_timeline_flag_requires_verb(self):
+        assert main(["figure1", "--timeline", "x.jsonl"]) == 2
+
+    def test_prometheus_flag_requires_verb(self):
+        assert main(["figure1", "--prometheus", "x.prom"]) == 2
+
+    def test_bin_must_be_positive(self):
+        assert main(["timeline", "--bin", "0"]) == 2

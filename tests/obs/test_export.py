@@ -1,0 +1,158 @@
+"""Exporter round-trips: Prometheus exposition and timeline JSONL/CSV."""
+
+from __future__ import annotations
+
+import csv
+import io
+import math
+
+from repro.obs.export import (
+    check_prometheus_text,
+    check_timeline_rows,
+    parse_prometheus_text,
+    prometheus_text,
+    read_timeline_jsonl,
+    sum_counters,
+    timeline_counter_totals,
+    timeline_json_line,
+    write_timeline_csv,
+    write_timeline_jsonl,
+)
+from repro.obs.telemetry import MetricsRegistry, Timeline
+
+
+def make_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter(
+        "repro_requests_total", {"arch": "h", "point": "L1"}, help="requests"
+    ).inc(5)
+    registry.counter("repro_requests_total", {"arch": "h", "point": "SERVER"}).inc(2)
+    registry.gauge("repro_cache_occupancy_bytes", {"arch": "h", "node": "0"}).set(123)
+    histogram = registry.histogram(
+        "repro_response_time_ms", {"arch": "h"}, buckets=(1.0, 10.0), help="latency"
+    )
+    for value in (0.5, 3.0, 30.0):
+        histogram.observe(value)
+    return registry
+
+
+class TestPrometheus:
+    def test_round_trip_and_checker_clean(self):
+        text = prometheus_text(make_registry())
+        samples = parse_prometheus_text(text)
+        by_name = {}
+        for name, labels, value in samples:
+            by_name.setdefault(name, []).append((labels, value))
+        assert (
+            {"arch": "h", "point": "L1"},
+            5.0,
+        ) in by_name["repro_requests_total"]
+        assert by_name["repro_response_time_ms_count"] == [({"arch": "h"}, 3.0)]
+        inf_bucket = [
+            value
+            for labels, value in by_name["repro_response_time_ms_bucket"]
+            if labels["le"] == "+Inf"
+        ]
+        assert inf_bucket == [3.0]
+        assert check_prometheus_text(text) == []
+
+    def test_checker_flags_duplicates_and_negatives(self):
+        text = (
+            "# TYPE repro_x_total counter\n"
+            "repro_x_total 1\n"
+            "repro_x_total 2\n"
+            "repro_y_total -3\n"
+        )
+        # repro_y_total lacks a TYPE; also make a negative counter sample.
+        text += "# TYPE repro_y_total counter\nrepro_y_total{a=\"1\"} -3\n"
+        problems = check_prometheus_text(text)
+        assert any("duplicate sample" in p for p in problems)
+        assert any("negative counter" in p for p in problems)
+
+    def test_checker_flags_non_cumulative_buckets(self):
+        text = (
+            "# TYPE repro_h histogram\n"
+            'repro_h_bucket{le="1"} 5\n'
+            'repro_h_bucket{le="10"} 3\n'
+            'repro_h_bucket{le="+Inf"} 6\n'
+            "repro_h_sum 10\n"
+            "repro_h_count 6\n"
+        )
+        problems = check_prometheus_text(text)
+        assert any("non-cumulative" in p for p in problems)
+
+    def test_checker_flags_missing_inf_bucket(self):
+        text = (
+            "# TYPE repro_h histogram\n"
+            'repro_h_bucket{le="1"} 5\n'
+            "repro_h_sum 10\n"
+            "repro_h_count 6\n"
+        )
+        problems = check_prometheus_text(text)
+        assert any("+Inf" in p for p in problems)
+
+    def test_parse_rejects_malformed_line(self):
+        problems = check_prometheus_text("repro_x_total one\n")
+        assert problems and "unparseable" in problems[0]
+
+    def test_inf_value_round_trips(self):
+        samples = parse_prometheus_text("# TYPE repro_x gauge\nrepro_x +Inf\n")
+        assert samples[0][2] == math.inf
+
+
+def make_rows():
+    registry = MetricsRegistry()
+    counter = registry.counter("repro_x_total", {"arch": "t"})
+    gauge = registry.gauge("repro_g", {"arch": "t"})
+    timeline = Timeline(registry, bin_s=10.0, arch="t")
+    counter.inc(3)
+    gauge.set(7)
+    timeline.advance(15.0)
+    counter.inc(4)
+    gauge.set(9)
+    timeline.finish(18.0)
+    return timeline.rows
+
+
+class TestTimelineFiles:
+    def test_jsonl_round_trip_preserves_rows(self, tmp_path):
+        rows = make_rows()
+        path = tmp_path / "timeline.jsonl"
+        write_timeline_jsonl(rows, str(path))
+        assert read_timeline_jsonl(str(path)) == rows
+
+    def test_json_lines_are_canonical(self):
+        line = timeline_json_line({"b": 1, "a": {"z": 2, "y": 3}})
+        assert line == '{"a":{"y":3,"z":2},"b":1}'
+
+    def test_read_back_resums_to_totals(self, tmp_path):
+        rows = make_rows()
+        path = tmp_path / "timeline.jsonl"
+        write_timeline_jsonl(rows, str(path))
+        totals = timeline_counter_totals(read_timeline_jsonl(str(path)))
+        assert totals == {'repro_x_total{arch="t"}': 7.0}
+        assert sum_counters(rows, "repro_x_total") == 7.0
+        assert sum_counters(rows, "repro_x_total", {"arch": "other"}) == 0.0
+
+    def test_csv_has_delta_and_value_columns(self):
+        rows = make_rows()
+        stream = io.StringIO()
+        write_timeline_csv(rows, stream)
+        parsed = list(csv.reader(io.StringIO(stream.getvalue())))
+        header = parsed[0]
+        assert header[:4] == ["arch", "bin", "t_start", "t_end"]
+        assert 'delta:repro_x_total{arch="t"}' in header
+        assert 'value:repro_g{arch="t"}' in header
+        delta_column = header.index('delta:repro_x_total{arch="t"}')
+        assert [line[delta_column] for line in parsed[1:]] == ["3.0", "4.0"]
+
+    def test_check_timeline_rows_clean(self):
+        assert check_timeline_rows(make_rows()) == []
+
+    def test_check_timeline_rows_flags_gaps_and_negatives(self):
+        rows = make_rows()
+        rows[1]["bin"] = 5
+        rows[0]["counters"]['repro_x_total{arch="t"}'] = -1
+        problems = check_timeline_rows(rows)
+        assert any("out of order" in p for p in problems)
+        assert any("went backwards" in p for p in problems)

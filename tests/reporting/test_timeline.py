@@ -1,0 +1,85 @@
+"""Timeline chart helpers: series extraction and rendering."""
+
+from __future__ import annotations
+
+from repro.reporting.timeline import (
+    hit_rate_series,
+    occupancy_series,
+    render_hit_rate_chart,
+    render_occupancy_chart,
+)
+
+
+def _row(arch, bin_index, t_end, counters=None, gauges=None):
+    return {
+        "arch": arch,
+        "bin": bin_index,
+        "t_start": bin_index * 3600.0,
+        "t_end": t_end,
+        "counters": counters or {},
+        "gauges": gauges or {},
+    }
+
+
+def _requests(arch, point, window, count):
+    key = (
+        f'repro_requests_total{{arch="{arch}",point="{point}",window="{window}"}}'
+    )
+    return {key: count}
+
+
+ROWS = [
+    _row(
+        "h", 0, 3600.0,
+        counters={
+            **_requests("h", "L1", "warmup", 3),
+            **_requests("h", "SERVER", "warmup", 7),
+        },
+        gauges={'repro_cache_occupancy_bytes{arch="h",level="l1",node="0"}': 100.0},
+    ),
+    _row("h", 1, 7200.0),  # empty bin: no point
+    _row(
+        "h", 2, 10800.0,
+        counters={
+            **_requests("h", "L1", "measured", 8),
+            **_requests("h", "SERVER", "measured", 2),
+        },
+        gauges={
+            'repro_cache_occupancy_bytes{arch="h",level="l1",node="0"}': 250.0,
+            'repro_cache_occupancy_bytes{arch="h",level="l2",node="0"}': 40.0,
+        },
+    ),
+]
+
+
+class TestHitRateSeries:
+    def test_rate_per_bin_and_empty_bins_skipped(self):
+        series = hit_rate_series(ROWS)
+        assert list(series) == ["h"]
+        assert series["h"] == [(1.0, 0.3), (3.0, 0.8)]
+
+    def test_window_filter(self):
+        series = hit_rate_series(ROWS, window="measured")
+        assert series["h"] == [(3.0, 0.8)]
+
+
+class TestOccupancySeries:
+    def test_sums_across_nodes_and_levels(self):
+        series = occupancy_series(ROWS)
+        # Bin 1 carries no occupancy gauges, so it contributes no point.
+        assert series["h"] == [(1.0, 100.0), (3.0, 290.0)]
+
+    def test_level_filter(self):
+        series = occupancy_series(ROWS, level="l2")
+        assert series["h"][-1] == (3.0, 40.0)
+
+
+class TestCharts:
+    def test_hit_rate_chart_renders(self):
+        chart = render_hit_rate_chart(ROWS)
+        assert "hit rate vs simulated time" in chart
+        assert "t (h)" in chart
+
+    def test_occupancy_chart_names_level(self):
+        chart = render_occupancy_chart(ROWS, level="l1")
+        assert "(l1)" in chart

@@ -1,0 +1,91 @@
+"""Timeline export through the parallel comparison runner.
+
+Pins the jobs-invariance acceptance criterion: the per-architecture
+timeline JSONL files are byte-identical whether the comparison ran
+in-process (``jobs=1``) or fanned out (``jobs=4``), and their rows
+reconcile with the returned ``SimMetrics``.
+"""
+
+from __future__ import annotations
+
+from tests.conftest import make_tiny_config
+
+from repro.hierarchy.data_hierarchy import DataHierarchy
+from repro.hierarchy.hint_hierarchy import HintHierarchy
+from repro.netmodel.testbed import TestbedCostModel
+from repro.obs.export import check_timeline_rows, read_timeline_jsonl, sum_counters
+from repro.runner.parallel import ArchitectureSpec, run_comparison_parallel
+
+
+def specs(config):
+    topology = config.topology
+    return [
+        ArchitectureSpec(DataHierarchy, (topology, TestbedCostModel())),
+        ArchitectureSpec(HintHierarchy, (topology, TestbedCostModel())),
+    ]
+
+
+def test_jobs4_timeline_files_byte_identical_to_jobs1(tmp_path):
+    config = make_tiny_config()
+    dirs = {1: tmp_path / "t1", 4: tmp_path / "t4"}
+    results = {
+        jobs: run_comparison_parallel(
+            config.profile("dec"),
+            config.seed,
+            specs(config),
+            jobs=jobs,
+            timeline_dir=str(dirs[jobs]),
+            trace_cache_dir=str(tmp_path / "store"),
+        )
+        for jobs in dirs
+    }
+    names = [spec.build().name for spec in specs(config)]
+    assert sorted(p.name for p in dirs[1].iterdir()) == sorted(
+        f"{name}.jsonl" for name in names
+    )
+    for name in names:
+        one = (dirs[1] / f"{name}.jsonl").read_bytes()
+        four = (dirs[4] / f"{name}.jsonl").read_bytes()
+        assert one == four, name
+    for name in names:
+        assert results[1][name].total_ms == results[4][name].total_ms
+
+
+def test_timeline_files_reconcile_with_returned_metrics(tmp_path):
+    config = make_tiny_config()
+    out = tmp_path / "timeline"
+    results = run_comparison_parallel(
+        config.profile("dec"),
+        config.seed,
+        specs(config),
+        jobs=2,
+        timeline_dir=str(out),
+        trace_cache_dir=str(tmp_path / "store"),
+    )
+    for name, metrics in results.items():
+        rows = read_timeline_jsonl(str(out / f"{name}.jsonl"))
+        assert check_timeline_rows(rows) == []
+        assert all(row["arch"] == name for row in rows)
+        assert sum_counters(
+            rows, "repro_requests_total", {"window": "measured"}
+        ) == sum(metrics.requests_by_point.values())
+
+
+def test_timeline_and_journeys_can_coexist(tmp_path):
+    config = make_tiny_config()
+    results = run_comparison_parallel(
+        config.profile("dec"),
+        config.seed,
+        specs(config)[:1],
+        jobs=1,
+        journey_dir=str(tmp_path / "journeys"),
+        timeline_dir=str(tmp_path / "timeline"),
+        trace_cache_dir=str(tmp_path / "store"),
+    )
+    (name,) = results
+    journey_lines = (
+        (tmp_path / "journeys" / f"{name}.jsonl").read_text().splitlines()
+    )
+    assert len(journey_lines) == results[name].measured_requests
+    rows = read_timeline_jsonl(str(tmp_path / "timeline" / f"{name}.jsonl"))
+    assert rows and check_timeline_rows(rows) == []

@@ -136,6 +136,40 @@ class TestComparison:
         results = run_comparison(trace, [CountingArchitecture("fresh")])
         assert results["fresh"].measured_requests == 1
 
+    def test_forwards_include_uncachable(self):
+        """The serial comparison exposes run_simulation's filtering knob."""
+        trace = make_trace(
+            [make_request(50.0), make_request(51.0, cacheable=False)]
+        )
+        skipped = run_comparison(trace, [CountingArchitecture("a")])
+        included = run_comparison(
+            trace, [CountingArchitecture("a")], include_uncachable=True
+        )
+        assert skipped["a"].measured_requests == 1
+        assert skipped["a"].skipped_uncachable == 1
+        assert included["a"].measured_requests == 2
+        assert included["a"].included_uncachable == 1
+
+    def test_forwards_journey_sink_restamping_architecture(self):
+        from repro.obs.sink import JourneySink
+
+        class RecordingSink(JourneySink):
+            def __init__(self):
+                self.labels = []
+                self.architecture = ""
+
+            def emit(self, seq, request, result):
+                self.labels.append(self.architecture)
+
+        trace = make_trace([make_request(50.0)])
+        sink = RecordingSink()
+        run_comparison(
+            trace,
+            [CountingArchitecture("a"), CountingArchitecture("b")],
+            journey_sink=sink,
+        )
+        assert sink.labels == ["a", "b"]
+
 
 class TestProcessedRequestsCounter:
     def test_counts_only_processed_requests(self):
