@@ -1,17 +1,22 @@
-"""Bench: telemetry cost -- disabled (the default) and enabled.
+"""Bench: telemetry and audit cost -- disabled (the default) and enabled.
 
-Two claims are pinned:
+Three claims are pinned:
 
-* **Disabled telemetry is free.** With no registry attached the engine
-  pays one ``is not None`` check per site and the caches bump plain int
-  counters; an uninstrumented twin of the engine loop (no telemetry
+* **Disabled instrumentation is free.** With neither a registry nor
+  audit hooks attached the engine pays one ``is not None`` check per
+  site (telemetry *and* audit) and the caches bump plain int counters;
+  an uninstrumented twin of the engine loop (no telemetry or audit
   branches at all) must run within a 2% budget of the real
-  ``run_simulation`` called with ``telemetry=None``.
+  ``run_simulation`` called with ``telemetry=None, audit=None``.
 * **Enabled telemetry is cheap and invisible.** Attaching a
   :class:`~repro.obs.telemetry.RunTelemetry` must not change a single
   metric, and its wall-clock overhead is recorded (not bounded -- binning
   cost is workload-dependent) in ``BENCH_telemetry.json`` at the repo
   root, the first point of the bench trajectory.
+* **Enabled audit is invisible too.** Attaching
+  :class:`~repro.audit.hooks.AuditHooks` (strided scans) must not change
+  a single metric either; its overhead is likewise recorded, not
+  bounded -- full-state scans are the price of re-proving invariants.
 
 Timings are interleaved min-of-N so one cache-cold or preempted round
 cannot skew either side.
@@ -24,6 +29,7 @@ import os
 
 from conftest import run_once
 
+from repro.audit.hooks import AuditHooks
 from repro.common.timing import Stopwatch
 from repro.hierarchy.data_hierarchy import DataHierarchy
 from repro.hierarchy.directory_arch import CentralizedDirectoryArchitecture
@@ -85,7 +91,10 @@ def bench_stages(config):
     profile = config.profile("dec")
     trace = SyntheticTraceGenerator(profile, seed=config.seed).generate()
     architectures = make_architectures(config)
-    timings = {name: {"uninstrumented": [], "off": [], "on": []} for name in architectures}
+    timings = {
+        name: {"uninstrumented": [], "off": [], "on": [], "audit": []}
+        for name in architectures
+    }
     results = {}
     for _round in range(ROUNDS):
         for name, build in architectures.items():
@@ -99,37 +108,50 @@ def bench_stages(config):
             with Stopwatch() as watch:
                 on = run_simulation(trace, build(), telemetry=telemetry)
             timings[name]["on"].append(watch.elapsed)
+            hooks = AuditHooks(check_every=512)
+            with Stopwatch() as watch:
+                audited = run_simulation(trace, build(), audit=hooks)
+            timings[name]["audit"].append(watch.elapsed)
             assert off.summary() == baseline.summary(), name
             assert off.summary() == on.summary(), name
             assert off.requests_by_point == on.requests_by_point, name
+            assert off.summary() == audited.summary(), name
+            assert off.requests_by_point == audited.requests_by_point, name
+            assert sum(hooks.counts.values()) > 0, name  # the audit ran
             results[name] = {
                 "measured_requests": off.measured_requests,
                 "timeline_bins": len(telemetry.rows),
             }
     report = {"scale": config.trace_scale, "rounds": ROUNDS, "architectures": {}}
-    total_uninstrumented = total_off = total_on = 0.0
+    total_uninstrumented = total_off = total_on = total_audit = 0.0
     for name, stage in timings.items():
         uninstrumented = min(stage["uninstrumented"])
         off = min(stage["off"])
         on = min(stage["on"])
+        audit = min(stage["audit"])
         total_uninstrumented += uninstrumented
         total_off += off
         total_on += on
+        total_audit += audit
         report["architectures"][name] = {
             **results[name],
             "uninstrumented_s": round(uninstrumented, 6),
             "off_s": round(off, 6),
             "on_s": round(on, 6),
+            "audit_s": round(audit, 6),
             "disabled_overhead_pct": round(100.0 * (off / uninstrumented - 1.0), 3),
             "enabled_overhead_pct": round(100.0 * (on / off - 1.0), 3),
+            "audit_overhead_pct": round(100.0 * (audit / off - 1.0), 3),
         }
     report["uninstrumented_s"] = round(total_uninstrumented, 6)
     report["off_s"] = round(total_off, 6)
     report["on_s"] = round(total_on, 6)
+    report["audit_s"] = round(total_audit, 6)
     report["disabled_overhead_pct"] = round(
         100.0 * (total_off / total_uninstrumented - 1.0), 3
     )
     report["enabled_overhead_pct"] = round(100.0 * (total_on / total_off - 1.0), 3)
+    report["audit_overhead_pct"] = round(100.0 * (total_audit / total_off - 1.0), 3)
     return report
 
 
@@ -141,5 +163,7 @@ def test_bench_telemetry(benchmark, bench_config):
     print("\n" + json.dumps(report, indent=2, sort_keys=True))
     # The acceptance budget: instrumented-but-disabled within 2% of the
     # uninstrumented twin (aggregate over all four architectures, so
-    # per-architecture timer noise averages out).
+    # per-architecture timer noise averages out).  The twin has neither
+    # telemetry nor audit branches, so this budget covers the detached
+    # cost of both observers.
     assert report["disabled_overhead_pct"] <= 2.0, report["disabled_overhead_pct"]

@@ -1,0 +1,45 @@
+"""Differential audit subsystem: oracles + runtime invariant checks.
+
+Two complementary ways to catch the simulator lying:
+
+* :mod:`repro.audit.oracles` -- deliberately naive twins of the
+  production components (a list-scan LRU, an event-log hint directory, a
+  straight-line data-hierarchy evaluator).  They are too slow to run
+  experiments on and share no code with production, which is the point:
+  :mod:`repro.audit.differential` drives both implementations through
+  the same random inputs and any divergence is a bug in one of them.
+* :mod:`repro.audit.hooks` -- an :class:`~repro.audit.hooks.AuditHooks`
+  object the engine, architectures, and caches call at checkpoints when
+  attached (``run_simulation(..., audit=...)``).  It re-verifies the
+  invariants the metrics depend on (byte accounting, hint/ground-truth
+  agreement, ledger sums, counter partitions, telemetry telescoping)
+  and raises :class:`~repro.audit.hooks.AuditError` on first breakage.
+  Detached (the default) it costs one pointer check per site, exactly
+  like ``journey_sink`` and ``telemetry``.
+
+``python -m repro.audit`` runs the architecture x fault-plan audit
+matrix plus seeded differential trials -- the CI gate.
+"""
+
+from repro.audit.differential import (
+    run_directory_differential,
+    run_engine_differential,
+    run_lru_differential,
+)
+from repro.audit.hooks import AuditError, AuditHooks
+from repro.audit.oracles import (
+    OracleHintDirectory,
+    OracleLRUCache,
+    oracle_data_hierarchy_run,
+)
+
+__all__ = [
+    "AuditError",
+    "AuditHooks",
+    "OracleHintDirectory",
+    "OracleLRUCache",
+    "oracle_data_hierarchy_run",
+    "run_directory_differential",
+    "run_engine_differential",
+    "run_lru_differential",
+]

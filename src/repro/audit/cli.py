@@ -1,0 +1,191 @@
+"""``python -m repro.audit`` -- the full audit gate.
+
+Two stages, both deterministic:
+
+1. **Audit matrix** -- every architecture x every fault plan (healthy
+   plus the eight single-fault kinds), each run over a small synthetic
+   trace with :class:`~repro.audit.hooks.AuditHooks` and telemetry
+   attached, so every runtime invariant (byte accounting, hint/truth
+   agreement, ledger sums, partitions, telescoping) is verified on every
+   cell.
+2. **Differential trials** -- seeded random operation streams driven
+   through production and oracle twins of the LRU cache, the hint
+   directory, and the engine + data hierarchy, demanding bit-for-bit
+   agreement.
+
+Exits 0 when every cell and trial is clean, 1 with one problem per line
+otherwise (the same contract as ``python -m repro.obs.check``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.audit.differential import (
+    random_directory_ops,
+    random_fault_plan,
+    random_lru_ops,
+    random_micro_trace,
+    run_directory_differential,
+    run_engine_differential,
+    run_lru_differential,
+)
+from repro.audit.hooks import AuditError, AuditHooks
+from repro.faults.events import (
+    FaultPlan,
+    HintBatchLoss,
+    LinkDegrade,
+    NodeCrash,
+    OriginSlowdown,
+    StaleHintDrift,
+)
+from repro.hierarchy.data_hierarchy import DataHierarchy
+from repro.hierarchy.directory_arch import CentralizedDirectoryArchitecture
+from repro.hierarchy.hint_hierarchy import HintHierarchy
+from repro.hierarchy.icp import IcpHierarchy
+from repro.hierarchy.topology import HierarchyTopology
+from repro.netmodel.testbed import TestbedCostModel
+from repro.obs.telemetry import RunTelemetry
+from repro.sim.config import ExperimentConfig
+from repro.sim.engine import run_simulation
+from repro.traces.synthetic import SyntheticTraceGenerator
+
+ARCHITECTURES = {
+    "hierarchy": DataHierarchy,
+    "hints": HintHierarchy,
+    "directory": CentralizedDirectoryArchitecture,
+    "icp": IcpHierarchy,
+}
+
+#: One plan per fault kind, active from t=0 (mirrors the failure matrix).
+FAULT_KINDS = {
+    "none": (),
+    "l1_crash": (NodeCrash(time=0.0, kind="l1", node=0),),
+    "l2_crash": (NodeCrash(time=0.0, kind="l2", node=0),),
+    "l3_crash": (NodeCrash(time=0.0, kind="l3", node=0),),
+    "meta_crash": (NodeCrash(time=0.0, kind="meta", node=0),),
+    "hint_batch_loss": (HintBatchLoss(time=0.0, prob=0.3),),
+    "stale_hint_drift": (StaleHintDrift(time=0.0, ttl_skew_s=120.0),),
+    "origin_slowdown": (OriginSlowdown(time=0.0, factor=2.0),),
+    "link_degrade": (LinkDegrade(time=0.0, latency_mult=1.5),),
+}
+
+
+def _audit_config() -> ExperimentConfig:
+    """Small-but-complete config (the test suite's tiny shape)."""
+    return ExperimentConfig(
+        topology=HierarchyTopology(clients_per_l1=2, l1_per_l2=4, n_l2=2),
+        seed=7,
+        trace_scale=0.0002,
+        l1_cache_bytes=2 * 1024 * 1024,
+        hint_data_cache_bytes=int(1.8 * 1024 * 1024),
+        hint_store_bytes=200 * 1024,
+    )
+
+
+def run_matrix(*, verbose: bool = False) -> tuple[list[str], int]:
+    """Run the architecture x fault-plan audit matrix.
+
+    Returns ``(problems, total_checks)``: one problem line per failed
+    cell and the number of individual invariant checks performed.
+    """
+    config = _audit_config()
+    trace = SyntheticTraceGenerator(config.profile("dec"), seed=config.seed).generate()
+    problems: list[str] = []
+    total_checks = 0
+    for arch_name, arch_cls in sorted(ARCHITECTURES.items()):
+        for fault_name, events in sorted(FAULT_KINDS.items()):
+            plan = FaultPlan(events=events, seed=config.seed) if events else None
+            hooks = AuditHooks()
+            try:
+                run_simulation(
+                    trace,
+                    arch_cls(config.topology, TestbedCostModel()),
+                    fault_plan=plan,
+                    telemetry=RunTelemetry(bin_s=6 * 3600.0),
+                    audit=hooks,
+                )
+            except AuditError as error:
+                problems.append(f"matrix {arch_name} x {fault_name}: {error}")
+            checks = sum(hooks.counts.values())
+            total_checks += checks
+            if verbose:
+                print(f"  {arch_name:>10} x {fault_name:<16} {checks:>7} checks")
+    return problems, total_checks
+
+
+def run_differential_trials(
+    trials: int, seed: int, *, verbose: bool = False
+) -> tuple[list[str], int]:
+    """Run seeded random differential trials against every oracle."""
+    problems: list[str] = []
+    total_ops = 0
+    topology = HierarchyTopology(clients_per_l1=2, l1_per_l2=4, n_l2=2)
+    for trial in range(trials):
+        rng = np.random.default_rng([seed, trial])
+        capacity = (None, 64, 256, 1000)[trial % 4]
+        delay = (0.0, 30.0)[trial % 2]
+        try:
+            total_ops += run_lru_differential(random_lru_ops(rng), capacity)
+            total_ops += run_directory_differential(
+                random_directory_ops(rng), delay=delay
+            )
+            trace = random_micro_trace(rng, topology, warmup=300.0 if trial % 3 else 0.0)
+            plan = random_fault_plan(rng, topology, trace.duration) if trial % 2 else None
+            total_ops += run_engine_differential(
+                trace,
+                topology,
+                l1_bytes=(None, 64 * 1024)[trial % 2],
+                fault_plan=plan,
+                include_uncachable=bool(trial % 3 == 1),
+            )
+        except AuditError as error:
+            problems.append(f"differential trial {trial}: {error}")
+        if verbose:
+            print(f"  trial {trial}: capacity={capacity} delay={delay} ok")
+    return problems, total_ops
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-audit",
+        description="Run the audit matrix and oracle differential trials.",
+    )
+    parser.add_argument(
+        "--trials", type=int, default=6, help="differential trials (default 6)"
+    )
+    parser.add_argument(
+        "--seed", type=int, default=1999, help="differential RNG seed"
+    )
+    parser.add_argument(
+        "--skip-matrix", action="store_true", help="differential trials only"
+    )
+    parser.add_argument(
+        "--skip-differential", action="store_true", help="audit matrix only"
+    )
+    parser.add_argument("-v", "--verbose", action="store_true")
+    args = parser.parse_args(argv)
+
+    problems: list[str] = []
+    if not args.skip_matrix:
+        matrix_problems, checks = run_matrix(verbose=args.verbose)
+        problems.extend(matrix_problems)
+        cells = len(ARCHITECTURES) * len(FAULT_KINDS)
+        print(f"audit matrix: {cells} cells, {checks} invariant checks")
+    if not args.skip_differential:
+        diff_problems, ops = run_differential_trials(
+            args.trials, args.seed, verbose=args.verbose
+        )
+        problems.extend(diff_problems)
+        print(f"differential: {args.trials} trials, {ops} operations compared")
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    print("audit clean" if not problems else f"{len(problems)} audit problem(s)")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

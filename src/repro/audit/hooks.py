@@ -1,0 +1,414 @@
+"""Runtime invariant checks for simulation runs.
+
+:class:`AuditHooks` is the opt-in fourth observer of a run (after the
+fault injector, journey sink, and telemetry): pass one as
+``run_simulation(..., audit=...)`` and the engine attaches it to the
+architecture and its caches for the duration.  Checkpoints then
+re-verify, from first principles, the invariants every reported number
+rests on:
+
+* **byte accounting** -- each cache's ``used_bytes`` equals the sum of
+  its entries' sizes and never exceeds capacity (O(1) bound checks at
+  every mutation, full recounts at per-request checkpoints);
+* **hint agreement** -- ground truth never advertises a copy its cache
+  does not hold, unless an oversize-insert rejection or injected fault
+  damage explains it; with zero propagation delay the visible view is a
+  subset of ground truth;
+* **ledger sums** -- each result's ``time_ms``/``fault_added_ms``/
+  ``timeout_fallback`` are exactly its journey's step sums;
+* **partitions** -- measured + warmup + skipped counters partition the
+  trace, and ``skipped``/``included`` pairs are mutually exclusive;
+* **telemetry telescoping** -- timeline counter deltas re-sum to the
+  registry's final values, and the measured-window request counters
+  reconcile with ``SimMetrics``.
+
+Every violation raises :class:`AuditError` (an ``AssertionError``
+subclass) naming the invariant.  Detached -- the default everywhere --
+the instrumented code pays one ``is not None`` pointer check per site.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.injector import FaultInjector
+    from repro.hierarchy.base import AccessResult, Architecture
+    from repro.obs.telemetry import RunTelemetry
+    from repro.sim.metrics import SimMetrics
+    from repro.traces.records import Request, Trace
+
+
+class AuditError(AssertionError):
+    """An audited invariant does not hold; the run's numbers are suspect."""
+
+
+class AuditHooks:
+    """Checkpoint-driven invariant verifier for one (or more) runs.
+
+    Args:
+        check_every: Run the full O(state) scan every Nth request (the
+            O(1) bound checks and ledger checks always run).  1 audits
+            every request -- right for the tiny traces the audit matrix
+            and differential harness use; raise it to amortize scans on
+            larger traces.
+
+    One instance can audit several runs in sequence (``run_comparison``
+    does this): :meth:`begin` resets per-run state and re-attaches to
+    the new architecture.  ``counts`` accumulates how many checks of
+    each kind ran across the instance's lifetime, so callers can assert
+    the audit was not vacuous.
+    """
+
+    def __init__(self, *, check_every: int = 1) -> None:
+        if check_every < 1:
+            raise ValueError(f"check_every must be >= 1, got {check_every}")
+        self.check_every = check_every
+        #: Lifetime tally of checks performed, keyed by invariant name.
+        self.counts: dict[str, int] = {}
+        self._architecture: "Architecture | None" = None
+        self._trace: "Trace | None" = None
+        self._injector: "FaultInjector | None" = None
+        self._include_uncachable = False
+        self._step = 0
+        self._processed = 0
+        self._measured = 0
+
+    # ------------------------------------------------------------------
+    # engine lifecycle
+    # ------------------------------------------------------------------
+    def begin(
+        self,
+        architecture: "Architecture",
+        trace: "Trace",
+        *,
+        injector: "FaultInjector | None" = None,
+        include_uncachable: bool = False,
+    ) -> None:
+        """Reset per-run state and attach to ``architecture``'s layers."""
+        self._architecture = architecture
+        self._trace = trace
+        self._injector = injector
+        self._include_uncachable = include_uncachable
+        self._step = 0
+        self._processed = 0
+        self._measured = 0
+        architecture.attach_audit(self)
+        for _label, cache in self._data_caches(architecture):
+            cache.audit = self
+        directory = getattr(architecture, "directory", None)
+        if directory is not None:
+            index = directory.visible_index
+            if not isinstance(index, dict):
+                index.audit = self
+
+    def on_result(
+        self, request: "Request", result: "AccessResult", *, measured: bool
+    ) -> None:
+        """Engine callback after every processed request: ledger checks."""
+        self._processed += 1
+        if measured:
+            self._measured += 1
+        self.check_journey(result)
+
+    def finish(
+        self, metrics: "SimMetrics", *, telemetry: "RunTelemetry | None" = None
+    ) -> None:
+        """End-of-run checks: final scan, partitions, telescoping."""
+        if self._architecture is not None:
+            self.scan(self._architecture)
+        self._check_partitions(metrics)
+        if telemetry is not None:
+            self.check_telemetry(metrics, telemetry)
+
+    # ------------------------------------------------------------------
+    # architecture checkpoint (top of every process() when attached)
+    # ------------------------------------------------------------------
+    def checkpoint(self, architecture: "Architecture") -> None:
+        """Per-request checkpoint; full scan every ``check_every`` calls."""
+        self._step += 1
+        if self._step % self.check_every:
+            return
+        self.scan(architecture)
+
+    def scan(self, architecture: "Architecture") -> None:
+        """Full O(state) invariant scan of one architecture's layers."""
+        for label, cache in self._data_caches(architecture):
+            self.check_cache_accounting(cache, label)
+        directory = getattr(architecture, "directory", None)
+        caches = getattr(architecture, "l1_caches", None)
+        if directory is not None and caches is not None:
+            self.check_hint_truth(directory, caches)
+            self.check_hint_visible(directory)
+
+    # ------------------------------------------------------------------
+    # O(1) bound checks (caches call these on every mutation)
+    # ------------------------------------------------------------------
+    def check_cache_bounds(self, cache) -> None:
+        """Byte-cache bound check: ``0 <= used_bytes <= capacity``."""
+        self._count("cache_bounds")
+        used = cache.used_bytes
+        if used < 0:
+            self._fail("cache_bounds", f"used_bytes went negative ({used})")
+        capacity = cache.capacity_bytes
+        if capacity is not None and used > capacity:
+            self._fail(
+                "cache_bounds",
+                f"used_bytes {used} exceeds capacity {capacity} after a mutation",
+            )
+
+    def check_setassoc_bounds(self, cache) -> None:
+        """Set-associative index bound check: entry count within capacity."""
+        self._count("setassoc_bounds")
+        if len(cache) > cache.capacity:
+            self._fail(
+                "setassoc_bounds",
+                f"{len(cache)} entries exceed capacity {cache.capacity}",
+            )
+
+    def check_negative_bounds(self, cache) -> None:
+        """Negative-result cache bound check: entry count within max."""
+        self._count("negative_bounds")
+        if len(cache) > cache.max_entries:
+            self._fail(
+                "negative_bounds",
+                f"{len(cache)} entries exceed max_entries {cache.max_entries}",
+            )
+
+    # ------------------------------------------------------------------
+    # full-state checks
+    # ------------------------------------------------------------------
+    def check_cache_accounting(self, cache, label: str = "cache") -> None:
+        """Recount a byte cache from its entries: sum(sizes) == used_bytes."""
+        self._count("cache_accounting")
+        total = 0
+        for key in cache:
+            entry = cache.peek(key)
+            if entry is None:
+                self._fail(
+                    "cache_accounting", f"{label}: key {key} iterated but not peekable"
+                )
+            if entry.size < 0:
+                self._fail(
+                    "cache_accounting",
+                    f"{label}: entry {key} has negative size {entry.size}",
+                )
+            total += entry.size
+        if total != cache.used_bytes:
+            self._fail(
+                "cache_accounting",
+                f"{label}: entries sum to {total} bytes but used_bytes says "
+                f"{cache.used_bytes}",
+            )
+        capacity = cache.capacity_bytes
+        if capacity is not None and total > capacity:
+            self._fail(
+                "cache_accounting",
+                f"{label}: {total} bytes cached exceed capacity {capacity}",
+            )
+
+    def check_hint_truth(self, directory, caches) -> None:
+        """Ground truth never advertises a copy the cache does not hold.
+
+        Exemptions: keys whose latest insert was an oversize rejection
+        (the architecture informs unconditionally after a store attempt),
+        and runs where injected faults may legitimately desynchronize the
+        two (crashes, dropped batches, visibility drift).
+        """
+        self._count("hint_truth")
+        if self._hint_damage_possible():
+            return
+        for object_id, holders in directory.truth_items():
+            for node, version in holders.items():
+                if not 0 <= node < len(caches):
+                    self._fail(
+                        "hint_truth",
+                        f"truth names node {node} for object {object_id} but only "
+                        f"{len(caches)} L1 caches exist",
+                    )
+                cache = caches[node]
+                entry = cache.peek(object_id)
+                if entry is None:
+                    if object_id in getattr(cache, "oversize_rejections", ()):
+                        continue
+                    self._fail(
+                        "hint_truth",
+                        f"truth says node {node} holds object {object_id} v{version} "
+                        "but its cache has no entry (and no fault or oversize "
+                        "rejection explains it)",
+                    )
+                elif entry.version != version:
+                    self._fail(
+                        "hint_truth",
+                        f"truth says node {node} holds object {object_id} "
+                        f"v{version} but the cache stores v{entry.version}",
+                    )
+
+    def check_hint_visible(self, directory) -> None:
+        """With zero delay and no damage, visible hints are a truth subset."""
+        if (
+            directory.propagation_delay_s != 0.0
+            or directory.pending_events
+            or self._hint_damage_possible()
+        ):
+            return
+        self._count("hint_visible")
+        for object_id, holders in directory.visible_items():
+            truth = directory.truth_holders(object_id)
+            for node in holders:
+                if node not in truth:
+                    self._fail(
+                        "hint_visible",
+                        f"visible hint {object_id} -> node {node} has no ground "
+                        "truth behind it on a healthy zero-delay run",
+                    )
+
+    def check_journey(self, result: "AccessResult") -> None:
+        """The hop ledger's sums *are* the result's totals, bit-for-bit."""
+        journey = result.journey
+        if journey is None:  # ledger-free results (test stubs) are legal
+            return
+        self._count("journey_ledger")
+        from repro.obs.journey import StepKind
+
+        total = 0.0
+        fault = 0.0
+        timed_out = False
+        for step in journey.steps:
+            if step.cost_ms < 0:
+                self._fail(
+                    "journey_ledger", f"step {step.kind.value} has negative cost"
+                )
+            if not 0.0 <= step.fault_ms <= step.cost_ms:
+                self._fail(
+                    "journey_ledger",
+                    f"step {step.kind.value} fault_ms {step.fault_ms} outside "
+                    f"[0, {step.cost_ms}]",
+                )
+            total += step.cost_ms
+            fault += step.fault_ms
+            if step.kind is StepKind.TIMEOUT:
+                timed_out = True
+        if total != result.time_ms:
+            self._fail(
+                "journey_ledger",
+                f"steps sum to {total} ms but the result charges {result.time_ms}",
+            )
+        if fault != result.fault_added_ms:
+            self._fail(
+                "journey_ledger",
+                f"step fault surcharges sum to {fault} ms but the result says "
+                f"{result.fault_added_ms}",
+            )
+        if timed_out != result.timeout_fallback:
+            self._fail(
+                "journey_ledger",
+                f"TIMEOUT steps present={timed_out} but timeout_fallback="
+                f"{result.timeout_fallback}",
+            )
+
+    def check_telemetry(
+        self, metrics: "SimMetrics", telemetry: "RunTelemetry"
+    ) -> None:
+        """Timeline counter deltas telescope to the registry's finals."""
+        if telemetry.timeline is None:
+            return
+        self._count("telemetry_telescoping")
+        totals: dict[str, float] = {}
+        for row in telemetry.rows:
+            for key, delta in row["counters"].items():
+                totals[key] = totals.get(key, 0.0) + delta
+        finals = dict(telemetry.registry.counter_items(arch=telemetry.arch))
+        for key in totals:
+            if key not in finals:
+                self._fail(
+                    "telemetry_telescoping",
+                    f"timeline recorded deltas for unknown series {key}",
+                )
+        for key, value in finals.items():
+            summed = totals.get(key, 0.0)
+            if not math.isclose(summed, value, rel_tol=1e-9, abs_tol=1e-6):
+                self._fail(
+                    "telemetry_telescoping",
+                    f"{key}: bin deltas sum to {summed} but the counter "
+                    f"finished at {value}",
+                )
+        measured = sum(
+            value
+            for key, value in finals.items()
+            if key.startswith("repro_requests_total") and 'window="measured"' in key
+        )
+        if round(measured) != metrics.measured_requests:
+            self._fail(
+                "telemetry_telescoping",
+                f"measured-window request counters sum to {measured} but "
+                f"metrics report {metrics.measured_requests} measured requests",
+            )
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _check_partitions(self, metrics: "SimMetrics") -> None:
+        self._count("request_partition")
+        processed = metrics.measured_requests + metrics.warmup_requests
+        if processed != self._processed:
+            self._fail(
+                "request_partition",
+                f"the audit saw {self._processed} results but metrics account "
+                f"for {processed} processed requests",
+            )
+        if metrics.measured_requests != self._measured:
+            self._fail(
+                "request_partition",
+                f"the audit saw {self._measured} measured results but metrics "
+                f"report {metrics.measured_requests}",
+            )
+        skipped = metrics.skipped_error + metrics.skipped_uncachable
+        included = metrics.included_error + metrics.included_uncachable
+        if self._include_uncachable and skipped:
+            self._fail(
+                "request_partition",
+                f"include_uncachable runs must skip nothing, found {skipped}",
+            )
+        if not self._include_uncachable and included:
+            self._fail(
+                "request_partition",
+                f"a skipping run recorded {included} included_* requests",
+            )
+        if included > processed:
+            self._fail(
+                "request_partition",
+                f"included counters ({included}) exceed processed requests "
+                f"({processed}); a request was counted twice",
+            )
+        if self._trace is not None:
+            expected = len(self._trace.requests)
+            if processed + skipped != expected:
+                self._fail(
+                    "request_partition",
+                    f"measured+warmup+skipped = {processed + skipped} does not "
+                    f"partition the trace ({expected} requests)",
+                )
+
+    def _hint_damage_possible(self) -> bool:
+        injector = self._injector
+        return injector is not None and injector.hint_damage_possible
+
+    @staticmethod
+    def _data_caches(architecture: "Architecture") -> Iterator[tuple[str, object]]:
+        """Yield (label, cache) for the structural layers every shipped
+        architecture follows (the same conventions telemetry binds to)."""
+        for node, cache in enumerate(getattr(architecture, "l1_caches", ())):
+            yield f"l1:{node}", cache
+        for node, cache in enumerate(getattr(architecture, "l2_caches", ())):
+            yield f"l2:{node}", cache
+        l3 = getattr(architecture, "l3_cache", None)
+        if l3 is not None:
+            yield "l3", l3
+
+    def _count(self, invariant: str) -> None:
+        self.counts[invariant] = self.counts.get(invariant, 0) + 1
+
+    def _fail(self, invariant: str, detail: str) -> None:
+        raise AuditError(f"[{invariant}] {detail}")

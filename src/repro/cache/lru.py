@@ -67,6 +67,14 @@ class LRUCache:
         # the miss classifier uses it to tell capacity misses (seen before,
         # same version) from compulsory misses (never seen).
         self._ever_stored: dict[int, int] = {}
+        #: Keys whose *latest* insert was refused for exceeding capacity.
+        #: Holder bookkeeping outside the cache (hint informs) may still
+        #: advertise these, so audits exempt them from presence checks.
+        self.oversize_rejections: set[int] = set()
+        #: Optional :class:`repro.audit.hooks.AuditHooks`; when attached,
+        #: every mutation re-checks the byte-accounting bounds.  Costs one
+        #: pointer check per mutation when ``None`` (the default).
+        self.audit = None
 
     # ------------------------------------------------------------------
     # inspection
@@ -113,7 +121,16 @@ class LRUCache:
             raise ValueError(f"object size must be non-negative, got {size}")
         if self.capacity_bytes is not None and size > self.capacity_bytes:
             # Uncacheably large for this cache; record the sighting anyway.
+            # A surviving *older* copy under the same key is invalid now
+            # (strong consistency: the object changed), so it must not
+            # keep serving hits -- invalidate it on the way out.
+            stale = self._entries.get(key)
+            if stale is not None and stale.version < version:
+                self._delete(key, "invalidate")
             self._ever_stored[key] = max(self._ever_stored.get(key, -1), version)
+            self.oversize_rejections.add(key)
+            if self.audit is not None:
+                self.audit.check_cache_bounds(self)
             return []
         existing = self._entries.pop(key, None)
         if existing is not None:
@@ -122,7 +139,11 @@ class LRUCache:
         self._used_bytes += size
         self.insertions += 1
         self._ever_stored[key] = max(self._ever_stored.get(key, -1), version)
-        return self._evict_to_fit()
+        self.oversize_rejections.discard(key)
+        evicted = self._evict_to_fit()
+        if self.audit is not None:
+            self.audit.check_cache_bounds(self)
+        return evicted
 
     def touch_lru_demote(self, key: int) -> None:
         """Age ``key`` by moving it to the eviction end of the LRU list.

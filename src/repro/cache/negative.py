@@ -35,6 +35,9 @@ class NegativeResultCache:
         self._entries: OrderedDict[int, float] = OrderedDict()  # key -> stored_at
         self.hits = 0
         self.misses = 0
+        #: Optional :class:`repro.audit.hooks.AuditHooks`; one pointer
+        #: check per record when detached (the default).
+        self.audit = None
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -61,6 +64,8 @@ class NegativeResultCache:
         self._entries[key] = now
         while len(self._entries) > self.max_entries:
             self._entries.popitem(last=False)
+        if self.audit is not None:
+            self.audit.check_negative_bounds(self)
 
     @property
     def hit_ratio(self) -> float:

@@ -41,6 +41,9 @@ class SetAssociativeCache(Generic[V]):
         self.conflict_evictions = 0
         #: New keys stored since construction (in-place updates excluded).
         self.insertions = 0
+        #: Optional :class:`repro.audit.hooks.AuditHooks`; one pointer
+        #: check per insertion when detached (the default).
+        self.audit = None
 
     @property
     def capacity(self) -> int:
@@ -88,6 +91,8 @@ class SetAssociativeCache(Generic[V]):
         bucket[key] = value
         self._size += 1
         self.insertions += 1
+        if self.audit is not None:
+            self.audit.check_setassoc_bounds(self)
         return displaced
 
     def remove(self, key: int) -> bool:

@@ -64,9 +64,19 @@ class TTLCache:
         self.evictions = 0  # capacity evictions only
         self.invalidations = 0  # age expiries (fresh_discards is the subset
         # whose copy was in fact still current)
+        #: Optional :class:`repro.audit.hooks.AuditHooks`; one pointer
+        #: check per mutation when detached (the default).
+        self.audit = None
 
     def __len__(self) -> int:
         return len(self._entries)
+
+    def __iter__(self):
+        return iter(self._entries)
+
+    def peek(self, key: int) -> TTLEntry | None:
+        """Return the entry for ``key`` without touching LRU order or age."""
+        return self._entries.get(key)
 
     @property
     def used_bytes(self) -> int:
@@ -113,6 +123,8 @@ class TTLCache:
                 self._delete(victim)
                 self.evictions += 1
                 evicted.append(victim)
+        if self.audit is not None:
+            self.audit.check_cache_bounds(self)
         return evicted
 
     def _delete(self, key: int) -> None:

@@ -86,6 +86,13 @@ class FaultInjector:
         self._bound: list["Architecture"] = []
         self.stats = FaultStats()
         self.now = 0.0
+        #: Sticky: True once any event fired that can desynchronize hint
+        #: metadata from cache contents (a crash losing state, a lossy
+        #: batch window, visibility drift).  Audits consult this to know
+        #: whether hint/truth divergence has a legitimate explanation --
+        #: sticky because the damage outlives the event (stale hints
+        #: persist after the faulty window closes).
+        self.hint_damage_possible = False
 
     # ------------------------------------------------------------------
     # wiring
@@ -116,6 +123,7 @@ class FaultInjector:
 
     def _apply(self, event) -> None:
         if isinstance(event, NodeCrash):
+            self.hint_damage_possible = True
             key = (event.kind, event.node)
             if key not in self._down:
                 self._down.add(key)
@@ -131,8 +139,12 @@ class FaultInjector:
                     architecture.on_fault_recover(event.kind, event.node)
         elif isinstance(event, HintBatchLoss):
             self.hint_loss_prob = event.prob
+            if event.prob > 0.0:
+                self.hint_damage_possible = True
         elif isinstance(event, StaleHintDrift):
             self.hint_delay_skew_s = event.ttl_skew_s
+            if event.ttl_skew_s > 0.0:
+                self.hint_damage_possible = True
         elif isinstance(event, OriginSlowdown):
             self.origin_factor = event.factor
         elif isinstance(event, LinkDegrade):

@@ -16,6 +16,7 @@ from repro.netmodel.model import AccessPoint, CostModel
 from repro.traces.records import Request
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.audit.hooks import AuditHooks
     from repro.faults.events import NodeKind
     from repro.faults.injector import FaultInjector
     from repro.obs.journey import Journey
@@ -108,6 +109,12 @@ class Architecture(abc.ABC):
         #: fault-aware request path only when this is not None, so a
         #: plan-free run takes exactly the original code path.
         self.faults: "FaultInjector | None" = None
+        #: Bound audit hooks, or None (the default).  Set via
+        #: :meth:`attach_audit`; architectures call
+        #: ``self.audit.checkpoint(self)`` at the top of ``process`` only
+        #: when this is not None, so an un-audited run pays one pointer
+        #: check per request.
+        self.audit: "AuditHooks | None" = None
 
     @abc.abstractmethod
     def process(self, request: Request) -> AccessResult:
@@ -131,6 +138,13 @@ class Architecture(abc.ABC):
 
     def on_fault_recover(self, kind: "NodeKind", node: int) -> None:
         """Injector callback: node ``(kind, node)`` just rejoined (empty)."""
+
+    # ------------------------------------------------------------------
+    # auditing (opt-in; see repro.audit)
+    # ------------------------------------------------------------------
+    def attach_audit(self, hooks: "AuditHooks") -> None:
+        """Opt this instance into runtime invariant auditing."""
+        self.audit = hooks
 
     # ------------------------------------------------------------------
     # telemetry (opt-in; see repro.obs.telemetry)

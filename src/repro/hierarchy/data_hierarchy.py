@@ -65,6 +65,8 @@ class DataHierarchy(Architecture):
         self.l3_cache = LRUCache(l3_bytes)
 
     def process(self, request: Request) -> AccessResult:
+        if self.audit is not None:
+            self.audit.checkpoint(self)
         if self.faults is not None:
             return self._process_faulted(request)
         l1_index = self.topology.l1_of_client(request.client_id)

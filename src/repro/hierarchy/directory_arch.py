@@ -60,6 +60,8 @@ class CentralizedDirectoryArchitecture(Architecture):
     DIRECTORY_META_NODE = 0
 
     def process(self, request: Request) -> AccessResult:
+        if self.audit is not None:
+            self.audit.checkpoint(self)
         if self.faults is not None:
             return self._process_faulted(request)
         self._now = request.time

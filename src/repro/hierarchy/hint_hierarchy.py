@@ -90,6 +90,8 @@ class HintHierarchy(Architecture):
     # request processing
     # ------------------------------------------------------------------
     def process(self, request: Request) -> AccessResult:
+        if self.audit is not None:
+            self.audit.checkpoint(self)
         if self.faults is not None:
             return self._process_faulted(request)
         self._now = request.time

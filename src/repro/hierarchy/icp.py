@@ -48,6 +48,8 @@ class IcpHierarchy(Architecture):
         self.sibling_queries = 0
 
     def process(self, request: Request) -> AccessResult:
+        if self.audit is not None:
+            self.audit.checkpoint(self)
         if self.faults is not None:
             return self._process_faulted(request)
         l1_index = self.topology.l1_of_client(request.client_id)

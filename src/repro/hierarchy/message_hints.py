@@ -89,6 +89,8 @@ class MessageLevelHintHierarchy(Architecture):
     # processing
     # ------------------------------------------------------------------
     def process(self, request: Request) -> AccessResult:
+        if self.audit is not None:
+            self.audit.checkpoint(self)
         self._now = request.time
         l1_index = self.topology.l1_of_client(request.client_id)
         cache = self.l1_caches[l1_index]

@@ -152,6 +152,35 @@ class HintDirectory:
         return dict(self._truth.get(object_id, {}))
 
     # ------------------------------------------------------------------
+    # read-only audit accessors (no time advance, no counters, no
+    # promotion -- auditing must never perturb what it observes)
+    # ------------------------------------------------------------------
+    def truth_items(self):
+        """Iterate ground truth as ``(object_id, {node: version})`` pairs."""
+        return self._truth.items()
+
+    def visible_items(self):
+        """Iterate the *applied* visible view as ``(object_id, holders)``.
+
+        Pending (not-yet-visible) events are not applied first -- callers
+        see exactly what :meth:`find` would have seen at the last advance.
+        """
+        if isinstance(self._visible, dict):
+            return iter(self._visible.items())
+        return self._visible.items()
+
+    @property
+    def pending_events(self) -> int:
+        """Queued visibility events not yet applied."""
+        return len(self._pending)
+
+    @property
+    def visible_index(self):
+        """The backing visible-view container (dict when unbounded,
+        :class:`~repro.cache.setassoc.SetAssociativeCache` when bounded)."""
+        return self._visible
+
+    # ------------------------------------------------------------------
     # hint-cache queries
     # ------------------------------------------------------------------
     def find(self, now: float, object_id: int, requester: int) -> HintLookup:

@@ -99,6 +99,8 @@ class HierarchicalPushOnMiss(PushPolicy):
             return list(eligible)
         if self.mode == "push-1":
             return [int(self._rng.choice(eligible))]
-        count = max(1, len(eligible) // 2)
+        # "Half of the nodes" rounds *up*: a 3-node subtree pushes to 2,
+        # never 1 (ceil, matching the paper's push-half description).
+        count = (len(eligible) + 1) // 2
         chosen = self._rng.choice(eligible, size=count, replace=False)
         return [int(n) for n in chosen]

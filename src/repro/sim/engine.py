@@ -22,6 +22,7 @@ from repro.sim.metrics import SimMetrics
 from repro.traces.records import Trace
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.audit.hooks import AuditHooks
     from repro.faults.events import FaultPlan
     from repro.obs.sink import JourneySink
     from repro.obs.telemetry import RunTelemetry
@@ -36,6 +37,7 @@ def run_simulation(
     fault_plan: "FaultPlan | None" = None,
     journey_sink: "JourneySink | None" = None,
     telemetry: "RunTelemetry | None" = None,
+    audit: "AuditHooks | None" = None,
 ) -> SimMetrics:
     """Drive ``architecture`` over ``trace`` and return aggregated metrics.
 
@@ -76,6 +78,15 @@ def run_simulation(
             the plan state as of the bin edge.  ``None`` (the default)
             costs one pointer check per site; telemetry output never
             feeds run fingerprints or golden snapshots.
+        audit: Optional :class:`repro.audit.hooks.AuditHooks`.  When
+            present, the engine (and, through attachment, the
+            architecture and its caches) verifies runtime invariants at
+            checkpoints -- cache byte accounting, hint/ground-truth
+            agreement, journey-ledger exact sums, counter partitions,
+            telemetry telescoping -- raising
+            :class:`repro.audit.hooks.AuditError` on the first breakage.
+            ``None`` (the default) costs one pointer check per site and
+            leaves results byte-identical to an un-audited run.
     """
     boundary = trace.warmup if warmup_s is None else warmup_s
     metrics = SimMetrics(
@@ -90,24 +101,41 @@ def run_simulation(
         injector.bind(architecture)
     if telemetry is not None:
         telemetry.begin(architecture, injector=injector)
+    if audit is not None:
+        audit.begin(
+            architecture,
+            trace,
+            injector=injector,
+            include_uncachable=include_uncachable,
+        )
     processed = 0
     for request in trace.requests:
+        # The simulated clock advances with *every* request, skipped or
+        # not: timeline bins close and scheduled crash/recover events
+        # fire as trace time passes, never stalled behind a run of
+        # skipped requests.  (Timeline before injector, so bin-close
+        # snapshots observe the plan state as of the bin edge.)
+        if telemetry is not None:
+            telemetry.advance(request.time)
+        if injector is not None:
+            injector.advance(request.time)
         if request.error:
             if not include_uncachable:
                 metrics.skipped_error += 1
                 continue
             metrics.included_error += 1
-        if not request.cacheable:
+        elif not request.cacheable:
+            # ``elif``: a request that is both error and uncachable counts
+            # once, under its error class -- mirroring the skip path's
+            # precedence so the two counter pairs partition identically.
             if not include_uncachable:
                 metrics.skipped_uncachable += 1
                 continue
             metrics.included_uncachable += 1
-        if telemetry is not None:
-            telemetry.advance(request.time)
-        if injector is not None:
-            injector.advance(request.time)
         result = architecture.process(request)
         processed += 1
+        if audit is not None:
+            audit.on_result(request, result, measured=request.time >= boundary)
         if request.time < boundary:
             metrics.warmup_requests += 1
             if telemetry is not None:
@@ -125,7 +153,9 @@ def run_simulation(
     architecture.processed_requests += processed
     if telemetry is not None:
         telemetry.finish(trace.duration)
-    metrics.validate()
+    if audit is not None:
+        audit.finish(metrics, telemetry=telemetry)
+    metrics.validate(expected_requests=len(trace.requests))
     return metrics
 
 
@@ -137,6 +167,7 @@ def run_comparison(
     include_uncachable: bool = False,
     fault_plan: "FaultPlan | None" = None,
     journey_sink: "JourneySink | None" = None,
+    audit: "AuditHooks | None" = None,
 ) -> dict[str, SimMetrics]:
     """Run several architectures over the same trace (fresh state each).
 
@@ -148,11 +179,13 @@ def run_comparison(
     ``fault_plan`` applies the same schedule to every architecture (each
     gets its own injector, so stochastic hint-loss draws are identical
     across them -- the comparison stays apples-to-apples).
-    ``include_uncachable`` and ``journey_sink`` forward to every
-    per-architecture :func:`run_simulation`, so the serial comparison
-    exposes the same knobs as a single run (and as the parallel twin);
-    the sink's ``architecture`` label is restamped before each run, so
-    one sink collects all architectures' journeys distinguishably.
+    ``include_uncachable``, ``journey_sink``, and ``audit`` forward to
+    every per-architecture :func:`run_simulation`, so the serial
+    comparison exposes the same knobs as a single run (and as the
+    parallel twin); the sink's ``architecture`` label is restamped
+    before each run, so one sink collects all architectures' journeys
+    distinguishably, and one :class:`~repro.audit.hooks.AuditHooks`
+    re-binds to each architecture in turn (``begin`` resets it).
     """
     results: dict[str, SimMetrics] = {}
     for architecture in architectures:
@@ -174,5 +207,6 @@ def run_comparison(
             include_uncachable=include_uncachable,
             fault_plan=fault_plan,
             journey_sink=journey_sink,
+            audit=audit,
         )
     return results

@@ -210,7 +210,7 @@ class SimMetrics:
                     agg.wasted += 1
                 agg.latency.record(step.cost_ms)
 
-    def validate(self) -> None:
+    def validate(self, *, expected_requests: int | None = None) -> None:
         """Check conservation invariants; raises ``ValueError`` on breakage.
 
         Every measured request is satisfied at exactly one access point,
@@ -219,7 +219,42 @@ class SimMetrics:
         fault-added time can never exceed total time.  The engine calls
         this after every run so a mis-accounted path fails loudly instead
         of skewing a table.
+
+        Args:
+            expected_requests: When given (the engine passes the trace
+                length), assert the partition invariant: every trace
+                request is exactly one of measured, warmup, skipped-error,
+                or skipped-uncachable.
         """
+        counters = (
+            self.measured_requests,
+            self.warmup_requests,
+            self.skipped_error,
+            self.skipped_uncachable,
+            self.included_error,
+            self.included_uncachable,
+        )
+        if any(count < 0 for count in counters):
+            raise ValueError(f"negative request counter in {counters}")
+        skipped = self.skipped_error + self.skipped_uncachable
+        included = self.included_error + self.included_uncachable
+        if skipped and included:
+            raise ValueError(
+                f"skipped ({skipped}) and included ({included}) counters are "
+                "both nonzero; a run either excludes uncachable/error "
+                "requests or processes them, never both"
+            )
+        processed = self.measured_requests + self.warmup_requests
+        if included > processed:
+            raise ValueError(
+                f"included counters sum to {included} but only {processed} "
+                "requests were processed; a request was counted twice"
+            )
+        if expected_requests is not None and processed + skipped != expected_requests:
+            raise ValueError(
+                f"measured+warmup+skipped = {processed + skipped} does not "
+                f"partition the trace ({expected_requests} requests)"
+            )
         by_point = sum(self.requests_by_point.values())
         if by_point != self.measured_requests:
             raise ValueError(

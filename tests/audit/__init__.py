@@ -1,0 +1,1 @@
+"""Tests for the differential audit subsystem (``repro.audit``)."""

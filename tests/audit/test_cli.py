@@ -1,0 +1,49 @@
+"""``python -m repro.audit`` CLI contract tests.
+
+The full matrix takes ~a minute, so tier-1 exercises the differential
+stage and the argument surface; the matrix itself runs under the deep
+profile (``tests/audit/test_differential.py::test_deep_audit_matrix_is_clean``)
+and the CI audit job.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+
+from repro.audit.cli import main, run_differential_trials
+
+
+def test_cli_differential_stage_is_clean(capsys):
+    assert main(["--skip-matrix", "--trials", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "differential: 2 trials" in out
+    assert "audit clean" in out
+
+
+def test_cli_skip_both_stages_is_trivially_clean(capsys):
+    assert main(["--skip-matrix", "--skip-differential"]) == 0
+    assert "audit clean" in capsys.readouterr().out
+
+
+def test_cli_verbose_lists_trials(capsys):
+    assert main(["--skip-matrix", "--trials", "1", "-v"]) == 0
+    assert "trial 0" in capsys.readouterr().out
+
+
+def test_differential_trials_are_seed_deterministic():
+    problems_a, ops_a = run_differential_trials(2, 1999)
+    problems_b, ops_b = run_differential_trials(2, 1999)
+    assert problems_a == problems_b == []
+    assert ops_a == ops_b > 0
+
+
+def test_module_entry_point_runs():
+    completed = subprocess.run(
+        [sys.executable, "-m", "repro.audit", "--skip-matrix", "--trials", "1"],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr
+    assert "audit clean" in completed.stdout

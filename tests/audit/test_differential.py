@@ -1,0 +1,165 @@
+"""Hypothesis-driven differential tests: production vs. oracle twins.
+
+Two profiles share the same drivers as ``python -m repro.audit``:
+
+* **quick** (always on) -- a small number of examples per property, with
+  ``deadline=None`` so tier-1 stays fast and deterministic-ish in CI;
+* **deep** (``REPRO_AUDIT_DEEP=1``, marked ``audit_deep``) -- many more
+  examples plus a seeded brute-force sweep and the full audit matrix.
+
+Hypothesis shrinks any divergence to a minimal operation stream, which
+is the debugging artifact the brute-force oracles were built to produce.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.audit.differential import (
+    random_directory_ops,
+    random_fault_plan,
+    random_lru_ops,
+    random_micro_trace,
+    run_directory_differential,
+    run_engine_differential,
+    run_lru_differential,
+)
+from repro.hierarchy.topology import HierarchyTopology
+
+DEEP = os.environ.get("REPRO_AUDIT_DEEP") == "1"
+QUICK = settings(
+    max_examples=200 if DEEP else 15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+TOPOLOGY = HierarchyTopology(clients_per_l1=2, l1_per_l2=4, n_l2=2)
+
+
+# ----------------------------------------------------------------------
+# LRU cache vs. list-scan oracle
+# ----------------------------------------------------------------------
+_key = st.integers(0, 6)
+_version = st.integers(0, 4)
+_lru_op = st.one_of(
+    st.tuples(st.just("lookup"), _key, _version),
+    st.tuples(st.just("insert"), _key, st.integers(0, 90), _version),
+    st.tuples(st.just("invalidate"), _key),
+    st.tuples(st.just("remove"), _key),
+    st.tuples(st.just("demote"), _key),
+    st.tuples(st.just("clear")),
+)
+
+
+@QUICK
+@given(
+    ops=st.lists(_lru_op, max_size=80),
+    capacity=st.one_of(st.none(), st.integers(0, 200)),
+)
+def test_lru_differential(ops, capacity):
+    run_lru_differential(list(ops), capacity)
+
+
+# ----------------------------------------------------------------------
+# hint directory vs. event-log replay oracle
+# ----------------------------------------------------------------------
+_dir_elem = st.tuples(
+    st.floats(0.0, 4.0, allow_nan=False, allow_infinity=False),  # time delta
+    st.sampled_from(["inform", "retract", "find", "find+drop"]),
+    st.integers(0, 3),  # object
+    st.integers(0, 4),  # node
+    _version,
+    st.booleans(),  # visible
+)
+
+
+def _directory_ops(elems):
+    """Fold per-step deltas into the time-ordered op tuples the driver eats."""
+    now, ops = 0.0, []
+    for delta, kind, obj, node, version, visible in elems:
+        now += delta
+        if kind == "inform":
+            ops.append(("inform", now, obj, node, version, visible))
+        elif kind == "retract":
+            ops.append(("retract", now, obj, node, visible))
+        else:
+            ops.append((kind, now, obj, node))
+    return ops
+
+
+@QUICK
+@given(elems=st.lists(_dir_elem, max_size=60), delay=st.sampled_from([0.0, 5.0]))
+def test_directory_differential(elems, delay):
+    run_directory_differential(_directory_ops(elems), delay=delay)
+
+
+# ----------------------------------------------------------------------
+# engine + DataHierarchy vs. straight-line oracle evaluator
+# ----------------------------------------------------------------------
+@settings(
+    max_examples=40 if DEEP else 6,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    seed=st.integers(0, 2**20),
+    bounded=st.booleans(),
+    faulted=st.booleans(),
+    include_uncachable=st.booleans(),
+    warmup=st.sampled_from([0.0, 400.0]),
+)
+def test_engine_differential(seed, bounded, faulted, include_uncachable, warmup):
+    rng = np.random.default_rng(seed)
+    trace = random_micro_trace(rng, TOPOLOGY, n_requests=60, warmup=warmup)
+    plan = random_fault_plan(rng, TOPOLOGY, trace.duration) if faulted else None
+    run_engine_differential(
+        trace,
+        TOPOLOGY,
+        l1_bytes=48 * 1024 if bounded else None,
+        fault_plan=plan,
+        include_uncachable=include_uncachable,
+    )
+
+
+# ----------------------------------------------------------------------
+# the CLI's seeded generators drive the same properties (one smoke each)
+# ----------------------------------------------------------------------
+def test_seeded_generators_round_trip():
+    rng = np.random.default_rng(2026)
+    assert run_lru_differential(random_lru_ops(rng), 256) == 300
+    assert run_directory_differential(random_directory_ops(rng), delay=12.0) == 250
+
+
+# ----------------------------------------------------------------------
+# deep profile: exhaustive sweep + the full audit matrix
+# ----------------------------------------------------------------------
+@pytest.mark.audit_deep
+@pytest.mark.skipif(not DEEP, reason="set REPRO_AUDIT_DEEP=1 for the deep profile")
+def test_deep_seeded_engine_sweep():
+    for trial in range(24):
+        rng = np.random.default_rng([2027, trial])
+        trace = random_micro_trace(rng, TOPOLOGY, warmup=300.0 if trial % 3 else 0.0)
+        plan = (
+            random_fault_plan(rng, TOPOLOGY, trace.duration) if trial % 2 else None
+        )
+        run_engine_differential(
+            trace,
+            TOPOLOGY,
+            l1_bytes=(None, 64 * 1024, 16 * 1024)[trial % 3],
+            fault_plan=plan,
+            include_uncachable=bool(trial % 4 == 1),
+        )
+
+
+@pytest.mark.audit_deep
+@pytest.mark.skipif(not DEEP, reason="set REPRO_AUDIT_DEEP=1 for the deep profile")
+def test_deep_audit_matrix_is_clean():
+    from repro.audit.cli import run_matrix
+
+    problems, total_checks = run_matrix()
+    assert problems == []
+    assert total_checks > 100_000

@@ -1,0 +1,241 @@
+"""AuditHooks behavior: transparency when attached, teeth when violated.
+
+Two families of tests:
+
+* **transparency** -- an audited run produces byte-identical metrics to
+  an unaudited one, across every architecture, healthy and faulted, and
+  the audit is demonstrably non-vacuous (``counts`` filled in);
+* **violation detection** -- each invariant check actually raises
+  :class:`AuditError` when its invariant is broken, demonstrated by
+  corrupting production state through the back door.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.audit import AuditError, AuditHooks
+from repro.audit.differential import random_fault_plan, random_micro_trace
+from repro.cache.lru import LRUCache
+from repro.cache.negative import NegativeResultCache
+from repro.cache.setassoc import SetAssociativeCache
+from repro.hierarchy.base import AccessResult
+from repro.hierarchy.data_hierarchy import DataHierarchy
+from repro.hierarchy.directory_arch import CentralizedDirectoryArchitecture
+from repro.hierarchy.hint_hierarchy import HintHierarchy
+from repro.hierarchy.icp import IcpHierarchy
+from repro.hierarchy.topology import HierarchyTopology
+from repro.netmodel.model import AccessPoint
+from repro.netmodel.testbed import TestbedCostModel
+from repro.obs.journey import Journey
+from repro.obs.telemetry import RunTelemetry
+from repro.sim.engine import run_comparison, run_simulation
+from repro.traces.records import Request, Trace
+
+TOPOLOGY = HierarchyTopology(clients_per_l1=2, l1_per_l2=4, n_l2=2)
+
+ARCHITECTURES = {
+    "hierarchy": DataHierarchy,
+    "hints": HintHierarchy,
+    "directory": CentralizedDirectoryArchitecture,
+    "icp": IcpHierarchy,
+}
+
+
+@pytest.fixture(scope="module")
+def micro_trace() -> Trace:
+    rng = np.random.default_rng(42)
+    return random_micro_trace(rng, TOPOLOGY, n_requests=120, warmup=300.0)
+
+
+def _fingerprint(metrics):
+    return (metrics.summary(), metrics.total_ms, dict(metrics.requests_by_point))
+
+
+# ----------------------------------------------------------------------
+# transparency: audited == unaudited, and the audit is not vacuous
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("arch_name", sorted(ARCHITECTURES))
+@pytest.mark.parametrize("faulted", [False, True], ids=["healthy", "faulted"])
+def test_audited_run_is_metric_identical(micro_trace, arch_name, faulted):
+    arch_cls = ARCHITECTURES[arch_name]
+    plan = (
+        random_fault_plan(np.random.default_rng(7), TOPOLOGY, micro_trace.duration)
+        if faulted
+        else None
+    )
+    baseline = run_simulation(
+        micro_trace, arch_cls(TOPOLOGY, TestbedCostModel()), fault_plan=plan
+    )
+    hooks = AuditHooks()
+    audited = run_simulation(
+        micro_trace,
+        arch_cls(TOPOLOGY, TestbedCostModel()),
+        fault_plan=plan,
+        telemetry=RunTelemetry(bin_s=600.0),
+        audit=hooks,
+    )
+    assert _fingerprint(audited) == _fingerprint(baseline)
+    counts = hooks.counts
+    assert counts["cache_accounting"] > 0
+    assert counts["journey_ledger"] == (
+        audited.measured_requests + audited.warmup_requests
+    )
+    assert counts["request_partition"] == 1
+    assert counts["telemetry_telescoping"] == 1
+    if arch_name in ("hints", "directory"):
+        assert counts["hint_truth"] > 0
+
+
+def test_caches_detached_by_default(micro_trace):
+    arch = DataHierarchy(TOPOLOGY, TestbedCostModel())
+    assert arch.audit is None
+    assert all(cache.audit is None for cache in arch.l1_caches)
+    run_simulation(micro_trace, arch)
+    assert arch.audit is None  # an unaudited run never attaches anything
+
+
+def test_one_hooks_instance_audits_a_comparison(micro_trace):
+    hooks = AuditHooks()
+    results = run_comparison(
+        micro_trace,
+        [cls(TOPOLOGY, TestbedCostModel()) for cls in ARCHITECTURES.values()],
+        audit=hooks,
+    )
+    assert len(results) == len(ARCHITECTURES)
+    assert hooks.counts["request_partition"] == len(ARCHITECTURES)
+
+
+def test_check_every_strides_full_scans(micro_trace):
+    every = AuditHooks(check_every=1)
+    run_simulation(
+        micro_trace, DataHierarchy(TOPOLOGY, TestbedCostModel()), audit=every
+    )
+    strided = AuditHooks(check_every=50)
+    run_simulation(
+        micro_trace, DataHierarchy(TOPOLOGY, TestbedCostModel()), audit=strided
+    )
+    assert strided.counts["cache_accounting"] < every.counts["cache_accounting"]
+    # Ledger checks are per-result regardless of the stride.
+    assert strided.counts["journey_ledger"] == every.counts["journey_ledger"]
+
+
+def test_check_every_must_be_positive():
+    with pytest.raises(ValueError):
+        AuditHooks(check_every=0)
+
+
+# ----------------------------------------------------------------------
+# violation detection: every check has teeth
+# ----------------------------------------------------------------------
+def _warmed_arch(trace, arch_cls=DataHierarchy, **kwargs):
+    arch = arch_cls(TOPOLOGY, TestbedCostModel(), **kwargs)
+    run_simulation(trace, arch)
+    return arch
+
+
+def test_scan_catches_corrupted_byte_accounting(micro_trace):
+    arch = _warmed_arch(micro_trace, l1_bytes=64 * 1024)
+    hooks = AuditHooks()
+    hooks.begin(arch, micro_trace)
+    hooks.scan(arch)  # clean state passes
+    arch.l1_caches[0]._used_bytes += 7
+    with pytest.raises(AuditError, match=r"\[cache_accounting\]"):
+        hooks.scan(arch)
+
+
+def test_bound_check_catches_capacity_overrun():
+    hooks = AuditHooks()
+    cache = LRUCache(100)
+    cache.insert(1, 40, 0)
+    hooks.check_cache_bounds(cache)  # clean state passes
+    cache._used_bytes = 150
+    with pytest.raises(AuditError, match=r"\[cache_bounds\]"):
+        hooks.check_cache_bounds(cache)
+    cache._used_bytes = -1
+    with pytest.raises(AuditError, match="negative"):
+        hooks.check_cache_bounds(cache)
+
+
+def test_bound_check_catches_setassoc_overrun():
+    hooks = AuditHooks()
+    cache = SetAssociativeCache(n_sets=2, associativity=2)
+    cache.put(1, "a")
+    hooks.check_setassoc_bounds(cache)
+    cache._size = cache.capacity + 1
+    with pytest.raises(AuditError, match=r"\[setassoc_bounds\]"):
+        hooks.check_setassoc_bounds(cache)
+
+
+def test_bound_check_catches_negative_cache_overrun():
+    hooks = AuditHooks()
+    cache = NegativeResultCache(ttl_s=60.0, max_entries=2)
+    cache.record(1, now=0.0)
+    hooks.check_negative_bounds(cache)
+    cache._entries[2] = 0.0
+    cache._entries[3] = 0.0
+    with pytest.raises(AuditError, match=r"\[negative_bounds\]"):
+        hooks.check_negative_bounds(cache)
+
+
+def test_scan_catches_fabricated_hint_truth(micro_trace):
+    arch = _warmed_arch(micro_trace, arch_cls=HintHierarchy)
+    hooks = AuditHooks()
+    hooks.begin(arch, micro_trace)
+    hooks.scan(arch)  # clean state passes
+    # Ground truth advertising an object no cache holds, with no fault
+    # or oversize rejection to explain it, is a lie.
+    arch.directory.inform(0.0, 999_999, 0, 0)
+    with pytest.raises(AuditError, match=r"\[hint_truth\]"):
+        hooks.scan(arch)
+
+
+def test_scan_catches_version_mismatch_in_hint_truth(micro_trace):
+    arch = _warmed_arch(micro_trace, arch_cls=HintHierarchy)
+    hooks = AuditHooks()
+    hooks.begin(arch, micro_trace)
+    cache = arch.l1_caches[0]
+    cache.insert(777_777, 10, 0)
+    arch.directory.inform(0.0, 777_777, 0, 5)  # truth claims v5, cache has v0
+    with pytest.raises(AuditError, match="v5"):
+        hooks.scan(arch)
+
+
+def test_journey_check_catches_mismatched_ledger():
+    hooks = AuditHooks()
+    journey = Journey()
+    journey.local_lookup(2.0)
+    result = journey.result(AccessPoint.L1, hit=True)
+    hooks.check_journey(result)  # a consistent ledger passes
+
+    bad = AccessResult(point=AccessPoint.L1, time_ms=99.0, hit=True, journey=journey)
+    with pytest.raises(AuditError, match=r"\[journey_ledger\]"):
+        hooks.check_journey(bad)
+
+    # Ledger-free results (hand-built test stubs) are legal, not errors.
+    hooks.check_journey(AccessResult(point=AccessPoint.L1, time_ms=1.0, hit=True))
+
+
+def test_finish_catches_partition_mismatch(micro_trace):
+    metrics = run_simulation(micro_trace, DataHierarchy(TOPOLOGY, TestbedCostModel()))
+    hooks = AuditHooks()
+    hooks.begin(DataHierarchy(TOPOLOGY, TestbedCostModel()), micro_trace)
+    # The hooks saw zero results, but the metrics claim a full run.
+    with pytest.raises(AuditError, match=r"\[request_partition\]"):
+        hooks.finish(metrics)
+
+
+def test_finish_catches_telemetry_disagreement(micro_trace):
+    hooks = AuditHooks()
+    telemetry = RunTelemetry(bin_s=600.0)
+    metrics = run_simulation(
+        micro_trace,
+        DataHierarchy(TOPOLOGY, TestbedCostModel()),
+        telemetry=telemetry,
+        audit=hooks,
+    )
+    hooks.check_telemetry(metrics, telemetry)  # the honest pairing passes
+    metrics.measured_requests += 1
+    with pytest.raises(AuditError, match=r"\[telemetry_telescoping\]"):
+        hooks.check_telemetry(metrics, telemetry)

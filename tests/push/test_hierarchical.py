@@ -41,7 +41,19 @@ class TestEligibleSubtrees:
         for group in range(3):
             members = set(TOPOLOGY.l1_nodes_of_l2(group)) - {0, 8}
             in_group = [n for n in chosen if TOPOLOGY.l2_of_l1(n) == group]
-            assert 1 <= len(in_group) <= max(1, len(members) // 2) + 1
+            # "Half" rounds up: 3 eligible nodes -> 2 targets, 4 -> 2.
+            assert len(in_group) == (len(members) + 1) // 2
+
+    def test_push_half_rounds_up_in_odd_groups(self):
+        # Regression for the floor-division bug: a 3-node subtree must
+        # push to 2 caches, not 1.
+        policy = HierarchicalPushOnMiss(TOPOLOGY, "push-half", seed=0)
+        chosen = targets(policy, requester=0, source=8, lca=3)
+        for group in (0, 2):  # the groups that lose a member to exclusion
+            members = set(TOPOLOGY.l1_nodes_of_l2(group)) - {0, 8}
+            assert len(members) == 3
+            in_group = [n for n in chosen if TOPOLOGY.l2_of_l1(n) == group]
+            assert len(in_group) == 2
 
     def test_l2_fetch_pushes_to_sibling_caches(self):
         # Level-1 subtrees are single caches: every mode pushes to all
