@@ -16,7 +16,7 @@ from enum import Enum, auto
 from typing import Callable, Iterator
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheEntry:
     """One cached object: its size in bytes and the version stored."""
 
@@ -138,9 +138,13 @@ class LRUCache:
         self._entries[key] = CacheEntry(size=size, version=version)
         self._used_bytes += size
         self.insertions += 1
-        self._ever_stored[key] = max(self._ever_stored.get(key, -1), version)
+        if version > self._ever_stored.get(key, -1):
+            self._ever_stored[key] = version
         self.oversize_rejections.discard(key)
-        evicted = self._evict_to_fit()
+        if self.capacity_bytes is not None and self._used_bytes > self.capacity_bytes:
+            evicted = self._evict_to_fit()
+        else:
+            evicted = []
         if self.audit is not None:
             self.audit.check_cache_bounds(self)
         return evicted

@@ -89,6 +89,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="with the 'timeline' verb: also write the final metrics "
         "registry as a Prometheus text exposition",
     )
+    parser.add_argument(
+        "--engine", choices=("reference", "fast", "auto"), default="reference",
+        help="simulation engine for the 'decompose'/'timeline' verbs: "
+        "'auto' uses the columnar batch engine (metric-identical) where "
+        "a vectorized kernel exists and the reference loop elsewhere; "
+        "'fast' demands a kernel, which the standard-four verbs cannot "
+        "satisfy (ICP/directory), so they reject it (default: reference)",
+    )
     return parser
 
 
@@ -249,6 +257,13 @@ def _run_decompose(args) -> int:
     from repro.reporting.tables import format_decomposition_table
     from repro.sim.engine import run_simulation
 
+    if args.engine == "fast":
+        print(
+            "--engine fast cannot run the standard four (no vectorized "
+            "kernel for ICP/directory); use --engine auto",
+            file=sys.stderr,
+        )
+        return 2
     config = default_config()
     if args.scale is not None:
         config = config.with_scale(args.scale)
@@ -282,7 +297,7 @@ def _run_decompose(args) -> int:
         for architecture in architectures:
             sink.architecture = architecture.name
             results[architecture.name] = run_simulation(
-                trace, architecture, journey_sink=sink
+                trace, architecture, journey_sink=sink, engine=args.engine
             )
     print(
         format_decomposition_table(
@@ -324,6 +339,13 @@ def _run_timeline(args) -> int:
     if args.bin <= 0:
         print(f"--bin must be positive, got {args.bin}", file=sys.stderr)
         return 2
+    if args.engine == "fast":
+        print(
+            "--engine fast cannot run the standard four (no vectorized "
+            "kernel for ICP/directory); use --engine auto",
+            file=sys.stderr,
+        )
+        return 2
     config = default_config()
     if args.scale is not None:
         config = config.with_scale(args.scale)
@@ -355,7 +377,7 @@ def _run_timeline(args) -> int:
     for architecture in architectures:
         telemetry = RunTelemetry(registry, bin_s=args.bin)
         results[architecture.name] = run_simulation(
-            trace, architecture, telemetry=telemetry
+            trace, architecture, telemetry=telemetry, engine=args.engine
         )
         rows.extend(telemetry.rows)
     out_path = args.timeline if args.timeline is not None else "timeline.jsonl"

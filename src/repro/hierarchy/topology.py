@@ -62,6 +62,30 @@ class HierarchyTopology:
         self._check_l1(l1)
         return l1 // self.l1_per_l2
 
+    def l1_of_clients(self, client_ids) -> "np.ndarray":
+        """Vectorized :meth:`l1_of_client` over an int array of client ids."""
+        import numpy as np
+
+        client_ids = np.asarray(client_ids)
+        if client_ids.size and int(client_ids.min()) < 0:
+            raise ConfigurationError("client ids must be non-negative")
+        return (client_ids // self.clients_per_l1) % self.n_l1
+
+    def distance_matrix(self) -> "np.ndarray":
+        """``n_l1 x n_l1`` matrix of distance classes as AccessPoint ints.
+
+        ``matrix[from_l1, to_l1] == int(self.distance_class(from_l1, to_l1))``;
+        the fast engine indexes rows of this instead of calling the scalar
+        method per peer probe.
+        """
+        import numpy as np
+
+        l2 = np.arange(self.n_l1) // self.l1_per_l2
+        same_l2 = l2[:, None] == l2[None, :]
+        matrix = np.where(same_l2, int(AccessPoint.L2), int(AccessPoint.L3))
+        np.fill_diagonal(matrix, int(AccessPoint.L1))
+        return matrix
+
     def l1_nodes_of_l2(self, l2: int) -> list[int]:
         """Leaf proxies under one L2 parent."""
         if not 0 <= l2 < self.n_l2:

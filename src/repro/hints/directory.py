@@ -73,6 +73,7 @@ class HintDirectory:
         self._truth: dict[int, dict[int, int]] = {}
         # Visible view: object -> set of holder nodes.  Bounded or not.
         self._visible: SetAssociativeCache[set[int]] | dict[int, set[int]]
+        self._visible_is_dict = capacity_bytes is None
         if capacity_bytes is None:
             self._visible = {}
         else:
@@ -103,7 +104,11 @@ class HintDirectory:
         dead metadata subtree under fault injection), so no hint cache
         will ever learn of it -- a future *false negative*.
         """
-        self._truth.setdefault(object_id, {})[node] = version
+        holders = self._truth.get(object_id)
+        if holders is None:
+            self._truth[object_id] = {node: version}
+        else:
+            holders[node] = version
         self.inform_events += 1
         if visible:
             self._schedule(now, "add", object_id, node)
@@ -190,14 +195,27 @@ class HintDirectory:
         happened); holders are returned unordered and the architecture
         picks the nearest by its distance function.
         """
-        self._advance(now)
-        visible = self._visible_get(object_id)
-        holders = tuple(n for n in visible if n != requester) if visible else ()
-        truth = self._truth.get(object_id, {})
-        others_exist = any(n != requester for n in truth)
-        false_negative = not holders and others_exist
-        if false_negative:
-            self.false_negatives += 1
+        if self._pending:
+            self._advance(now)
+        visible = self._visible.get(object_id)
+        if visible:
+            if requester in visible:
+                holders = (
+                    () if len(visible) == 1
+                    else tuple(n for n in visible if n != requester)
+                )
+            else:
+                holders = tuple(visible)
+        else:
+            holders = ()
+        false_negative = False
+        if not holders:
+            # Another holder exists iff truth has a node other than the
+            # requester; node keys are distinct, so >1 entries always do.
+            truth = self._truth.get(object_id)
+            if truth and (len(truth) > 1 or requester not in truth):
+                false_negative = True
+                self.false_negatives += 1
         return HintLookup(holders=holders, false_negative=false_negative)
 
     def record_false_positive(self) -> None:
@@ -222,32 +240,32 @@ class HintDirectory:
             self._apply(action, object_id, node)
 
     def _apply(self, action: str, object_id: int, node: int) -> None:
+        visible = self._visible
+        existing = visible.get(object_id)
         if action == "add":
-            existing = self._visible_get(object_id)
             if existing is None:
-                self._visible_put(object_id, {node})
+                if self._visible_is_dict:
+                    visible[object_id] = {node}
+                else:
+                    visible.put(object_id, {node})
             else:
                 existing.add(node)
-        else:
-            existing = self._visible_get(object_id)
-            if existing is not None:
-                existing.discard(node)
-                if not existing:
-                    self._visible_remove(object_id)
+        elif existing is not None:
+            existing.discard(node)
+            if not existing:
+                self._visible_remove(object_id)
 
     def _visible_get(self, object_id: int) -> set[int] | None:
-        if isinstance(self._visible, dict):
-            return self._visible.get(object_id)
         return self._visible.get(object_id)
 
     def _visible_put(self, object_id: int, holders: set[int]) -> None:
-        if isinstance(self._visible, dict):
+        if self._visible_is_dict:
             self._visible[object_id] = holders
         else:
             self._visible.put(object_id, holders)
 
     def _visible_remove(self, object_id: int) -> None:
-        if isinstance(self._visible, dict):
+        if self._visible_is_dict:
             self._visible.pop(object_id, None)
         else:
             self._visible.remove(object_id)

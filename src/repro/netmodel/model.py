@@ -70,6 +70,36 @@ class CostModel(abc.ABC):
         """
 
     # ------------------------------------------------------------------
+    # batch (columnar) variants
+    # ------------------------------------------------------------------
+    # The fast engine prices whole batches of same-shaped accesses at once.
+    # These defaults just loop the scalar methods, so every cost model is
+    # batch-capable by construction; models with closed-form pricing
+    # (e.g. the testbed model) override them with vectorized versions that
+    # replay the scalar arithmetic elementwise, bit-for-bit.
+
+    def hierarchical_ms_batch(self, point: AccessPoint, sizes) -> "np.ndarray":
+        """Elementwise :meth:`hierarchical_ms` over an array of sizes."""
+        import numpy as np
+
+        fn = self.hierarchical_ms
+        return np.array([fn(point, s) for s in sizes.tolist()], dtype=np.float64)
+
+    def direct_ms_batch(self, point: AccessPoint, sizes) -> "np.ndarray":
+        """Elementwise :meth:`direct_ms` over an array of sizes."""
+        import numpy as np
+
+        fn = self.direct_ms
+        return np.array([fn(point, s) for s in sizes.tolist()], dtype=np.float64)
+
+    def via_l1_ms_batch(self, point: AccessPoint, sizes) -> "np.ndarray":
+        """Elementwise :meth:`via_l1_ms` over an array of sizes."""
+        import numpy as np
+
+        fn = self.via_l1_ms
+        return np.array([fn(point, s) for s in sizes.tolist()], dtype=np.float64)
+
+    # ------------------------------------------------------------------
     # derived conveniences
     # ------------------------------------------------------------------
     def hint_lookup_ms(self) -> float:

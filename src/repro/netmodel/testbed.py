@@ -106,3 +106,37 @@ class TestbedCostModel(CostModel):
     def probe_ms(self, point: AccessPoint) -> float:
         """A wasted round trip costs the connect time but moves no data."""
         return self._direct[point].connect_ms
+
+    # ------------------------------------------------------------------
+    # vectorized batch pricing (bit-identical to the scalar methods)
+    # ------------------------------------------------------------------
+    # Each override replays the scalar arithmetic elementwise in the same
+    # operation order, so fast-engine totals match the per-request engine
+    # bit-for-bit: ``size / KB`` is IEEE division in both worlds (int64
+    # sizes are exact in float64), and the hierarchical walk accumulates
+    # ``total += segment_cost`` level by level exactly like the loop above.
+
+    @staticmethod
+    def _segment_cost_batch(segment: Segment, sizes) -> "np.ndarray":
+        return segment.connect_ms + (sizes / KB) * segment.per_kb_ms
+
+    def hierarchical_ms_batch(self, point: AccessPoint, sizes) -> "np.ndarray":
+        import numpy as np
+
+        total = np.zeros(len(sizes), dtype=np.float64)
+        for level in AccessPoint:
+            total += self._segment_cost_batch(self._hier[level], sizes)
+            if level is point:
+                break
+        return total
+
+    def direct_ms_batch(self, point: AccessPoint, sizes) -> "np.ndarray":
+        return self._segment_cost_batch(self._direct[point], sizes)
+
+    def via_l1_ms_batch(self, point: AccessPoint, sizes) -> "np.ndarray":
+        lan = self._segment_cost_batch(self._direct[AccessPoint.L1], sizes)
+        if point is AccessPoint.L1:
+            return lan
+        return (lan + self._forward_ms) + self._segment_cost_batch(
+            self._direct[point], sizes
+        )

@@ -251,6 +251,9 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._families: dict[str, _Family] = {}
+        #: Bumped on every new family/child; snapshot plans key off it.
+        self._generation = 0
+        self._plans: dict[str | None, tuple] = {}
 
     # ------------------------------------------------------------------
     # registration
@@ -337,6 +340,7 @@ class MetricsRegistry:
             else:
                 instrument = Histogram(name, labels, buckets=buckets or DEFAULT_BUCKETS_MS)
             family.instruments[child_key] = instrument
+            self._generation += 1
         elif fn is not None:
             # A fresh run re-registering the same key rebinds the callback
             # to the new live object (e.g. a rebuilt cache).
@@ -357,6 +361,45 @@ class MetricsRegistry:
             for child_key in sorted(family.instruments):
                 yield family.instruments[child_key]
 
+    def _snapshot_plan(self, arch: str | None) -> tuple:
+        """Memoized ``(generation, counter_entries, gauge_entries)`` for
+        one ``arch`` filter.
+
+        A timeline close used to re-sort every family and child, re-walk
+        three generator layers, and re-render each histogram's series
+        keys -- per bin, so over hundreds of bins that walk dominated the
+        cost of enabled telemetry.  All of it is invariant between
+        registrations, so the plan caches the sorted order, the kind
+        split, and the pre-rendered keys, invalidated by the registration
+        generation.  Entries hold the *instrument* (never its callback):
+        ``bind()`` rebinds in place, so value reads stay live.
+        """
+        plan = self._plans.get(arch)
+        if plan is not None and plan[0] == self._generation:
+            return plan
+        counter_entries: list[tuple] = []
+        gauge_entries: list[tuple[str, Instrument]] = []
+        for instrument in self.instruments():
+            if arch is not None and instrument.labels.get("arch", arch) != arch:
+                continue
+            if isinstance(instrument, Counter):
+                counter_entries.append((instrument.key, None, instrument))
+            elif isinstance(instrument, Histogram):
+                counter_entries.append(
+                    (
+                        render_metric_key(instrument.name + "_sum", instrument.labels),
+                        render_metric_key(
+                            instrument.name + "_count", instrument.labels
+                        ),
+                        instrument,
+                    )
+                )
+            elif isinstance(instrument, Gauge):
+                gauge_entries.append((instrument.key, instrument))
+        plan = (self._generation, tuple(counter_entries), tuple(gauge_entries))
+        self._plans[arch] = plan
+        return plan
+
     def counter_items(self, *, arch: str | None = None) -> Iterator[tuple[str, float]]:
         """``(key, value)`` for everything monotone: counters plus each
         histogram's ``_sum``/``_count`` series.
@@ -365,28 +408,17 @@ class MetricsRegistry:
         that carry no ``arch`` label at all) -- a shared registry can hold
         several runs' instruments without cross-talk in their timelines.
         """
-        for instrument in self.instruments():
-            if arch is not None and instrument.labels.get("arch", arch) != arch:
-                continue
-            if isinstance(instrument, Counter):
-                yield instrument.key, instrument.value
-            elif isinstance(instrument, Histogram):
-                yield (
-                    render_metric_key(instrument.name + "_sum", instrument.labels),
-                    instrument.sum,
-                )
-                yield (
-                    render_metric_key(instrument.name + "_count", instrument.labels),
-                    float(instrument.count),
-                )
+        for key, count_key, instrument in self._snapshot_plan(arch)[1]:
+            if count_key is None:
+                yield key, instrument.value
+            else:
+                yield key, instrument.sum
+                yield count_key, float(instrument.count)
 
     def gauge_items(self, *, arch: str | None = None) -> Iterator[tuple[str, float]]:
         """``(key, value)`` for every gauge (same ``arch`` filter rule)."""
-        for instrument in self.instruments():
-            if arch is not None and instrument.labels.get("arch", arch) != arch:
-                continue
-            if isinstance(instrument, Gauge):
-                yield instrument.key, instrument.value
+        for key, instrument in self._snapshot_plan(arch)[2]:
+            yield key, instrument.value
 
 
 class Timeline:
@@ -471,6 +503,81 @@ class Timeline:
         self._bin += 1
 
 
+class _WindowChannel:
+    """One window's ("warmup"/"measured") instruments, pre-resolved.
+
+    The request path used to pay a tuple construction + dict hash per
+    instrument per request (eight of them).  Resolving each call site's
+    instrument once at ``begin`` and holding it in a slot (or a list
+    indexed by the AccessPoint int) turns ``observe`` into direct
+    attribute access -- the memoized-lookup satellite of the fastpath PR.
+    """
+
+    __slots__ = (
+        "requests",
+        "bytes",
+        "response",
+        "intercache",
+        "false_positive",
+        "false_negative",
+        "suboptimal_positive",
+        "push_hit",
+        "timeout_fallback",
+        "stale_hint_forward",
+        "fault_ms",
+    )
+
+    def __init__(self, registry: MetricsRegistry, arch: str, window: str) -> None:
+        # Index 0 is unused: AccessPoint ints start at 1.
+        self.requests: list[Counter | None] = [None] * (len(AccessPoint) + 1)
+        self.bytes: list[Counter | None] = [None] * (len(AccessPoint) + 1)
+        for point in AccessPoint:
+            labels = {"arch": arch, "point": point.name, "window": window}
+            self.requests[int(point)] = registry.counter(
+                "repro_requests_total",
+                labels,
+                help="Requests satisfied per access point",
+            )
+            self.bytes[int(point)] = registry.counter(
+                "repro_bytes_total",
+                labels,
+                help="Bytes served per access point",
+            )
+        window_labels = {"arch": arch, "window": window}
+        self.response = registry.histogram(
+            "repro_response_time_ms",
+            window_labels,
+            help="Per-request response time distribution",
+        )
+        self.intercache = registry.counter(
+            "repro_intercache_bytes_total",
+            window_labels,
+            help="Bytes moved cache-to-cache (remote hits)",
+        )
+        for flag in (
+            "false_positive",
+            "false_negative",
+            "suboptimal_positive",
+            "push_hit",
+            "timeout_fallback",
+            "stale_hint_forward",
+        ):
+            setattr(
+                self,
+                flag,
+                registry.counter(
+                    "repro_result_flags_total",
+                    {"arch": arch, "flag": flag, "window": window},
+                    help="Per-request result pathology flags",
+                ),
+            )
+        self.fault_ms = registry.counter(
+            "repro_fault_added_ms_total",
+            window_labels,
+            help="Response-time milliseconds attributable to faults",
+        )
+
+
 class RunTelemetry:
     """Everything the engine needs to narrate one run over time.
 
@@ -501,58 +608,11 @@ class RunTelemetry:
             raise RuntimeError("RunTelemetry drives exactly one run; build a new one")
         self.arch = architecture.name
         self.timeline = Timeline(self.registry, bin_s=self.bin_s, arch=self.arch)
-        registry = self.registry
-        self._requests: dict[tuple[str, AccessPoint], Counter] = {}
-        self._bytes: dict[tuple[str, AccessPoint], Counter] = {}
-        self._response: dict[str, Histogram] = {}
-        self._intercache: dict[str, Counter] = {}
-        self._flags: dict[tuple[str, str], Counter] = {}
-        self._fault_ms: dict[str, Counter] = {}
-        for window in ("warmup", "measured"):
-            for point in AccessPoint:
-                labels = {"arch": self.arch, "point": point.name, "window": window}
-                self._requests[(window, point)] = registry.counter(
-                    "repro_requests_total",
-                    labels,
-                    help="Requests satisfied per access point",
-                )
-                self._bytes[(window, point)] = registry.counter(
-                    "repro_bytes_total",
-                    labels,
-                    help="Bytes served per access point",
-                )
-            window_labels = {"arch": self.arch, "window": window}
-            self._response[window] = registry.histogram(
-                "repro_response_time_ms",
-                window_labels,
-                help="Per-request response time distribution",
-            )
-            self._intercache[window] = registry.counter(
-                "repro_intercache_bytes_total",
-                window_labels,
-                help="Bytes moved cache-to-cache (remote hits)",
-            )
-            for flag in (
-                "false_positive",
-                "false_negative",
-                "suboptimal_positive",
-                "push_hit",
-                "timeout_fallback",
-                "stale_hint_forward",
-            ):
-                self._flags[(window, flag)] = registry.counter(
-                    "repro_result_flags_total",
-                    {"arch": self.arch, "flag": flag, "window": window},
-                    help="Per-request result pathology flags",
-                )
-            self._fault_ms[window] = registry.counter(
-                "repro_fault_added_ms_total",
-                window_labels,
-                help="Response-time milliseconds attributable to faults",
-            )
-        architecture.register_telemetry(registry)
+        self._warmup = _WindowChannel(self.registry, self.arch, "warmup")
+        self._measured = _WindowChannel(self.registry, self.arch, "measured")
+        architecture.register_telemetry(self.registry)
         if injector is not None:
-            bind_injector(registry, injector, arch=self.arch)
+            bind_injector(self.registry, injector, arch=self.arch)
             self.timeline.add_close_hook(injector.advance)
 
     def advance(self, t: float) -> None:
@@ -561,26 +621,69 @@ class RunTelemetry:
 
     def observe(self, request: "Request", result: "AccessResult", *, measured: bool) -> None:
         """Account one processed request into the current bin's window."""
-        window = "measured" if measured else "warmup"
-        self._requests[(window, result.point)].inc()
-        self._bytes[(window, result.point)].inc(request.size)
-        self._response[window].observe(result.time_ms)
+        channel = self._measured if measured else self._warmup
+        point = int(result.point)
+        channel.requests[point].inc()
+        channel.bytes[point].inc(request.size)
+        channel.response.observe(result.time_ms)
         if result.remote_hit:
-            self._intercache[window].inc(request.size)
+            channel.intercache.inc(request.size)
         if result.false_positive:
-            self._flags[(window, "false_positive")].inc()
+            channel.false_positive.inc()
         if result.false_negative:
-            self._flags[(window, "false_negative")].inc()
+            channel.false_negative.inc()
         if result.suboptimal_positive:
-            self._flags[(window, "suboptimal_positive")].inc()
+            channel.suboptimal_positive.inc()
         if result.push_hit:
-            self._flags[(window, "push_hit")].inc()
+            channel.push_hit.inc()
         if result.timeout_fallback:
-            self._flags[(window, "timeout_fallback")].inc()
+            channel.timeout_fallback.inc()
         if result.stale_hint_forward:
-            self._flags[(window, "stale_hint_forward")].inc()
+            channel.stale_hint_forward.inc()
         if result.fault_added_ms:
-            self._fault_ms[window].inc(result.fault_added_ms)
+            channel.fault_ms.inc(result.fault_added_ms)
+
+    def observe_values(
+        self,
+        *,
+        point: int,
+        size: int,
+        time_ms: float,
+        measured: bool,
+        remote_hit: bool = False,
+        false_positive: bool = False,
+        false_negative: bool = False,
+        suboptimal_positive: bool = False,
+        push_hit: bool = False,
+        timeout_fallback: bool = False,
+        stale_hint_forward: bool = False,
+        fault_added_ms: float = 0.0,
+    ) -> None:
+        """:meth:`observe` from plain scalars (the fast engine's decoder).
+
+        Identical accounting without requiring ``Request``/``AccessResult``
+        objects, so a columnar run can stream decoded rows directly.
+        """
+        channel = self._measured if measured else self._warmup
+        channel.requests[point].inc()
+        channel.bytes[point].inc(size)
+        channel.response.observe(time_ms)
+        if remote_hit:
+            channel.intercache.inc(size)
+        if false_positive:
+            channel.false_positive.inc()
+        if false_negative:
+            channel.false_negative.inc()
+        if suboptimal_positive:
+            channel.suboptimal_positive.inc()
+        if push_hit:
+            channel.push_hit.inc()
+        if timeout_fallback:
+            channel.timeout_fallback.inc()
+        if stale_hint_forward:
+            channel.stale_hint_forward.inc()
+        if fault_added_ms:
+            channel.fault_ms.inc(fault_added_ms)
 
     def finish(self, end_time: float) -> None:
         """Close the timeline at the trace's end (engine calls after loop)."""

@@ -237,6 +237,7 @@ def _comparison_task(
     include_uncachable: bool = False,
     timeline_dir: str | None = None,
     timeline_bin_s: float = 3600.0,
+    engine: str = "reference",
 ) -> SimMetrics:
     """One (trace, architecture) simulation work unit.
 
@@ -262,6 +263,7 @@ def _comparison_task(
             include_uncachable=include_uncachable,
             fault_plan=fault_plan,
             telemetry=telemetry,
+            engine=engine,
         )
     else:
         from repro.obs.sink import JsonlJourneySink
@@ -276,6 +278,7 @@ def _comparison_task(
                 fault_plan=fault_plan,
                 journey_sink=sink,
                 telemetry=telemetry,
+                engine=engine,
             )
     if telemetry is not None:
         from repro.obs.export import write_timeline_jsonl
@@ -299,6 +302,7 @@ def run_comparison_parallel(
     journey_dir: str | None = None,
     timeline_dir: str | None = None,
     timeline_bin_s: float = 3600.0,
+    engine: str = "reference",
 ) -> dict[str, SimMetrics]:
     """Parallel twin of :func:`repro.sim.engine.run_comparison`.
 
@@ -323,6 +327,10 @@ def run_comparison_parallel(
     ``<timeline_dir>/<name>.jsonl`` as canonical JSONL -- rows are a pure
     function of (trace, architecture, plan), so these files too are
     byte-identical for any ``jobs`` value.
+
+    ``engine`` forwards to every :func:`~repro.sim.engine.run_simulation`;
+    since the fast engine is metric-identical to the reference, results
+    stay jobs- *and* engine-invariant.
     """
     if jobs < 1:
         raise ValueError(f"jobs must be at least 1, got {jobs}")
@@ -339,6 +347,7 @@ def run_comparison_parallel(
                 warmup_s=warmup_s,
                 include_uncachable=include_uncachable,
                 fault_plan=fault_plan,
+                engine=engine,
             )
         metrics = [
             _comparison_task(
@@ -351,6 +360,7 @@ def run_comparison_parallel(
                 include_uncachable,
                 timeline_dir,
                 timeline_bin_s,
+                engine,
             )
             for spec in specs
         ]
@@ -370,6 +380,7 @@ def run_comparison_parallel(
                     include_uncachable,
                     timeline_dir,
                     timeline_bin_s,
+                    engine,
                 )
                 for spec in specs
             ]

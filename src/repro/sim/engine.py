@@ -38,6 +38,7 @@ def run_simulation(
     journey_sink: "JourneySink | None" = None,
     telemetry: "RunTelemetry | None" = None,
     audit: "AuditHooks | None" = None,
+    engine: str = "reference",
 ) -> SimMetrics:
     """Drive ``architecture`` over ``trace`` and return aggregated metrics.
 
@@ -87,7 +88,43 @@ def run_simulation(
             :class:`repro.audit.hooks.AuditError` on the first breakage.
             ``None`` (the default) costs one pointer check per site and
             leaves results byte-identical to an un-audited run.
+        engine: ``"reference"`` (default) runs the per-request loop below.
+            ``"fast"`` runs :mod:`repro.sim.fastpath`'s columnar batch
+            engine, which produces byte-identical metrics; configurations
+            that are inherently per-request -- fault plans (batch windows
+            would have to split at every event) and audit hooks
+            (checkpoints walk live state between requests) -- dispatch
+            back to this loop, and an architecture without a vectorized
+            kernel raises.  ``"auto"`` is ``"fast"`` where supported and
+            ``"reference"`` otherwise, never raising.
     """
+    if engine not in ("reference", "fast", "auto"):
+        raise ValueError(
+            f"unknown engine {engine!r}; expected 'reference', 'fast', or 'auto'"
+        )
+    if engine != "reference":
+        from repro.sim import fastpath
+
+        reason = fastpath.fast_unsupported_reason(architecture)
+        if reason is not None:
+            if engine == "fast":
+                raise ValueError(reason)
+        elif (
+            (fault_plan is None or not fault_plan)
+            and audit is None
+            and architecture.faults is None
+            and architecture.audit is None
+        ):
+            return fastpath.run_fast_simulation(
+                trace,
+                architecture,
+                warmup_s=warmup_s,
+                include_uncachable=include_uncachable,
+                journey_sink=journey_sink,
+                telemetry=telemetry,
+            )
+        # Residual dispatch: fault windows and audit checkpoints run the
+        # per-request loop (the fastpath module's sanctioned residual).
     boundary = trace.warmup if warmup_s is None else warmup_s
     metrics = SimMetrics(
         architecture=architecture.name,
@@ -168,6 +205,7 @@ def run_comparison(
     fault_plan: "FaultPlan | None" = None,
     journey_sink: "JourneySink | None" = None,
     audit: "AuditHooks | None" = None,
+    engine: str = "reference",
 ) -> dict[str, SimMetrics]:
     """Run several architectures over the same trace (fresh state each).
 
@@ -208,5 +246,6 @@ def run_comparison(
             fault_plan=fault_plan,
             journey_sink=journey_sink,
             audit=audit,
+            engine=engine,
         )
     return results

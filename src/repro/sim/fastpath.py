@@ -1,0 +1,719 @@
+"""Columnar batch engine: the vectorized twin of :mod:`repro.sim.engine`.
+
+The reference engine materializes one ``Request`` tuple, one ``Journey``,
+several ``Step`` tuples, and one ``AccessResult`` per trace record, then
+folds each into ``SimMetrics`` a counter at a time.  At ~30-50k req/s that
+object churn is the simulation's entire cost.  This module keeps the trace
+columnar end-to-end: requests live as NumPy arrays (time, client, object,
+size, version, cachability), classification/warmup masking/accounting are
+vectorized per batch, and per-request Python survives only for the state
+transitions that genuinely need it -- LRU lookups/inserts (evictions), hint
+directory traffic, and (by falling back to the reference loop) fault
+windows.
+
+Parity contract
+---------------
+A fast-engine run produces **byte-identical** :class:`SimMetrics` to the
+reference engine on the same trace and a freshly built architecture:
+
+* identical integer counters, by construction (same cache/directory method
+  calls in the same order drive the same hit/miss/pathology outcomes);
+* identical floats: every reference accumulation is a left-to-right
+  ``total += value`` chain, which :func:`_sequential_sum` replays exactly
+  via ``np.cumsum`` (``ufunc.accumulate`` is defined as the running sum,
+  ``r[i] = r[i-1] + a[i]``), per-request times are slot sums ``(s0 + s1) +
+  s2`` with unused slots padded by ``+0.0`` (exact identity for the finite
+  non-negative costs involved), and batch cost pricing uses the cost
+  models' ``*_ms_batch`` methods, which replay the scalar arithmetic
+  elementwise;
+* identical histograms: :meth:`LatencyHistogram.bulk_record` routes every
+  distinct value through the same scalar binning formula as ``record``.
+
+Journeys and telemetry are *decoders* over the batch's column store: a
+detached run (no sink, no telemetry) pays one pointer check per batch,
+while an attached run reconstructs journeys / feeds
+``RunTelemetry.observe_values`` from the already-priced columns.
+
+Residual dispatch
+-----------------
+Fault plans and audit hooks are inherently per-request (fault windows cut
+batches at event boundaries; audit checkpoints walk live state between
+requests), so runs carrying either are dispatched to the reference loop --
+the ISSUE's sanctioned residual.  Architectures without a vectorized
+kernel fall back likewise under ``engine="auto"`` and raise under
+``engine="fast"``.
+
+Adding an architecture = writing one ``_Kernel`` subclass: a per-batch
+state loop emitting (pattern, point, aux, flags) small-int columns, a
+``STEP_TABLE`` mapping patterns to journey shapes, and a cost-pricing
+method.  The driver (batching, warmup masking, metrics folding, telemetry
+bin splitting, journey decode) is architecture-independent.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.cache.lru import LookupResult
+from repro.netmodel.model import AccessPoint
+from repro.sim.metrics import SimMetrics, StepAggregate
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.hierarchy.base import AccessResult, Architecture
+    from repro.obs.sink import JourneySink
+    from repro.obs.telemetry import RunTelemetry
+    from repro.traces.records import Trace
+
+#: Default batch size; parity is batch-size-independent (tests sweep it).
+DEFAULT_BATCH_SIZE = 4096
+
+#: Result-flag bits (column ``flags``), decoded into SimMetrics counters
+#: and telemetry observations.
+FLAG_REMOTE_HIT = 1
+FLAG_FALSE_POSITIVE = 2
+FLAG_FALSE_NEGATIVE = 4
+FLAG_SUBOPTIMAL = 8
+
+
+def _sequential_sum(initial: float, values: np.ndarray) -> float:
+    """``((initial + v0) + v1) + ...`` bit-for-bit, without a Python loop.
+
+    ``np.cumsum`` is ``np.add.accumulate``, whose contract is the strict
+    running sum -- the same left-to-right IEEE additions the reference
+    engine's ``total += value`` chain performs (pinned by a unit test).
+    """
+    buffer = np.empty(len(values) + 1, dtype=np.float64)
+    buffer[0] = initial
+    buffer[1:] = values
+    return float(np.cumsum(buffer)[-1])
+
+
+class _BatchResult:
+    """Column store for one processed batch (small ints + slot costs)."""
+
+    __slots__ = ("pattern", "point", "aux", "flags", "slot_costs", "time_ms")
+
+    def __init__(self, pattern, point, aux, flags, slot_costs):
+        self.pattern = pattern  # kernel-defined path shape per row
+        self.point = point  # AccessPoint int per row
+        self.aux = aux  # kernel-defined (target node / probe point)
+        self.flags = flags  # FLAG_* bitmask per row
+        self.slot_costs = slot_costs  # list of float64 arrays, journey order
+        # Per-request charged time: left-to-right slot sum with zero-padded
+        # unused slots, elementwise-identical to the journey's step sum.
+        time_ms = slot_costs[0]
+        for costs in slot_costs[1:]:
+            time_ms = time_ms + costs
+        self.time_ms = time_ms
+
+
+class _Kernel:
+    """One architecture's batchable hot path (state loop + pricing)."""
+
+    #: pattern -> ((slot, StepKind.value, wasted), ...) in journey order.
+    STEP_TABLE: dict[int, tuple[tuple[int, str, bool], ...]] = {}
+
+    def __init__(self, architecture: "Architecture", columns) -> None:
+        self.arch = architecture
+        self.columns = columns
+
+    def process_batch(self, idx: np.ndarray) -> _BatchResult:
+        raise NotImplementedError
+
+    def result_for(self, batch: _BatchResult, row: int) -> "AccessResult":
+        raise NotImplementedError
+
+    def _kind_table(self):
+        """kind -> [(pattern, slot, wasted), ...], derived from STEP_TABLE."""
+        table: dict[str, list[tuple[int, int, bool]]] = {}
+        for pattern, slots in self.STEP_TABLE.items():
+            for slot, kind, wasted in slots:
+                table.setdefault(kind, []).append((pattern, slot, wasted))
+        return table
+
+
+class HierarchyKernel(_Kernel):
+    """Vectorized healthy path of :class:`DataHierarchy`.
+
+    Pattern ids double as AccessPoint ints (the hierarchy's single journey
+    step is fully determined by the deepest level reached).
+    """
+
+    STEP_TABLE = {
+        1: ((0, "local_lookup", False),),
+        2: ((0, "level_traversal", False),),
+        3: ((0, "level_traversal", False),),
+        4: ((0, "origin_fetch", False),),
+    }
+
+    def __init__(self, architecture, columns) -> None:
+        super().__init__(architecture, columns)
+        topology = architecture.topology
+        self._l1_all = topology.l1_of_clients(columns.client)
+        self._l2_all = self._l1_all // topology.l1_per_l2
+        # Unbounded caches never evict, so LRU recency order is
+        # unobservable on the healthy path: a pure HIT's only state effect
+        # (``move_to_end``) can be skipped and the lookup becomes one dict
+        # probe.  STALE and MISS rows still take the real method calls.
+        self._l1_entries = [
+            cache._entries if cache.capacity_bytes is None else None
+            for cache in architecture.l1_caches
+        ]
+
+    def process_batch(self, idx: np.ndarray) -> _BatchResult:
+        columns = self.columns
+        oids = columns.object[idx].tolist()
+        versions = columns.version[idx].tolist()
+        sizes_list = columns.size[idx].tolist()
+        l1_list = self._l1_all[idx].tolist()
+        l2_list = self._l2_all[idx].tolist()
+
+        arch = self.arch
+        l1_caches = arch.l1_caches
+        l1_entries = self._l1_entries
+        l2_caches = arch.l2_caches
+        l3 = arch.l3_cache
+        l3_lookup = l3.lookup
+        l3_insert = l3.insert
+        hit = LookupResult.HIT
+        pattern_list = []
+        append = pattern_list.append
+        for oid, version, size, l1i, l2i in zip(
+            oids, versions, sizes_list, l1_list, l2_list
+        ):
+            entries = l1_entries[l1i]
+            if entries is not None:
+                entry = entries.get(oid)
+                if entry is not None and entry.version >= version:
+                    append(1)
+                    continue
+                l1 = l1_caches[l1i]
+                if entry is not None:
+                    l1.lookup(oid, version)  # STALE: invalidates the copy
+            else:
+                l1 = l1_caches[l1i]
+                if l1.lookup(oid, version) is hit:
+                    append(1)
+                    continue
+            l2 = l2_caches[l2i]
+            if l2.lookup(oid, version) is hit:
+                l1.insert(oid, size, version)
+                append(2)
+                continue
+            if l3_lookup(oid, version) is hit:
+                l2.insert(oid, size, version)
+                l1.insert(oid, size, version)
+                append(3)
+                continue
+            l3_insert(oid, size, version)
+            l2.insert(oid, size, version)
+            l1.insert(oid, size, version)
+            append(4)
+
+        pattern = np.array(pattern_list, dtype=np.int64)
+        sizes = columns.size[idx]
+        cost = arch.cost_model
+        s0 = np.empty(len(pattern), dtype=np.float64)
+        for point in AccessPoint:
+            rows = pattern == int(point)
+            if rows.any():
+                s0[rows] = cost.hierarchical_ms_batch(point, sizes[rows])
+        flags = np.where(
+            (pattern == 2) | (pattern == 3), FLAG_REMOTE_HIT, 0
+        ).astype(np.int64)
+        # aux carries the requester's L1 index (the L2 parent is derived).
+        aux = self._l1_all[idx]
+        return _BatchResult(pattern, pattern, aux, flags, [s0])
+
+    def result_for(self, batch: _BatchResult, row: int) -> "AccessResult":
+        from repro.obs.journey import Journey
+
+        pattern = int(batch.pattern[row])
+        cost = float(batch.slot_costs[0][row])
+        l1_index = int(batch.aux[row])
+        journey = Journey()
+        if pattern == 1:
+            journey.local_lookup(cost, target=f"l1:{l1_index}")
+            return journey.result(AccessPoint.L1, hit=True)
+        if pattern == 2:
+            l2_index = l1_index // self.arch.topology.l1_per_l2
+            journey.level_traversal(cost, target=f"l2:{l2_index}")
+            return journey.result(AccessPoint.L2, hit=True, remote_hit=True)
+        if pattern == 3:
+            journey.level_traversal(cost, target="l3")
+            return journey.result(AccessPoint.L3, hit=True, remote_hit=True)
+        journey.origin_fetch(cost)
+        return journey.result(AccessPoint.SERVER, hit=False)
+
+
+class HintKernel(_Kernel):
+    """Vectorized healthy path of plain :class:`HintHierarchy`.
+
+    Plain = no push policy and no ideal-push accounting; under those the
+    reference path's stale-holder snapshot and push-mark consumption are
+    provably free of state effects, so the loop below calls exactly the
+    mutating operations the reference calls, in the same order: L1 lookup,
+    directory find, nearest-holder probe, false-positive recording,
+    push-stats clock/byte accounting, demand store + inform.
+    """
+
+    P_LOCAL = 1
+    P_REMOTE = 2
+    P_MISS = 3
+    P_MISS_FP = 4
+    P_MISS_FN = 5
+
+    STEP_TABLE = {
+        1: ((0, "local_lookup", False),),
+        2: ((0, "hint_lookup", False), (1, "transfer", False)),
+        3: ((0, "hint_lookup", False), (1, "origin_fetch", False)),
+        4: (
+            (0, "hint_lookup", False),
+            (1, "peer_probe", True),
+            (2, "origin_fetch", False),
+        ),
+        5: ((0, "hint_lookup", False), (1, "origin_fetch", False)),
+    }
+
+    def __init__(self, architecture, columns) -> None:
+        super().__init__(architecture, columns)
+        topology = architecture.topology
+        self._l1_all = topology.l1_of_clients(columns.client)
+        self._dist_rows = topology.distance_matrix().tolist()
+        # Same unbounded-cache shortcut as the hierarchy kernel: a pure
+        # local HIT mutates nothing observable, so it needs neither the
+        # LRU promotion nor the ``arch._now`` stamp (which only eviction
+        # retractions read).
+        self._l1_entries = [
+            cache._entries if cache.capacity_bytes is None else None
+            for cache in architecture.l1_caches
+        ]
+
+    def process_batch(self, idx: np.ndarray) -> _BatchResult:
+        columns = self.columns
+        times = columns.time[idx].tolist()
+        oids = columns.object[idx].tolist()
+        versions = columns.version[idx].tolist()
+        sizes_list = columns.size[idx].tolist()
+        l1_list = self._l1_all[idx].tolist()
+
+        arch = self.arch
+        caches = arch.l1_caches
+        l1_entries = self._l1_entries
+        directory = arch.directory
+        find = directory.find
+        record_fp = directory.record_false_positive
+        inform = directory.inform
+        truth = directory._truth
+        push_stats = arch.push_stats
+        note_time = push_stats.note_time
+        dist_rows = self._dist_rows
+        hit = LookupResult.HIT
+
+        # Local hits append only a pattern; holder/point/flag for them are
+        # the requester's L1 / AccessPoint.L1 / 0, scattered in afterwards.
+        pattern_list = []
+        miss_row_list = []  # batch-local row index of each non-local row
+        holder_list = []
+        aux_point_list = []
+        flag_list = []
+        p_append = pattern_list.append
+        m_append = miss_row_list.append
+        h_append = holder_list.append
+        a_append = aux_point_list.append
+        f_append = flag_list.append
+        row = -1
+        for t, oid, version, size, l1i in zip(
+            times, oids, versions, sizes_list, l1_list
+        ):
+            row += 1
+            entries = l1_entries[l1i]
+            if entries is not None:
+                entry = entries.get(oid)
+                if entry is not None and entry.version >= version:
+                    p_append(1)
+                    continue
+                arch._now = t
+                cache = caches[l1i]
+                if entry is not None:
+                    cache.lookup(oid, version)  # STALE: invalidate + retract
+            else:
+                arch._now = t
+                cache = caches[l1i]
+                if cache.lookup(oid, version) is hit:
+                    p_append(1)
+                    continue
+            m_append(row)
+            lookup = find(t, oid, l1i)
+            holders = lookup.holders
+            if holders:
+                drow = dist_rows[l1i]
+                holder = min(holders, key=lambda h: (drow[h], h))
+                point = drow[holder]
+                if caches[holder].lookup(oid, version) is hit:
+                    held_map = truth.get(oid)
+                    suboptimal = False
+                    if held_map:
+                        for node, held in held_map.items():
+                            if (
+                                held >= version
+                                and node != l1i
+                                and drow[node] < point
+                            ):
+                                suboptimal = True
+                                break
+                    note_time(t)
+                    push_stats.demand_bytes += size
+                    cache.insert(oid, size, version)
+                    inform(t, oid, l1i, version)
+                    p_append(2)
+                    h_append(holder)
+                    a_append(point)
+                    f_append(
+                        FLAG_REMOTE_HIT | FLAG_SUBOPTIMAL
+                        if suboptimal
+                        else FLAG_REMOTE_HIT
+                    )
+                    continue
+                record_fp()
+                note_time(t)
+                push_stats.demand_bytes += size
+                cache.insert(oid, size, version)
+                inform(t, oid, l1i, version)
+                p_append(4)
+                h_append(holder)
+                a_append(point)
+                f_append(FLAG_FALSE_POSITIVE)
+                continue
+            note_time(t)
+            push_stats.demand_bytes += size
+            cache.insert(oid, size, version)
+            inform(t, oid, l1i, version)
+            if lookup.false_negative:
+                p_append(5)
+                f_append(FLAG_FALSE_NEGATIVE)
+            else:
+                p_append(3)
+                f_append(0)
+            h_append(-1)
+            a_append(4)
+
+        pattern = np.array(pattern_list, dtype=np.int64)
+        n = len(pattern)
+        miss_rows = np.array(miss_row_list, dtype=np.int64)
+        aux_point = np.ones(n, dtype=np.int64)
+        if miss_rows.size:
+            aux_point[miss_rows] = np.array(aux_point_list, dtype=np.int64)
+        sizes = columns.size[idx]
+        cost = arch.cost_model
+        hint_ms = cost.hint_lookup_ms()
+
+        s0 = np.zeros(n, dtype=np.float64)
+        s1 = np.zeros(n, dtype=np.float64)
+        s2 = np.zeros(n, dtype=np.float64)
+        local_rows = pattern == 1
+        if local_rows.any():
+            s0[local_rows] = cost.via_l1_ms_batch(
+                AccessPoint.L1, sizes[local_rows]
+            )
+        nonlocal_rows = ~local_rows
+        s0[nonlocal_rows] = hint_ms
+        remote_rows = pattern == 2
+        for point in (AccessPoint.L2, AccessPoint.L3):
+            rows = remote_rows & (aux_point == int(point))
+            if rows.any():
+                s1[rows] = cost.via_l1_ms_batch(point, sizes[rows])
+        plain_miss = (pattern == 3) | (pattern == 5)
+        if plain_miss.any():
+            s1[plain_miss] = cost.via_l1_ms_batch(
+                AccessPoint.SERVER, sizes[plain_miss]
+            )
+        fp_rows = pattern == 4
+        if fp_rows.any():
+            for point in (AccessPoint.L2, AccessPoint.L3):
+                rows = fp_rows & (aux_point == int(point))
+                if rows.any():
+                    s1[rows] = cost.probe_ms(point)
+            s2[fp_rows] = cost.via_l1_ms_batch(AccessPoint.SERVER, sizes[fp_rows])
+
+        result_point = np.where(
+            pattern == 1, 1, np.where(remote_rows, aux_point, 4)
+        )
+        flags = np.zeros(n, dtype=np.int64)
+        # aux carries the holder / local proxy index for journey targets
+        # (the transfer point of a remote hit is result_point itself).
+        holder = self._l1_all[idx].copy()
+        if miss_rows.size:
+            flags[miss_rows] = np.array(flag_list, dtype=np.int64)
+            holder[miss_rows] = np.array(holder_list, dtype=np.int64)
+        return _BatchResult(pattern, result_point, holder, flags, [s0, s1, s2])
+
+    def result_for(self, batch: _BatchResult, row: int) -> "AccessResult":
+        from repro.obs.journey import Journey
+
+        pattern = int(batch.pattern[row])
+        s0 = float(batch.slot_costs[0][row])
+        s1 = float(batch.slot_costs[1][row])
+        s2 = float(batch.slot_costs[2][row])
+        holder = int(batch.aux[row])
+        flags = int(batch.flags[row])
+        journey = Journey()
+        if pattern == 1:
+            journey.local_lookup(s0, target=f"l1:{holder}")
+            return journey.result(AccessPoint.L1, hit=True)
+        if pattern == 2:
+            journey.hint_lookup(s0, target=f"l1:{holder}")
+            journey.transfer(s1, target=f"l1:{holder}")
+            if flags & FLAG_SUBOPTIMAL:
+                journey.mark_suboptimal()
+            return journey.result(
+                AccessPoint(int(batch.point[row])), hit=True, remote_hit=True
+            )
+        journey.hint_lookup(s0)
+        if pattern == 4:
+            journey.peer_probe(s1, target=f"l1:{holder}", wasted=True)
+            journey.mark_false_positive()
+            journey.origin_fetch(s2)
+        else:
+            if pattern == 5:
+                journey.mark_false_negative()
+            journey.origin_fetch(s1)
+        return journey.result(AccessPoint.SERVER, hit=False)
+
+
+def kernel_class_for(architecture: "Architecture"):
+    """The vectorized kernel for this architecture, or ``None``.
+
+    Exact-type matches only: subclasses may override ``process`` and must
+    not silently inherit a kernel that bypasses their behavior.
+    """
+    from repro.hierarchy.data_hierarchy import DataHierarchy
+    from repro.hierarchy.hint_hierarchy import HintHierarchy
+
+    if type(architecture) is DataHierarchy:
+        return HierarchyKernel
+    if (
+        type(architecture) is HintHierarchy
+        and architecture.push_policy is None
+        and not architecture.charge_remote_as_l1
+    ):
+        return HintKernel
+    return None
+
+
+def fast_unsupported_reason(architecture: "Architecture") -> str | None:
+    """Why the vectorized path cannot drive this architecture (or None)."""
+    if kernel_class_for(architecture) is None:
+        return (
+            f"no vectorized kernel for architecture {architecture.name!r} "
+            f"({type(architecture).__name__}); supported: plain hierarchy "
+            "and plain hints"
+        )
+    return None
+
+
+def run_fast_simulation(
+    trace: "Trace",
+    architecture: "Architecture",
+    *,
+    warmup_s: float | None = None,
+    include_uncachable: bool = False,
+    journey_sink: "JourneySink | None" = None,
+    telemetry: "RunTelemetry | None" = None,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+) -> SimMetrics:
+    """Columnar twin of :func:`repro.sim.engine.run_simulation`.
+
+    Accepts only configurations the vectorized kernels cover (the engine's
+    dispatcher routes fault plans and audit hooks to the reference loop).
+    Returns byte-identical :class:`SimMetrics`.
+    """
+    if batch_size < 1:
+        raise ValueError(f"batch size must be positive, got {batch_size}")
+    kernel_cls = kernel_class_for(architecture)
+    if kernel_cls is None:
+        raise ValueError(fast_unsupported_reason(architecture))
+    if architecture.faults is not None or architecture.audit is not None:
+        raise ValueError(
+            "fast engine handles healthy, un-audited runs; fault plans and "
+            "audit hooks dispatch to the reference loop"
+        )
+    boundary = trace.warmup if warmup_s is None else warmup_s
+    metrics = SimMetrics(
+        architecture=architecture.name,
+        cost_model=architecture.cost_model.name,
+    )
+    columns = trace.columns()
+    n = len(columns)
+    if telemetry is not None:
+        telemetry.begin(architecture)
+
+    time_col = columns.time
+    error = columns.error
+    uncachable = (~columns.cacheable) & (~error)
+    if include_uncachable:
+        metrics.included_error = int(error.sum())
+        metrics.included_uncachable = int(uncachable.sum())
+        process = np.ones(n, dtype=bool)
+    else:
+        metrics.skipped_error = int(error.sum())
+        metrics.skipped_uncachable = int(uncachable.sum())
+        process = ~(error | uncachable)
+    measured_mask = process & (time_col >= boundary)
+    processed_total = int(process.sum())
+    metrics.warmup_requests = processed_total - int(measured_mask.sum())
+
+    # Batch spans: fixed-size chunks, additionally split at telemetry bin
+    # edges so each span's clock advance (and therefore every bin-close
+    # snapshot) lands exactly where the per-request engine would put it.
+    edges = set(range(0, n, batch_size))
+    if telemetry is not None and n:
+        bins = (time_col // telemetry.bin_s).astype(np.int64)
+        edges.update((np.flatnonzero(np.diff(bins) != 0) + 1).tolist())
+    span_edges = sorted(edges) + [n]
+
+    kernel = kernel_cls(architecture, columns)
+    kind_table = kernel._kind_table()
+    sizes_col = columns.size
+    requests = trace.requests if journey_sink is not None else None
+
+    for start, stop in zip(span_edges, span_edges[1:]):
+        if start >= stop:
+            continue
+        if telemetry is not None:
+            telemetry.advance(float(time_col[start]))
+        idx = np.flatnonzero(process[start:stop]) + start
+        if idx.size == 0:
+            continue
+        batch = kernel.process_batch(idx)
+        span_measured = measured_mask[idx]
+        measured_before = metrics.measured_requests
+        _fold_measured(
+            metrics,
+            batch,
+            span_measured,
+            sizes_col[idx],
+            kernel.STEP_TABLE,
+            kind_table,
+        )
+        if telemetry is not None:
+            _observe_span(telemetry, batch, span_measured, sizes_col[idx])
+        if journey_sink is not None:
+            for offset, row in enumerate(np.flatnonzero(span_measured).tolist()):
+                result = kernel.result_for(batch, row)
+                journey_sink.emit(
+                    measured_before + offset, requests[int(idx[row])], result
+                )
+
+    architecture.processed_requests += processed_total
+    if telemetry is not None:
+        telemetry.finish(trace.duration)
+    metrics.validate(expected_requests=n)
+    return metrics
+
+
+def _fold_measured(
+    metrics: SimMetrics,
+    batch: _BatchResult,
+    measured: np.ndarray,
+    sizes: np.ndarray,
+    step_table,
+    kind_table,
+) -> None:
+    """Fold one batch's measured rows into SimMetrics, bit-identically."""
+    count = int(measured.sum())
+    if count == 0:
+        return
+    times = batch.time_ms[measured]
+    points = batch.point[measured]
+    flags = batch.flags[measured]
+    msizes = sizes[measured]
+
+    metrics.measured_requests += count
+    metrics.total_ms = _sequential_sum(metrics.total_ms, times)
+    metrics.latency.bulk_record(times)
+    point_counts = np.bincount(points, minlength=5)
+    for point in AccessPoint:
+        hits = int(point_counts[int(point)])
+        if hits:
+            metrics.requests_by_point[point] += hits
+            metrics.bytes_by_point[point] += int(msizes[points == int(point)].sum())
+    metrics.remote_hits += int((flags & FLAG_REMOTE_HIT != 0).sum())
+    metrics.false_positives += int((flags & FLAG_FALSE_POSITIVE != 0).sum())
+    metrics.false_negatives += int((flags & FLAG_FALSE_NEGATIVE != 0).sum())
+    metrics.suboptimal_positives += int((flags & FLAG_SUBOPTIMAL != 0).sum())
+    metrics.journeyed_requests += count
+
+    # Per-kind step fold.  Aggregates are created in first-seen order
+    # (row-major, then slot order within a row) so rendered decomposition
+    # tables iterate kinds exactly as the reference engine built them.
+    patterns = batch.pattern[measured]
+    steps = metrics.steps
+    first_seen: dict[str, int] = {}
+    for pattern, slots in step_table.items():
+        rows = np.flatnonzero(patterns == pattern)
+        if rows.size == 0:
+            continue
+        ordinal_base = int(rows[0]) * 4
+        for slot, kind, _wasted in slots:
+            if kind not in steps:
+                ordinal = ordinal_base + slot
+                if kind not in first_seen or ordinal < first_seen[kind]:
+                    first_seen[kind] = ordinal
+    for kind, _ in sorted(first_seen.items(), key=lambda item: item[1]):
+        steps[kind] = StepAggregate(kind=kind)
+
+    n_rows = len(patterns)
+    measured_slot_costs = [costs[measured] for costs in batch.slot_costs]
+    for kind, occurrences in kind_table.items():
+        kind_mask = np.zeros(n_rows, dtype=bool)
+        kind_cost = np.empty(n_rows, dtype=np.float64)
+        wasted_mask = np.zeros(n_rows, dtype=bool)
+        for pattern, slot, wasted in occurrences:
+            rows = patterns == pattern
+            if not rows.any():
+                continue
+            kind_mask |= rows
+            kind_cost[rows] = measured_slot_costs[slot][rows]
+            if wasted:
+                wasted_mask |= rows
+        if not kind_mask.any():
+            continue
+        costs = kind_cost[kind_mask]
+        agg = steps[kind]
+        agg.count += len(costs)
+        agg.total_ms = _sequential_sum(agg.total_ms, costs)
+        agg.wasted += int(wasted_mask.sum())
+        agg.latency.bulk_record(costs)
+        # agg.fault_ms stays 0.0: healthy steps charge fault_ms == 0.0 and
+        # x += 0.0 is the identity for the fault ledger's non-negatives.
+
+
+def _observe_span(
+    telemetry: "RunTelemetry",
+    batch: _BatchResult,
+    span_measured: np.ndarray,
+    sizes: np.ndarray,
+) -> None:
+    """Decode one span's rows into telemetry observations, in row order."""
+    observe = telemetry.observe_values
+    points = batch.point.tolist()
+    times = batch.time_ms.tolist()
+    flags = batch.flags.tolist()
+    size_list = sizes.tolist()
+    measured_list = span_measured.tolist()
+    for point, time_ms, flag, size, measured in zip(
+        points, times, flags, size_list, measured_list
+    ):
+        observe(
+            point=point,
+            size=size,
+            time_ms=time_ms,
+            remote_hit=bool(flag & FLAG_REMOTE_HIT),
+            false_positive=bool(flag & FLAG_FALSE_POSITIVE),
+            false_negative=bool(flag & FLAG_FALSE_NEGATIVE),
+            suboptimal_positive=bool(flag & FLAG_SUBOPTIMAL),
+            measured=measured,
+        )

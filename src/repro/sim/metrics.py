@@ -41,8 +41,50 @@ class LatencyHistogram:
         self._bins[index] += 1
         self._count += 1
 
+    def bulk_record(self, values) -> None:
+        """Record a float array of samples, bin-identical to a record() loop.
+
+        Binning is vectorized with ``np.log10``, then every distinct value
+        whose position lands within ``1e-6`` of a bin boundary is re-binned
+        through the *same scalar formula* as :meth:`record`.  NumPy's and
+        libm's ``log10`` agree to a few ulps (absolute position error
+        ``< 1e-12`` over the histogram's range), so any value outside that
+        guard band truncates to the same bin under both -- the scalar
+        recheck covers the only cases where they could differ.
+        """
+        import numpy as np
+
+        values = np.asarray(values, dtype=np.float64)
+        if values.size == 0:
+            return
+        if float(values.min()) < 0:
+            raise ValueError("latency must be non-negative")
+        unique, inverse = np.unique(values, return_inverse=True)
+        bpd = self.BINS_PER_DECADE
+        top = self._N_BINS - 1
+        big = unique > 0.1
+        position = np.zeros(len(unique), dtype=np.float64)
+        position[big] = (np.log10(unique[big]) + 1.0) * bpd
+        indices = np.minimum(top, position.astype(np.int64))
+        fraction = position - np.floor(position)
+        suspect = big & ((fraction < 1e-6) | (fraction > 1.0 - 1e-6))
+        for i in np.flatnonzero(suspect).tolist():
+            ms = float(unique[i])
+            scalar_position = (math.log10(ms) + 1.0) * bpd
+            indices[i] = min(top, max(0, int(scalar_position)))
+        counts = np.bincount(indices[inverse], minlength=self._N_BINS)
+        bins = self._bins
+        for index in np.flatnonzero(counts).tolist():
+            bins[index] += int(counts[index])
+        self._count += int(values.size)
+
     def __len__(self) -> int:
         return self._count
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LatencyHistogram):
+            return NotImplemented
+        return self._count == other._count and self._bins == other._bins
 
     def percentile(self, fraction: float) -> float:
         """The response time at the given quantile (0 < fraction <= 1).

@@ -1,0 +1,163 @@
+"""Columnar trace storage: one NumPy array per request field.
+
+A :class:`TraceColumns` is the structure-of-arrays twin of
+``list[Request]``: seven parallel arrays (time, client, object, size,
+version, cacheable, error) holding the same records without the per-row
+tuple objects.  It is the native layout of the ``.npz`` trace format and
+of the fast simulation engine (:mod:`repro.sim.fastpath`), which consumes
+the arrays directly instead of re-packing materialized ``Request`` rows.
+
+:class:`LazyRequestList` bridges the two worlds: a sequence that *looks*
+like ``list[Request]`` (so every existing consumer keeps working) but is
+backed by columns and only materializes the row tuples on first element
+access.  A warm trace-cache load therefore costs array deserialization
+only; the O(n) tuple build is deferred until someone actually iterates
+requests -- and never happens at all under ``engine="fast"``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.traces.records import Request
+
+#: dtype per column, in canonical field order (matches the .npz keys).
+COLUMN_DTYPES = {
+    "time": np.float64,
+    "client": np.int64,
+    "object": np.int64,
+    "size": np.int64,
+    "version": np.int64,
+    "cacheable": np.bool_,
+    "error": np.bool_,
+}
+
+
+@dataclass(frozen=True)
+class TraceColumns:
+    """Structure-of-arrays request records (parallel, equal-length).
+
+    Attributes mirror :class:`~repro.traces.records.Request` fields;
+    every array is 1-D and all share one length.  Instances are treated
+    as immutable -- nothing in the simulator writes to a trace.
+    """
+
+    time: np.ndarray
+    client: np.ndarray
+    object: np.ndarray
+    size: np.ndarray
+    version: np.ndarray
+    cacheable: np.ndarray
+    error: np.ndarray
+
+    def __post_init__(self) -> None:
+        lengths = {
+            name: len(getattr(self, name)) for name in COLUMN_DTYPES
+        }
+        if len(set(lengths.values())) > 1:
+            raise ValueError(f"trace columns have mismatched lengths: {lengths}")
+
+    def __len__(self) -> int:
+        return len(self.time)
+
+    def is_time_sorted(self) -> bool:
+        """True when the time column never decreases (the trace contract)."""
+        if len(self.time) < 2:
+            return True
+        return bool(np.all(np.diff(self.time) >= 0.0))
+
+    @classmethod
+    def from_requests(cls, requests: Sequence[Request]) -> "TraceColumns":
+        """Pack materialized request rows into columns."""
+        return cls(
+            time=np.array([r.time for r in requests], dtype=np.float64),
+            client=np.array([r.client_id for r in requests], dtype=np.int64),
+            object=np.array([r.object_id for r in requests], dtype=np.int64),
+            size=np.array([r.size for r in requests], dtype=np.int64),
+            version=np.array([r.version for r in requests], dtype=np.int64),
+            cacheable=np.array([r.cacheable for r in requests], dtype=bool),
+            error=np.array([r.error for r in requests], dtype=bool),
+        )
+
+    def to_requests(self) -> list[Request]:
+        """Materialize the row-tuple view (one ``Request`` per record).
+
+        ``tolist()`` yields native Python scalars, so the rows are
+        indistinguishable from ones built by the text/npz readers or the
+        synthetic generator.
+        """
+        return [
+            Request(t, c, o, s, v, u, e)
+            for t, c, o, s, v, u, e in zip(
+                self.time.tolist(),
+                self.client.tolist(),
+                self.object.tolist(),
+                self.size.tolist(),
+                self.version.tolist(),
+                self.cacheable.tolist(),
+                self.error.tolist(),
+            )
+        ]
+
+    def row(self, index: int) -> Request:
+        """Materialize a single record."""
+        return Request(
+            time=float(self.time[index]),
+            client_id=int(self.client[index]),
+            object_id=int(self.object[index]),
+            size=int(self.size[index]),
+            version=int(self.version[index]),
+            cacheable=bool(self.cacheable[index]),
+            error=bool(self.error[index]),
+        )
+
+
+class LazyRequestList(Sequence):
+    """``list[Request]``-compatible view over :class:`TraceColumns`.
+
+    Length and the backing ``columns`` are free; any element access
+    materializes the full row list once and serves everything from it
+    afterwards (the reference engine iterates every request anyway, so
+    per-row laziness would only add per-access overhead).
+    """
+
+    __slots__ = ("columns", "_rows")
+
+    def __init__(self, columns: TraceColumns) -> None:
+        self.columns = columns
+        self._rows: list[Request] | None = None
+
+    def _materialize(self) -> list[Request]:
+        if self._rows is None:
+            self._rows = self.columns.to_requests()
+        return self._rows
+
+    @property
+    def materialized(self) -> bool:
+        """True once the row tuples have been built (tests observe this)."""
+        return self._rows is not None
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def __iter__(self) -> Iterator[Request]:
+        return iter(self._materialize())
+
+    def __getitem__(self, index):
+        return self._materialize()[index]
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, LazyRequestList):
+            if self.columns is other.columns:
+                return True
+            other = other._materialize()
+        if isinstance(other, (list, tuple)):
+            return self._materialize() == list(other)
+        return NotImplemented
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "materialized" if self.materialized else "columnar"
+        return f"LazyRequestList({len(self)} requests, {state})"

@@ -19,6 +19,7 @@ from typing import TextIO
 import numpy as np
 
 from repro.common.errors import TraceFormatError
+from repro.traces.columns import TraceColumns
 from repro.traces.records import Request, Trace
 
 _TEXT_COLUMNS = ("time", "client", "object", "size", "version", "cacheable", "error")
@@ -115,7 +116,7 @@ def read_trace(path: str | os.PathLike) -> Trace:
 
 
 def _write_trace_npz(trace: Trace, path: str) -> None:
-    requests = trace.requests
+    columns = trace.columns()
     np.savez_compressed(
         path,
         profile_name=np.array(trace.profile_name),
@@ -123,13 +124,13 @@ def _write_trace_npz(trace: Trace, path: str) -> None:
         n_clients=np.array(trace.n_clients),
         duration=np.array(trace.duration),
         warmup=np.array(trace.warmup),
-        time=np.array([r.time for r in requests]),
-        client=np.array([r.client_id for r in requests], dtype=np.int64),
-        object=np.array([r.object_id for r in requests], dtype=np.int64),
-        size=np.array([r.size for r in requests], dtype=np.int64),
-        version=np.array([r.version for r in requests], dtype=np.int64),
-        cacheable=np.array([r.cacheable for r in requests], dtype=bool),
-        error=np.array([r.error for r in requests], dtype=bool),
+        time=columns.time,
+        client=columns.client,
+        object=columns.object,
+        size=columns.size,
+        version=columns.version,
+        cacheable=columns.cacheable,
+        error=columns.error,
     )
 
 
@@ -138,29 +139,21 @@ def _read_trace_npz(path: str) -> Trace:
         data = np.load(path, allow_pickle=False)
     except (OSError, ValueError) as exc:
         raise TraceFormatError(f"cannot read npz trace {path!r}: {exc}") from exc
-    requests = [
-        Request(
-            time=float(t),
-            client_id=int(c),
-            object_id=int(o),
-            size=int(s),
-            version=int(v),
-            cacheable=bool(u),
-            error=bool(e),
-        )
-        for t, c, o, s, v, u, e in zip(
-            data["time"],
-            data["client"],
-            data["object"],
-            data["size"],
-            data["version"],
-            data["cacheable"],
-            data["error"],
-        )
-    ]
-    return Trace(
+    # Stay columnar: the request list is lazy, so a warm TraceCache load
+    # does not materialize per-request tuples just for the engine to
+    # re-pack them (the fast engine reads the arrays directly).
+    columns = TraceColumns(
+        time=np.ascontiguousarray(data["time"], dtype=np.float64),
+        client=np.ascontiguousarray(data["client"], dtype=np.int64),
+        object=np.ascontiguousarray(data["object"], dtype=np.int64),
+        size=np.ascontiguousarray(data["size"], dtype=np.int64),
+        version=np.ascontiguousarray(data["version"], dtype=np.int64),
+        cacheable=np.ascontiguousarray(data["cacheable"], dtype=bool),
+        error=np.ascontiguousarray(data["error"], dtype=bool),
+    )
+    return Trace.from_columns(
         profile_name=str(data["profile_name"]),
-        requests=requests,
+        columns=columns,
         n_objects=int(data["n_objects"]),
         n_clients=int(data["n_clients"]),
         duration=float(data["duration"]),

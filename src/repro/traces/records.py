@@ -76,11 +76,58 @@ class Trace:
     #: Lazily filled by url_for; excluded from equality so a used trace
     #: still compares equal to a freshly generated/deserialized twin.
     _url_cache: dict[int, str] = field(default_factory=dict, repr=False, compare=False)
+    #: Memoized columnar view (repro.traces.columns.TraceColumns); excluded
+    #: from equality for the same reason as the URL cache.
+    _columns: object = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
+        columns = getattr(self.requests, "columns", None)
+        if columns is not None:
+            # Columnar-backed (lazy) request list: validate sortedness on
+            # the time array without materializing row tuples, and memoize
+            # the columns so Trace.columns() is free.
+            if not columns.is_time_sorted():
+                raise ValueError("trace requests must be sorted by time")
+            self._columns = columns
+            return
         for earlier, later in zip(self.requests, self.requests[1:]):
             if later.time < earlier.time:
                 raise ValueError("trace requests must be sorted by time")
+
+    @classmethod
+    def from_columns(
+        cls,
+        profile_name: str,
+        columns,
+        n_objects: int,
+        n_clients: int,
+        duration: float,
+        warmup: float = 0.0,
+    ) -> "Trace":
+        """Build a trace over columnar arrays without materializing rows.
+
+        The request list is a :class:`~repro.traces.columns.LazyRequestList`,
+        so row tuples are only built if a consumer actually indexes or
+        iterates ``requests`` (the fast engine never does).
+        """
+        from repro.traces.columns import LazyRequestList
+
+        return cls(
+            profile_name=profile_name,
+            requests=LazyRequestList(columns),
+            n_objects=n_objects,
+            n_clients=n_clients,
+            duration=duration,
+            warmup=warmup,
+        )
+
+    def columns(self):
+        """The columnar (structure-of-arrays) view of ``requests``, memoized."""
+        if self._columns is None:
+            from repro.traces.columns import TraceColumns
+
+            self._columns = TraceColumns.from_requests(self.requests)
+        return self._columns
 
     def __len__(self) -> int:
         return len(self.requests)

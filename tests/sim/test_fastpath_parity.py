@@ -1,0 +1,315 @@
+"""Differential parity: the columnar fast engine vs the reference engine.
+
+Every configuration here runs both engines over the same trace and asserts
+**byte-identical** ``SimMetrics`` -- equality of every counter, float
+accumulator, and latency histogram bin.  The matrix covers both kernelized
+architectures, bounded and unbounded caches, hint pathologies (false
+positives/negatives, suboptimal hits), fault plans (which dispatch to the
+reference loop and must stay exact), telemetry rows, journey streams, and
+batch-boundary invariance under Hypothesis.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults import FaultPlan, LinkDegrade, NodeCrash
+from repro.hierarchy.data_hierarchy import DataHierarchy
+from repro.hierarchy.hint_hierarchy import HintHierarchy
+from repro.hierarchy.icp import IcpHierarchy
+from repro.netmodel.testbed import TestbedCostModel
+from repro.obs.sink import SamplingJourneySink
+from repro.obs.telemetry import MetricsRegistry, RunTelemetry
+from repro.sim.engine import run_simulation
+from repro.sim.fastpath import (
+    _sequential_sum,
+    fast_unsupported_reason,
+    run_fast_simulation,
+)
+from repro.sim.metrics import LatencyHistogram
+
+MB = 1024 * 1024
+
+
+def build_architecture(kind, topology):
+    """Fresh architecture for one parity cell (never reused across runs)."""
+    cost = TestbedCostModel()
+    if kind == "hierarchy":
+        return DataHierarchy(topology, cost)
+    if kind == "hierarchy-bounded":
+        return DataHierarchy(
+            topology, cost, l1_bytes=2 * MB, l2_bytes=8 * MB, l3_bytes=32 * MB
+        )
+    if kind == "hints":
+        return HintHierarchy(topology, cost)
+    if kind == "hints-pathological":
+        # Bounded data caches force evictions (stale hints -> false
+        # positives), the bounded hint store forces hint drops (false
+        # negatives), and the propagation delay leaves nearer copies
+        # invisible (suboptimal hits).
+        return HintHierarchy(
+            topology,
+            cost,
+            l1_bytes=int(1.8 * MB),
+            hint_capacity_bytes=16 * 1024,
+            hint_delay_s=7200.0,
+        )
+    raise AssertionError(kind)
+
+
+FAULT_PLANS = {
+    "no-fault": None,
+    "crash-heavy": (
+        NodeCrash(time=0.0, kind="l1", node=0),
+        NodeCrash(time=0.0, kind="l2", node=0),
+        NodeCrash(time=3600.0, kind="l1", node=1),
+        NodeCrash(time=3600.0, kind="meta", node=0),
+    ),
+    "link-degrade": (LinkDegrade(time=0.0, latency_mult=1.5),),
+}
+
+
+def run_pair(trace, kind, topology, **kwargs):
+    reference = run_simulation(
+        trace, build_architecture(kind, topology), engine="reference", **kwargs
+    )
+    fast = run_simulation(
+        trace, build_architecture(kind, topology), engine="fast", **kwargs
+    )
+    return reference, fast
+
+
+@pytest.mark.parametrize("fault_name", sorted(FAULT_PLANS))
+@pytest.mark.parametrize(
+    "kind", ["hierarchy", "hierarchy-bounded", "hints", "hints-pathological"]
+)
+def test_parity_matrix(kind, fault_name, tiny_config, dec_trace):
+    """Architecture x fault-plan matrix: byte-identical SimMetrics."""
+    events = FAULT_PLANS[fault_name]
+    plan = (
+        FaultPlan(events=events, seed=tiny_config.seed)
+        if events is not None
+        else None
+    )
+    reference, fast = run_pair(
+        dec_trace, kind, tiny_config.topology, fault_plan=plan
+    )
+    assert reference == fast
+
+
+def test_pathological_config_exercises_hint_errors(tiny_config, dec_trace):
+    """The pathology cell is not vacuous: FP/FN/suboptimal all fire."""
+    _, fast = run_pair(dec_trace, "hints-pathological", tiny_config.topology)
+    assert fast.false_positives > 0
+    assert fast.false_negatives > 0
+    assert fast.suboptimal_positives > 0
+    assert fast.remote_hits > 0
+
+
+def test_parity_include_uncachable_and_warmup(tiny_config, dec_trace):
+    for kind in ("hierarchy", "hints"):
+        reference, fast = run_pair(
+            dec_trace,
+            kind,
+            tiny_config.topology,
+            include_uncachable=True,
+            warmup_s=0.0,
+        )
+        assert reference == fast
+        assert fast.included_uncachable + fast.included_error > 0
+        assert fast.warmup_requests == 0
+
+
+def test_parity_prodigy_trace(tiny_config, prodigy_trace):
+    for kind in ("hierarchy", "hints"):
+        reference, fast = run_pair(prodigy_trace, kind, tiny_config.topology)
+        assert reference == fast
+
+
+@pytest.mark.parametrize("batch_size", [1, 7, 1024])
+def test_batch_size_invariance_pinned(batch_size, tiny_config, dec_trace):
+    """Fixed batch-boundary sweep: 1 (degenerate), 7 (ragged), 1024."""
+    reference = run_simulation(
+        dec_trace, build_architecture("hints", tiny_config.topology)
+    )
+    fast = run_fast_simulation(
+        dec_trace,
+        build_architecture("hints", tiny_config.topology),
+        batch_size=batch_size,
+    )
+    assert reference == fast
+
+
+_hypothesis_cache: dict = {}
+
+
+@settings(max_examples=8, deadline=None)
+@given(batch_size=st.integers(min_value=1, max_value=4096))
+def test_batch_size_invariance_hypothesis(batch_size):
+    """Any batch size yields the same metrics: boundaries never leak."""
+    # Build the shared trace/reference once (hypothesis re-calls the body).
+    if "trace" not in _hypothesis_cache:
+        from tests.conftest import make_tiny_config
+        from repro.traces.synthetic import SyntheticTraceGenerator
+
+        config = make_tiny_config()
+        profile = config.profile("dec")
+        trace = SyntheticTraceGenerator(profile, seed=config.seed).generate()
+        _hypothesis_cache["trace"] = trace
+        _hypothesis_cache["topology"] = config.topology
+        _hypothesis_cache["reference"] = run_simulation(
+            trace, build_architecture("hierarchy", config.topology)
+        )
+    fast = run_fast_simulation(
+        _hypothesis_cache["trace"],
+        build_architecture("hierarchy", _hypothesis_cache["topology"]),
+        batch_size=batch_size,
+    )
+    assert fast == _hypothesis_cache["reference"]
+
+
+def test_journey_stream_parity(tiny_config, dec_trace):
+    """Decoded journeys match the reference ledger sample-for-sample."""
+    for kind in ("hierarchy", "hints-pathological"):
+        sinks = {}
+        for engine in ("reference", "fast"):
+            sink = SamplingJourneySink(capacity=None)
+            run_simulation(
+                dec_trace,
+                build_architecture(kind, tiny_config.topology),
+                journey_sink=sink,
+                engine=engine,
+            )
+            sinks[engine] = sink
+        assert sinks["reference"].seen == sinks["fast"].seen
+        for (seq_r, req_r, res_r), (seq_f, req_f, res_f) in zip(
+            sinks["reference"].samples, sinks["fast"].samples
+        ):
+            assert seq_r == seq_f
+            assert req_r == req_f
+            assert res_r.time_ms == res_f.time_ms
+            assert res_r.point is res_f.point
+            assert res_r.hit == res_f.hit
+            assert res_r.remote_hit == res_f.remote_hit
+            assert res_r.false_positive == res_f.false_positive
+            assert res_r.false_negative == res_f.false_negative
+            assert res_r.suboptimal_positive == res_f.suboptimal_positive
+            steps_r = [
+                (s.kind, s.cost_ms, s.target, s.fault_ms, s.wasted)
+                for s in res_r.journey.steps
+            ]
+            steps_f = [
+                (s.kind, s.cost_ms, s.target, s.fault_ms, s.wasted)
+                for s in res_f.journey.steps
+            ]
+            assert steps_r == steps_f
+
+
+def test_telemetry_rows_parity(tiny_config, dec_trace):
+    """Per-bin telemetry rows are identical, including gauge snapshots."""
+    for kind in ("hierarchy", "hints-pathological"):
+        rows = {}
+        for engine in ("reference", "fast"):
+            telemetry = RunTelemetry(MetricsRegistry(), bin_s=3600.0)
+            run_simulation(
+                dec_trace,
+                build_architecture(kind, tiny_config.topology),
+                telemetry=telemetry,
+                engine=engine,
+            )
+            rows[engine] = telemetry.rows
+        assert rows["reference"] == rows["fast"]
+
+
+def test_fast_raises_for_unsupported_architecture(tiny_config, dec_trace):
+    icp = IcpHierarchy(tiny_config.topology, TestbedCostModel())
+    assert fast_unsupported_reason(icp) is not None
+    with pytest.raises(ValueError, match="no vectorized kernel"):
+        run_simulation(dec_trace, icp, engine="fast")
+
+
+def test_auto_falls_back_for_unsupported_architecture(tiny_config, dec_trace):
+    icp = IcpHierarchy(tiny_config.topology, TestbedCostModel())
+    reference = run_simulation(
+        dec_trace, IcpHierarchy(tiny_config.topology, TestbedCostModel())
+    )
+    assert run_simulation(dec_trace, icp, engine="auto") == reference
+
+
+def test_fast_rejects_push_and_ideal_variants(tiny_config):
+    ideal = HintHierarchy(
+        tiny_config.topology, TestbedCostModel(), charge_remote_as_l1=True
+    )
+    assert fast_unsupported_reason(ideal) is not None
+
+
+def test_engine_name_validated(tiny_config, dec_trace):
+    with pytest.raises(ValueError, match="unknown engine"):
+        run_simulation(
+            dec_trace,
+            build_architecture("hierarchy", tiny_config.topology),
+            engine="warp",
+        )
+
+
+def test_sequential_sum_is_bitwise_left_to_right():
+    """np.cumsum replays the reference's ``total += v`` chain exactly."""
+    rng = np.random.default_rng(7)
+    values = rng.uniform(0.01, 5000.0, size=4097)
+    total = 3.25
+    for v in values.tolist():
+        total += v
+    assert _sequential_sum(3.25, values) == total
+    assert _sequential_sum(0.0, values[:1]) == values[0]
+    assert _sequential_sum(1.5, values[:0]) == 1.5
+
+
+def test_bulk_record_matches_scalar_loop_including_boundaries():
+    """Vectorized binning equals a record() loop, bin for bin."""
+    rng = np.random.default_rng(11)
+    values = np.concatenate(
+        [
+            rng.uniform(0.0, 2.0, size=500),
+            rng.lognormal(3.0, 2.0, size=500),
+            # Exact bin edges and their float neighbours: the scalar
+            # recheck band must route these through math.log10.
+            np.array(
+                [
+                    10 ** (k / 32 - 1.0)
+                    for k in range(0, 224, 7)
+                ]
+            ),
+            np.nextafter(
+                np.array([10 ** (k / 32 - 1.0) for k in range(0, 224, 7)]),
+                np.inf,
+            ),
+            np.array([0.0, 0.1, np.nextafter(0.1, np.inf), 1e9]),
+        ]
+    )
+    scalar = LatencyHistogram()
+    for v in values.tolist():
+        scalar.record(v)
+    bulk = LatencyHistogram()
+    bulk.bulk_record(values)
+    assert bulk == scalar
+
+
+def test_fast_rejects_attached_fault_or_audit_state(tiny_config, dec_trace):
+    arch = build_architecture("hierarchy", tiny_config.topology)
+    arch.faults = object()
+    with pytest.raises(ValueError, match="healthy"):
+        run_fast_simulation(dec_trace, arch)
+
+
+def test_bad_batch_size_rejected(tiny_config, dec_trace):
+    with pytest.raises(ValueError, match="batch size"):
+        run_fast_simulation(
+            dec_trace,
+            build_architecture("hierarchy", tiny_config.topology),
+            batch_size=0,
+        )
