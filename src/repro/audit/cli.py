@@ -7,7 +7,9 @@ Two stages, both deterministic:
    trace with :class:`~repro.audit.hooks.AuditHooks` and telemetry
    attached, so every runtime invariant (byte accounting, hint/truth
    agreement, ledger sums, partitions, telescoping) is verified on every
-   cell.
+   cell.  Each cell then re-runs on the columnar fast engine, which must
+   be byte-identical to the audited reference run -- both engines face
+   the gate.
 2. **Differential trials** -- seeded random operation streams driven
    through production and oracle twins of the LRU cache, the hint
    directory, and the engine + data hierarchy, demanding bit-for-bit
@@ -87,10 +89,18 @@ def _audit_config() -> ExperimentConfig:
 
 
 def run_matrix(*, verbose: bool = False) -> tuple[list[str], int]:
-    """Run the architecture x fault-plan audit matrix.
+    """Run the architecture x fault-plan audit matrix, on both engines.
+
+    Each cell runs the reference engine with audit hooks and telemetry
+    attached, then the columnar fast engine over a fresh twin of the same
+    cell.  The fast run must be byte-identical -- metrics and telemetry
+    rows -- to the audited reference run, so the fast engine's outputs
+    face every runtime invariant transitively (audit hooks themselves are
+    inherently per-request).
 
     Returns ``(problems, total_checks)``: one problem line per failed
-    cell and the number of individual invariant checks performed.
+    cell and the number of individual invariant checks performed (each
+    engine-parity comparison counts as one check).
     """
     config = _audit_config()
     trace = SyntheticTraceGenerator(config.profile("dec"), seed=config.seed).generate()
@@ -100,17 +110,39 @@ def run_matrix(*, verbose: bool = False) -> tuple[list[str], int]:
         for fault_name, events in sorted(FAULT_KINDS.items()):
             plan = FaultPlan(events=events, seed=config.seed) if events else None
             hooks = AuditHooks()
+            telemetry = RunTelemetry(bin_s=6 * 3600.0)
+            metrics = None
             try:
-                run_simulation(
+                metrics = run_simulation(
                     trace,
                     arch_cls(config.topology, TestbedCostModel()),
                     fault_plan=plan,
-                    telemetry=RunTelemetry(bin_s=6 * 3600.0),
+                    telemetry=telemetry,
                     audit=hooks,
                 )
             except AuditError as error:
                 problems.append(f"matrix {arch_name} x {fault_name}: {error}")
             checks = sum(hooks.counts.values())
+            if metrics is not None:
+                fast_telemetry = RunTelemetry(bin_s=6 * 3600.0)
+                fast_metrics = run_simulation(
+                    trace,
+                    arch_cls(config.topology, TestbedCostModel()),
+                    fault_plan=plan,
+                    telemetry=fast_telemetry,
+                    engine="fast",
+                )
+                if fast_metrics != metrics:
+                    problems.append(
+                        f"fast-engine parity {arch_name} x {fault_name}: "
+                        "metrics diverge from the audited reference run"
+                    )
+                if fast_telemetry.rows != telemetry.rows:
+                    problems.append(
+                        f"fast-engine parity {arch_name} x {fault_name}: "
+                        "telemetry rows diverge from the audited reference run"
+                    )
+                checks += 1
             total_checks += checks
             if verbose:
                 print(f"  {arch_name:>10} x {fault_name:<16} {checks:>7} checks")

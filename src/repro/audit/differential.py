@@ -389,4 +389,22 @@ def run_engine_differential(
                     "engine", f"request {record.index} ({name})",
                     f"production {got!r} != oracle {want!r} (measured seq {seq})",
                 )
-    return len(trace.requests)
+
+    # The columnar fast engine faces the same oracle transitively: its
+    # metrics must be byte-identical to the audited reference run that
+    # the oracle just vetted.  (Audit hooks are inherently per-request,
+    # so this equality is how fast outputs pass under the audit gate.)
+    fast_metrics = run_simulation(
+        trace,
+        DataHierarchy(topology, model, l1_bytes, l2_bytes, l3_bytes),
+        warmup_s=warmup_s,
+        include_uncachable=include_uncachable,
+        fault_plan=fault_plan,
+        engine="fast",
+    )
+    if fast_metrics != metrics:
+        _diverge(
+            "engine", "fast-engine parity",
+            "fast engine metrics diverge from the oracle-vetted reference run",
+        )
+    return 2 * len(trace.requests)

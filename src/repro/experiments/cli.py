@@ -92,10 +92,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--engine", choices=("reference", "fast", "auto"), default="reference",
         help="simulation engine for the 'decompose'/'timeline' verbs: "
-        "'auto' uses the columnar batch engine (metric-identical) where "
-        "a vectorized kernel exists and the reference loop elsewhere; "
-        "'fast' demands a kernel, which the standard-four verbs cannot "
-        "satisfy (ICP/directory), so they reject it (default: reference)",
+        "'fast' runs the columnar batch engine (metric-identical; every "
+        "standard architecture has a vectorized kernel), 'auto' falls "
+        "back to the reference loop where no kernel exists "
+        "(default: reference)",
     )
     return parser
 
@@ -257,13 +257,6 @@ def _run_decompose(args) -> int:
     from repro.reporting.tables import format_decomposition_table
     from repro.sim.engine import run_simulation
 
-    if args.engine == "fast":
-        print(
-            "--engine fast cannot run the standard four (no vectorized "
-            "kernel for ICP/directory); use --engine auto",
-            file=sys.stderr,
-        )
-        return 2
     config = default_config()
     if args.scale is not None:
         config = config.with_scale(args.scale)
@@ -338,13 +331,6 @@ def _run_timeline(args) -> int:
 
     if args.bin <= 0:
         print(f"--bin must be positive, got {args.bin}", file=sys.stderr)
-        return 2
-    if args.engine == "fast":
-        print(
-            "--engine fast cannot run the standard four (no vectorized "
-            "kernel for ICP/directory); use --engine auto",
-            file=sys.stderr,
-        )
         return 2
     config = default_config()
     if args.scale is not None:

@@ -330,10 +330,23 @@ def run_comparison_parallel(
 
     ``engine`` forwards to every :func:`~repro.sim.engine.run_simulation`;
     since the fast engine is metric-identical to the reference, results
-    stay jobs- *and* engine-invariant.
+    stay jobs- *and* engine-invariant.  ``engine="fast"`` with an
+    architecture that has no vectorized kernel raises the same clean
+    :class:`ValueError` the serial path (and the CLI) raises -- checked
+    up front, before any worker process is spawned, so the failure never
+    surfaces as an opaque in-worker traceback.
     """
     if jobs < 1:
         raise ValueError(f"jobs must be at least 1, got {jobs}")
+    if engine == "fast":
+        # Pre-flight: building a spec is cheap (empty caches), and doing
+        # it here turns an in-worker crash into the serial path's error.
+        from repro.sim.fastpath import fast_unsupported_reason
+
+        for spec in specs:
+            reason = fast_unsupported_reason(spec.build())
+            if reason is not None:
+                raise ValueError(reason)
     if journey_dir is not None:
         os.makedirs(journey_dir, exist_ok=True)
     if timeline_dir is not None:

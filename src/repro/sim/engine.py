@@ -90,13 +90,15 @@ def run_simulation(
             leaves results byte-identical to an un-audited run.
         engine: ``"reference"`` (default) runs the per-request loop below.
             ``"fast"`` runs :mod:`repro.sim.fastpath`'s columnar batch
-            engine, which produces byte-identical metrics; configurations
-            that are inherently per-request -- fault plans (batch windows
-            would have to split at every event) and audit hooks
-            (checkpoints walk live state between requests) -- dispatch
-            back to this loop, and an architecture without a vectorized
-            kernel raises.  ``"auto"`` is ``"fast"`` where supported and
-            ``"reference"`` otherwise, never raising.
+            engine, which produces byte-identical metrics.  Fault plans
+            are vectorized too: the batch driver splits spans at every
+            scheduled event and falls back to a per-request residual only
+            inside active fault windows.  Audit hooks (checkpoints walk
+            live state between requests) and architectures carrying
+            pre-attached fault/audit state still dispatch back to this
+            loop; an architecture without a vectorized kernel raises.
+            ``"auto"`` is ``"fast"`` where supported and ``"reference"``
+            otherwise, never raising.
     """
     if engine not in ("reference", "fast", "auto"):
         raise ValueError(
@@ -110,8 +112,7 @@ def run_simulation(
             if engine == "fast":
                 raise ValueError(reason)
         elif (
-            (fault_plan is None or not fault_plan)
-            and audit is None
+            audit is None
             and architecture.faults is None
             and architecture.audit is None
         ):
@@ -120,11 +121,13 @@ def run_simulation(
                 architecture,
                 warmup_s=warmup_s,
                 include_uncachable=include_uncachable,
+                fault_plan=fault_plan,
                 journey_sink=journey_sink,
                 telemetry=telemetry,
             )
-        # Residual dispatch: fault windows and audit checkpoints run the
-        # per-request loop (the fastpath module's sanctioned residual).
+        # Residual dispatch: audit checkpoints (and pre-attached fault or
+        # audit state) run the per-request loop below -- the fastpath
+        # module's sanctioned residual.
     boundary = trace.warmup if warmup_s is None else warmup_s
     metrics = SimMetrics(
         architecture=architecture.name,

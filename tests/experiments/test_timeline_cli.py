@@ -73,20 +73,17 @@ class TestGuards:
     def test_bin_must_be_positive(self):
         assert main(["timeline", "--bin", "0"]) == 2
 
-    def test_engine_fast_rejected_for_standard_four(self, capsys):
-        # Both verbs always include ICP/directory, which have no
-        # vectorized kernel -- 'fast' can never succeed there.
-        assert main(["timeline", "--engine", "fast"]) == 2
-        assert main(["decompose", "--engine", "fast"]) == 2
-        assert "use --engine auto" in capsys.readouterr().err
-
-    def test_engine_auto_matches_reference(self, tmp_path):
+    def test_engine_fast_matches_reference(self, tmp_path):
+        # Every standard architecture (incl. ICP/directory) now has a
+        # vectorized kernel, so 'fast' is legal for the standard four and
+        # must produce identical timeline rows.
         rows = {}
-        for engine in ("reference", "auto"):
+        for engine in ("reference", "fast", "auto"):
             out = tmp_path / f"{engine}.jsonl"
             assert main(
                 ["timeline", "--scale", "0.0002",
                  "--engine", engine, "--timeline", str(out)]
             ) == 0
             rows[engine] = read_timeline_jsonl(out)
+        assert rows["reference"] == rows["fast"]
         assert rows["reference"] == rows["auto"]

@@ -136,6 +136,51 @@ class TestRunComparisonParallel:
             spec.build()
 
 
+class _UnkernelizedHierarchy(DataHierarchy):
+    """Subclass the fast engine has no kernel for (exact-type matching)."""
+
+    name = "custom-hierarchy"
+
+
+class TestFastEngine:
+    def test_fast_matches_reference_results(self, tmp_path):
+        config = make_tiny_config()
+        specs = TestRunComparisonParallel().specs(config)
+        results = {
+            engine: run_comparison_parallel(
+                config.profile("dec"),
+                config.seed,
+                specs,
+                jobs=3,
+                engine=engine,
+                trace_cache_dir=str(tmp_path / "store"),
+            )
+            for engine in ("reference", "fast")
+        }
+        assert list(results["reference"]) == list(results["fast"])
+        for name in results["reference"]:
+            assert results["reference"][name] == results["fast"][name], name
+
+    @pytest.mark.parametrize("jobs", [1, 4])
+    def test_fast_rejects_unkernelized_spec_before_workers(self, jobs):
+        """The same clean error as the serial path/CLI, raised up front --
+        not an opaque traceback from inside a worker process."""
+        config = make_tiny_config()
+        specs = TestRunComparisonParallel().specs(config) + [
+            ArchitectureSpec(
+                _UnkernelizedHierarchy, (config.topology, TestbedCostModel())
+            )
+        ]
+        with pytest.raises(ValueError, match="no vectorized kernel"):
+            run_comparison_parallel(
+                config.profile("dec"),
+                config.seed,
+                specs,
+                jobs=jobs,
+                engine="fast",
+            )
+
+
 class TestJourneyExport:
     def test_jobs4_journey_files_byte_identical_to_jobs1(self, tmp_path):
         """Journey export is jobs-invariant: each architecture's JSONL file

@@ -2,38 +2,62 @@
 
 Every configuration here runs both engines over the same trace and asserts
 **byte-identical** ``SimMetrics`` -- equality of every counter, float
-accumulator, and latency histogram bin.  The matrix covers both kernelized
-architectures, bounded and unbounded caches, hint pathologies (false
-positives/negatives, suboptimal hits), fault plans (which dispatch to the
-reference loop and must stay exact), telemetry rows, journey streams, and
-batch-boundary invariance under Hypothesis.
+accumulator, and latency histogram bin.  The matrix covers all six
+kernelized architectures (hierarchy, ICP, hints incl. push/ideal variants,
+directory, client-hints, message-level hints), bounded and unbounded
+caches, hint pathologies (false positives/negatives, suboptimal hits),
+fault plans with active *and* quiescent windows (the vectorized residual's
+span splitting), journey streams, telemetry rows, and batch-boundary /
+fault-edge invariance under Hypothesis.
 """
 
 from __future__ import annotations
-
-import math
 
 import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.faults import FaultPlan, LinkDegrade, NodeCrash
+from repro.faults import FaultPlan, LinkDegrade, NodeCrash, NodeRecover
 from repro.hierarchy.data_hierarchy import DataHierarchy
+from repro.hierarchy.client_hints import ClientHintHierarchy
+from repro.hierarchy.directory_arch import CentralizedDirectoryArchitecture
 from repro.hierarchy.hint_hierarchy import HintHierarchy
 from repro.hierarchy.icp import IcpHierarchy
+from repro.hierarchy.message_hints import MessageLevelHintHierarchy
 from repro.netmodel.testbed import TestbedCostModel
 from repro.obs.sink import SamplingJourneySink
 from repro.obs.telemetry import MetricsRegistry, RunTelemetry
+from repro.push.hierarchical import HierarchicalPushOnMiss
+from repro.push.update_push import UpdatePush
 from repro.sim.engine import run_simulation
 from repro.sim.fastpath import (
+    PushHintKernel,
     _sequential_sum,
     fast_unsupported_reason,
+    kernel_class_for,
     run_fast_simulation,
 )
 from repro.sim.metrics import LatencyHistogram
 
 MB = 1024 * 1024
+
+#: Every architecture kind in the parity matrix.  Six architecture types;
+#: the extra cells pin bounded-cache eviction churn, hint pathologies, and
+#: all three push-accounting variants of the hint hierarchy.
+ALL_KINDS = [
+    "hierarchy",
+    "hierarchy-bounded",
+    "icp",
+    "directory",
+    "hints",
+    "hints-pathological",
+    "hints-push",
+    "hints-update-push",
+    "hints-ideal",
+    "client-hints",
+    "message-hints",
+]
 
 
 def build_architecture(kind, topology):
@@ -45,6 +69,10 @@ def build_architecture(kind, topology):
         return DataHierarchy(
             topology, cost, l1_bytes=2 * MB, l2_bytes=8 * MB, l3_bytes=32 * MB
         )
+    if kind == "icp":
+        return IcpHierarchy(topology, cost, l1_bytes=2 * MB, l2_bytes=8 * MB)
+    if kind == "directory":
+        return CentralizedDirectoryArchitecture(topology, cost, l1_bytes=2 * MB)
     if kind == "hints":
         return HintHierarchy(topology, cost)
     if kind == "hints-pathological":
@@ -59,19 +87,66 @@ def build_architecture(kind, topology):
             hint_capacity_bytes=16 * 1024,
             hint_delay_s=7200.0,
         )
+    if kind == "hints-push":
+        return HintHierarchy(
+            topology,
+            cost,
+            l1_bytes=2 * MB,
+            push_policy=HierarchicalPushOnMiss(topology, "push-1", seed=7),
+        )
+    if kind == "hints-update-push":
+        return HintHierarchy(
+            topology,
+            cost,
+            l1_bytes=2 * MB,
+            push_policy=UpdatePush(
+                max_bandwidth_bytes_per_s=50_000.0, age_pushed_entries=True
+            ),
+        )
+    if kind == "hints-ideal":
+        return HintHierarchy(topology, cost, charge_remote_as_l1=True)
+    if kind == "client-hints":
+        return ClientHintHierarchy(
+            topology,
+            cost,
+            l1_bytes=2 * MB,
+            client_false_negative_rate=0.35,
+            seed=7,
+        )
+    if kind == "message-hints":
+        return MessageLevelHintHierarchy(
+            topology, cost, l1_bytes=2 * MB, hint_capacity_bytes=8 * 1024, seed=7
+        )
     raise AssertionError(kind)
 
 
+#: Fault plans mix active windows (per-request residual) with quiescent
+#: windows (vectorized kernels in faulted mode): crash-heavy alternates
+#: crash/recover pairs through warmup *and* the measured region, and
+#: link-degrade returns to multiplier 1.0 mid-measurement so the kernels
+#: take over a run that started degraded.
 FAULT_PLANS = {
     "no-fault": None,
     "crash-heavy": (
         NodeCrash(time=0.0, kind="l1", node=0),
         NodeCrash(time=0.0, kind="l2", node=0),
-        NodeCrash(time=3600.0, kind="l1", node=1),
+        NodeRecover(time=1800.0, kind="l1", node=0),
         NodeCrash(time=3600.0, kind="meta", node=0),
+        NodeRecover(time=5400.0, kind="l2", node=0),
+        NodeRecover(time=7200.0, kind="meta", node=0),
+        NodeCrash(time=200_000.0, kind="l1", node=1),
+        NodeRecover(time=260_000.0, kind="l1", node=1),
     ),
-    "link-degrade": (LinkDegrade(time=0.0, latency_mult=1.5),),
+    "link-degrade": (
+        LinkDegrade(time=0.0, latency_mult=1.5),
+        LinkDegrade(time=240_000.0, latency_mult=1.0),
+    ),
 }
+
+
+def make_plan(fault_name, seed):
+    events = FAULT_PLANS[fault_name]
+    return FaultPlan(events=events, seed=seed) if events is not None else None
 
 
 def run_pair(trace, kind, topology, **kwargs):
@@ -84,35 +159,107 @@ def run_pair(trace, kind, topology, **kwargs):
     return reference, fast
 
 
+def assert_same_journeys(reference_sink, fast_sink):
+    assert reference_sink.seen == fast_sink.seen
+    assert len(reference_sink.samples) == len(fast_sink.samples)
+    for (seq_r, req_r, res_r), (seq_f, req_f, res_f) in zip(
+        reference_sink.samples, fast_sink.samples
+    ):
+        assert seq_r == seq_f
+        assert req_r == req_f
+        assert res_r.time_ms == res_f.time_ms
+        assert res_r.point is res_f.point
+        assert res_r.hit == res_f.hit
+        assert res_r.remote_hit == res_f.remote_hit
+        assert res_r.false_positive == res_f.false_positive
+        assert res_r.false_negative == res_f.false_negative
+        assert res_r.suboptimal_positive == res_f.suboptimal_positive
+        assert res_r.push_hit == res_f.push_hit
+        assert res_r.stale_hint_forward == res_f.stale_hint_forward
+        assert res_r.timeout_fallback == res_f.timeout_fallback
+        steps_r = [
+            (s.kind, s.cost_ms, s.target, s.fault_ms, s.wasted)
+            for s in res_r.journey.steps
+        ]
+        steps_f = [
+            (s.kind, s.cost_ms, s.target, s.fault_ms, s.wasted)
+            for s in res_f.journey.steps
+        ]
+        assert steps_r == steps_f
+
+
 @pytest.mark.parametrize("fault_name", sorted(FAULT_PLANS))
-@pytest.mark.parametrize(
-    "kind", ["hierarchy", "hierarchy-bounded", "hints", "hints-pathological"]
-)
+@pytest.mark.parametrize("kind", ALL_KINDS)
 def test_parity_matrix(kind, fault_name, tiny_config, dec_trace):
     """Architecture x fault-plan matrix: byte-identical SimMetrics."""
-    events = FAULT_PLANS[fault_name]
-    plan = (
-        FaultPlan(events=events, seed=tiny_config.seed)
-        if events is not None
-        else None
-    )
+    plan = make_plan(fault_name, tiny_config.seed)
     reference, fast = run_pair(
         dec_trace, kind, tiny_config.topology, fault_plan=plan
     )
     assert reference == fast
 
 
-def test_pathological_config_exercises_hint_errors(tiny_config, dec_trace):
-    """The pathology cell is not vacuous: FP/FN/suboptimal all fire."""
-    _, fast = run_pair(dec_trace, "hints-pathological", tiny_config.topology)
-    assert fast.false_positives > 0
-    assert fast.false_negatives > 0
-    assert fast.suboptimal_positives > 0
-    assert fast.remote_hits > 0
+@pytest.mark.parametrize("fault_name", sorted(FAULT_PLANS))
+@pytest.mark.parametrize("kind", ALL_KINDS)
+def test_instrumented_parity_matrix(kind, fault_name, tiny_config, dec_trace):
+    """Same matrix with journeys + telemetry attached: every journey step
+    and every timeline row byte-identical, not just the final metrics."""
+    plan = make_plan(fault_name, tiny_config.seed)
+    sinks = {}
+    rows = {}
+    metrics = {}
+    for engine in ("reference", "fast"):
+        sink = SamplingJourneySink(capacity=None)
+        telemetry = RunTelemetry(MetricsRegistry(), bin_s=3600.0)
+        metrics[engine] = run_simulation(
+            dec_trace,
+            build_architecture(kind, tiny_config.topology),
+            fault_plan=plan,
+            journey_sink=sink,
+            telemetry=telemetry,
+            engine=engine,
+        )
+        sinks[engine] = sink
+        rows[engine] = telemetry.rows
+    assert metrics["reference"] == metrics["fast"]
+    assert_same_journeys(sinks["reference"], sinks["fast"])
+    assert rows["reference"] == rows["fast"]
+
+
+def test_matrix_cells_are_not_vacuous(tiny_config, dec_trace):
+    """The interesting counters actually fire in their matrix cells."""
+    _, hints = run_pair(dec_trace, "hints-pathological", tiny_config.topology)
+    assert hints.false_positives > 0
+    assert hints.false_negatives > 0
+    assert hints.suboptimal_positives > 0
+    assert hints.remote_hits > 0
+
+    icp_arch = build_architecture("icp", tiny_config.topology)
+    run_simulation(dec_trace, icp_arch, engine="fast")
+    assert icp_arch.sibling_queries > 0
+    assert icp_arch.sibling_hits > 0
+
+    _, push = run_pair(dec_trace, "hints-push", tiny_config.topology)
+    assert push.push_hits > 0
+
+    _, client = run_pair(dec_trace, "client-hints", tiny_config.topology)
+    assert client.false_negatives > 0
+
+    msg_arch = build_architecture("message-hints", tiny_config.topology)
+    msg = run_simulation(dec_trace, msg_arch, engine="fast")
+    assert msg.remote_hits > 0
+    assert msg_arch.false_positive_probes + msg_arch.false_negative_misses > 0
+
+    plan = make_plan("crash-heavy", tiny_config.seed)
+    _, directory = run_pair(
+        dec_trace, "directory", tiny_config.topology, fault_plan=plan
+    )
+    assert directory.degraded.faulted_requests > 0
+    assert directory.degraded.stale_hint_forwards > 0
 
 
 def test_parity_include_uncachable_and_warmup(tiny_config, dec_trace):
-    for kind in ("hierarchy", "hints"):
+    for kind in ("hierarchy", "icp", "directory", "hints"):
         reference, fast = run_pair(
             dec_trace,
             kind,
@@ -126,7 +273,7 @@ def test_parity_include_uncachable_and_warmup(tiny_config, dec_trace):
 
 
 def test_parity_prodigy_trace(tiny_config, prodigy_trace):
-    for kind in ("hierarchy", "hints"):
+    for kind in ("hierarchy", "icp", "directory", "hints", "message-hints"):
         reference, fast = run_pair(prodigy_trace, kind, tiny_config.topology)
         assert reference == fast
 
@@ -145,14 +292,39 @@ def test_batch_size_invariance_pinned(batch_size, tiny_config, dec_trace):
     assert reference == fast
 
 
+@pytest.mark.parametrize("batch_size", [1, 7, 1024])
+def test_fault_edges_on_batch_boundaries_pinned(batch_size, tiny_config, dec_trace):
+    """Crash/recover edges landing exactly on request timestamps that are
+    also batch boundaries: the span splitter's worst case."""
+    time_col = dec_trace.columns().time
+    n = len(time_col)
+    crash_i = min(batch_size, n - 1)
+    recover_i = min(4 * batch_size, n - 1)
+    plan = FaultPlan(
+        events=(
+            NodeCrash(time=float(time_col[crash_i]), kind="l1", node=0),
+            NodeRecover(time=float(time_col[recover_i]), kind="l1", node=0),
+        ),
+        seed=tiny_config.seed,
+    )
+    reference = run_simulation(
+        dec_trace,
+        build_architecture("directory", tiny_config.topology),
+        fault_plan=plan,
+    )
+    fast = run_fast_simulation(
+        dec_trace,
+        build_architecture("directory", tiny_config.topology),
+        fault_plan=plan,
+        batch_size=batch_size,
+    )
+    assert reference == fast
+
+
 _hypothesis_cache: dict = {}
 
 
-@settings(max_examples=8, deadline=None)
-@given(batch_size=st.integers(min_value=1, max_value=4096))
-def test_batch_size_invariance_hypothesis(batch_size):
-    """Any batch size yields the same metrics: boundaries never leak."""
-    # Build the shared trace/reference once (hypothesis re-calls the body).
+def _hypothesis_trace():
     if "trace" not in _hypothesis_cache:
         from tests.conftest import make_tiny_config
         from repro.traces.synthetic import SyntheticTraceGenerator
@@ -162,90 +334,111 @@ def test_batch_size_invariance_hypothesis(batch_size):
         trace = SyntheticTraceGenerator(profile, seed=config.seed).generate()
         _hypothesis_cache["trace"] = trace
         _hypothesis_cache["topology"] = config.topology
-        _hypothesis_cache["reference"] = run_simulation(
-            trace, build_architecture("hierarchy", config.topology)
+        _hypothesis_cache["seed"] = config.seed
+    return _hypothesis_cache
+
+
+@settings(max_examples=8, deadline=None)
+@given(batch_size=st.integers(min_value=1, max_value=4096))
+def test_batch_size_invariance_hypothesis(batch_size):
+    """Any batch size yields the same metrics: boundaries never leak."""
+    cache = _hypothesis_trace()
+    if "reference" not in cache:
+        cache["reference"] = run_simulation(
+            cache["trace"], build_architecture("hierarchy", cache["topology"])
         )
     fast = run_fast_simulation(
-        _hypothesis_cache["trace"],
-        build_architecture("hierarchy", _hypothesis_cache["topology"]),
+        cache["trace"],
+        build_architecture("hierarchy", cache["topology"]),
         batch_size=batch_size,
     )
-    assert fast == _hypothesis_cache["reference"]
+    assert fast == cache["reference"]
 
 
-def test_journey_stream_parity(tiny_config, dec_trace):
-    """Decoded journeys match the reference ledger sample-for-sample."""
-    for kind in ("hierarchy", "hints-pathological"):
-        sinks = {}
-        for engine in ("reference", "fast"):
-            sink = SamplingJourneySink(capacity=None)
-            run_simulation(
-                dec_trace,
-                build_architecture(kind, tiny_config.topology),
-                journey_sink=sink,
-                engine=engine,
-            )
-            sinks[engine] = sink
-        assert sinks["reference"].seen == sinks["fast"].seen
-        for (seq_r, req_r, res_r), (seq_f, req_f, res_f) in zip(
-            sinks["reference"].samples, sinks["fast"].samples
-        ):
-            assert seq_r == seq_f
-            assert req_r == req_f
-            assert res_r.time_ms == res_f.time_ms
-            assert res_r.point is res_f.point
-            assert res_r.hit == res_f.hit
-            assert res_r.remote_hit == res_f.remote_hit
-            assert res_r.false_positive == res_f.false_positive
-            assert res_r.false_negative == res_f.false_negative
-            assert res_r.suboptimal_positive == res_f.suboptimal_positive
-            steps_r = [
-                (s.kind, s.cost_ms, s.target, s.fault_ms, s.wasted)
-                for s in res_r.journey.steps
-            ]
-            steps_f = [
-                (s.kind, s.cost_ms, s.target, s.fault_ms, s.wasted)
-                for s in res_f.journey.steps
-            ]
-            assert steps_r == steps_f
+@settings(max_examples=8, deadline=None)
+@given(
+    batch_size=st.integers(min_value=1, max_value=4096),
+    crash_pos=st.integers(min_value=0, max_value=4095),
+    window=st.integers(min_value=1, max_value=3000),
+    align=st.booleans(),
+    offset=st.floats(min_value=0.0, max_value=500.0),
+)
+def test_fault_boundary_invariance_hypothesis(
+    batch_size, crash_pos, window, align, offset
+):
+    """Crash/recover edges on and off batch boundaries, at and between
+    request timestamps: fast-vs-reference identity must survive every
+    alignment -- the class of bug the vectorized residual is most likely
+    to have."""
+    cache = _hypothesis_trace()
+    trace = cache["trace"]
+    time_col = trace.columns().time
+    n = len(time_col)
+    if align:
+        crash_pos = (crash_pos // batch_size) * batch_size
+    crash_i = min(crash_pos, n - 1)
+    recover_i = min(crash_i + window, n - 1)
+    crash_t = float(time_col[crash_i])
+    # ``offset`` shifts the recovery off any request timestamp, so events
+    # also land strictly *between* rows.
+    recover_t = float(time_col[recover_i]) + offset
+    plan = FaultPlan(
+        events=(
+            NodeCrash(time=crash_t, kind="l1", node=0),
+            NodeCrash(time=crash_t, kind="meta", node=0),
+            NodeRecover(time=recover_t, kind="l1", node=0),
+            NodeRecover(time=recover_t, kind="meta", node=0),
+        ),
+        seed=cache["seed"],
+    )
+    key = ("hints-ref", crash_t, recover_t)
+    if key not in cache:
+        cache[key] = run_simulation(
+            trace,
+            build_architecture("hints", cache["topology"]),
+            fault_plan=plan,
+        )
+    fast = run_fast_simulation(
+        trace,
+        build_architecture("hints", cache["topology"]),
+        fault_plan=plan,
+        batch_size=batch_size,
+    )
+    assert fast == cache[key]
 
 
-def test_telemetry_rows_parity(tiny_config, dec_trace):
-    """Per-bin telemetry rows are identical, including gauge snapshots."""
-    for kind in ("hierarchy", "hints-pathological"):
-        rows = {}
-        for engine in ("reference", "fast"):
-            telemetry = RunTelemetry(MetricsRegistry(), bin_s=3600.0)
-            run_simulation(
-                dec_trace,
-                build_architecture(kind, tiny_config.topology),
-                telemetry=telemetry,
-                engine=engine,
-            )
-            rows[engine] = telemetry.rows
-        assert rows["reference"] == rows["fast"]
+def test_push_variants_are_kernelized(tiny_config):
+    """Push and ideal-push hint variants route to the push-aware kernel."""
+    for kind in ("hints-push", "hints-update-push", "hints-ideal"):
+        arch = build_architecture(kind, tiny_config.topology)
+        assert fast_unsupported_reason(arch) is None
+        assert kernel_class_for(arch) is PushHintKernel
+
+
+class _UnkernelizedHierarchy(DataHierarchy):
+    """Subclass with (hypothetically) different behavior: must not
+    silently inherit the parent's kernel."""
+
+    name = "custom-hierarchy"
 
 
 def test_fast_raises_for_unsupported_architecture(tiny_config, dec_trace):
-    icp = IcpHierarchy(tiny_config.topology, TestbedCostModel())
-    assert fast_unsupported_reason(icp) is not None
+    arch = _UnkernelizedHierarchy(tiny_config.topology, TestbedCostModel())
+    assert fast_unsupported_reason(arch) is not None
     with pytest.raises(ValueError, match="no vectorized kernel"):
-        run_simulation(dec_trace, icp, engine="fast")
+        run_simulation(dec_trace, arch, engine="fast")
 
 
 def test_auto_falls_back_for_unsupported_architecture(tiny_config, dec_trace):
-    icp = IcpHierarchy(tiny_config.topology, TestbedCostModel())
     reference = run_simulation(
-        dec_trace, IcpHierarchy(tiny_config.topology, TestbedCostModel())
+        dec_trace, _UnkernelizedHierarchy(tiny_config.topology, TestbedCostModel())
     )
-    assert run_simulation(dec_trace, icp, engine="auto") == reference
-
-
-def test_fast_rejects_push_and_ideal_variants(tiny_config):
-    ideal = HintHierarchy(
-        tiny_config.topology, TestbedCostModel(), charge_remote_as_l1=True
+    auto = run_simulation(
+        dec_trace,
+        _UnkernelizedHierarchy(tiny_config.topology, TestbedCostModel()),
+        engine="auto",
     )
-    assert fast_unsupported_reason(ideal) is not None
+    assert auto == reference
 
 
 def test_engine_name_validated(tiny_config, dec_trace):
