@@ -9,22 +9,44 @@
 * :class:`repro.cache.classify.MissClassifier` -- classifies each miss as
   compulsory / capacity / communication / error / uncachable, the taxonomy
   of Figure 2.
+* :mod:`repro.cache.policy` -- pluggable replacement policies behind the
+  :class:`~repro.cache.policy.ReplacementPolicy` protocol: LRU (the
+  default), LFU with recency tie-break, and seeded Random replacement,
+  selected per level via :class:`~repro.cache.policy.PolicySpec`.
 """
 
 from repro.cache.classify import AccessOutcome, MissClass, MissClassifier
 from repro.cache.lru import CacheEntry, LRUCache
 from repro.cache.negative import NegativeResultCache
+from repro.cache.policy import (
+    DEFAULT_POLICY,
+    LFUCache,
+    PolicySpec,
+    RandomCache,
+    ReplacementPolicy,
+    parse_policy_map,
+    parse_policy_spec,
+    policy_payload,
+)
 from repro.cache.setassoc import SetAssociativeCache
 from repro.cache.ttl import TTLCache, TTLLookupResult
 
 __all__ = [
     "AccessOutcome",
     "CacheEntry",
+    "DEFAULT_POLICY",
+    "LFUCache",
     "LRUCache",
     "MissClass",
     "MissClassifier",
     "NegativeResultCache",
+    "PolicySpec",
+    "RandomCache",
+    "ReplacementPolicy",
     "SetAssociativeCache",
     "TTLCache",
     "TTLLookupResult",
+    "parse_policy_map",
+    "parse_policy_spec",
+    "policy_payload",
 ]

@@ -6,6 +6,13 @@ paper's "infinite cache" configurations.  Strong consistency is modelled by
 object versions: a lookup that finds an entry with an older version counts
 as a *stale hit*, the cached copy is invalidated, and the caller treats the
 access as a communication miss.
+
+Replacement policy is factored into four override points (``_touch``,
+``_victim_key``, ``_note_add``/``_note_remove``/``_note_clear``) so
+:mod:`repro.cache.policy` can derive LFU and Random variants without
+duplicating the version/consistency/accounting machinery.  The base class
+*is* the LRU policy; every hook default reproduces the original behaviour
+exactly.
 """
 
 from __future__ import annotations
@@ -46,6 +53,9 @@ class LRUCache:
     Objects larger than the capacity are simply not cached (they would evict
     everything and immediately be evicted themselves).
     """
+
+    #: Replacement-policy identifier (subclasses override).
+    policy_name = "lru"
 
     def __init__(
         self,
@@ -93,6 +103,16 @@ class LRUCache:
         """Current total size of cached objects."""
         return self._used_bytes
 
+    @property
+    def occupancy_bytes(self) -> int:
+        """Protocol-named alias of :attr:`used_bytes`.
+
+        Every cache-like structure (data caches, hint stores, negative
+        caches) exposes ``occupancy_bytes``, so telemetry can bind any of
+        them without per-class accessor fallbacks.
+        """
+        return self._used_bytes
+
     def peek(self, key: int) -> CacheEntry | None:
         """Return the entry for ``key`` without touching LRU order."""
         return self._entries.get(key)
@@ -112,7 +132,7 @@ class LRUCache:
         if entry.version < version:
             self._delete(key, "invalidate")
             return LookupResult.STALE
-        self._entries.move_to_end(key)
+        self._touch(key)
         return LookupResult.HIT
 
     def insert(self, key: int, size: int, version: int) -> list[int]:
@@ -138,11 +158,12 @@ class LRUCache:
         self._entries[key] = CacheEntry(size=size, version=version)
         self._used_bytes += size
         self.insertions += 1
+        self._note_add(key, new=existing is None)
         if version > self._ever_stored.get(key, -1):
             self._ever_stored[key] = version
         self.oversize_rejections.discard(key)
         if self.capacity_bytes is not None and self._used_bytes > self.capacity_bytes:
-            evicted = self._evict_to_fit()
+            evicted = self._evict_to_fit(protect=key)
         else:
             evicted = []
         if self.audit is not None:
@@ -188,17 +209,51 @@ class LRUCache:
         else:
             self._entries.clear()
             self._used_bytes = 0
+            self._note_clear()
         return keys
+
+    # ------------------------------------------------------------------
+    # replacement-policy hooks (the base class IS the LRU policy; see
+    # repro.cache.policy for the LFU and Random overrides)
+    # ------------------------------------------------------------------
+    def _touch(self, key: int) -> None:
+        """Record a hit on ``key`` (LRU: promote to most-recently-used)."""
+        self._entries.move_to_end(key)
+
+    def _victim_key(self, protect: int) -> int:
+        """Choose the next capacity victim; never ``protect``.
+
+        ``protect`` is the key whose insert triggered the eviction -- an
+        incoming object is never its own victim, so the holder metadata a
+        caller publishes right after ``insert`` stays truthful.  For LRU
+        the front of the ordered dict is the least-recently-used entry and
+        the protected key sits at the back, so the skip never fires until
+        the protected key is the sole survivor (at which point the byte
+        budget is already met and :meth:`_evict_to_fit` has stopped).
+        """
+        for key in self._entries:
+            if key != protect:
+                return key
+        raise RuntimeError("no evictable entry")  # pragma: no cover
+
+    def _note_add(self, key: int, *, new: bool) -> None:
+        """Bookkeeping hook: ``key`` was stored (``new``=False on refresh)."""
+
+    def _note_remove(self, key: int) -> None:
+        """Bookkeeping hook: ``key`` left the cache via :meth:`_delete`."""
+
+    def _note_clear(self) -> None:
+        """Bookkeeping hook: every entry was dropped without callbacks."""
 
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
-    def _evict_to_fit(self) -> list[int]:
+    def _evict_to_fit(self, protect: int) -> list[int]:
         evicted: list[int] = []
         if self.capacity_bytes is None:
             return evicted
-        while self._used_bytes > self.capacity_bytes and self._entries:
-            key, _entry = next(iter(self._entries.items()))
+        while self._used_bytes > self.capacity_bytes and len(self._entries) > 1:
+            key = self._victim_key(protect)
             self._delete(key, "capacity")
             evicted.append(key)
         return evicted
@@ -206,6 +261,7 @@ class LRUCache:
     def _delete(self, key: int, reason: str) -> None:
         entry = self._entries.pop(key)
         self._used_bytes -= entry.size
+        self._note_remove(key)
         if reason == "capacity":
             self.evictions += 1
         elif reason == "invalidate":

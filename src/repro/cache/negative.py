@@ -15,6 +15,10 @@ from __future__ import annotations
 
 from collections import OrderedDict
 
+#: Packed size of one remembered error (key + timestamp), mirroring the
+#: hint system's 16-byte record accounting.
+_NEGATIVE_RECORD_BYTES = 16
+
 
 class NegativeResultCache:
     """Remembers recent error results per object for a bounded time.
@@ -41,6 +45,17 @@ class NegativeResultCache:
 
     def __len__(self) -> int:
         return len(self._entries)
+
+    @property
+    def occupancy_bytes(self) -> int:
+        """Nominal bytes held: one packed record per remembered error.
+
+        Negative entries store a key and a timestamp -- the same 16-byte
+        record arithmetic the hint stores use -- exposed under the
+        :class:`repro.cache.policy.ReplacementPolicy` protocol's occupancy
+        name so telemetry needs no per-class accessor.
+        """
+        return _NEGATIVE_RECORD_BYTES * len(self._entries)
 
     def check(self, key: int, now: float) -> bool:
         """Is a fresh negative result cached for ``key``?

@@ -83,6 +83,11 @@ class TTLCache:
         """Current total size of cached objects."""
         return self._used_bytes
 
+    @property
+    def occupancy_bytes(self) -> int:
+        """Protocol-named alias of :attr:`used_bytes` (telemetry binding)."""
+        return self._used_bytes
+
     def lookup(self, key: int, version: int, now: float) -> TTLLookupResult:
         """Age-based lookup: freshness is judged by wall clock, not version."""
         entry = self._entries.get(key)

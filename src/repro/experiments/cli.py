@@ -90,6 +90,16 @@ def build_parser() -> argparse.ArgumentParser:
         "registry as a Prometheus text exposition",
     )
     parser.add_argument(
+        "--policy", default=None, metavar="MAP",
+        help="with the 'decompose'/'timeline' verbs: per-level replacement "
+        "policies, e.g. 'l1=lfu,l2=lru,l3=random' or a bare 'lfu' for every "
+        "level ('random' accepts a seed: 'random:7').  Implies the "
+        "space-constrained capacities (policies only differ under "
+        "capacity pressure; the default run is unbounded).  Hint-style "
+        "architectures store data only at L1, so their cells use the l1 "
+        "entry and ignore l2/l3",
+    )
+    parser.add_argument(
         "--engine", choices=("reference", "fast", "auto"), default="reference",
         help="simulation engine for the 'decompose'/'timeline' verbs: "
         "'fast' runs the columnar batch engine (metric-identical; every "
@@ -130,6 +140,11 @@ def main(argv: list[str] | None = None) -> int:
     if args.timeline is not None or args.prometheus is not None:
         print(
             "--timeline/--prometheus require the 'timeline' verb", file=sys.stderr
+        )
+        return 2
+    if args.policy is not None:
+        print(
+            "--policy requires the 'decompose' or 'timeline' verb", file=sys.stderr
         )
         return 2
     if args.list:
@@ -239,6 +254,52 @@ def main(argv: list[str] | None = None) -> int:
     return status
 
 
+def _standard_architectures(config, cost, policy_arg):
+    """Build the standard four, honouring a ``--policy`` map when given.
+
+    Without ``--policy`` this is the historical unbounded construction
+    (byte-identical results).  With it, the space-constrained capacities
+    apply -- replacement policies only differ under capacity pressure, so
+    an unbounded policy run would be indistinguishable from LRU -- with
+    the paper's sizing: every data-hierarchy node gets ``l1_cache_bytes``
+    (the Figure 8(b) uniform 5 GB, scaled) and hint-style L1 nodes get
+    ``hint_data_cache_bytes``.  Hint-style architectures store data only
+    at L1, so only the map's ``l1`` entry reaches them.
+    """
+    from repro.hierarchy.data_hierarchy import DataHierarchy
+    from repro.hierarchy.directory_arch import CentralizedDirectoryArchitecture
+    from repro.hierarchy.hint_hierarchy import HintHierarchy
+    from repro.hierarchy.icp import IcpHierarchy
+
+    if policy_arg is None:
+        return [
+            DataHierarchy(config.topology, cost),
+            IcpHierarchy(config.topology, cost),
+            HintHierarchy(config.topology, cost),
+            CentralizedDirectoryArchitecture(config.topology, cost),
+        ]
+    from repro.cache.policy import parse_policy_map
+
+    policies = parse_policy_map(policy_arg)
+    data_kwargs = dict(
+        l1_bytes=config.l1_cache_bytes,
+        l2_bytes=config.l1_cache_bytes,
+        l3_bytes=config.l1_cache_bytes,
+        l1_policy=policies.get("l1"),
+        l2_policy=policies.get("l2"),
+        l3_policy=policies.get("l3"),
+    )
+    hint_kwargs = dict(
+        l1_bytes=config.hint_data_cache_bytes, l1_policy=policies.get("l1")
+    )
+    return [
+        DataHierarchy(config.topology, cost, **data_kwargs),
+        IcpHierarchy(config.topology, cost, **data_kwargs),
+        HintHierarchy(config.topology, cost, **hint_kwargs),
+        CentralizedDirectoryArchitecture(config.topology, cost, **hint_kwargs),
+    ]
+
+
 def _run_decompose(args) -> int:
     """The ``decompose`` verb: latency decomposition of the standard four.
 
@@ -248,10 +309,6 @@ def _run_decompose(args) -> int:
     ``arch`` field distinguishes the four runs).
     """
     from repro.experiments.base import trace_for
-    from repro.hierarchy.data_hierarchy import DataHierarchy
-    from repro.hierarchy.directory_arch import CentralizedDirectoryArchitecture
-    from repro.hierarchy.hint_hierarchy import HintHierarchy
-    from repro.hierarchy.icp import IcpHierarchy
     from repro.netmodel.testbed import TestbedCostModel
     from repro.obs.sink import JourneySink, JsonlJourneySink
     from repro.reporting.tables import format_decomposition_table
@@ -276,12 +333,11 @@ def _run_decompose(args) -> int:
             set_trace_cache(TraceCache(args.trace_cache))
     trace = trace_for(config, profile_name)
     cost = TestbedCostModel()
-    architectures = [
-        DataHierarchy(config.topology, cost),
-        IcpHierarchy(config.topology, cost),
-        HintHierarchy(config.topology, cost),
-        CentralizedDirectoryArchitecture(config.topology, cost),
-    ]
+    try:
+        architectures = _standard_architectures(config, cost, args.policy)
+    except ValueError as exc:
+        print(f"--policy: {exc}", file=sys.stderr)
+        return 2
     sink = (
         JsonlJourneySink(args.journeys) if args.journeys is not None else JourneySink()
     )
@@ -314,10 +370,6 @@ def _run_timeline(args) -> int:
     lines, and a hit-rate-vs-time chart.
     """
     from repro.experiments.base import trace_for
-    from repro.hierarchy.data_hierarchy import DataHierarchy
-    from repro.hierarchy.directory_arch import CentralizedDirectoryArchitecture
-    from repro.hierarchy.hint_hierarchy import HintHierarchy
-    from repro.hierarchy.icp import IcpHierarchy
     from repro.netmodel.testbed import TestbedCostModel
     from repro.obs.export import (
         prometheus_text,
@@ -351,12 +403,11 @@ def _run_timeline(args) -> int:
             set_trace_cache(TraceCache(args.trace_cache))
     trace = trace_for(config, profile_name)
     cost = TestbedCostModel()
-    architectures = [
-        DataHierarchy(config.topology, cost),
-        IcpHierarchy(config.topology, cost),
-        HintHierarchy(config.topology, cost),
-        CentralizedDirectoryArchitecture(config.topology, cost),
-    ]
+    try:
+        architectures = _standard_architectures(config, cost, args.policy)
+    except ValueError as exc:
+        print(f"--policy: {exc}", file=sys.stderr)
+        return 2
     registry = MetricsRegistry()
     results = {}
     rows = []

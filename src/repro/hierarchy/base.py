@@ -10,17 +10,48 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable
 
+from repro.cache.policy import DEFAULT_POLICY, PolicySpec
 from repro.netmodel.model import AccessPoint, CostModel
 from repro.traces.records import Request
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
     from repro.audit.hooks import AuditHooks
+    from repro.cache.lru import CacheEntry
     from repro.faults.events import NodeKind
     from repro.faults.injector import FaultInjector
     from repro.obs.journey import Journey
     from repro.obs.telemetry import MetricsRegistry
+
+
+def build_l1_caches(
+    n_l1: int,
+    capacity_bytes: int | None,
+    *,
+    eviction_callback: "Callable[[int], Callable[[int, CacheEntry, str], None]] | None" = None,
+    policy: PolicySpec | None = None,
+) -> list:
+    """Construct the per-proxy L1 data caches, one per node.
+
+    Every shipped architecture stores data at the L1 proxies; the
+    hint-style ones additionally watch evictions so they can retract
+    metadata (the prototype's *invalidate* command).  This is that one
+    construction, shared: ``eviction_callback`` is the per-node factory
+    (``node -> on_evict``), and ``policy`` picks the replacement policy
+    (default LRU, behaviour-identical to the historical hardcoded
+    ``LRUCache`` sites).  The node index salts the policy build so the
+    Random policy's victim streams are independent across proxies.
+    """
+    spec = policy if policy is not None else DEFAULT_POLICY
+    return [
+        spec.build(
+            capacity_bytes,
+            on_evict=eviction_callback(node) if eviction_callback is not None else None,
+            salt=node,
+        )
+        for node in range(n_l1)
+    ]
 
 
 @dataclass(frozen=True)

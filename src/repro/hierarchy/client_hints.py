@@ -19,8 +19,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.cache.lru import LookupResult, LRUCache
-from repro.hierarchy.base import AccessResult, Architecture
+from repro.cache.lru import LookupResult
+from repro.cache.policy import PolicySpec
+from repro.hierarchy.base import AccessResult, Architecture, build_l1_caches
 from repro.hierarchy.topology import HierarchyTopology
 from repro.hints.directory import HintDirectory
 from repro.netmodel.model import AccessPoint, CostModel
@@ -39,6 +40,8 @@ class ClientHintHierarchy(Architecture):
             misses an entry the full directory holds (capacity effect of
             the small per-client hint store).
         seed: Randomness for the false-negative coin flips.
+        l1_policy: Replacement policy for the per-proxy data caches
+            (:class:`~repro.cache.policy.PolicySpec`; default LRU).
     """
 
     name = "client-hints"
@@ -50,6 +53,7 @@ class ClientHintHierarchy(Architecture):
         l1_bytes: int | None = None,
         client_false_negative_rate: float = 0.0,
         seed: int = 0,
+        l1_policy: PolicySpec | None = None,
     ) -> None:
         super().__init__(cost_model)
         if not 0.0 <= client_false_negative_rate <= 1.0:
@@ -61,10 +65,12 @@ class ClientHintHierarchy(Architecture):
         self._rng = np.random.default_rng(seed)
         self.directory = HintDirectory()
         self._now = 0.0
-        self.l1_caches = [
-            LRUCache(l1_bytes, on_evict=self._eviction_callback(node))
-            for node in range(topology.n_l1)
-        ]
+        self.l1_caches = build_l1_caches(
+            topology.n_l1,
+            l1_bytes,
+            eviction_callback=self._eviction_callback,
+            policy=l1_policy,
+        )
 
     def process(self, request: Request) -> AccessResult:
         if self.audit is not None:

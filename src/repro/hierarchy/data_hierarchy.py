@@ -19,8 +19,9 @@ whole subtree re-faults its working set.
 
 from __future__ import annotations
 
-from repro.cache.lru import LookupResult, LRUCache
-from repro.hierarchy.base import AccessResult, Architecture
+from repro.cache.lru import LookupResult
+from repro.cache.policy import DEFAULT_POLICY, PolicySpec
+from repro.hierarchy.base import AccessResult, Architecture, build_l1_caches
 from repro.hierarchy.topology import HierarchyTopology
 from repro.netmodel.model import AccessPoint, CostModel
 from repro.obs.journey import Journey
@@ -46,6 +47,10 @@ class DataHierarchy(Architecture):
             infinite (the paper's Figure 8(a) configuration).  The
             space-constrained configuration of Figure 8(b) gives every node
             in the data hierarchy 5 GB.
+        l1_policy / l2_policy / l3_policy: Per-level replacement policies
+            (:class:`~repro.cache.policy.PolicySpec`); ``None`` keeps the
+            paper's LRU at that level.  Policies only change behaviour
+            under capacity pressure -- unbounded levels never evict.
     """
 
     name = "hierarchy"
@@ -57,12 +62,24 @@ class DataHierarchy(Architecture):
         l1_bytes: int | None = None,
         l2_bytes: int | None = None,
         l3_bytes: int | None = None,
+        l1_policy: PolicySpec | None = None,
+        l2_policy: PolicySpec | None = None,
+        l3_policy: PolicySpec | None = None,
     ) -> None:
         super().__init__(cost_model)
         self.topology = topology
-        self.l1_caches = [LRUCache(l1_bytes) for _ in range(topology.n_l1)]
-        self.l2_caches = [LRUCache(l2_bytes) for _ in range(topology.n_l2)]
-        self.l3_cache = LRUCache(l3_bytes)
+        self.l1_caches = build_l1_caches(topology.n_l1, l1_bytes, policy=l1_policy)
+        l2_spec = l2_policy if l2_policy is not None else DEFAULT_POLICY
+        l3_spec = l3_policy if l3_policy is not None else DEFAULT_POLICY
+        # Salts continue past the L1 node indices so no two caches of one
+        # architecture share a Random victim stream.
+        self.l2_caches = [
+            l2_spec.build(l2_bytes, salt=topology.n_l1 + node)
+            for node in range(topology.n_l2)
+        ]
+        self.l3_cache = l3_spec.build(
+            l3_bytes, salt=topology.n_l1 + topology.n_l2
+        )
 
     def process(self, request: Request) -> AccessResult:
         if self.audit is not None:

@@ -15,8 +15,9 @@ L3 distance.
 
 from __future__ import annotations
 
-from repro.cache.lru import LookupResult, LRUCache
-from repro.hierarchy.base import AccessResult, Architecture
+from repro.cache.lru import LookupResult
+from repro.cache.policy import PolicySpec
+from repro.hierarchy.base import AccessResult, Architecture, build_l1_caches
 from repro.hierarchy.topology import HierarchyTopology
 from repro.hints.directory import HintDirectory
 from repro.netmodel.model import AccessPoint, CostModel
@@ -33,6 +34,8 @@ class CentralizedDirectoryArchitecture(Architecture):
         l1_bytes: Per-proxy data-cache capacity (``None`` = infinite).
         directory_point: Distance class of the directory node (L3 -- the
             root -- by default).
+        l1_policy: Replacement policy for the per-proxy data caches
+            (:class:`~repro.cache.policy.PolicySpec`; default LRU).
     """
 
     name = "directory"
@@ -43,6 +46,7 @@ class CentralizedDirectoryArchitecture(Architecture):
         cost_model: CostModel,
         l1_bytes: int | None = None,
         directory_point: AccessPoint = AccessPoint.L3,
+        l1_policy: PolicySpec | None = None,
     ) -> None:
         super().__init__(cost_model)
         self.topology = topology
@@ -51,10 +55,12 @@ class CentralizedDirectoryArchitecture(Architecture):
         # and fresh; its cost is the query round trip, not staleness.
         self.directory = HintDirectory()
         self._now = 0.0
-        self.l1_caches = [
-            LRUCache(l1_bytes, on_evict=self._eviction_callback(node))
-            for node in range(topology.n_l1)
-        ]
+        self.l1_caches = build_l1_caches(
+            topology.n_l1,
+            l1_bytes,
+            eviction_callback=self._eviction_callback,
+            policy=l1_policy,
+        )
 
     #: The central directory is metadata node 0 in fault plans.
     DIRECTORY_META_NODE = 0

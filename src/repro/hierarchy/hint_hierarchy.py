@@ -25,8 +25,9 @@ charged as a local hit and the replicas consume no space).
 
 from __future__ import annotations
 
-from repro.cache.lru import CacheEntry, LookupResult, LRUCache
-from repro.hierarchy.base import AccessResult, Architecture
+from repro.cache.lru import CacheEntry, LookupResult
+from repro.cache.policy import PolicySpec
+from repro.hierarchy.base import AccessResult, Architecture, build_l1_caches
 from repro.hierarchy.topology import HierarchyTopology
 from repro.hints.directory import HintDirectory
 from repro.netmodel.model import AccessPoint, CostModel
@@ -49,6 +50,8 @@ class HintHierarchy(Architecture):
         push_policy: Optional push policy (section 4).
         charge_remote_as_l1: Ideal-push accounting -- remote hits are
             charged as L1 hits (section 4.1.1's best case).
+        l1_policy: Replacement policy for the per-proxy data caches
+            (:class:`~repro.cache.policy.PolicySpec`; default LRU).
     """
 
     name = "hints"
@@ -62,6 +65,7 @@ class HintHierarchy(Architecture):
         hint_delay_s: float = 0.0,
         push_policy: PushPolicy | None = None,
         charge_remote_as_l1: bool = False,
+        l1_policy: PolicySpec | None = None,
     ) -> None:
         super().__init__(cost_model)
         self.topology = topology
@@ -81,10 +85,12 @@ class HintHierarchy(Architecture):
         self._base_hint_delay_s = hint_delay_s
         # (node, object) -> pushed version, for replicas awaiting first use.
         self._pending_push: dict[tuple[int, int], int] = {}
-        self.l1_caches = [
-            LRUCache(l1_bytes, on_evict=self._eviction_callback(node))
-            for node in range(topology.n_l1)
-        ]
+        self.l1_caches = build_l1_caches(
+            topology.n_l1,
+            l1_bytes,
+            eviction_callback=self._eviction_callback,
+            policy=l1_policy,
+        )
 
     # ------------------------------------------------------------------
     # request processing

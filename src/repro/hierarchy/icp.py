@@ -18,8 +18,9 @@ unlike hints.
 
 from __future__ import annotations
 
-from repro.cache.lru import LookupResult, LRUCache
-from repro.hierarchy.base import AccessResult, Architecture
+from repro.cache.lru import LookupResult
+from repro.cache.policy import DEFAULT_POLICY, PolicySpec
+from repro.hierarchy.base import AccessResult, Architecture, build_l1_caches
 from repro.hierarchy.topology import HierarchyTopology
 from repro.netmodel.model import AccessPoint, CostModel
 from repro.obs.journey import Journey
@@ -38,12 +39,22 @@ class IcpHierarchy(Architecture):
         l1_bytes: int | None = None,
         l2_bytes: int | None = None,
         l3_bytes: int | None = None,
+        l1_policy: PolicySpec | None = None,
+        l2_policy: PolicySpec | None = None,
+        l3_policy: PolicySpec | None = None,
     ) -> None:
         super().__init__(cost_model)
         self.topology = topology
-        self.l1_caches = [LRUCache(l1_bytes) for _ in range(topology.n_l1)]
-        self.l2_caches = [LRUCache(l2_bytes) for _ in range(topology.n_l2)]
-        self.l3_cache = LRUCache(l3_bytes)
+        self.l1_caches = build_l1_caches(topology.n_l1, l1_bytes, policy=l1_policy)
+        l2_spec = l2_policy if l2_policy is not None else DEFAULT_POLICY
+        l3_spec = l3_policy if l3_policy is not None else DEFAULT_POLICY
+        self.l2_caches = [
+            l2_spec.build(l2_bytes, salt=topology.n_l1 + node)
+            for node in range(topology.n_l2)
+        ]
+        self.l3_cache = l3_spec.build(
+            l3_bytes, salt=topology.n_l1 + topology.n_l2
+        )
         self.sibling_hits = 0
         self.sibling_queries = 0
 

@@ -25,9 +25,10 @@ the modeled directory.
 
 from __future__ import annotations
 
-from repro.cache.lru import CacheEntry, LookupResult, LRUCache
+from repro.cache.lru import CacheEntry, LookupResult
+from repro.cache.policy import PolicySpec
 from repro.common.ids import object_id_from_url
-from repro.hierarchy.base import AccessResult, Architecture
+from repro.hierarchy.base import AccessResult, Architecture, build_l1_caches
 from repro.hierarchy.topology import HierarchyTopology
 from repro.hints.cluster import HintCluster
 from repro.hints.propagation import HintPropagationTree
@@ -50,6 +51,8 @@ class MessageLevelHintHierarchy(Architecture):
         max_period_s: Upper bound of the randomized flush period (60 s in
             the paper; lower values trade update bandwidth for freshness).
         seed: Flush-jitter randomness.
+        l1_policy: Replacement policy for the per-proxy data caches
+            (:class:`~repro.cache.policy.PolicySpec`; default LRU).
     """
 
     name = "hints-message-level"
@@ -63,6 +66,7 @@ class MessageLevelHintHierarchy(Architecture):
         link_latency_s: float = 0.1,
         max_period_s: float = MAX_UPDATE_PERIOD_S,
         seed: int = 0,
+        l1_policy: PolicySpec | None = None,
     ) -> None:
         super().__init__(cost_model)
         self.topology = topology
@@ -78,10 +82,12 @@ class MessageLevelHintHierarchy(Architecture):
         )
         self._now = 0.0
         self._hash_cache: dict[int, int] = {}
-        self.l1_caches = [
-            LRUCache(l1_bytes, on_evict=self._eviction_callback(node))
-            for node in range(topology.n_l1)
-        ]
+        self.l1_caches = build_l1_caches(
+            topology.n_l1,
+            l1_bytes,
+            eviction_callback=self._eviction_callback,
+            policy=l1_policy,
+        )
         self.false_positive_probes = 0
         self.false_negative_misses = 0
 

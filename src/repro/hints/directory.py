@@ -152,6 +152,20 @@ class HintDirectory:
         """Objects with at least one visible hint (the hint count gauge)."""
         return len(self._visible)
 
+    @property
+    def occupancy_bytes(self) -> int:
+        """Bytes of visible hint records, at the packed 16-byte record size.
+
+        One record per visible ``(object, holder)`` pair -- the same
+        arithmetic the bounded store's set sizing uses -- so telemetry can
+        treat a hint store like any other cache occupancy, without a
+        per-class accessor (the :class:`repro.cache.policy.ReplacementPolicy`
+        protocol's naming).
+        """
+        return HINT_RECORD_BYTES * sum(
+            len(holders) for _, holders in self.visible_items()
+        )
+
     def truth_holders(self, object_id: int) -> dict[int, int]:
         """Ground-truth ``{node: version}`` map for an object (may be empty)."""
         return dict(self._truth.get(object_id, {}))

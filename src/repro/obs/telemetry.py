@@ -8,7 +8,7 @@ it happen".  Three pieces compose:
   instruments (:class:`Counter` / :class:`Gauge` / :class:`Histogram`).
   Instruments are either *stored* (incremented on the request path) or
   *callback-backed* (a ``fn`` read at snapshot time, e.g. a cache's
-  ``used_bytes``), so instrumenting a layer costs nothing until someone
+  ``occupancy_bytes``), so instrumenting a layer costs nothing until someone
   actually samples it.
 * :class:`Timeline` -- snapshots every instrument into fixed-width bins
   of **simulated** time (``bin_s``, default one hour).  Each closed bin
@@ -708,16 +708,19 @@ def bind_cache(
 ) -> None:
     """Register occupancy/churn instruments for one data cache.
 
-    Works for any cache exposing ``used_bytes``/``__len__`` plus the
-    always-on ``insertions``/``evictions``/``invalidations`` counters
-    (:class:`repro.cache.lru.LRUCache`, :class:`repro.cache.ttl.TTLCache`).
+    Works for any cache satisfying the
+    :class:`repro.cache.policy.ReplacementPolicy` protocol's observation
+    surface: ``occupancy_bytes``/``__len__`` plus the always-on
+    ``insertions``/``evictions``/``invalidations`` counters (every policy
+    cache and :class:`repro.cache.ttl.TTLCache`) -- one uniform accessor,
+    no per-class fallbacks.
     """
     labels = {"arch": arch, "level": level, "node": str(node)}
     registry.gauge(
         "repro_cache_occupancy_bytes",
         labels,
         help="Bytes currently cached",
-        fn=lambda c=cache: float(c.used_bytes),
+        fn=lambda c=cache: float(c.occupancy_bytes),
     )
     registry.gauge(
         "repro_cache_entries",

@@ -28,6 +28,15 @@ reference engine on the same trace and a freshly built architecture:
 * identical histograms: :meth:`LatencyHistogram.bulk_record` routes every
   distinct value through the same scalar binning formula as ``record``.
 
+The kernels are **policy-agnostic**: every state mutation on a *bounded*
+cache goes through the real ``lookup``/``insert``/``invalidate`` methods,
+so a non-LRU replacement policy (:mod:`repro.cache.policy` -- LFU
+frequency counters, Random victim streams) advances exactly as in the
+reference loop and the parity contract holds for any per-level policy
+mix.  The only method bypass -- the warm-hit raw ``_entries`` dict probe
+-- is taken solely for *unbounded* caches, where no eviction can ever
+happen and policy bookkeeping is therefore unobservable.
+
 Journeys and telemetry are *decoders* over the batch's column store: a
 detached run (no sink, no telemetry) pays one pointer check per batch,
 while an attached run reconstructs journeys / feeds
@@ -188,12 +197,15 @@ class HierarchyKernel(_Kernel):
         topology = architecture.topology
         self._l1_all = topology.l1_of_clients(columns.client)
         self._l2_all = self._l1_all // topology.l1_per_l2
-        # Unbounded caches never evict, so LRU recency order is
+        # Unbounded caches never evict, so replacement bookkeeping (LRU
+        # recency order, LFU frequencies, Random's key table) is
         # unobservable on the healthy path: a pure HIT's only state effect
-        # (``move_to_end``) can be skipped and the lookup becomes one dict
-        # probe.  STALE and MISS rows still take the real method calls.
-        # (Crash events empty ``_entries`` in place, so the dict references
-        # stay valid across fault windows.)
+        # (``_touch``) can be skipped and the lookup becomes one dict
+        # probe.  STALE and MISS rows still take the real method calls,
+        # and *bounded* caches take them for every row -- that is what
+        # keeps the kernels policy-agnostic (module docstring).  (Crash
+        # events empty ``_entries`` in place, so the dict references stay
+        # valid across fault windows.)
         self._l1_entries = [
             cache._entries if cache.capacity_bytes is None else None
             for cache in architecture.l1_caches

@@ -1,0 +1,182 @@
+"""Tests for the analytic hit-rate predictor (the audit's third oracle).
+
+Covers the characteristic-time solver's contract (the capacity constraint
+actually holds at the root), the closed-form edge cases (unbounded cache,
+catalog-fits, single-access streams), and the headline property: on the
+tiny trace, prediction and the production-cache measurement agree within
+the documented tolerance for both tractable policies -- and *disagree*
+beyond it across policies, so the audit check has teeth.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analytic import (
+    PREDICTABLE_POLICIES,
+    PREDICTOR_TOLERANCE,
+    characteristic_time,
+    measure_l1_hit_rate,
+    predict_hit_rate,
+    predict_l1_hit_rate,
+)
+from repro.cache.policy import PolicySpec
+
+KB = 1024
+
+
+@pytest.fixture(scope="module")
+def zipfish():
+    """A skewed per-object workload: counts ~ 1/rank, mixed sizes."""
+    rng = np.random.default_rng(7)
+    ranks = np.arange(1, 401)
+    counts = np.maximum(1, (600 / ranks)).astype(np.int64)
+    sizes = rng.integers(256, 64 * KB, size=ranks.size)
+    return counts, sizes
+
+
+class TestCharacteristicTime:
+    @pytest.mark.parametrize("policy", PREDICTABLE_POLICIES)
+    def test_root_satisfies_capacity_constraint(self, zipfish, policy):
+        counts, sizes = zipfish
+        probabilities = counts / counts.sum()
+        capacity = int(sizes.sum() * 0.3)
+        t = characteristic_time(probabilities, sizes, capacity, policy)
+        assert math.isfinite(t) and t > 0
+        occ = (
+            -np.expm1(-probabilities * t)
+            if policy == "lru"
+            else (probabilities * t) / (1.0 + probabilities * t)
+        )
+        resident = float((sizes * occ).sum())
+        assert resident == pytest.approx(capacity, rel=1e-6)
+
+    def test_catalog_fits_gives_infinite_time(self, zipfish):
+        counts, sizes = zipfish
+        probabilities = counts / counts.sum()
+        assert math.isinf(
+            characteristic_time(probabilities, sizes, int(sizes.sum()), "lru")
+        )
+
+    @pytest.mark.parametrize("policy", PREDICTABLE_POLICIES)
+    def test_monotone_in_capacity(self, zipfish, policy):
+        counts, sizes = zipfish
+        probabilities = counts / counts.sum()
+        total = int(sizes.sum())
+        times = [
+            characteristic_time(probabilities, sizes, int(total * f), policy)
+            for f in (0.1, 0.3, 0.6)
+        ]
+        assert times[0] < times[1] < times[2]
+
+
+class TestPredictHitRate:
+    @pytest.mark.parametrize("policy", PREDICTABLE_POLICIES)
+    def test_monotone_in_capacity_and_bounded(self, zipfish, policy):
+        counts, sizes = zipfish
+        total = int(sizes.sum())
+        rates = [
+            predict_hit_rate(counts, sizes, int(total * f), policy).warm_hit_rate
+            for f in (0.1, 0.4, 0.8)
+        ]
+        assert rates[0] < rates[1] < rates[2]
+        assert all(0.0 <= r <= 1.0 for r in rates)
+
+    def test_unbounded_and_fitting_caches_hit_every_warm_access(self, zipfish):
+        counts, sizes = zipfish
+        assert predict_hit_rate(counts, sizes, None).warm_hit_rate == 1.0
+        fits = predict_hit_rate(counts, sizes, int(sizes.sum()))
+        assert fits.warm_hit_rate == 1.0
+        assert math.isinf(fits.characteristic_time)
+
+    def test_lru_beats_random_on_skewed_streams(self, zipfish):
+        # Che vs TTL: popularity-aware retention wins under Zipf skew.
+        counts, sizes = zipfish
+        capacity = int(sizes.sum() * 0.25)
+        lru = predict_hit_rate(counts, sizes, capacity, "lru").warm_hit_rate
+        rnd = predict_hit_rate(counts, sizes, capacity, "random").warm_hit_rate
+        assert lru > rnd
+
+    def test_single_access_stream_has_no_warm_accesses(self):
+        prediction = predict_hit_rate(
+            np.ones(10), np.full(10, 1000), 2000, "lru"
+        )
+        assert prediction.warm_accesses == 0
+        assert prediction.warm_hit_rate == 1.0
+
+    def test_rejects_unmodelled_policy_and_shape_mismatch(self, zipfish):
+        counts, sizes = zipfish
+        with pytest.raises(ValueError, match="no analytic model"):
+            predict_hit_rate(counts, sizes, 1000, "lfu")
+        with pytest.raises(ValueError, match="parallel"):
+            predict_hit_rate(counts[:-1], sizes, 1000)
+
+
+class TestAgainstSimulation:
+    @pytest.mark.parametrize("policy", PREDICTABLE_POLICIES)
+    def test_agrees_with_production_caches_within_tolerance(
+        self, policy, tiny_config, dec_trace
+    ):
+        """The audit gate's property: on exchangeable-shuffled substreams
+        (the IRM regime the formulas model), prediction and the real
+        cache classes agree within the documented tolerance."""
+        capacity = tiny_config.l1_cache_bytes
+        predicted = predict_l1_hit_rate(
+            dec_trace, tiny_config.topology, capacity, policy
+        )
+        measured = measure_l1_hit_rate(
+            dec_trace,
+            tiny_config.topology,
+            capacity,
+            PolicySpec(policy, seed=3),
+            shuffle_seed=2024,
+        )
+        assert measured.warm_accesses == predicted.warm_accesses > 0
+        delta = abs(predicted.warm_hit_rate - measured.warm_hit_rate)
+        assert delta <= PREDICTOR_TOLERANCE
+
+    def test_check_discriminates_between_policies(self, tiny_config, dec_trace):
+        """Teeth: at a tight capacity the LRU prediction disagrees with a
+        *Random* cache by more than the tolerance, so a cache running the
+        wrong victim selection cannot slip through the audit."""
+        capacity = 512 * KB
+        lru_prediction = predict_l1_hit_rate(
+            dec_trace, tiny_config.topology, capacity, "lru"
+        )
+        random_measured = measure_l1_hit_rate(
+            dec_trace,
+            tiny_config.topology,
+            capacity,
+            PolicySpec("random", seed=3),
+            shuffle_seed=2024,
+        )
+        assert (
+            abs(lru_prediction.warm_hit_rate - random_measured.warm_hit_rate)
+            > PREDICTOR_TOLERANCE
+        )
+
+    def test_in_order_replay_reads_above_the_lru_prediction(
+        self, tiny_config, dec_trace
+    ):
+        """Documented direction of the IRM approximation error: the real
+        stream's temporal locality helps LRU, so the unshuffled
+        measurement sits at or above the Che prediction."""
+        capacity = tiny_config.l1_cache_bytes
+        predicted = predict_l1_hit_rate(
+            dec_trace, tiny_config.topology, capacity, "lru"
+        )
+        in_order = measure_l1_hit_rate(
+            dec_trace, tiny_config.topology, capacity, PolicySpec("lru")
+        )
+        assert in_order.warm_hit_rate >= predicted.warm_hit_rate
+
+    def test_unbounded_measurement_hits_every_warm_access(
+        self, tiny_config, dec_trace
+    ):
+        measured = measure_l1_hit_rate(
+            dec_trace, tiny_config.topology, None, PolicySpec("lru")
+        )
+        assert measured.warm_hit_rate == 1.0

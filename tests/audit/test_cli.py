@@ -15,19 +15,29 @@ from repro.audit.cli import main, run_differential_trials
 
 
 def test_cli_differential_stage_is_clean(capsys):
-    assert main(["--skip-matrix", "--trials", "2"]) == 0
+    assert main(["--skip-matrix", "--skip-predictor", "--trials", "2"]) == 0
     out = capsys.readouterr().out
     assert "differential: 2 trials" in out
     assert "audit clean" in out
 
 
-def test_cli_skip_both_stages_is_trivially_clean(capsys):
-    assert main(["--skip-matrix", "--skip-differential"]) == 0
+def test_cli_skip_all_stages_is_trivially_clean(capsys):
+    assert (
+        main(["--skip-matrix", "--skip-differential", "--skip-predictor"]) == 0
+    )
     assert "audit clean" in capsys.readouterr().out
 
 
+def test_cli_predictor_stage_is_clean(capsys):
+    assert main(["--skip-matrix", "--skip-differential"]) == 0
+    out = capsys.readouterr().out
+    assert "predictor: 4 comparisons" in out
+    assert "tolerance" in out
+    assert "audit clean" in out
+
+
 def test_cli_verbose_lists_trials(capsys):
-    assert main(["--skip-matrix", "--trials", "1", "-v"]) == 0
+    assert main(["--skip-matrix", "--skip-predictor", "--trials", "1", "-v"]) == 0
     assert "trial 0" in capsys.readouterr().out
 
 
@@ -40,7 +50,15 @@ def test_differential_trials_are_seed_deterministic():
 
 def test_module_entry_point_runs():
     completed = subprocess.run(
-        [sys.executable, "-m", "repro.audit", "--skip-matrix", "--trials", "1"],
+        [
+            sys.executable,
+            "-m",
+            "repro.audit",
+            "--skip-matrix",
+            "--skip-predictor",
+            "--trials",
+            "1",
+        ],
         capture_output=True,
         text=True,
         timeout=300,

@@ -163,3 +163,13 @@ def test_deep_audit_matrix_is_clean():
     problems, total_checks = run_matrix()
     assert problems == []
     assert total_checks > 100_000
+
+
+@pytest.mark.audit_deep
+@pytest.mark.skipif(not DEEP, reason="set REPRO_AUDIT_DEEP=1 for the deep profile")
+def test_deep_policy_matrix_is_clean():
+    from repro.audit.cli import run_policy_matrix
+
+    problems, total_checks = run_policy_matrix()
+    assert problems == []
+    assert total_checks > 100_000

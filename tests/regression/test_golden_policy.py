@@ -1,0 +1,123 @@
+"""Golden snapshot of the architecture comparison under a non-LRU policy.
+
+Pins a Table-3-style four-architecture comparison with every L1 data
+cache running LFU (space-constrained, so the policy actually evicts) to
+``golden/policy_lfu.json``.  The pre-existing table snapshots prove the
+default-LRU path is untouched; this one pins what the *policy layer
+itself* computes, so an accidental change to LFU victim selection or to
+how specs thread through construction fails here before it shifts any
+reported number.
+
+Regenerate intentionally with::
+
+    PYTHONPATH=src python -m pytest tests/regression --force-regen
+
+A second test pins jobs-invariance for a *mixed* policy map through
+``run_comparison_parallel``: worker processes rebuild caches from pickled
+``PolicySpec`` values, and any seed/salt drift between the in-process and
+multiprocess paths would break the equality.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.cache.policy import PolicySpec
+from repro.hierarchy.data_hierarchy import DataHierarchy
+from repro.hierarchy.directory_arch import CentralizedDirectoryArchitecture
+from repro.hierarchy.hint_hierarchy import HintHierarchy
+from repro.hierarchy.icp import IcpHierarchy
+from repro.netmodel.testbed import TestbedCostModel
+from repro.runner.parallel import run_comparison_parallel
+from repro.runner.specs import ArchitectureSpec
+from repro.sim.engine import run_simulation
+from repro.traces.synthetic import SyntheticTraceGenerator
+from tests.conftest import make_tiny_config
+
+GOLDEN_DIR = pathlib.Path(__file__).resolve().parent / "golden"
+
+LFU = PolicySpec("lfu")
+
+
+def _policy_specs(config, l1_policy):
+    """The standard four, space-constrained, under ``l1_policy`` at L1."""
+    cost = TestbedCostModel()
+    data_kwargs = dict(l1_bytes=config.l1_cache_bytes, l1_policy=l1_policy)
+    hint_kwargs = dict(l1_bytes=config.hint_data_cache_bytes, l1_policy=l1_policy)
+    return [
+        ArchitectureSpec(DataHierarchy, (config.topology, cost), data_kwargs),
+        ArchitectureSpec(IcpHierarchy, (config.topology, cost), data_kwargs),
+        ArchitectureSpec(HintHierarchy, (config.topology, cost), hint_kwargs),
+        ArchitectureSpec(
+            CentralizedDirectoryArchitecture, (config.topology, cost), hint_kwargs
+        ),
+    ]
+
+
+def _snapshot() -> dict:
+    """Comparison rows under l1=lfu, JSON round-tripped for stable repr."""
+    config = make_tiny_config()
+    trace = SyntheticTraceGenerator(
+        config.profile("dec"), seed=config.seed
+    ).generate()
+    rows = {}
+    for spec in _policy_specs(config, LFU):
+        architecture = spec.build()
+        metrics = run_simulation(trace, architecture)
+        rows[architecture.name] = metrics.summary()
+    return json.loads(json.dumps(rows, sort_keys=True))
+
+
+def test_golden_policy_lfu(force_regen: bool) -> None:
+    path = GOLDEN_DIR / "policy_lfu.json"
+    snapshot = _snapshot()
+    if force_regen or not path.exists():
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
+        if not force_regen:
+            pytest.fail(
+                f"golden snapshot {path} was missing and has been written; "
+                "review and commit it, then re-run"
+            )
+        return
+    golden = json.loads(path.read_text())
+    assert snapshot == golden, (
+        "the l1=lfu comparison drifted from its golden snapshot; if the "
+        "change is intentional, regenerate with --force-regen and review "
+        "the diff"
+    )
+
+
+def test_mixed_policy_comparison_is_jobs_invariant() -> None:
+    """jobs=1 vs jobs=4 over a mixed per-level policy map: identical
+    metrics.  Workers rebuild Random caches from pickled specs, so this
+    pins the (spec, salt) purity of the seeded victim streams."""
+    config = make_tiny_config()
+    cost = TestbedCostModel()
+    profile = config.profile("dec")
+    mixed = dict(
+        l1_bytes=config.l1_cache_bytes,
+        l2_bytes=4 * config.l1_cache_bytes,
+        l3_bytes=8 * config.l1_cache_bytes,
+        l1_policy=PolicySpec("lfu"),
+        l2_policy=PolicySpec("random", seed=17),
+        l3_policy=PolicySpec("lru"),
+    )
+    specs = [
+        ArchitectureSpec(DataHierarchy, (config.topology, cost), mixed),
+        ArchitectureSpec(
+            HintHierarchy,
+            (config.topology, cost),
+            dict(
+                l1_bytes=config.hint_data_cache_bytes,
+                l1_policy=PolicySpec("random", seed=17),
+            ),
+        ),
+    ]
+    serial = run_comparison_parallel(profile, config.seed, specs, jobs=1)
+    parallel = run_comparison_parallel(profile, config.seed, specs, jobs=4)
+    assert serial == parallel
+    assert set(serial) == {"hierarchy", "hints"}

@@ -9,6 +9,11 @@ caches, hint pathologies (false positives/negatives, suboptimal hits),
 fault plans with active *and* quiescent windows (the vectorized residual's
 span splitting), journey streams, telemetry rows, and batch-boundary /
 fault-edge invariance under Hypothesis.
+
+A second matrix crosses every architecture kind with every replacement
+policy (LRU / LFU / seeded Random) on *bounded* caches -- the kernels'
+policy-agnostic contract (:mod:`repro.sim.fastpath` module docstring)
+means non-LRU bookkeeping must advance identically on both engines.
 """
 
 from __future__ import annotations
@@ -18,6 +23,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.cache.policy import POLICY_NAMES, PolicySpec
 from repro.faults import FaultPlan, LinkDegrade, NodeCrash, NodeRecover
 from repro.hierarchy.data_hierarchy import DataHierarchy
 from repro.hierarchy.client_hints import ClientHintHierarchy
@@ -60,21 +66,50 @@ ALL_KINDS = [
 ]
 
 
-def build_architecture(kind, topology):
-    """Fresh architecture for one parity cell (never reused across runs)."""
+def build_architecture(kind, topology, policy=None):
+    """Fresh architecture for one parity cell (never reused across runs).
+
+    ``policy`` (a name or :class:`PolicySpec`) threads a replacement
+    policy into every level the kind has.  Kinds that default to
+    unbounded caches get bounded ones when a policy is requested --
+    policies only differ under capacity pressure, so an unbounded policy
+    cell would be vacuous.
+    """
     cost = TestbedCostModel()
+    spec = PolicySpec(policy, seed=13) if isinstance(policy, str) else policy
+    data_policies = (
+        {}
+        if spec is None
+        else {"l1_policy": spec, "l2_policy": spec, "l3_policy": spec}
+    )
+    l1_policy = {} if spec is None else {"l1_policy": spec}
     if kind == "hierarchy":
-        return DataHierarchy(topology, cost)
+        bounds = (
+            {}
+            if spec is None
+            else {"l1_bytes": 2 * MB, "l2_bytes": 8 * MB, "l3_bytes": 32 * MB}
+        )
+        return DataHierarchy(topology, cost, **bounds, **data_policies)
     if kind == "hierarchy-bounded":
         return DataHierarchy(
-            topology, cost, l1_bytes=2 * MB, l2_bytes=8 * MB, l3_bytes=32 * MB
+            topology,
+            cost,
+            l1_bytes=2 * MB,
+            l2_bytes=8 * MB,
+            l3_bytes=32 * MB,
+            **data_policies,
         )
     if kind == "icp":
-        return IcpHierarchy(topology, cost, l1_bytes=2 * MB, l2_bytes=8 * MB)
+        return IcpHierarchy(
+            topology, cost, l1_bytes=2 * MB, l2_bytes=8 * MB, **data_policies
+        )
     if kind == "directory":
-        return CentralizedDirectoryArchitecture(topology, cost, l1_bytes=2 * MB)
+        return CentralizedDirectoryArchitecture(
+            topology, cost, l1_bytes=2 * MB, **l1_policy
+        )
     if kind == "hints":
-        return HintHierarchy(topology, cost)
+        bounds = {} if spec is None else {"l1_bytes": 2 * MB}
+        return HintHierarchy(topology, cost, **bounds, **l1_policy)
     if kind == "hints-pathological":
         # Bounded data caches force evictions (stale hints -> false
         # positives), the bounded hint store forces hint drops (false
@@ -86,6 +121,7 @@ def build_architecture(kind, topology):
             l1_bytes=int(1.8 * MB),
             hint_capacity_bytes=16 * 1024,
             hint_delay_s=7200.0,
+            **l1_policy,
         )
     if kind == "hints-push":
         return HintHierarchy(
@@ -93,6 +129,7 @@ def build_architecture(kind, topology):
             cost,
             l1_bytes=2 * MB,
             push_policy=HierarchicalPushOnMiss(topology, "push-1", seed=7),
+            **l1_policy,
         )
     if kind == "hints-update-push":
         return HintHierarchy(
@@ -102,9 +139,13 @@ def build_architecture(kind, topology):
             push_policy=UpdatePush(
                 max_bandwidth_bytes_per_s=50_000.0, age_pushed_entries=True
             ),
+            **l1_policy,
         )
     if kind == "hints-ideal":
-        return HintHierarchy(topology, cost, charge_remote_as_l1=True)
+        bounds = {} if spec is None else {"l1_bytes": 2 * MB}
+        return HintHierarchy(
+            topology, cost, charge_remote_as_l1=True, **bounds, **l1_policy
+        )
     if kind == "client-hints":
         return ClientHintHierarchy(
             topology,
@@ -112,10 +153,16 @@ def build_architecture(kind, topology):
             l1_bytes=2 * MB,
             client_false_negative_rate=0.35,
             seed=7,
+            **l1_policy,
         )
     if kind == "message-hints":
         return MessageLevelHintHierarchy(
-            topology, cost, l1_bytes=2 * MB, hint_capacity_bytes=8 * 1024, seed=7
+            topology,
+            cost,
+            l1_bytes=2 * MB,
+            hint_capacity_bytes=8 * 1024,
+            seed=7,
+            **l1_policy,
         )
     raise AssertionError(kind)
 
@@ -197,6 +244,43 @@ def test_parity_matrix(kind, fault_name, tiny_config, dec_trace):
         dec_trace, kind, tiny_config.topology, fault_plan=plan
     )
     assert reference == fast
+
+
+@pytest.mark.parametrize("policy", sorted(POLICY_NAMES))
+@pytest.mark.parametrize("kind", ALL_KINDS)
+def test_policy_parity_matrix(kind, policy, tiny_config, dec_trace):
+    """Architecture x replacement-policy matrix on bounded caches.
+
+    The kernels never touch policy bookkeeping directly (raw probes are
+    unbounded-only), so LFU frequency counters and Random victim streams
+    must advance identically on both engines -- byte-identical metrics
+    for every (kind, policy) cell."""
+    reference = run_simulation(
+        dec_trace,
+        build_architecture(kind, tiny_config.topology, policy=policy),
+        engine="reference",
+    )
+    fast = run_simulation(
+        dec_trace,
+        build_architecture(kind, tiny_config.topology, policy=policy),
+        engine="fast",
+    )
+    assert reference == fast
+
+
+def test_policy_cells_actually_evict(tiny_config, dec_trace):
+    """The policy matrix is not vacuous: every kind's L1 caches evict, and
+    distinct policies produce distinct metrics on at least one kind."""
+    by_policy = {}
+    for policy in sorted(POLICY_NAMES):
+        arch = build_architecture("hierarchy", tiny_config.topology, policy=policy)
+        by_policy[policy] = run_simulation(dec_trace, arch, engine="fast")
+        assert sum(c.evictions for c in arch.l1_caches) > 0
+    signatures = {
+        (tuple(sorted(m.requests_by_point.items())), m.total_ms)
+        for m in by_policy.values()
+    }
+    assert len(signatures) == 3
 
 
 @pytest.mark.parametrize("fault_name", sorted(FAULT_PLANS))
