@@ -39,7 +39,10 @@ def build_parser() -> argparse.ArgumentParser:
         "'decompose' verb instead renders the latency-decomposition "
         "table for the standard architectures over one trace; the "
         "'timeline' verb runs them with telemetry attached and exports "
-        "per-bin time-series rows plus a hit-rate-vs-time chart)",
+        "per-bin time-series rows plus a hit-rate-vs-time chart; the "
+        "'profile' verb runs the comparison with the host-time span "
+        "profiler attached and writes a Chrome-trace/Perfetto JSON plus "
+        "a self-time table)",
     )
     parser.add_argument("--list", action="store_true", help="list experiment names")
     parser.add_argument("--all", action="store_true", help="run every experiment")
@@ -101,11 +104,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--engine", choices=("reference", "fast", "auto"), default="reference",
-        help="simulation engine for the 'decompose'/'timeline' verbs: "
-        "'fast' runs the columnar batch engine (metric-identical; every "
-        "standard architecture has a vectorized kernel), 'auto' falls "
-        "back to the reference loop where no kernel exists "
+        help="simulation engine for the 'decompose'/'timeline'/'profile' "
+        "verbs: 'fast' runs the columnar batch engine (metric-identical; "
+        "every standard architecture has a vectorized kernel), 'auto' "
+        "falls back to the reference loop where no kernel exists "
         "(default: reference)",
+    )
+    parser.add_argument(
+        "--out", default=None, metavar="OUT.json",
+        help="with the 'profile' verb: Chrome-trace/Perfetto JSON output "
+        "path (default profile.json; open at https://ui.perfetto.dev or "
+        "chrome://tracing)",
+    )
+    parser.add_argument(
+        "--memory", action="store_true",
+        help="with the 'profile' verb: sample tracemalloc net/peak "
+        "allocations and peak RSS per span (roughly doubles allocation "
+        "cost while attached)",
+    )
+    parser.add_argument(
+        "--sim-track", action="store_true",
+        help="with the 'profile' verb: lay a simulated-time timeline track "
+        "(one lane per architecture, --bin wide bins) beside the "
+        "host-time tracks, so one trace shows both clocks",
     )
     return parser
 
@@ -134,6 +155,17 @@ def main(argv: list[str] | None = None) -> int:
             print("'timeline' takes no experiment names", file=sys.stderr)
             return 2
         return _run_timeline(args)
+    if args.experiments and args.experiments[0] == "profile":
+        if args.experiments[1:]:
+            print("'profile' takes no experiment names", file=sys.stderr)
+            return 2
+        return _run_profile(args)
+    if args.out is not None or args.memory or args.sim_track:
+        print(
+            "--out/--memory/--sim-track require the 'profile' verb",
+            file=sys.stderr,
+        )
+        return 2
     if args.journeys is not None:
         print("--journeys requires the 'decompose' verb", file=sys.stderr)
         return 2
@@ -218,10 +250,20 @@ def main(argv: list[str] | None = None) -> int:
             progress=announce,
         )
 
+    from contextlib import nullcontext
+
+    from repro.obs import profiling
+
     for name in runnable:
         result = summary.results[name]
         timings = next(t for t in summary.timings if t.experiment == name)
-        with Stopwatch() as render_watch:
+        profiler = profiling.active()
+        render_span = (
+            profiler.span("render", category="runner", experiment=name)
+            if profiler is not None
+            else nullcontext()
+        )
+        with render_span, Stopwatch() as render_watch:
             rendered = result.render()
             chart = result.render_chart() if args.chart else None
         timings.render_s = render_watch.elapsed
@@ -298,6 +340,156 @@ def _standard_architectures(config, cost, policy_arg):
         HintHierarchy(config.topology, cost, **hint_kwargs),
         CentralizedDirectoryArchitecture(config.topology, cost, **hint_kwargs),
     ]
+
+
+def _standard_specs(config, cost, policy_arg):
+    """Picklable :class:`~repro.runner.specs.ArchitectureSpec` twins of
+    :func:`_standard_architectures` (the ``profile`` verb fans out through
+    ``run_comparison_parallel``, which builds architectures in workers)."""
+    from repro.hierarchy.data_hierarchy import DataHierarchy
+    from repro.hierarchy.directory_arch import CentralizedDirectoryArchitecture
+    from repro.hierarchy.hint_hierarchy import HintHierarchy
+    from repro.hierarchy.icp import IcpHierarchy
+    from repro.runner.specs import ArchitectureSpec
+
+    if policy_arg is None:
+        return [
+            ArchitectureSpec(factory, (config.topology, cost))
+            for factory in (
+                DataHierarchy,
+                IcpHierarchy,
+                HintHierarchy,
+                CentralizedDirectoryArchitecture,
+            )
+        ]
+    from repro.cache.policy import parse_policy_map
+
+    policies = parse_policy_map(policy_arg)
+    data_kwargs = dict(
+        l1_bytes=config.l1_cache_bytes,
+        l2_bytes=config.l1_cache_bytes,
+        l3_bytes=config.l1_cache_bytes,
+        l1_policy=policies.get("l1"),
+        l2_policy=policies.get("l2"),
+        l3_policy=policies.get("l3"),
+    )
+    hint_kwargs = dict(
+        l1_bytes=config.hint_data_cache_bytes, l1_policy=policies.get("l1")
+    )
+    return [
+        ArchitectureSpec(DataHierarchy, (config.topology, cost), data_kwargs),
+        ArchitectureSpec(IcpHierarchy, (config.topology, cost), data_kwargs),
+        ArchitectureSpec(HintHierarchy, (config.topology, cost), hint_kwargs),
+        ArchitectureSpec(
+            CentralizedDirectoryArchitecture, (config.topology, cost), hint_kwargs
+        ),
+    ]
+
+
+def _run_profile(args) -> int:
+    """The ``profile`` verb: the standard comparison under the span profiler.
+
+    Runs the standard four architectures through
+    :func:`~repro.runner.parallel.run_comparison_parallel` with a
+    :class:`~repro.obs.profiling.SpanProfiler` attached, writes the span
+    forest as Chrome-trace/Perfetto JSON (``--out``, default
+    ``profile.json``), and prints the comparison table plus the
+    self-time/cumulative-time table.  The table footer reconciles
+    span-accounted time against the run's wall-clock (within 1%: every
+    instrumented region is a child of the root span).  ``--memory`` adds
+    tracemalloc/RSS sampling, ``--sim-track`` lays the simulated-time
+    timeline beside the host tracks, ``--jobs N`` profiles the worker
+    fan-out (one Perfetto process track per worker pid).
+    """
+    import os
+    import tempfile
+
+    from repro.netmodel.testbed import TestbedCostModel
+    from repro.obs import profiling
+    from repro.reporting.tables import format_comparison_table
+    from repro.runner.parallel import run_comparison_parallel
+
+    if args.jobs < 1:
+        print(f"--jobs must be at least 1, got {args.jobs}", file=sys.stderr)
+        return 2
+    if args.bin <= 0:
+        print(f"--bin must be positive, got {args.bin}", file=sys.stderr)
+        return 2
+    config = default_config()
+    if args.scale is not None:
+        config = config.with_scale(args.scale)
+    if args.seed is not None:
+        from dataclasses import replace
+
+        config = replace(config, seed=args.seed)
+    profile_name = args.profile or "dec"
+    if args.trace_cache is not None:
+        from repro.runner.trace_cache import (
+            TraceCache,
+            get_trace_cache,
+            set_trace_cache,
+        )
+
+        if get_trace_cache().directory != args.trace_cache:
+            set_trace_cache(TraceCache(args.trace_cache))
+    cost = TestbedCostModel()
+    try:
+        specs = _standard_specs(config, cost, args.policy)
+    except ValueError as exc:
+        print(f"--policy: {exc}", file=sys.stderr)
+        return 2
+    out_path = args.out if args.out is not None else "profile.json"
+    profiler = profiling.SpanProfiler(memory=args.memory)
+    with tempfile.TemporaryDirectory(prefix="repro-profile-") as scratch:
+        timeline_dir = os.path.join(scratch, "timeline") if args.sim_track else None
+        with profiling.attached(profiler), Stopwatch() as wall:
+            with profiler.span(
+                "profile_run",
+                category="cli",
+                profile=profile_name,
+                jobs=args.jobs,
+                engine=args.engine,
+            ):
+                results = run_comparison_parallel(
+                    config.profile(profile_name),
+                    config.seed,
+                    specs,
+                    jobs=args.jobs,
+                    trace_cache_dir=args.trace_cache,
+                    timeline_dir=timeline_dir,
+                    timeline_bin_s=args.bin,
+                    engine=args.engine,
+                    profile_memory=args.memory,
+                )
+        sim_rows = None
+        if timeline_dir is not None:
+            from repro.obs.export import read_timeline_jsonl
+
+            sim_rows = []
+            for name in results:
+                sim_rows.extend(
+                    read_timeline_jsonl(os.path.join(timeline_dir, f"{name}.jsonl"))
+                )
+    profiler.close()
+    profiling.write_chrome_trace(profiler, out_path, sim_rows=sim_rows)
+    print(
+        format_comparison_table(
+            results, title=f"architecture comparison ({profile_name})"
+        )
+    )
+    print()
+    print(
+        profiling.format_profile_table(
+            profiling.aggregate_spans(profiler.roots),
+            total_s=wall.elapsed,
+            title=(
+                f"host profile ({profile_name}, jobs={args.jobs}, "
+                f"engine={args.engine})"
+            ),
+        )
+    )
+    print(f"[chrome trace written to {out_path}; open at https://ui.perfetto.dev]")
+    return 0
 
 
 def _run_decompose(args) -> int:

@@ -39,6 +39,17 @@ from repro.obs.export import (
     write_timeline_jsonl,
 )
 from repro.obs.journey import Journey, Step, StepKind
+from repro.obs.profiling import (
+    ProfileShard,
+    Span,
+    SpanProfiler,
+    aggregate_spans,
+    check_chrome_trace,
+    chrome_trace,
+    format_profile_table,
+    span_structure,
+    write_chrome_trace,
+)
 from repro.obs.sink import JourneySink, JsonlJourneySink, SamplingJourneySink
 from repro.obs.telemetry import (
     ConvergenceReport,
@@ -64,23 +75,32 @@ __all__ = [
     "JourneySink",
     "JsonlJourneySink",
     "MetricsRegistry",
+    "ProfileShard",
     "RunTelemetry",
     "SamplingJourneySink",
+    "Span",
+    "SpanProfiler",
     "Step",
     "StepKind",
     "Timeline",
+    "aggregate_spans",
     "bind_architecture",
     "bind_injector",
+    "check_chrome_trace",
     "check_prometheus_text",
     "check_timeline_rows",
+    "chrome_trace",
+    "format_profile_table",
     "parse_metric_key",
     "parse_prometheus_text",
     "prometheus_text",
     "read_timeline_jsonl",
     "render_metric_key",
+    "span_structure",
     "sum_counters",
     "timeline_counter_totals",
     "warmup_convergence",
+    "write_chrome_trace",
     "write_timeline_csv",
     "write_timeline_jsonl",
 ]

@@ -29,9 +29,15 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--timeline", default=None, metavar="FILE", help="timeline JSONL to validate"
     )
+    parser.add_argument(
+        "--chrome",
+        default=None,
+        metavar="FILE",
+        help="Chrome-trace/Perfetto JSON (profile verb output) to validate",
+    )
     args = parser.parse_args(argv)
-    if args.prometheus is None and args.timeline is None:
-        parser.error("nothing to check; give --prometheus and/or --timeline")
+    if args.prometheus is None and args.timeline is None and args.chrome is None:
+        parser.error("nothing to check; give --prometheus, --timeline, and/or --chrome")
 
     from repro.obs.export import (
         check_prometheus_text,
@@ -54,6 +60,24 @@ def main(argv: list[str] | None = None) -> int:
             problems.append(f"{args.timeline}: {problem}")
         if not any(p.startswith(args.timeline) for p in problems):
             print(f"{args.timeline}: {len(rows)} bin rows ok")
+    if args.chrome is not None:
+        import json
+
+        from repro.obs.profiling import check_chrome_trace
+
+        try:
+            with open(args.chrome, encoding="utf-8") as stream:
+                payload = json.load(stream)
+        except (OSError, json.JSONDecodeError) as exc:
+            payload = None
+            problems.append(f"{args.chrome}: unreadable ({exc})")
+        if payload is not None:
+            for problem in check_chrome_trace(payload):
+                problems.append(f"{args.chrome}: {problem}")
+        if not any(p.startswith(args.chrome) for p in problems):
+            print(
+                f"{args.chrome}: {len(payload.get('traceEvents', []))} trace events ok"
+            )
     for problem in problems:
         print(problem, file=sys.stderr)
     return 1 if problems else 0

@@ -35,8 +35,12 @@ from repro.obs.telemetry import (
     render_metric_key,
 )
 
+# The label block must tolerate ``}`` (and spaces) *inside* quoted label
+# values -- ``[^}]*`` would cut the block short -- so braces scan over
+# either non-quote/non-brace characters or whole quoted strings with
+# backslash escapes.
 _SAMPLE_RE = re.compile(
-    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})?"
+    r'^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{(?:[^"{}]|"(?:[^"\\]|\\.)*")*\})?'
     r"\s+(-?(?:\d+\.?\d*(?:[eE][+-]?\d+)?|Inf|NaN|\+Inf))$"
 )
 
@@ -58,7 +62,9 @@ def prometheus_text(registry: MetricsRegistry) -> str:
     lines: list[str] = []
     for family in registry.families():
         if family.help:
-            lines.append(f"# HELP {family.name} {family.help}")
+            # HELP text escapes backslash and newline (exposition format).
+            help_text = family.help.replace("\\", "\\\\").replace("\n", "\\n")
+            lines.append(f"# HELP {family.name} {help_text}")
         lines.append(f"# TYPE {family.name} {family.kind}")
         for child_key in sorted(family.instruments):
             instrument = family.instruments[child_key]

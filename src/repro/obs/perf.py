@@ -1,0 +1,136 @@
+"""Bench-history regression gate (the CI perf step).
+
+Usage::
+
+    python -m repro.obs.perf                       # check BENCH_*.json + history in cwd
+    python -m repro.obs.perf check --bench BENCH_engine.json --max-regression-pct 25
+    python -m repro.obs.perf append BENCH_profiling.json --recorded 2026-08-08T00:00:00Z
+
+``check`` (the default) schema-validates every ``BENCH_*.json``,
+re-applies each bench's pinned floors to the committed numbers, and
+regression-checks the ``BENCH_HISTORY.jsonl`` trajectory (latest
+headline vs best earlier entry, ``--max-regression-pct`` margin).  Exits
+0 when clean, 1 with one problem per line otherwise.  ``append``
+validates a bench file and appends its history row.
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import os
+import sys
+from datetime import datetime, timezone
+
+
+def _default_bench_files(root: str) -> list[str]:
+    return sorted(glob.glob(os.path.join(root, "BENCH_*.json")))
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-obs-perf",
+        description="Validate BENCH pins and gate the bench-history trajectory.",
+    )
+    subparsers = parser.add_subparsers(dest="command")
+    check = subparsers.add_parser("check", help="validate pins + history (default)")
+    check.add_argument(
+        "--bench",
+        action="append",
+        default=None,
+        metavar="FILE",
+        help="BENCH_<kind>.json to validate (repeatable; default: BENCH_*.json in cwd)",
+    )
+    check.add_argument(
+        "--history",
+        default=None,
+        metavar="FILE",
+        help="history JSONL (default: BENCH_HISTORY.jsonl in cwd when present)",
+    )
+    check.add_argument(
+        "--max-regression-pct",
+        type=float,
+        default=25.0,
+        help="allowed headline regression vs the best earlier entry "
+        "(relative %% for speedups, absolute points for overheads; default 25)",
+    )
+    append = subparsers.add_parser("append", help="append a bench run to the history")
+    append.add_argument("bench", metavar="FILE", help="BENCH_<kind>.json to record")
+    append.add_argument(
+        "--history", default="BENCH_HISTORY.jsonl", metavar="FILE",
+        help="history JSONL to append to (default: BENCH_HISTORY.jsonl)",
+    )
+    append.add_argument(
+        "--recorded",
+        default=None,
+        metavar="ISO8601",
+        help="timestamp for the row (default: now, UTC)",
+    )
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if not argv or argv[0] not in {"check", "append", "-h", "--help"}:
+        argv = ["check", *argv]  # bare flags mean the default command
+    args = parser.parse_args(argv)
+
+    from repro.obs import perfhistory
+
+    if args.command == "append":
+        recorded = args.recorded or datetime.now(timezone.utc).strftime(
+            "%Y-%m-%dT%H:%M:%SZ"
+        )
+        try:
+            row = perfhistory.append_history(
+                args.history, args.bench, recorded=recorded
+            )
+        except (ValueError, OSError) as exc:
+            print(str(exc), file=sys.stderr)
+            return 1
+        print(
+            f"{args.history}: recorded {row['bench']} headline {row['headline']:g} "
+            f"at {row['recorded']}"
+        )
+        return 0
+
+    bench_files = args.bench if args.bench else _default_bench_files(os.getcwd())
+    history_path = args.history
+    if history_path is None:
+        candidate = os.path.join(os.getcwd(), "BENCH_HISTORY.jsonl")
+        history_path = candidate if os.path.exists(candidate) else None
+
+    problems: list[str] = []
+    if not bench_files:
+        problems.append("no BENCH_*.json files found (and none given via --bench)")
+    for path in bench_files:
+        try:
+            kind, payload = perfhistory.load_bench(path)
+        except (ValueError, OSError) as exc:
+            problems.append(str(exc))
+            continue
+        floor_issues = perfhistory.floor_problems(kind, payload)
+        problems.extend(f"{path}: {issue}" for issue in floor_issues)
+        if not floor_issues:
+            print(
+                f"{path}: {kind} pins ok "
+                f"(headline {perfhistory.headline(kind, payload):g})"
+            )
+    if history_path is not None:
+        try:
+            rows = perfhistory.read_history(history_path)
+        except (ValueError, OSError) as exc:
+            problems.append(str(exc))
+        else:
+            issues = perfhistory.history_problems(
+                rows, max_regression_pct=args.max_regression_pct
+            )
+            problems.extend(f"{history_path}: {issue}" for issue in issues)
+            if not issues:
+                print(
+                    f"{history_path}: {len(rows)} entries, trajectory ok "
+                    f"(margin {args.max_regression_pct:g}%)"
+                )
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,341 @@
+"""Schema-validated BENCH loading and the bench-history regression gate.
+
+The repo pins host performance in ``BENCH_*.json`` files written by the
+benchmark suite (``benchmarks/test_bench_*.py``): ``BENCH_engine.json``
+(fast-engine speedups with per-kernel floors), ``BENCH_telemetry.json``
+(observer overhead vs an uninstrumented twin), and
+``BENCH_profiling.json`` (span-profiler overhead, this PR).  This module
+makes those files load-bearing beyond their commit-time asserts:
+
+* :func:`validate_bench` -- structural schema check (required fields,
+  numeric types, per-architecture sections);
+* :func:`floor_problems` -- the same floors the benches assert, applied
+  to the committed files, so a hand-edited or regressed pin fails CI;
+* :func:`append_history` / :func:`read_history` -- an append-only
+  ``BENCH_HISTORY.jsonl`` trajectory (one canonical JSON line per bench
+  run, each carrying a single *headline* number);
+* :func:`history_problems` -- the regression gate: the latest headline
+  must not be worse than the best earlier entry by more than a caller-
+  chosen margin (relative % for higher-is-better headlines, absolute
+  percentage points for overhead headlines).
+
+``python -m repro.obs.perf`` drives all of it in CI.
+"""
+
+from __future__ import annotations
+
+import json
+import numbers
+import os
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+__all__ = [
+    "BenchSchema",
+    "BENCH_SCHEMAS",
+    "bench_kind",
+    "validate_bench",
+    "load_bench",
+    "floor_problems",
+    "headline",
+    "history_entry",
+    "append_history",
+    "read_history",
+    "history_problems",
+    "TELEMETRY_DISABLED_BUDGET_PCT",
+    "PROFILING_DETACHED_BUDGET_PCT",
+]
+
+#: Aggregate detached-observer budgets the benches assert (mirrored here
+#: so the CI gate re-checks the *committed* numbers, not just fresh runs).
+TELEMETRY_DISABLED_BUDGET_PCT = 2.0
+PROFILING_DETACHED_BUDGET_PCT = 3.0
+
+
+@dataclass(frozen=True)
+class BenchSchema:
+    """Field requirements for one BENCH kind.
+
+    ``top`` / ``per_arch`` name required numeric fields at the top level
+    and inside every ``architectures[<name>]`` section.  ``headline`` is
+    the one number tracked through ``BENCH_HISTORY.jsonl``; ``direction``
+    says which way is better (``"higher"`` compares relatively,
+    ``"lower_points"`` in absolute percentage points -- overheads near
+    zero make relative comparison meaningless).
+    """
+
+    kind: str
+    top: tuple[str, ...]
+    per_arch: tuple[str, ...]
+    headline: str
+    direction: str  # "higher" | "lower_points"
+
+
+BENCH_SCHEMAS: dict[str, BenchSchema] = {
+    "engine": BenchSchema(
+        kind="engine",
+        top=("requests", "rounds", "scale"),
+        per_arch=(
+            "fast_rps",
+            "measured_requests",
+            "reference_rps",
+            "speedup",
+            "warm_fast_rps",
+            "warm_reference_rps",
+            "warm_speedup",
+        ),
+        headline="min_warm_speedup",
+        direction="higher",
+    ),
+    "telemetry": BenchSchema(
+        kind="telemetry",
+        top=(
+            "rounds",
+            "scale",
+            "disabled_overhead_pct",
+            "enabled_overhead_pct",
+            "off_s",
+            "on_s",
+            "uninstrumented_s",
+        ),
+        per_arch=(
+            "disabled_overhead_pct",
+            "enabled_overhead_pct",
+            "measured_requests",
+            "off_s",
+            "on_s",
+            "uninstrumented_s",
+        ),
+        headline="disabled_overhead_pct",
+        direction="lower_points",
+    ),
+    "profiling": BenchSchema(
+        kind="profiling",
+        top=(
+            "rounds",
+            "scale",
+            "detached_overhead_pct",
+            "attached_overhead_pct",
+            "detached_s",
+            "attached_s",
+            "uninstrumented_s",
+            "max_detached_overhead_pct",
+        ),
+        per_arch=(
+            "detached_overhead_pct",
+            "attached_overhead_pct",
+            "detached_s",
+            "attached_s",
+            "uninstrumented_s",
+            "measured_requests",
+            "spans",
+        ),
+        headline="detached_overhead_pct",
+        direction="lower_points",
+    ),
+}
+
+
+def bench_kind(path: str) -> str:
+    """Infer the schema kind from a ``BENCH_<kind>.json`` filename."""
+    base = os.path.basename(path)
+    if base.startswith("BENCH_") and base.endswith(".json"):
+        kind = base[len("BENCH_"): -len(".json")]
+        if kind in BENCH_SCHEMAS:
+            return kind
+    raise ValueError(
+        f"cannot infer bench kind from {path!r}; expected BENCH_<kind>.json "
+        f"with kind in {sorted(BENCH_SCHEMAS)}"
+    )
+
+
+def _require_numbers(
+    section: Mapping, fields: Sequence[str], where: str, problems: list[str]
+) -> None:
+    for name in fields:
+        value = section.get(name)
+        if not isinstance(value, numbers.Real) or isinstance(value, bool):
+            problems.append(f"{where}: field {name!r} missing or non-numeric")
+
+
+def validate_bench(kind: str, payload: Mapping) -> list[str]:
+    """Structural check of one BENCH payload; returns problems (empty = clean)."""
+    schema = BENCH_SCHEMAS.get(kind)
+    if schema is None:
+        return [f"unknown bench kind {kind!r}"]
+    if not isinstance(payload, Mapping):
+        return [f"{kind}: payload is not an object"]
+    problems: list[str] = []
+    _require_numbers(payload, schema.top, kind, problems)
+    architectures = payload.get("architectures")
+    if not isinstance(architectures, Mapping) or not architectures:
+        problems.append(f"{kind}: architectures section missing or empty")
+        return problems
+    for name, section in architectures.items():
+        if not isinstance(section, Mapping):
+            problems.append(f"{kind}:{name}: not an object")
+            continue
+        _require_numbers(section, schema.per_arch, f"{kind}:{name}", problems)
+    return problems
+
+
+def load_bench(path: str) -> tuple[str, dict]:
+    """Load + schema-validate one BENCH file; raises ``ValueError`` on problems."""
+    kind = bench_kind(path)
+    with open(path, encoding="utf-8") as stream:
+        payload = json.load(stream)
+    problems = validate_bench(kind, payload)
+    if problems:
+        raise ValueError(f"{path}: " + "; ".join(problems))
+    return kind, payload
+
+
+def floor_problems(kind: str, payload: Mapping) -> list[str]:
+    """Apply the bench's own pinned floors to a (validated) payload."""
+    problems: list[str] = []
+    if kind == "engine":
+        warm_floors = payload.get("speedup_floors", {})
+        cold_floors = payload.get("cold_floors", {})
+        for name, section in payload["architectures"].items():
+            floor = warm_floors.get(name)
+            if floor is None:
+                problems.append(f"engine:{name}: no warm speedup floor pinned")
+            elif section["warm_speedup"] < floor:
+                problems.append(
+                    f"engine:{name}: warm speedup {section['warm_speedup']} "
+                    f"below floor {floor}"
+                )
+            cold = cold_floors.get(name)
+            if cold is not None and section["speedup"] < cold:
+                problems.append(
+                    f"engine:{name}: cold speedup {section['speedup']} "
+                    f"below floor {cold}"
+                )
+    elif kind == "telemetry":
+        overhead = payload["disabled_overhead_pct"]
+        if overhead > TELEMETRY_DISABLED_BUDGET_PCT:
+            problems.append(
+                f"telemetry: disabled overhead {overhead}% exceeds "
+                f"{TELEMETRY_DISABLED_BUDGET_PCT}% budget"
+            )
+    elif kind == "profiling":
+        budget = payload.get("max_detached_overhead_pct", PROFILING_DETACHED_BUDGET_PCT)
+        overhead = payload["detached_overhead_pct"]
+        if overhead > budget:
+            problems.append(
+                f"profiling: detached overhead {overhead}% exceeds {budget}% budget"
+            )
+    else:
+        problems.append(f"unknown bench kind {kind!r}")
+    return problems
+
+
+def headline(kind: str, payload: Mapping) -> float:
+    """The one number a BENCH run contributes to the history trajectory."""
+    schema = BENCH_SCHEMAS[kind]
+    if schema.headline == "min_warm_speedup":
+        return min(
+            float(section["warm_speedup"])
+            for section in payload["architectures"].values()
+        )
+    return float(payload[schema.headline])
+
+
+def history_entry(kind: str, payload: Mapping, *, recorded: str) -> dict:
+    """One ``BENCH_HISTORY.jsonl`` row (validated payload assumed)."""
+    return {
+        "bench": kind,
+        "recorded": recorded,
+        "headline": round(headline(kind, payload), 6),
+        "scale": payload.get("scale"),
+        "architectures": sorted(payload.get("architectures", {})),
+    }
+
+
+def append_history(history_path: str, bench_path: str, *, recorded: str) -> dict:
+    """Validate ``bench_path`` and append its history row; returns the row.
+
+    ``recorded`` is an ISO-8601 UTC stamp supplied by the caller (the
+    bench suite stamps run completion; tests pass fixed strings so the
+    row bytes stay deterministic).  Lines are canonical JSON (sorted
+    keys, compact separators), one per run, append-only.
+    """
+    kind, payload = load_bench(bench_path)
+    row = history_entry(kind, payload, recorded=recorded)
+    with open(history_path, "a", encoding="utf-8") as stream:
+        stream.write(json.dumps(row, sort_keys=True, separators=(",", ":")) + "\n")
+    return row
+
+
+def read_history(history_path: str) -> list[dict]:
+    """Parse + validate history rows; raises ``ValueError`` on a bad line."""
+    rows: list[dict] = []
+    with open(history_path, encoding="utf-8") as stream:
+        for line_number, line in enumerate(stream, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                row = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{history_path}:{line_number}: bad JSON ({exc})")
+            for field_name, kinds in (
+                ("bench", str),
+                ("recorded", str),
+                ("headline", numbers.Real),
+            ):
+                if not isinstance(row.get(field_name), kinds):
+                    raise ValueError(
+                        f"{history_path}:{line_number}: field {field_name!r} "
+                        "missing or mistyped"
+                    )
+            if row["bench"] not in BENCH_SCHEMAS:
+                raise ValueError(
+                    f"{history_path}:{line_number}: unknown bench {row['bench']!r}"
+                )
+            rows.append(row)
+    return rows
+
+
+def history_problems(
+    rows: Sequence[Mapping], *, max_regression_pct: float = 25.0
+) -> list[str]:
+    """Regression-check each bench kind's trajectory.
+
+    For ``direction == "higher"`` headlines (engine speedups) the latest
+    entry must stay within ``max_regression_pct`` *relative* percent of
+    the best earlier entry; for ``"lower_points"`` headlines (detached
+    overheads, which hover near 0%) the latest must not exceed the best
+    earlier entry by more than ``max_regression_pct`` absolute points
+    and must stay inside its budget-checked floor (floors are enforced
+    separately by :func:`floor_problems` on the BENCH file itself).
+    """
+    problems: list[str] = []
+    by_kind: dict[str, list[Mapping]] = {}
+    for row in rows:
+        by_kind.setdefault(str(row["bench"]), []).append(row)
+    for kind, entries in by_kind.items():
+        if len(entries) < 2:
+            continue
+        schema = BENCH_SCHEMAS[kind]
+        latest = float(entries[-1]["headline"])
+        earlier = [float(row["headline"]) for row in entries[:-1]]
+        if schema.direction == "higher":
+            best = max(earlier)
+            floor = best * (1.0 - max_regression_pct / 100.0)
+            if latest < floor:
+                problems.append(
+                    f"{kind}: headline {schema.headline} regressed to {latest:g} "
+                    f"(best {best:g}, allowed floor {floor:g} at "
+                    f"{max_regression_pct:g}% regression)"
+                )
+        else:
+            best = min(earlier)
+            ceiling = best + max_regression_pct
+            if latest > ceiling:
+                problems.append(
+                    f"{kind}: headline {schema.headline} regressed to {latest:g} "
+                    f"(best {best:g}, allowed ceiling {ceiling:g} at "
+                    f"{max_regression_pct:g} points)"
+                )
+    return problems

@@ -1,0 +1,569 @@
+"""Span-based host-time profiler for the whole simulation stack.
+
+Where :mod:`repro.obs.telemetry` watches the *simulated* clock, this
+module watches the *host* clock: where does wall-time go inside a run?
+The answer is a tree of :class:`Span` values -- one per instrumented
+region (trace generation, a simulation, a fastpath batch, a telemetry
+bin close, a worker task) -- recorded by a :class:`SpanProfiler` that
+call sites consult through a single module-level pointer.
+
+Design rules (mirroring the telemetry/audit/journey observers):
+
+* **Detached by default.**  ``active()`` returns ``None`` unless a
+  profiler was attached; instrumented sites hoist that lookup out of
+  their loops and pay one pointer comparison per region when detached.
+  The ≤3% overhead contract is pinned by
+  ``benchmarks/test_bench_profiling.py``.
+* **Results never change.**  Profiling reads clocks and writes spans; it
+  never touches simulation state, and fingerprints/golden snapshots
+  never hash profiler output.  Runs are byte-identical attached or not.
+* **Two clocks, one trace.**  Spans carry host time
+  (``time.perf_counter`` seconds, same clock as
+  :class:`repro.common.timing.Stopwatch`); :func:`chrome_trace` can lay
+  an optional simulated-time track (from timeline rows) beside the host
+  tracks so one Perfetto view shows both clocks.
+* **Processes compose.**  A worker profiles into its own
+  :class:`SpanProfiler`, ships a picklable :class:`ProfileShard` back,
+  and the coordinator :meth:`~SpanProfiler.adopt`\\ s it -- re-based onto
+  the coordinator's clock via each process's epoch offset, re-parented
+  under the coordinator span, and exported under the worker's pid.
+
+Memory mode (``SpanProfiler(memory=True)``) additionally samples
+``tracemalloc`` around every span (net allocation and in-span peak,
+nested spans folding their peaks into their parents) plus the process
+peak RSS from ``resource.getrusage``; the numbers land in ``Span.attrs``
+as ``mem_alloc_kb`` / ``mem_peak_kb`` / ``rss_peak_kb``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import tracemalloc
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Mapping, Sequence
+
+__all__ = [
+    "Span",
+    "SpanProfiler",
+    "ProfileShard",
+    "active",
+    "attach",
+    "detach",
+    "attached",
+    "aggregate_spans",
+    "span_structure",
+    "chrome_trace",
+    "check_chrome_trace",
+    "format_profile_table",
+    "write_chrome_trace",
+]
+
+
+class Span:
+    """One profiled region: a name, a host-time interval, and children.
+
+    ``start_s`` is in the recording process's ``time.perf_counter``
+    timebase until the span crosses a process boundary, at which point
+    :meth:`SpanProfiler.adopt` re-bases it onto the adopting profiler's
+    timebase (using each side's epoch offset).  ``pid`` is ``None`` for
+    spans recorded by the local profiler and the worker's pid for
+    adopted spans, so the Chrome trace can keep one track per process.
+    """
+
+    __slots__ = ("name", "category", "start_s", "duration_s", "attrs", "children", "pid")
+
+    def __init__(
+        self,
+        name: str,
+        category: str = "host",
+        start_s: float = 0.0,
+        duration_s: float = 0.0,
+        attrs: dict[str, Any] | None = None,
+        children: list["Span"] | None = None,
+        pid: int | None = None,
+    ) -> None:
+        self.name = name
+        self.category = category
+        self.start_s = start_s
+        self.duration_s = duration_s
+        self.attrs = attrs if attrs is not None else {}
+        self.children = children if children is not None else []
+        self.pid = pid
+
+    def __getstate__(self):
+        return (
+            self.name,
+            self.category,
+            self.start_s,
+            self.duration_s,
+            self.attrs,
+            self.children,
+            self.pid,
+        )
+
+    def __setstate__(self, state) -> None:
+        (
+            self.name,
+            self.category,
+            self.start_s,
+            self.duration_s,
+            self.attrs,
+            self.children,
+            self.pid,
+        ) = state
+
+    @property
+    def self_s(self) -> float:
+        """Duration not covered by child spans (never below zero)."""
+        return max(0.0, self.duration_s - sum(c.duration_s for c in self.children))
+
+    def walk(self) -> Iterator["Span"]:
+        """This span, then every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Span({self.name!r}, {self.duration_s * 1e3:.3f}ms, "
+            f"{len(self.children)} children)"
+        )
+
+
+@dataclass
+class ProfileShard:
+    """A worker's span forest, packaged to cross a process boundary.
+
+    ``epoch_offset_s`` is the worker's ``time.time() - time.perf_counter()``
+    at profiler construction; the coordinator uses the difference between
+    the two processes' offsets to re-base worker spans onto its own
+    ``perf_counter`` timebase (wall clocks are shared across processes on
+    one host; ``perf_counter`` epochs are not).
+    """
+
+    pid: int
+    epoch_offset_s: float
+    spans: list[Span] = field(default_factory=list)
+
+
+class _SpanContext:
+    """Context manager returned by :meth:`SpanProfiler.span`."""
+
+    __slots__ = ("_profiler", "_span")
+
+    def __init__(self, profiler: "SpanProfiler", span: Span) -> None:
+        self._profiler = profiler
+        self._span = span
+
+    def __enter__(self) -> Span:
+        self._profiler._enter(self._span)
+        return self._span
+
+    def __exit__(self, *exc_info) -> None:
+        self._profiler._exit(self._span)
+
+
+class SpanProfiler:
+    """Records a forest of :class:`Span` trees for one process.
+
+    Args:
+        memory: Sample ``tracemalloc`` (net allocation, in-span peak) and
+            peak RSS around every span.  Starts ``tracemalloc`` if it is
+            not already tracing (and stops it again on :meth:`close` only
+            if this profiler started it).  Tracing roughly doubles
+            allocation cost, so memory mode is opt-in.
+    """
+
+    def __init__(self, *, memory: bool = False) -> None:
+        self.memory = bool(memory)
+        self.roots: list[Span] = []
+        self.pid = os.getpid()
+        # Maps this process's perf_counter timebase to the (host-shared)
+        # wall clock; used to align spans recorded in other processes.
+        self.epoch_offset_s = time.time() - time.perf_counter()
+        self._stack: list[Span] = []
+        self._mem_stack: list[list[float]] = []  # [start_bytes, peak_bytes]
+        self._owns_tracemalloc = False
+        if self.memory and not tracemalloc.is_tracing():
+            tracemalloc.start()
+            self._owns_tracemalloc = True
+
+    # -- recording ------------------------------------------------------
+    def span(self, name: str, category: str = "host", **attrs: Any) -> _SpanContext:
+        """Open a span: ``with profiler.span("simulate", arch=name) as sp:``."""
+        return _SpanContext(self, Span(name, category, attrs=attrs))
+
+    def current(self) -> Span | None:
+        """The innermost open span, if any."""
+        return self._stack[-1] if self._stack else None
+
+    def _enter(self, span: Span) -> None:
+        parent = self._stack[-1] if self._stack else None
+        (parent.children if parent is not None else self.roots).append(span)
+        self._stack.append(span)
+        if self.memory:
+            current, peak = tracemalloc.get_traced_memory()
+            if self._mem_stack:
+                # The parent's open window ends here; fold its peak so the
+                # child's reset cannot erase what the parent already saw.
+                parent_window = self._mem_stack[-1]
+                parent_window[1] = max(parent_window[1], float(peak))
+            self._mem_stack.append([float(current), 0.0])
+            tracemalloc.reset_peak()
+        span.start_s = time.perf_counter()
+
+    def _exit(self, span: Span) -> None:
+        span.duration_s = time.perf_counter() - span.start_s
+        if self._stack and self._stack[-1] is span:
+            self._stack.pop()
+        else:  # pragma: no cover - misuse guard
+            raise RuntimeError(f"span {span.name!r} closed out of order")
+        if self.memory:
+            current, peak = tracemalloc.get_traced_memory()
+            start_bytes, seen_peak = self._mem_stack.pop()
+            peak_bytes = max(seen_peak, float(peak))
+            span.attrs["mem_alloc_kb"] = round((current - start_bytes) / 1024.0, 3)
+            span.attrs["mem_peak_kb"] = round(peak_bytes / 1024.0, 3)
+            span.attrs["rss_peak_kb"] = _peak_rss_kb()
+            if self._mem_stack:
+                parent_window = self._mem_stack[-1]
+                parent_window[1] = max(parent_window[1], peak_bytes)
+            tracemalloc.reset_peak()
+
+    def close(self) -> None:
+        """Release resources (stops tracemalloc if this profiler started it)."""
+        if self._owns_tracemalloc and tracemalloc.is_tracing():
+            tracemalloc.stop()
+            self._owns_tracemalloc = False
+
+    # -- cross-process composition -------------------------------------
+    def shard(self) -> ProfileShard:
+        """Package this profiler's forest for shipping to a coordinator."""
+        return ProfileShard(
+            pid=self.pid, epoch_offset_s=self.epoch_offset_s, spans=list(self.roots)
+        )
+
+    def adopt(self, shard: ProfileShard, parent: Span | None = None) -> None:
+        """Graft a worker's spans into this profiler's forest.
+
+        Spans are re-based onto this profiler's ``perf_counter`` timebase
+        and stamped with the worker's pid (every descendant, so the
+        Chrome trace renders them on the worker's process track).  They
+        attach under ``parent`` when given, else under the innermost open
+        span, else as new roots.
+        """
+        delta = shard.epoch_offset_s - self.epoch_offset_s
+        if parent is None:
+            parent = self.current()
+        target = parent.children if parent is not None else self.roots
+        for root in shard.spans:
+            for span in root.walk():
+                span.start_s += delta
+                if span.pid is None:
+                    span.pid = shard.pid
+            target.append(root)
+
+
+# ----------------------------------------------------------------------
+# module-level attachment (one pointer, mirroring the trace cache)
+# ----------------------------------------------------------------------
+_ACTIVE: SpanProfiler | None = None
+
+
+def active() -> SpanProfiler | None:
+    """The attached profiler, or ``None`` (the default: profiling off).
+
+    A profiler inherited across ``fork`` (its origin pid differs from
+    this process's) reads as ``None``: the forked copy's span forest can
+    never ship back to the coordinator, so workers must build their own
+    :class:`SpanProfiler` and return a :class:`ProfileShard` instead.
+    """
+    if _ACTIVE is not None and _ACTIVE.pid != os.getpid():
+        return None
+    return _ACTIVE
+
+
+def attach(profiler: SpanProfiler | None) -> SpanProfiler | None:
+    """Install ``profiler`` as the process-wide profiler; returns the previous."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = profiler
+    return previous
+
+
+def detach() -> SpanProfiler | None:
+    """Remove the attached profiler (no-op when none); returns it."""
+    return attach(None)
+
+
+@contextmanager
+def attached(profiler: SpanProfiler) -> Iterator[SpanProfiler]:
+    """``with attached(SpanProfiler()) as prof:`` -- attach, then restore."""
+    previous = attach(profiler)
+    try:
+        yield profiler
+    finally:
+        attach(previous)
+
+
+# ----------------------------------------------------------------------
+# aggregation
+# ----------------------------------------------------------------------
+def aggregate_spans(roots: Sequence[Span]) -> list[dict]:
+    """Fold a span forest into per-name self/cumulative time rows.
+
+    Self time is a span's duration minus its children's durations, so
+    summing the ``self_s`` column over the whole table reproduces the
+    root durations exactly -- the reconciliation the ``profile`` verb's
+    footer (and its test) checks.  Rows are sorted by descending self
+    time.  Memory attributes, when present, aggregate as maxima.
+    """
+    rows: dict[str, dict] = {}
+    for root in roots:
+        for span in root.walk():
+            row = rows.get(span.name)
+            if row is None:
+                row = rows[span.name] = {
+                    "span": span.name,
+                    "category": span.category,
+                    "count": 0,
+                    "cumulative_s": 0.0,
+                    "self_s": 0.0,
+                }
+            row["count"] += 1
+            row["cumulative_s"] += span.duration_s
+            row["self_s"] += span.self_s
+            for key in ("mem_peak_kb", "rss_peak_kb"):
+                if key in span.attrs:
+                    row[key] = max(row.get(key, 0.0), span.attrs[key])
+    return sorted(rows.values(), key=lambda row: (-row["self_s"], row["span"]))
+
+
+def span_structure(roots: Sequence[Span]) -> list:
+    """The forest's shape with every timing (and pid) stripped.
+
+    ``(name, category, sorted(children))`` nested tuples: what the
+    jobs-invariance pin compares -- identical trees at ``jobs=1`` and
+    ``jobs=4`` even though durations and pids necessarily differ.
+    Sibling order is sorted because completion order is scheduling-
+    dependent across workers.
+    """
+
+    def shape(span: Span):
+        return (span.name, span.category, tuple(sorted(shape(c) for c in span.children)))
+
+    return sorted(shape(root) for root in roots)
+
+
+def format_profile_table(
+    rows: Sequence[Mapping], *, total_s: float | None = None, title: str = "profile"
+) -> str:
+    """Render aggregation rows as the ``profile`` verb's table."""
+    from repro.reporting.tables import format_table
+
+    accounted = sum(row["self_s"] for row in rows)
+    base = total_s if total_s else accounted
+    rendered = []
+    for row in rows:
+        out = {
+            "span": row["span"],
+            "count": row["count"],
+            "self": f"{row['self_s']:.3f}s",
+            "self%": f"{100.0 * row['self_s'] / base:.1f}" if base else "0.0",
+            "cumulative": f"{row['cumulative_s']:.3f}s",
+        }
+        if "mem_peak_kb" in row:
+            out["peak_alloc"] = f"{row['mem_peak_kb']:.0f}kB"
+        if "rss_peak_kb" in row:
+            out["peak_rss"] = f"{row['rss_peak_kb']:.0f}kB"
+        rendered.append(out)
+    lines = [format_table(rendered, title=title)]
+    if total_s is not None:
+        lines.append(
+            f"span-accounted {accounted:.3f}s of {total_s:.3f}s wall "
+            f"({100.0 * accounted / total_s:.1f}%)"
+            if total_s
+            else "span-accounted 0.000s"
+        )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Chrome-trace / Perfetto export
+# ----------------------------------------------------------------------
+#: One simulated second maps to this many trace microseconds on the
+#: simulated-time track (1 sim-hour == 3.6 trace-ms: a two-day trace
+#: spans ~173 ms, a comfortable width next to second-scale host tracks).
+SIM_TRACK_US_PER_S = 1.0
+
+#: pid of the synthetic simulated-time track (real pids are never 0).
+SIM_TRACK_PID = 0
+
+
+def chrome_trace(
+    profiler: SpanProfiler, *, sim_rows: Sequence[Mapping] | None = None
+) -> dict:
+    """Export the span forest as a Chrome-trace (Perfetto-loadable) dict.
+
+    One process track per pid (the coordinator plus one per adopted
+    worker shard), complete events (``ph: "X"``) with microsecond
+    timestamps relative to the earliest span.  ``sim_rows`` (timeline
+    rows from :class:`repro.obs.telemetry.Timeline`) adds a synthetic
+    pid-0 process whose tracks are simulated-time bins per architecture
+    -- the paper's two clocks side by side in one view.
+    """
+    events: list[dict] = []
+    spans = [span for root in profiler.roots for span in root.walk()]
+    t0 = min((span.start_s for span in spans), default=0.0)
+    pids: dict[int, str] = {}
+    for root in profiler.roots:
+        for span in root.walk():
+            pid = span.pid if span.pid is not None else profiler.pid
+            pids.setdefault(
+                pid,
+                f"coordinator (pid {pid})"
+                if pid == profiler.pid
+                else f"worker (pid {pid})",
+            )
+            event = {
+                "name": span.name,
+                "cat": span.category,
+                "ph": "X",
+                "ts": round((span.start_s - t0) * 1e6, 3),
+                "dur": round(span.duration_s * 1e6, 3),
+                "pid": pid,
+                "tid": 1,
+            }
+            if span.attrs:
+                event["args"] = span.attrs
+            events.append(event)
+    if sim_rows:
+        pids[SIM_TRACK_PID] = "simulated time"
+        arch_tids: dict[str, int] = {}
+        for row in sim_rows:
+            arch = str(row.get("arch", ""))
+            tid = arch_tids.setdefault(arch, len(arch_tids) + 1)
+            events.append(
+                {
+                    "name": f"bin {row['bin']}",
+                    "cat": "sim",
+                    "ph": "X",
+                    "ts": round(float(row["t_start"]) * SIM_TRACK_US_PER_S, 3),
+                    "dur": round(
+                        (float(row["t_end"]) - float(row["t_start"]))
+                        * SIM_TRACK_US_PER_S,
+                        3,
+                    ),
+                    "pid": SIM_TRACK_PID,
+                    "tid": tid,
+                    "args": {"t_start_s": row["t_start"], "t_end_s": row["t_end"]},
+                }
+            )
+        for arch, tid in arch_tids.items():
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": SIM_TRACK_PID,
+                    "tid": tid,
+                    "args": {"name": arch or "timeline"},
+                }
+            )
+    for index, (pid, label) in enumerate(sorted(pids.items())):
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": label},
+            }
+        )
+        events.append(
+            {
+                "name": "process_sort_index",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"sort_index": index},
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(
+    profiler: SpanProfiler, path: str, *, sim_rows: Sequence[Mapping] | None = None
+) -> None:
+    """Serialize :func:`chrome_trace` to ``path`` (open in ui.perfetto.dev)."""
+    import json
+
+    with open(path, "w", encoding="utf-8") as stream:
+        json.dump(chrome_trace(profiler, sim_rows=sim_rows), stream, sort_keys=True)
+        stream.write("\n")
+
+
+def check_chrome_trace(payload: Mapping) -> list[str]:
+    """Validate a Chrome-trace dict; returns problems (empty = clean).
+
+    Checks the shape ``chrome://tracing`` / Perfetto requires -- a
+    ``traceEvents`` list whose complete events carry ``name``/``ph``/
+    ``pid``/``tid`` plus non-negative numeric ``ts``/``dur`` -- and that
+    events on one ``(pid, tid)`` track nest properly (a later span either
+    starts after the previous one ends or lies entirely within it).
+    """
+    problems: list[str] = []
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents missing or not a list"]
+    if not events:
+        problems.append("traceEvents is empty")
+    tracks: dict[tuple, list[tuple[float, float, str]]] = {}
+    for index, event in enumerate(events):
+        if not isinstance(event, Mapping):
+            problems.append(f"event {index} is not an object")
+            continue
+        for key in ("name", "ph", "pid", "tid"):
+            if key not in event:
+                problems.append(f"event {index} missing {key!r}")
+        if event.get("ph") != "X":
+            continue
+        ts, dur = event.get("ts"), event.get("dur")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            problems.append(f"event {index} ({event.get('name')}) bad ts {ts!r}")
+            continue
+        if not isinstance(dur, (int, float)) or dur < 0:
+            problems.append(f"event {index} ({event.get('name')}) bad dur {dur!r}")
+            continue
+        tracks.setdefault((event.get("pid"), event.get("tid")), []).append(
+            (float(ts), float(dur), str(event.get("name")))
+        )
+    epsilon = 0.5  # µs: rounding slack from the 3-decimal export
+    for (pid, tid), items in tracks.items():
+        items.sort()
+        stack: list[tuple[float, str]] = []  # (end, name)
+        for ts, dur, name in items:
+            while stack and stack[-1][0] <= ts + epsilon:
+                stack.pop()
+            if stack and ts + dur > stack[-1][0] + epsilon:
+                problems.append(
+                    f"track ({pid}, {tid}): span {name!r} at {ts} overlaps "
+                    f"{stack[-1][1]!r} without nesting"
+                )
+            stack.append((ts + dur, name))
+    return problems
+
+
+def _peak_rss_kb() -> float:
+    """Process peak RSS in kB (``ru_maxrss`` is kB on Linux, bytes on macOS)."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return 0.0
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    import sys
+
+    if sys.platform == "darwin":  # pragma: no cover - platform-specific
+        return peak / 1024.0
+    return float(peak)

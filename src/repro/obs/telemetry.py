@@ -37,6 +37,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Iterator, Mapping, Sequence
 
 from repro.netmodel.model import AccessPoint
+from repro.obs import profiling
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
     from repro.faults.injector import FaultInjector
@@ -55,7 +56,19 @@ DEFAULT_BUCKETS_MS = (
 
 
 def _escape_label_value(value: str) -> str:
+    """Escape per the Prometheus exposition format: ``\\``, ``"``, newline."""
     return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+_UNESCAPE_RE = re.compile(r"\\(.)")
+
+
+def _unescape_label_value(raw: str) -> str:
+    # Single pass: sequential str.replace calls corrupt values where one
+    # replacement manufactures another's pattern (a literal backslash
+    # followed by ``n`` escapes to ``\\n``, which ``.replace("\\n", ...)``
+    # would then wrongly turn into a newline).
+    return _UNESCAPE_RE.sub(lambda m: "\n" if m.group(1) == "n" else m.group(1), raw)
 
 
 def render_metric_key(name: str, labels: Mapping[str, str]) -> str:
@@ -91,10 +104,7 @@ def parse_metric_key(key: str) -> tuple[str, dict[str, str]]:
         match = pattern.match(body, position)
         if match is None:
             raise ValueError(f"bad label block in {key!r}")
-        raw = match.group(2)
-        labels[match.group(1)] = (
-            raw.replace("\\n", "\n").replace('\\"', '"').replace("\\\\", "\\")
-        )
+        labels[match.group(1)] = _unescape_label_value(match.group(2))
         position = match.end()
     return name, labels
 
@@ -481,6 +491,22 @@ class Timeline:
         self._finished = True
 
     def _close(self, t_end: float) -> None:
+        # Host-profiling hook: bin closes are the telemetry hot spot (one
+        # registry snapshot each), so they get their own span when a
+        # profiler is attached -- one pointer check per *bin* otherwise.
+        profiler = profiling.active()
+        if profiler is not None:
+            with profiler.span(
+                "telemetry_bin_close",
+                category="telemetry",
+                bin=self._bin,
+                arch=self.arch or "",
+            ):
+                self._close_impl(t_end)
+            return
+        self._close_impl(t_end)
+
+    def _close_impl(self, t_end: float) -> None:
         for hook in self._close_hooks:
             hook(t_end)
         counters: dict[str, float] = {}

@@ -27,10 +27,12 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor, as_completed
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Sequence
 
 from repro.common.timing import Stopwatch, format_seconds
+from repro.obs import profiling
 from repro.runner.specs import ArchitectureSpec
 from repro.runner.trace_cache import (
     TraceCache,
@@ -138,7 +140,13 @@ def _run_experiment_task(
 
     cache = get_trace_cache()
     before = cache.stats.snapshot()
-    with Stopwatch() as stopwatch:
+    profiler = profiling.active()
+    span = (
+        profiler.span("experiment", category="runner", name=name)
+        if profiler is not None
+        else nullcontext()
+    )
+    with span, Stopwatch() as stopwatch:
         result = get_experiment(name)(config)
     delta = cache.stats.since(before)
     timings = StageTimings(
@@ -238,7 +246,9 @@ def _comparison_task(
     timeline_dir: str | None = None,
     timeline_bin_s: float = 3600.0,
     engine: str = "reference",
-) -> SimMetrics:
+    profiled: bool = False,
+    profile_memory: bool = False,
+) -> tuple[SimMetrics, "profiling.ProfileShard | None"]:
     """One (trace, architecture) simulation work unit.
 
     With ``journey_dir`` set, the unit also streams its journeys to
@@ -247,9 +257,73 @@ def _comparison_task(
     Each file is written whole by whichever process runs this unit and its
     contents are a pure function of the unit's arguments, so the exports
     are identical for any ``jobs``.
+
+    With ``profiled`` the unit records a ``task`` span tree: into the
+    already-attached profiler when one exists (the ``jobs=1`` coordinator),
+    else into a worker-local :class:`~repro.obs.profiling.SpanProfiler`
+    whose forest ships back as the returned
+    :class:`~repro.obs.profiling.ProfileShard` (``None`` otherwise --
+    profiling never changes the metrics, only this side channel).
     """
-    trace = cached_trace(profile, seed)
-    architecture = spec.build()
+    own: "profiling.SpanProfiler | None" = None
+    if profiled and profiling.active() is None:
+        own = profiling.SpanProfiler(memory=profile_memory)
+        profiling.attach(own)
+    try:
+        profiler = profiling.active() if profiled else None
+        span = (
+            profiler.span("task", category="runner")
+            if profiler is not None
+            else nullcontext()
+        )
+        with span as task_span:
+            metrics = _comparison_task_body(
+                profile,
+                seed,
+                spec,
+                warmup_s,
+                fault_plan,
+                journey_dir,
+                include_uncachable,
+                timeline_dir,
+                timeline_bin_s,
+                engine,
+            )
+            if task_span is not None:
+                task_span.attrs["arch"] = metrics.architecture
+    finally:
+        if own is not None:
+            profiling.detach()
+            own.close()
+    return metrics, (own.shard() if own is not None else None)
+
+
+def _comparison_task_body(
+    profile: WorkloadProfile,
+    seed: int,
+    spec: ArchitectureSpec,
+    warmup_s: float | None,
+    fault_plan: "FaultPlan | None",
+    journey_dir: str | None,
+    include_uncachable: bool,
+    timeline_dir: str | None,
+    timeline_bin_s: float,
+    engine: str,
+) -> SimMetrics:
+    profiler = profiling.active()
+    if profiler is None:
+        trace = cached_trace(profile, seed)
+        architecture = spec.build()
+    else:
+        # ``trace_fetch`` exists whatever the cache state (memo hit, disk
+        # hit, or generation -- the latter adds a ``trace_gen`` child), so
+        # the span *structure* is identical at any jobs value once the
+        # store is warm.
+        with profiler.span("trace_fetch", category="runner") as span:
+            trace = cached_trace(profile, seed)
+            span.attrs["requests"] = len(trace.requests)
+        with profiler.span("build", category="runner"):
+            architecture = spec.build()
     telemetry = None
     if timeline_dir is not None:
         from repro.obs.telemetry import RunTelemetry
@@ -283,9 +357,16 @@ def _comparison_task(
     if telemetry is not None:
         from repro.obs.export import write_timeline_jsonl
 
-        write_timeline_jsonl(
-            telemetry.rows, os.path.join(timeline_dir, f"{architecture.name}.jsonl")
+        export_span = (
+            profiler.span("export", category="runner")
+            if profiler is not None
+            else nullcontext()
         )
+        with export_span:
+            write_timeline_jsonl(
+                telemetry.rows,
+                os.path.join(timeline_dir, f"{architecture.name}.jsonl"),
+            )
     return metrics
 
 
@@ -303,6 +384,7 @@ def run_comparison_parallel(
     timeline_dir: str | None = None,
     timeline_bin_s: float = 3600.0,
     engine: str = "reference",
+    profile_memory: bool = False,
 ) -> dict[str, SimMetrics]:
     """Parallel twin of :func:`repro.sim.engine.run_comparison`.
 
@@ -335,6 +417,16 @@ def run_comparison_parallel(
     :class:`ValueError` the serial path (and the CLI) raises -- checked
     up front, before any worker process is spawned, so the failure never
     surfaces as an opaque in-worker traceback.
+
+    When a :mod:`repro.obs.profiling` profiler is attached in the calling
+    process, the comparison records a ``comparison`` span with one
+    ``task`` subtree per architecture: recorded inline at ``jobs=1``,
+    shipped back as :class:`~repro.obs.profiling.ProfileShard` values and
+    re-parented (on worker pids) at ``jobs>1`` -- same tree shape either
+    way, which the jobs-invariance pin checks.  ``profile_memory``
+    forwards memory sampling to profiled workers.  Metrics are unchanged
+    by profiling; with no profiler attached this path is byte-identical
+    to before.
     """
     if jobs < 1:
         raise ValueError(f"jobs must be at least 1, got {jobs}")
@@ -351,39 +443,27 @@ def run_comparison_parallel(
         os.makedirs(journey_dir, exist_ok=True)
     if timeline_dir is not None:
         os.makedirs(timeline_dir, exist_ok=True)
-    if jobs == 1:
-        if journey_dir is None and timeline_dir is None:
-            trace = cached_trace(profile, seed)
-            return run_comparison(
-                trace,
-                [spec.build() for spec in specs],
-                warmup_s=warmup_s,
-                include_uncachable=include_uncachable,
-                fault_plan=fault_plan,
-                engine=engine,
-            )
-        metrics = [
-            _comparison_task(
-                profile,
-                seed,
-                spec,
-                warmup_s,
-                fault_plan,
-                journey_dir,
-                include_uncachable,
-                timeline_dir,
-                timeline_bin_s,
-                engine,
-            )
-            for spec in specs
-        ]
-    else:
-        with ProcessPoolExecutor(
-            max_workers=jobs, initializer=_worker_init, initargs=(trace_cache_dir,)
-        ) as pool:
-            futures = [
-                pool.submit(
-                    _comparison_task,
+    profiler = profiling.active()
+    profiled = profiler is not None
+    comparison_span = (
+        profiler.span("comparison", category="runner", jobs=jobs, engine=engine)
+        if profiled
+        else nullcontext()
+    )
+    with comparison_span as parent:
+        if jobs == 1:
+            if not profiled and journey_dir is None and timeline_dir is None:
+                trace = cached_trace(profile, seed)
+                return run_comparison(
+                    trace,
+                    [spec.build() for spec in specs],
+                    warmup_s=warmup_s,
+                    include_uncachable=include_uncachable,
+                    fault_plan=fault_plan,
+                    engine=engine,
+                )
+            outcomes = [
+                _comparison_task(
                     profile,
                     seed,
                     spec,
@@ -394,10 +474,39 @@ def run_comparison_parallel(
                     timeline_dir,
                     timeline_bin_s,
                     engine,
+                    profiled,
+                    profile_memory,
                 )
                 for spec in specs
             ]
-            metrics = [future.result() for future in futures]
+        else:
+            with ProcessPoolExecutor(
+                max_workers=jobs, initializer=_worker_init, initargs=(trace_cache_dir,)
+            ) as pool:
+                futures = [
+                    pool.submit(
+                        _comparison_task,
+                        profile,
+                        seed,
+                        spec,
+                        warmup_s,
+                        fault_plan,
+                        journey_dir,
+                        include_uncachable,
+                        timeline_dir,
+                        timeline_bin_s,
+                        engine,
+                        profiled,
+                        profile_memory,
+                    )
+                    for spec in specs
+                ]
+                outcomes = [future.result() for future in futures]
+        metrics = []
+        for item, shard in outcomes:
+            metrics.append(item)
+            if shard is not None and profiler is not None:
+                profiler.adopt(shard, parent=parent)
     results: dict[str, SimMetrics] = {}
     for item in metrics:
         if item.architecture in results:

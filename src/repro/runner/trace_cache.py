@@ -25,10 +25,11 @@ CLI) upgrades every experiment at once.
 from __future__ import annotations
 
 import os
-import time
 from dataclasses import dataclass, replace
 
 from repro.common.errors import TraceFormatError
+from repro.common.timing import Stopwatch
+from repro.obs import profiling
 from repro.runner.fingerprint import trace_fingerprint
 from repro.traces.io import read_trace, write_trace
 from repro.traces.profiles import WorkloadProfile
@@ -111,9 +112,21 @@ class TraceCache:
             return trace
         trace = self._load(fingerprint)
         if trace is None:
-            started = time.perf_counter()
-            trace = SyntheticTraceGenerator(profile, seed=seed).generate()
-            self.stats.generation_seconds += time.perf_counter() - started
+            profiler = profiling.active()
+            if profiler is None:
+                with Stopwatch() as watch:
+                    trace = SyntheticTraceGenerator(profile, seed=seed).generate()
+            else:
+                with profiler.span(
+                    "trace_gen",
+                    category="runner",
+                    profile=profile.name,
+                    seed=seed,
+                    fingerprint=fingerprint[:12],
+                ) as span, Stopwatch() as watch:
+                    trace = SyntheticTraceGenerator(profile, seed=seed).generate()
+                    span.attrs["requests"] = len(trace.requests)
+            self.stats.generation_seconds += watch.elapsed
             self.stats.generations += 1
             self._store(fingerprint, trace)
         self._memory[fingerprint] = trace

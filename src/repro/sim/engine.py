@@ -15,9 +15,11 @@ One call = one architecture over one trace:
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from typing import TYPE_CHECKING
 
 from repro.hierarchy.base import Architecture
+from repro.obs import profiling
 from repro.sim.metrics import SimMetrics
 from repro.traces.records import Trace
 
@@ -104,6 +106,54 @@ def run_simulation(
         raise ValueError(
             f"unknown engine {engine!r}; expected 'reference', 'fast', or 'auto'"
         )
+    profiler = profiling.active()
+    if profiler is None:
+        return _run_simulation(
+            trace,
+            architecture,
+            warmup_s=warmup_s,
+            include_uncachable=include_uncachable,
+            fault_plan=fault_plan,
+            journey_sink=journey_sink,
+            telemetry=telemetry,
+            audit=audit,
+            engine=engine,
+        )
+    with profiler.span(
+        "simulate",
+        category="engine",
+        arch=architecture.name,
+        engine=engine,
+        requests=len(trace.requests),
+    ) as span:
+        metrics = _run_simulation(
+            trace,
+            architecture,
+            warmup_s=warmup_s,
+            include_uncachable=include_uncachable,
+            fault_plan=fault_plan,
+            journey_sink=journey_sink,
+            telemetry=telemetry,
+            audit=audit,
+            engine=engine,
+        )
+        span.attrs["measured_requests"] = metrics.measured_requests
+    return metrics
+
+
+def _run_simulation(
+    trace: Trace,
+    architecture: Architecture,
+    *,
+    warmup_s: float | None,
+    include_uncachable: bool,
+    fault_plan: "FaultPlan | None",
+    journey_sink: "JourneySink | None",
+    telemetry: "RunTelemetry | None",
+    audit: "AuditHooks | None",
+    engine: str,
+) -> SimMetrics:
+    """:func:`run_simulation` body, shared by the profiled/unprofiled entry."""
     if engine != "reference":
         from repro.sim import fastpath
 
@@ -149,47 +199,56 @@ def run_simulation(
             include_uncachable=include_uncachable,
         )
     processed = 0
-    for request in trace.requests:
-        # The simulated clock advances with *every* request, skipped or
-        # not: timeline bins close and scheduled crash/recover events
-        # fire as trace time passes, never stalled behind a run of
-        # skipped requests.  (Timeline before injector, so bin-close
-        # snapshots observe the plan state as of the bin edge.)
-        if telemetry is not None:
-            telemetry.advance(request.time)
-        if injector is not None:
-            injector.advance(request.time)
-        if request.error:
-            if not include_uncachable:
-                metrics.skipped_error += 1
-                continue
-            metrics.included_error += 1
-        elif not request.cacheable:
-            # ``elif``: a request that is both error and uncachable counts
-            # once, under its error class -- mirroring the skip path's
-            # precedence so the two counter pairs partition identically.
-            if not include_uncachable:
-                metrics.skipped_uncachable += 1
-                continue
-            metrics.included_uncachable += 1
-        result = architecture.process(request)
-        processed += 1
-        if audit is not None:
-            audit.on_result(request, result, measured=request.time >= boundary)
-        if request.time < boundary:
-            metrics.warmup_requests += 1
+    # The profiler, like the other observers, costs one pointer check per
+    # run when detached; the loop itself is never touched per-request.
+    profiler = profiling.active()
+    loop_span = (
+        profiler.span("reference_loop", category="engine", requests=len(trace.requests))
+        if profiler is not None
+        else nullcontext()
+    )
+    with loop_span:
+        for request in trace.requests:
+            # The simulated clock advances with *every* request, skipped or
+            # not: timeline bins close and scheduled crash/recover events
+            # fire as trace time passes, never stalled behind a run of
+            # skipped requests.  (Timeline before injector, so bin-close
+            # snapshots observe the plan state as of the bin edge.)
             if telemetry is not None:
-                telemetry.observe(request, result, measured=False)
-            continue
-        metrics.record(
-            result,
-            request.size,
-            faulted=injector is not None and injector.faults_active,
-        )
-        if telemetry is not None:
-            telemetry.observe(request, result, measured=True)
-        if journey_sink is not None:
-            journey_sink.emit(metrics.measured_requests - 1, request, result)
+                telemetry.advance(request.time)
+            if injector is not None:
+                injector.advance(request.time)
+            if request.error:
+                if not include_uncachable:
+                    metrics.skipped_error += 1
+                    continue
+                metrics.included_error += 1
+            elif not request.cacheable:
+                # ``elif``: a request that is both error and uncachable counts
+                # once, under its error class -- mirroring the skip path's
+                # precedence so the two counter pairs partition identically.
+                if not include_uncachable:
+                    metrics.skipped_uncachable += 1
+                    continue
+                metrics.included_uncachable += 1
+            result = architecture.process(request)
+            processed += 1
+            if audit is not None:
+                audit.on_result(request, result, measured=request.time >= boundary)
+            if request.time < boundary:
+                metrics.warmup_requests += 1
+                if telemetry is not None:
+                    telemetry.observe(request, result, measured=False)
+                continue
+            metrics.record(
+                result,
+                request.size,
+                faulted=injector is not None and injector.faults_active,
+            )
+            if telemetry is not None:
+                telemetry.observe(request, result, measured=True)
+            if journey_sink is not None:
+                journey_sink.emit(metrics.measured_requests - 1, request, result)
     architecture.processed_requests += processed
     if telemetry is not None:
         telemetry.finish(trace.duration)

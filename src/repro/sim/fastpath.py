@@ -82,6 +82,7 @@ import numpy as np
 
 from repro.cache.lru import LookupResult
 from repro.netmodel.model import AccessPoint
+from repro.obs import profiling
 from repro.sim.metrics import SimMetrics, StepAggregate
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -986,6 +987,31 @@ class HintKernel(_Kernel):
         flag_list,
         push_hit_rows=None,
     ) -> _BatchResult:
+        """Price one hint batch (cost reconstruction gets its own span)."""
+        profiler = profiling.active()
+        if profiler is None:
+            return self._price(
+                idx, pattern_list, miss_row_list, holder_list, aux_point_list,
+                flag_list, push_hit_rows,
+            )
+        with profiler.span(
+            "cost_reconstruct", category="fastpath", rows=len(pattern_list)
+        ):
+            return self._price(
+                idx, pattern_list, miss_row_list, holder_list, aux_point_list,
+                flag_list, push_hit_rows,
+            )
+
+    def _price(
+        self,
+        idx,
+        pattern_list,
+        miss_row_list,
+        holder_list,
+        aux_point_list,
+        flag_list,
+        push_hit_rows=None,
+    ) -> _BatchResult:
         """Price one hint batch from the state loop's row lists."""
         columns = self.columns
         arch = self.arch
@@ -1811,6 +1837,11 @@ def run_fast_simulation(
     kind_table = kernel._kind_table()
     sizes_col = columns.size
 
+    # Host profiler: resolved once per run (one pointer check when
+    # detached); attached runs get one "batch" span per quiescent span
+    # with classify / fold / decode children and hit-miss attributes.
+    profiler = profiling.active()
+
     for start, stop in zip(span_edges, span_edges[1:]):
         if start >= stop:
             continue
@@ -1825,36 +1856,83 @@ def run_fast_simulation(
             if injector.faults_active:
                 # Active window: the vectorized residual is this span's
                 # per-request loop (the reference loop body, verbatim).
-                _run_residual_span(
-                    metrics,
-                    architecture,
-                    requests,
-                    idx,
-                    boundary,
-                    telemetry,
-                    journey_sink,
-                )
+                if profiler is None:
+                    _run_residual_span(
+                        metrics,
+                        architecture,
+                        requests,
+                        idx,
+                        boundary,
+                        telemetry,
+                        journey_sink,
+                    )
+                else:
+                    with profiler.span(
+                        "residual_replay", category="fastpath", rows=int(idx.size)
+                    ):
+                        _run_residual_span(
+                            metrics,
+                            architecture,
+                            requests,
+                            idx,
+                            boundary,
+                            telemetry,
+                            journey_sink,
+                        )
                 continue
             kernel.span_begin()
-        batch = kernel.process_batch(idx)
-        span_measured = measured_mask[idx]
-        measured_before = metrics.measured_requests
-        _fold_measured(
-            metrics,
-            batch,
-            span_measured,
-            sizes_col[idx],
-            kernel.STEP_TABLE,
-            kind_table,
-        )
-        if telemetry is not None:
-            _observe_span(telemetry, batch, span_measured, sizes_col[idx])
-        if journey_sink is not None:
-            for offset, row in enumerate(np.flatnonzero(span_measured).tolist()):
-                result = kernel.result_for(batch, row)
-                journey_sink.emit(
-                    measured_before + offset, requests[int(idx[row])], result
+        if profiler is None:
+            batch = kernel.process_batch(idx)
+            span_measured = measured_mask[idx]
+            measured_before = metrics.measured_requests
+            _fold_measured(
+                metrics,
+                batch,
+                span_measured,
+                sizes_col[idx],
+                kernel.STEP_TABLE,
+                kind_table,
+            )
+            if telemetry is not None:
+                _observe_span(telemetry, batch, span_measured, sizes_col[idx])
+            if journey_sink is not None:
+                for offset, row in enumerate(np.flatnonzero(span_measured).tolist()):
+                    result = kernel.result_for(batch, row)
+                    journey_sink.emit(
+                        measured_before + offset, requests[int(idx[row])], result
+                    )
+            continue
+        with profiler.span(
+            "batch", category="fastpath", rows=int(idx.size)
+        ) as batch_span:
+            with profiler.span("classify", category="fastpath", rows=int(idx.size)):
+                batch = kernel.process_batch(idx)
+            hits = int((batch.point == int(AccessPoint.L1)).sum())
+            batch_span.attrs["l1_hits"] = hits
+            batch_span.attrs["l1_misses"] = int(idx.size) - hits
+            span_measured = measured_mask[idx]
+            measured_before = metrics.measured_requests
+            with profiler.span("metrics_fold", category="fastpath"):
+                _fold_measured(
+                    metrics,
+                    batch,
+                    span_measured,
+                    sizes_col[idx],
+                    kernel.STEP_TABLE,
+                    kind_table,
                 )
+            if telemetry is not None:
+                with profiler.span("telemetry_decode", category="fastpath"):
+                    _observe_span(telemetry, batch, span_measured, sizes_col[idx])
+            if journey_sink is not None:
+                with profiler.span("journey_decode", category="fastpath"):
+                    for offset, row in enumerate(
+                        np.flatnonzero(span_measured).tolist()
+                    ):
+                        result = kernel.result_for(batch, row)
+                        journey_sink.emit(
+                            measured_before + offset, requests[int(idx[row])], result
+                        )
 
     architecture.processed_requests += processed_total
     if telemetry is not None:

@@ -156,3 +156,129 @@ class TestTimelineFiles:
         problems = check_timeline_rows(rows)
         assert any("out of order" in p for p in problems)
         assert any("went backwards" in p for p in problems)
+
+
+class TestLabelEscaping:
+    """Prometheus label values with backslashes, quotes, and newlines."""
+
+    HOSTILE = [
+        'plain',
+        'with "quotes"',
+        "back\\slash",
+        "line\nbreak",
+        "literal \\n (backslash then n)",
+        "trailing backslash \\",
+        'all \\ " \n at once',
+        "brace } in value",
+    ]
+
+    def test_metric_key_round_trips_hostile_values(self):
+        from repro.obs.telemetry import parse_metric_key, render_metric_key
+
+        for value in self.HOSTILE:
+            key = render_metric_key("repro_x_total", {"node": value})
+            name, labels = parse_metric_key(key)
+            assert name == "repro_x_total"
+            assert labels == {"node": value}, value
+
+    def test_exposition_round_trips_hostile_values(self):
+        registry = MetricsRegistry()
+        for index, value in enumerate(self.HOSTILE):
+            registry.counter(
+                "repro_x_total", {"node": value, "i": str(index)}
+            ).inc(index + 1)
+        text = prometheus_text(registry)
+        assert check_prometheus_text(text) == []
+        got = {
+            labels["node"]: value
+            for _name, labels, value in parse_prometheus_text(text)
+        }
+        assert sorted(got) == sorted(self.HOSTILE)
+
+    def test_escaped_newline_never_splits_a_line(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_x_total", {"node": "a\nb"}).inc(1)
+        for line in prometheus_text(registry).splitlines():
+            if line.startswith("#"):
+                continue
+            assert line.endswith(" 1"), line  # one sample, one line
+
+    def test_help_text_escapes_newlines_and_backslashes(self):
+        registry = MetricsRegistry()
+        registry.counter(
+            "repro_x_total", {"a": "b"}, help="first\nsecond \\ third"
+        ).inc(1)
+        text = prometheus_text(registry)
+        (help_line,) = [
+            line for line in text.splitlines() if line.startswith("# HELP")
+        ]
+        assert "\n" not in help_line
+        assert "first\\nsecond \\\\ third" in help_line
+        assert check_prometheus_text(text) == []
+
+    def test_distinct_values_stay_distinct_after_escaping(self):
+        # The classic corruption: 'a\nb' (literal backslash-n) and an
+        # actual newline must not collide after a round trip.
+        from repro.obs.telemetry import parse_metric_key, render_metric_key
+
+        tricky = ["a\\nb", "a\nb", "a\\\nb"]
+        keys = [render_metric_key("m", {"v": value}) for value in tricky]
+        assert len(set(keys)) == len(tricky)
+        back = [parse_metric_key(key)[1]["v"] for key in keys]
+        assert back == tricky
+
+
+class TestExporterEdgeCases:
+    def test_empty_registry_exposition(self):
+        text = prometheus_text(MetricsRegistry())
+        assert text.strip() == ""
+        assert check_prometheus_text(text) == []
+        assert parse_prometheus_text(text) == []
+
+    def test_empty_timeline_round_trip(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        write_timeline_jsonl([], str(path))
+        assert path.read_text() == ""
+        assert read_timeline_jsonl(str(path)) == []
+        assert check_timeline_rows([]) == []
+        assert timeline_counter_totals([]) == {}
+
+    def test_empty_timeline_csv_has_no_rows(self):
+        stream = io.StringIO()
+        write_timeline_csv([], stream)
+        parsed = list(csv.reader(io.StringIO(stream.getvalue())))
+        assert parsed in ([], [["arch", "bin", "t_start", "t_end"]])
+
+    def test_zero_observation_histogram(self):
+        registry = MetricsRegistry()
+        registry.histogram("repro_empty_ms", {"arch": "h"}, buckets=(1.0, 10.0))
+        text = prometheus_text(registry)
+        assert check_prometheus_text(text) == []
+        by_name = {}
+        for name, labels, value in parse_prometheus_text(text):
+            by_name.setdefault(name, []).append((labels, value))
+        assert by_name["repro_empty_ms_count"] == [({"arch": "h"}, 0.0)]
+        assert by_name["repro_empty_ms_sum"] == [({"arch": "h"}, 0.0)]
+        inf_bucket = [
+            value
+            for labels, value in by_name["repro_empty_ms_bucket"]
+            if labels["le"] == "+Inf"
+        ]
+        assert inf_bucket == [0.0]
+
+    def test_callback_only_gauges_and_counters(self):
+        registry = MetricsRegistry()
+        occupancy = {"bytes": 0.0}
+        registry.gauge(
+            "repro_occ_bytes", {"node": "0"}, fn=lambda: occupancy["bytes"]
+        )
+        registry.counter("repro_evictions_total", {"node": "0"}, fn=lambda: 4.0)
+        occupancy["bytes"] = 1536.0
+        text = prometheus_text(registry)
+        assert check_prometheus_text(text) == []
+        samples = dict(
+            (name, value) for name, _labels, value in parse_prometheus_text(text)
+        )
+        # Callback read at render time, not registration time.
+        assert samples["repro_occ_bytes"] == 1536.0
+        assert samples["repro_evictions_total"] == 4.0

@@ -1,0 +1,225 @@
+"""BENCH schema validation, the history trajectory, and the perf gate.
+
+The committed ``BENCH_*.json`` pins and ``BENCH_HISTORY.jsonl`` are
+load-bearing: this module checks they validate against their schemas and
+pass their own floors, that append/read round-trips are canonical, and
+that ``python -m repro.obs.perf`` exits 0 on the repo's committed state
+and 1 on a synthetic regression.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.obs import perf
+from repro.obs.perfhistory import (
+    PROFILING_DETACHED_BUDGET_PCT,
+    append_history,
+    bench_kind,
+    floor_problems,
+    headline,
+    history_entry,
+    history_problems,
+    load_bench,
+    read_history,
+    validate_bench,
+)
+
+REPO_ROOT = os.path.join(os.path.dirname(__file__), "..", "..")
+
+
+def repo_bench_paths():
+    return sorted(
+        os.path.join(REPO_ROOT, name)
+        for name in os.listdir(REPO_ROOT)
+        if name.startswith("BENCH_") and name.endswith(".json")
+    )
+
+
+def profiling_payload():
+    """A minimal valid BENCH_profiling payload for synthetic edits."""
+    arch = {
+        "detached_overhead_pct": 1.0,
+        "attached_overhead_pct": 5.0,
+        "detached_s": 1.0,
+        "attached_s": 1.05,
+        "uninstrumented_s": 0.99,
+        "measured_requests": 1000,
+        "spans": 2,
+    }
+    return {
+        "rounds": 3,
+        "scale": 0.002,
+        "detached_overhead_pct": 1.0,
+        "attached_overhead_pct": 5.0,
+        "detached_s": 1.0,
+        "attached_s": 1.05,
+        "uninstrumented_s": 0.99,
+        "max_detached_overhead_pct": PROFILING_DETACHED_BUDGET_PCT,
+        "architectures": {"hierarchy": dict(arch)},
+    }
+
+
+class TestSchemas:
+    def test_committed_bench_files_validate(self):
+        paths = repo_bench_paths()
+        assert paths, "repo should commit BENCH_*.json pins"
+        for path in paths:
+            kind, payload = load_bench(path)  # raises on schema problems
+            assert floor_problems(kind, payload) == [], path
+
+    def test_bench_kind_from_filename(self):
+        assert bench_kind("/x/BENCH_engine.json") == "engine"
+        assert bench_kind("BENCH_profiling.json") == "profiling"
+        with pytest.raises(ValueError):
+            bench_kind("BENCH_unknown.json")
+        with pytest.raises(ValueError):
+            bench_kind("engine.json")
+
+    def test_missing_field_is_a_problem(self):
+        payload = profiling_payload()
+        del payload["detached_overhead_pct"]
+        problems = validate_bench("profiling", payload)
+        assert any("detached_overhead_pct" in p for p in problems)
+
+    def test_non_numeric_field_is_a_problem(self):
+        payload = profiling_payload()
+        payload["architectures"]["hierarchy"]["spans"] = "two"
+        assert any(
+            "spans" in p for p in validate_bench("profiling", payload)
+        )
+
+    def test_empty_architectures_is_a_problem(self):
+        payload = profiling_payload()
+        payload["architectures"] = {}
+        assert any("architectures" in p for p in validate_bench("profiling", payload))
+
+    def test_floor_rejects_overheads_past_budget(self):
+        payload = profiling_payload()
+        payload["detached_overhead_pct"] = PROFILING_DETACHED_BUDGET_PCT + 1.0
+        assert any("exceeds" in p for p in floor_problems("profiling", payload))
+
+    def test_engine_headline_is_min_warm_speedup(self):
+        _, payload = load_bench(os.path.join(REPO_ROOT, "BENCH_engine.json"))
+        expected = min(
+            section["warm_speedup"]
+            for section in payload["architectures"].values()
+        )
+        assert headline("engine", payload) == expected
+
+
+class TestHistory:
+    def test_append_read_round_trip(self, tmp_path):
+        bench = tmp_path / "BENCH_profiling.json"
+        bench.write_text(json.dumps(profiling_payload()))
+        history = tmp_path / "BENCH_HISTORY.jsonl"
+        row = append_history(
+            str(history), str(bench), recorded="2026-08-08T00:00:00Z"
+        )
+        assert row["bench"] == "profiling"
+        assert row["headline"] == 1.0
+        (read,) = read_history(str(history))
+        assert read == row
+        # Lines are canonical: appending the same payload is byte-stable.
+        first = history.read_bytes()
+        append_history(str(history), str(bench), recorded="2026-08-08T00:00:00Z")
+        assert history.read_bytes() == first * 2
+
+    def test_read_rejects_bad_lines(self, tmp_path):
+        history = tmp_path / "BENCH_HISTORY.jsonl"
+        history.write_text("not json\n")
+        with pytest.raises(ValueError, match="bad JSON"):
+            read_history(str(history))
+        history.write_text('{"bench": "profiling", "recorded": "x"}\n')
+        with pytest.raises(ValueError, match="headline"):
+            read_history(str(history))
+        history.write_text(
+            '{"bench": "nope", "recorded": "x", "headline": 1.0}\n'
+        )
+        with pytest.raises(ValueError, match="unknown bench"):
+            read_history(str(history))
+
+    def test_committed_history_reads_and_passes(self):
+        rows = read_history(os.path.join(REPO_ROOT, "BENCH_HISTORY.jsonl"))
+        assert rows, "repo should seed BENCH_HISTORY.jsonl"
+        assert history_problems(rows) == []
+
+    def test_overhead_regression_is_absolute_points(self):
+        entry = history_entry(
+            "profiling", profiling_payload(), recorded="2026-08-08T00:00:00Z"
+        )
+        worse = dict(entry, headline=entry["headline"] + 10.0)
+        assert history_problems([entry, worse], max_regression_pct=5.0)
+        assert history_problems([entry, worse], max_regression_pct=15.0) == []
+
+    def test_speedup_regression_is_relative(self):
+        base = {"bench": "engine", "recorded": "x", "headline": 10.0}
+        regressed = dict(base, headline=7.0)  # -30% relative
+        assert history_problems([base, regressed], max_regression_pct=25.0)
+        assert history_problems([base, regressed], max_regression_pct=35.0) == []
+
+    def test_single_entry_never_flags(self):
+        entry = {"bench": "engine", "recorded": "x", "headline": 10.0}
+        assert history_problems([entry]) == []
+
+
+class TestPerfGate:
+    def test_passes_on_committed_repo_state(self, capsys):
+        benches = repo_bench_paths()
+        argv = []
+        for path in benches:
+            argv += ["--bench", path]
+        argv += ["--history", os.path.join(REPO_ROOT, "BENCH_HISTORY.jsonl")]
+        assert perf.main(argv) == 0
+        out = capsys.readouterr().out
+        assert "trajectory ok" in out
+
+    def test_fails_on_synthetic_regression(self, tmp_path, capsys):
+        payload = profiling_payload()
+        bench = tmp_path / "BENCH_profiling.json"
+        bench.write_text(json.dumps(payload))
+        history = tmp_path / "BENCH_HISTORY.jsonl"
+        append_history(str(history), str(bench), recorded="2026-08-07T00:00:00Z")
+        payload["detached_overhead_pct"] = 2.9  # inside floor, big jump
+        bench.write_text(json.dumps(payload))
+        append_history(str(history), str(bench), recorded="2026-08-08T00:00:00Z")
+        status = perf.main(
+            [
+                "--bench", str(bench),
+                "--history", str(history),
+                "--max-regression-pct", "1.0",
+            ]
+        )
+        assert status == 1
+        assert "regressed" in capsys.readouterr().err
+
+    def test_fails_on_floor_violation(self, tmp_path, capsys):
+        payload = profiling_payload()
+        payload["detached_overhead_pct"] = 99.0
+        bench = tmp_path / "BENCH_profiling.json"
+        bench.write_text(json.dumps(payload))
+        assert perf.main(["--bench", str(bench)]) == 1
+        assert "exceeds" in capsys.readouterr().err
+
+    def test_fails_on_invalid_schema(self, tmp_path, capsys):
+        bench = tmp_path / "BENCH_profiling.json"
+        bench.write_text(json.dumps({"rounds": 3}))
+        assert perf.main(["--bench", str(bench)]) == 1
+
+    def test_append_subcommand_writes_row(self, tmp_path):
+        bench = tmp_path / "BENCH_profiling.json"
+        bench.write_text(json.dumps(profiling_payload()))
+        history = tmp_path / "BENCH_HISTORY.jsonl"
+        status = perf.main(
+            [
+                "append", str(bench),
+                "--history", str(history),
+                "--recorded", "2026-08-08T00:00:00Z",
+            ]
+        )
+        assert status == 0
+        (row,) = read_history(str(history))
+        assert row["recorded"] == "2026-08-08T00:00:00Z"
