@@ -87,3 +87,64 @@ def low_digit(value: int, index: int, bits_per_digit: int) -> int:
     whose ``(i+1)``-th digit matches the object ID's ``(i+1)``-th digit.
     """
     return (value >> (index * bits_per_digit)) & ((1 << bits_per_digit) - 1)
+
+
+# ---------------------------------------------------------------------------
+# Stable partition hashing (sharded runs)
+# ---------------------------------------------------------------------------
+# The sharded runner partitions the object space by hash.  Python's builtin
+# ``hash`` is randomized per process (PYTHONHASHSEED), so shard membership
+# must come from an explicit mixer that every process -- coordinator and
+# workers, today and in a re-run -- computes identically.  splitmix64 is the
+# standard cheap 64-bit finalizer (Steele et al., the Java SplittableRandom
+# mixer): bijective on u64, so distinct object ids never collide before the
+# final modulo.
+
+_U64 = (1 << 64) - 1
+
+
+def splitmix64(value: int) -> int:
+    """The splitmix64 finalizer: a fixed, process-independent u64 mixer."""
+    value = (value + 0x9E3779B97F4A7C15) & _U64
+    value = ((value ^ (value >> 30)) * 0xBF58476D1CE4E5B9) & _U64
+    value = ((value ^ (value >> 27)) * 0x94D049BB133111EB) & _U64
+    return value ^ (value >> 31)
+
+
+def mix64(*values: int) -> int:
+    """Fold several integers into one stable 64-bit value.
+
+    Used to derive per-partition RNG seeds from stable identity (base
+    seed, partition index) -- never from enumeration order.
+    """
+    state = 0
+    for value in values:
+        state = splitmix64((state ^ (value & _U64)) & _U64)
+    return state
+
+
+def partition_of_object(object_id: int, n_partitions: int) -> int:
+    """The virtual partition owning ``object_id`` (stable across processes)."""
+    if n_partitions < 1:
+        raise ValueError(f"n_partitions must be at least 1, got {n_partitions}")
+    return splitmix64(object_id) % n_partitions
+
+
+def partitions_of_objects(object_ids, n_partitions: int):
+    """Vectorized :func:`partition_of_object` over an int64 array.
+
+    Element-for-element identical to the scalar form (uint64 wraparound
+    mirrors the ``& _U64`` masking); used to split a trace's object column
+    in one pass.
+    """
+    import numpy as np
+
+    if n_partitions < 1:
+        raise ValueError(f"n_partitions must be at least 1, got {n_partitions}")
+    value = np.asarray(object_ids).astype(np.uint64)
+    with np.errstate(over="ignore"):
+        value = value + np.uint64(0x9E3779B97F4A7C15)
+        value = (value ^ (value >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+        value = (value ^ (value >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+        value = value ^ (value >> np.uint64(31))
+    return (value % np.uint64(n_partitions)).astype(np.int64)

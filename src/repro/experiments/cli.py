@@ -103,6 +103,28 @@ def build_parser() -> argparse.ArgumentParser:
         "entry and ignore l2/l3",
     )
     parser.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="with the 'decompose'/'timeline' verbs: partition the object "
+        "space across N shard engines (consistent hashing over a fixed "
+        "set of virtual partitions, so results are identical for any N; "
+        "combine with --jobs to run shards in parallel).  An explicit "
+        "'--shards 1' still runs the sharded engine, so its output diffs "
+        "clean against any other shard count; sharded runs partition the "
+        "cache populations, so absolute numbers differ from the default "
+        "unsharded run by design",
+    )
+    parser.add_argument(
+        "--virtual-partitions", type=int, default=None, metavar="V",
+        help="with --shards: fixed hash-space granularity (default 16); "
+        "results depend on V but not on the shard count, so keep V "
+        "pinned when comparing runs",
+    )
+    parser.add_argument(
+        "--clock-lag", type=float, default=3600.0, metavar="SECONDS",
+        help="with --shards: bounded-lag window for the cross-shard "
+        "virtual-clock sync (default 3600; results are lag-invariant)",
+    )
+    parser.add_argument(
         "--engine", choices=("reference", "fast", "auto"), default="reference",
         help="simulation engine for the 'decompose'/'timeline'/'profile' "
         "verbs: 'fast' runs the columnar batch engine (metric-identical; "
@@ -177,6 +199,13 @@ def main(argv: list[str] | None = None) -> int:
     if args.policy is not None:
         print(
             "--policy requires the 'decompose' or 'timeline' verb", file=sys.stderr
+        )
+        return 2
+    if args.shards is not None or args.virtual_partitions is not None:
+        print(
+            "--shards/--virtual-partitions require the 'decompose' or "
+            "'timeline' verb",
+            file=sys.stderr,
         )
         return 2
     if args.list:
@@ -386,6 +415,49 @@ def _standard_specs(config, cost, policy_arg):
     ]
 
 
+def _sharded_comparison(args, config, profile_name, specs, timeline_dir=None):
+    """Run ``specs`` under ``--shards`` and return the ShardedComparison.
+
+    Raises ValueError for an invalid shard plan (shards < 1, fewer
+    virtual partitions than shards, non-positive lag) -- callers turn
+    that into a usage error.
+    """
+    from repro.runner.sharding import (
+        DEFAULT_VIRTUAL_PARTITIONS,
+        run_comparison_sharded,
+    )
+
+    virtual = (
+        args.virtual_partitions
+        if args.virtual_partitions is not None
+        else DEFAULT_VIRTUAL_PARTITIONS
+    )
+    return run_comparison_sharded(
+        config.profile(profile_name),
+        config.seed,
+        specs,
+        shards=args.shards if args.shards is not None else 1,
+        virtual_partitions=virtual,
+        clock_lag_s=args.clock_lag,
+        jobs=args.jobs,
+        trace_cache_dir=args.trace_cache,
+        timeline_dir=timeline_dir,
+        timeline_bin_s=args.bin,
+        engine=args.engine,
+    )
+
+
+def _shard_summary_line(comparison) -> str:
+    plan = comparison.plan
+    return (
+        f"[{plan.shards} shard(s) over {plan.virtual_partitions} virtual "
+        f"partitions: {sum(comparison.partition_objects)} distinct "
+        f"partition objects, fullest shard holds "
+        f"{comparison.max_shard_objects}, wall "
+        f"{format_seconds(comparison.wall_s)}]"
+    )
+
+
 def _run_profile(args) -> int:
     """The ``profile`` verb: the standard comparison under the span profiler.
 
@@ -523,8 +595,36 @@ def _run_decompose(args) -> int:
 
         if get_trace_cache().directory != args.trace_cache:
             set_trace_cache(TraceCache(args.trace_cache))
-    trace = trace_for(config, profile_name)
     cost = TestbedCostModel()
+    if args.shards is not None or args.virtual_partitions is not None:
+        if args.journeys is not None:
+            print("--journeys is not supported with --shards", file=sys.stderr)
+            return 2
+        if args.jobs < 1:
+            print(f"--jobs must be at least 1, got {args.jobs}", file=sys.stderr)
+            return 2
+        try:
+            specs = _standard_specs(config, cost, args.policy)
+        except ValueError as exc:
+            print(f"--policy: {exc}", file=sys.stderr)
+            return 2
+        try:
+            comparison = _sharded_comparison(args, config, profile_name, specs)
+        except ValueError as exc:
+            print(f"--shards: {exc}", file=sys.stderr)
+            return 2
+        print(
+            format_decomposition_table(
+                comparison.results,
+                title=(
+                    f"latency decomposition ({profile_name}, "
+                    f"{comparison.plan.shards} shards, mean ms/request)"
+                ),
+            )
+        )
+        print(_shard_summary_line(comparison))
+        return 0
+    trace = trace_for(config, profile_name)
     try:
         architectures = _standard_architectures(config, cost, args.policy)
     except ValueError as exc:
@@ -593,22 +693,55 @@ def _run_timeline(args) -> int:
 
         if get_trace_cache().directory != args.trace_cache:
             set_trace_cache(TraceCache(args.trace_cache))
-    trace = trace_for(config, profile_name)
     cost = TestbedCostModel()
-    try:
-        architectures = _standard_architectures(config, cost, args.policy)
-    except ValueError as exc:
-        print(f"--policy: {exc}", file=sys.stderr)
-        return 2
-    registry = MetricsRegistry()
-    results = {}
-    rows = []
-    for architecture in architectures:
-        telemetry = RunTelemetry(registry, bin_s=args.bin)
-        results[architecture.name] = run_simulation(
-            trace, architecture, telemetry=telemetry, engine=args.engine
-        )
-        rows.extend(telemetry.rows)
+    shard_note = None
+    if args.shards is not None or args.virtual_partitions is not None:
+        import tempfile
+
+        if args.prometheus is not None:
+            print(
+                "--prometheus is not supported with --shards (no shared "
+                "registry across shard engines)",
+                file=sys.stderr,
+            )
+            return 2
+        if args.jobs < 1:
+            print(f"--jobs must be at least 1, got {args.jobs}", file=sys.stderr)
+            return 2
+        try:
+            specs = _standard_specs(config, cost, args.policy)
+        except ValueError as exc:
+            print(f"--policy: {exc}", file=sys.stderr)
+            return 2
+        try:
+            with tempfile.TemporaryDirectory(prefix="repro-shards-") as scratch:
+                comparison = _sharded_comparison(
+                    args, config, profile_name, specs, timeline_dir=scratch
+                )
+        except ValueError as exc:
+            print(f"--shards: {exc}", file=sys.stderr)
+            return 2
+        results = comparison.results
+        rows = []
+        for name in results:
+            rows.extend(comparison.timeline_rows[name])
+        shard_note = _shard_summary_line(comparison)
+    else:
+        trace = trace_for(config, profile_name)
+        try:
+            architectures = _standard_architectures(config, cost, args.policy)
+        except ValueError as exc:
+            print(f"--policy: {exc}", file=sys.stderr)
+            return 2
+        registry = MetricsRegistry()
+        results = {}
+        rows = []
+        for architecture in architectures:
+            telemetry = RunTelemetry(registry, bin_s=args.bin)
+            results[architecture.name] = run_simulation(
+                trace, architecture, telemetry=telemetry, engine=args.engine
+            )
+            rows.extend(telemetry.rows)
     out_path = args.timeline if args.timeline is not None else "timeline.jsonl"
     if out_path.endswith(".csv"):
         write_timeline_csv(rows, out_path)
@@ -631,6 +764,8 @@ def _run_timeline(args) -> int:
     if args.chart:
         print()
         print(render_occupancy_chart(rows))
+    if shard_note is not None:
+        print(shard_note)
     print(f"[timeline rows written to {out_path}]")
     if args.prometheus is not None:
         print(f"[prometheus exposition written to {args.prometheus}]")

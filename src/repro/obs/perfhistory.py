@@ -109,6 +109,21 @@ BENCH_SCHEMAS: dict[str, BenchSchema] = {
         headline="disabled_overhead_pct",
         direction="lower_points",
     ),
+    "sharding": BenchSchema(
+        kind="sharding",
+        top=(
+            "requests",
+            "rounds",
+            "scale",
+            "shards",
+            "virtual_partitions",
+            "total_rps",
+            "rps_floor",
+        ),
+        per_arch=("rps", "measured_requests", "wall_s"),
+        headline="total_rps",
+        direction="higher",
+    ),
     "profiling": BenchSchema(
         kind="profiling",
         top=(
@@ -211,6 +226,13 @@ def floor_problems(kind: str, payload: Mapping) -> list[str]:
                     f"engine:{name}: cold speedup {section['speedup']} "
                     f"below floor {cold}"
                 )
+    elif kind == "sharding":
+        floor = payload["rps_floor"]
+        if payload["total_rps"] < floor:
+            problems.append(
+                f"sharding: total_rps {payload['total_rps']} below "
+                f"floor {floor}"
+            )
     elif kind == "telemetry":
         overhead = payload["disabled_overhead_pct"]
         if overhead > TELEMETRY_DISABLED_BUDGET_PCT:

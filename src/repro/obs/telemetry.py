@@ -991,3 +991,59 @@ def warmup_convergence(
         final_rate=final_rate,
         series=series,
     )
+
+
+def merge_timeline_rows(row_lists: Sequence[Sequence[Mapping]]) -> list[dict]:
+    """Merge per-partition timeline rows of one architecture, bin by bin.
+
+    The sharded runner gives every virtual partition its own
+    :class:`RunTelemetry` over the same trace clock (same ``bin_s``, same
+    ``finish`` time), so the per-partition row lists are congruent: same
+    length, same ``bin``/``t_start``/``t_end``/``arch`` per position.
+    The merge sums counter *deltas* (they telescope, so merged bins
+    re-sum to the merged run totals exactly) and sums gauge values --
+    cache occupancies and entry counts add across partitions; a
+    non-additive gauge (e.g. a fault plan's per-node up flag, mirrored
+    into every partition) comes back multiplied by the partition count,
+    which the sharded runner documents rather than hides.
+
+    Callers fold partitions in canonical partition order: summing floats
+    in a fixed order is what keeps merged rows byte-identical for any
+    shard count.  Raises ``ValueError`` on incongruent row lists.
+    """
+    row_lists = [list(rows) for rows in row_lists]
+    if not row_lists:
+        return []
+    first = row_lists[0]
+    for rows in row_lists[1:]:
+        if len(rows) != len(first):
+            raise ValueError(
+                f"cannot merge timelines of {len(rows)} vs {len(first)} bins"
+            )
+    merged: list[dict] = []
+    for index, base in enumerate(first):
+        counters: dict[str, float] = {}
+        gauges: dict[str, float] = {}
+        for rows in row_lists:
+            row = rows[index]
+            for field_name in ("arch", "bin", "t_start", "t_end"):
+                if row[field_name] != base[field_name]:
+                    raise ValueError(
+                        f"bin {index}: field {field_name!r} mismatch "
+                        f"({row[field_name]!r} vs {base[field_name]!r})"
+                    )
+            for key, delta in row.get("counters", {}).items():
+                counters[key] = counters.get(key, 0.0) + delta
+            for key, value in row.get("gauges", {}).items():
+                gauges[key] = gauges.get(key, 0.0) + value
+        merged.append(
+            {
+                "arch": base["arch"],
+                "bin": base["bin"],
+                "t_start": base["t_start"],
+                "t_end": base["t_end"],
+                "counters": dict(sorted(counters.items())),
+                "gauges": dict(sorted(gauges.items())),
+            }
+        )
+    return merged

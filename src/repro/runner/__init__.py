@@ -11,10 +11,12 @@ scale:
 * :mod:`repro.runner.specs` -- picklable architecture factory specs, so
   worker processes construct fresh state locally;
 * :mod:`repro.runner.parallel` -- process-pool fan-out of registry runs and
-  architecture comparisons, deterministic for any job count.
+  architecture comparisons, deterministic for any job count;
+* :mod:`repro.runner.sharding` -- hash-partitioned shard engines over the
+  same pool, deterministic for any shard count.
 
 CLI surface: ``python -m repro.experiments --all --jobs 4 --trace-cache
-~/.cache/repro-traces``.
+~/.cache/repro-traces`` (add ``--shards N`` to the comparison verbs).
 """
 
 from repro.runner.fingerprint import GENERATOR_VERSION, trace_fingerprint
@@ -23,6 +25,11 @@ from repro.runner.parallel import (
     StageTimings,
     run_comparison_parallel,
     run_experiments,
+)
+from repro.runner.sharding import (
+    ShardedComparison,
+    ShardPlan,
+    run_comparison_sharded,
 )
 from repro.runner.specs import ArchitectureSpec
 from repro.runner.trace_cache import (
@@ -37,12 +44,15 @@ __all__ = [
     "ArchitectureSpec",
     "GENERATOR_VERSION",
     "RunSummary",
+    "ShardPlan",
+    "ShardedComparison",
     "StageTimings",
     "TraceCache",
     "TraceCacheStats",
     "cached_trace",
     "get_trace_cache",
     "run_comparison_parallel",
+    "run_comparison_sharded",
     "run_experiments",
     "set_trace_cache",
     "trace_fingerprint",

@@ -1,0 +1,557 @@
+"""Sharded multi-process simulation with shard-count-invariant results.
+
+The single-process engine caps the population one comparison can hold in
+memory; this module hash-partitions the **object space** across shard
+engines so a run's working set splits across worker processes -- the
+partitioning/replication shape of distributed cache deployments (and of
+the cooperative-caching literature the README surveys).
+
+Three layers make shard counts invisible in the results:
+
+* **Fixed virtual partitions.**  A :class:`ShardPlan` maps every object
+  id to one of ``virtual_partitions`` *virtual* partitions via a stable
+  hash (:func:`repro.common.ids.partition_of_object` -- never Python's
+  randomized ``hash``).  Each virtual partition gets its own sub-trace
+  (its objects' requests, time order preserved), its own architecture
+  instance (full L1 client population -- the client -> L1 mapping is
+  topology-stable, so every partition sees the same proxy fabric), and
+  its own replacement-policy RNG stream
+  (:meth:`repro.cache.policy.PolicySpec.for_partition`, keyed on
+  partition identity).  Physical shards own *sets* of virtual partitions
+  through a consistent-hash ring, so changing ``shards`` only regroups
+  identical per-partition computations.
+
+* **Bounded-lag virtual clock.**  A shard engine round-robins its
+  partitions' :class:`~repro.sim.engine.SimulationStepper` instances in
+  fixed partition order, advancing each to a shared horizon of
+  ``min(next event time) + clock_lag_s``: no partition's clock ever runs
+  more than the lag window ahead of the slowest, so cross-partition
+  interleaving cannot reorder observable state transitions.  Peer
+  resolution is shard-aware -- hint/ICP/directory lookups stay inside
+  the partition that owns the object, enforced per request by
+  :meth:`repro.hierarchy.base.Architecture.check_shard_owns` (a routing
+  leak raises :class:`~repro.common.errors.ShardRoutingError` instead of
+  silently breaking invariance).
+
+* **Canonical-order merge.**  Workers return per-partition results
+  *unmerged*; the coordinator folds
+  :meth:`repro.sim.metrics.SimMetrics.merge` and
+  :func:`repro.obs.telemetry.merge_timeline_rows` in ascending partition
+  order -- exactly the way :func:`~repro.runner.parallel.run_comparison_parallel`
+  already merges per-architecture outputs, with the float-addition order
+  pinned.  Identical per-partition values folded in an identical order
+  are bit-identical for any shard count and any job count.
+
+Note the modelling consequence: a sharded run partitions each cache's
+population by object (per-partition capacities and per-partition L1
+populations), so its absolute numbers differ from an unsharded
+``run_comparison`` over the same trace.  The invariance contract is
+between sharded runs: ``--shards 1`` and ``--shards 4`` are pinned
+identical, which is what lets a population larger than one process holds
+run across many.
+
+Fault plans replay per partition (every partition sees the same node
+crash/recover schedule), which keeps faulted runs shard-count invariant
+too; merged timeline *gauges* are summed across partitions (occupancy
+adds; a mirrored per-node up flag comes back scaled by the partition
+count -- see :func:`repro.obs.telemetry.merge_timeline_rows`).
+"""
+
+from __future__ import annotations
+
+import bisect
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from functools import cached_property
+from typing import TYPE_CHECKING, Sequence
+
+from repro.common.ids import mix64, partitions_of_objects
+from repro.common.timing import Stopwatch
+from repro.hierarchy.base import Architecture, ShardInfo
+from repro.runner.specs import ArchitectureSpec
+from repro.runner.trace_cache import cached_trace
+from repro.sim.engine import SimulationStepper, run_simulation
+from repro.sim.metrics import SimMetrics
+from repro.traces.profiles import WorkloadProfile
+from repro.traces.records import Trace
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.events import FaultPlan
+
+#: Default number of virtual partitions.  Fixed independently of the
+#: shard count -- this is the invariance anchor: results depend on the
+#: partition layout, never on how partitions are grouped into shards.
+DEFAULT_VIRTUAL_PARTITIONS = 16
+
+#: Ring points per shard on the consistent-hash ring.  Enough replicas
+#: to spread partitions evenly at small shard counts.
+RING_REPLICAS = 64
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """How one sharded run partitions the object space.
+
+    Attributes:
+        shards: Physical shard engines (process-pool work units per
+            architecture).
+        virtual_partitions: Fixed hash-space granularity; must be at
+            least ``shards``.  Changing it changes results (it reshapes
+            every partition's sub-trace); changing ``shards`` never does.
+        clock_lag_s: Bounded-lag window for the virtual-clock sync, in
+            simulated seconds.  Any positive value yields identical
+            results (partitions share no object state); smaller values
+            tighten interleaving at the cost of more round-robin passes.
+    """
+
+    shards: int
+    virtual_partitions: int = DEFAULT_VIRTUAL_PARTITIONS
+    clock_lag_s: float = 3600.0
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ValueError(f"shards must be at least 1, got {self.shards}")
+        if self.virtual_partitions < self.shards:
+            raise ValueError(
+                f"virtual_partitions ({self.virtual_partitions}) must be >= "
+                f"shards ({self.shards}); each shard owns at least one"
+            )
+        if self.clock_lag_s <= 0:
+            raise ValueError(
+                f"clock_lag_s must be positive, got {self.clock_lag_s}"
+            )
+
+    @cached_property
+    def _ring(self) -> tuple[list[int], list[int]]:
+        """Sorted (point hashes, owning shard) consistent-hash ring."""
+        points = sorted(
+            (mix64(0x5348_4152_4421, shard, replica), shard)
+            for shard in range(self.shards)
+            for replica in range(RING_REPLICAS)
+        )
+        return [point for point, _ in points], [shard for _, shard in points]
+
+    def owner_of(self, partition: int) -> int:
+        """The shard owning ``partition`` (first ring point clockwise)."""
+        if not 0 <= partition < self.virtual_partitions:
+            raise ValueError(
+                f"partition {partition} outside [0, {self.virtual_partitions})"
+            )
+        hashes, shards = self._ring
+        index = bisect.bisect_right(hashes, mix64(0x5041_5254, partition))
+        return shards[index % len(shards)]
+
+    def partitions_of_shard(self, shard: int) -> tuple[int, ...]:
+        """The virtual partitions ``shard`` owns, ascending."""
+        if not 0 <= shard < self.shards:
+            raise ValueError(f"shard {shard} outside [0, {self.shards})")
+        return tuple(
+            partition
+            for partition in range(self.virtual_partitions)
+            if self.owner_of(partition) == shard
+        )
+
+    def shard_info(self, partition: int) -> ShardInfo:
+        """The :class:`~repro.hierarchy.base.ShardInfo` for one partition."""
+        return ShardInfo(
+            partition=partition, virtual_partitions=self.virtual_partitions
+        )
+
+
+def partition_spec(spec: ArchitectureSpec, partition: int) -> ArchitectureSpec:
+    """The factory spec for one virtual partition's architecture.
+
+    Rewrites every :class:`~repro.cache.policy.PolicySpec` keyword
+    through :meth:`~repro.cache.policy.PolicySpec.for_partition`, so the
+    Random policy's victim streams are decorrelated across partitions by
+    stable identity.  Everything else passes through unchanged -- every
+    partition gets the full topology (same proxy fabric, same per-node
+    capacities over its slice of the object space).
+    """
+    from repro.cache.policy import PolicySpec
+
+    rewritten = {
+        key: value.for_partition(partition)
+        if isinstance(value, PolicySpec)
+        else value
+        for key, value in spec.kwargs.items()
+    }
+    if rewritten == spec.kwargs:
+        return spec
+    return ArchitectureSpec(spec.factory, spec.args, rewritten)
+
+
+def split_trace(trace: Trace, plan: ShardPlan) -> list[Trace]:
+    """Split a trace into per-partition sub-traces (time order preserved).
+
+    Each sub-trace keeps the parent's metadata (``n_objects``,
+    ``n_clients``, ``duration``, ``warmup``), so warmup boundaries and
+    timeline bin layouts agree across partitions; only the request rows
+    are filtered to the partition's objects.
+    """
+    import numpy as np
+
+    columns = trace.columns()
+    owners = partitions_of_objects(columns.object, plan.virtual_partitions)
+    from repro.traces.columns import TraceColumns
+
+    sub_traces: list[Trace] = []
+    for partition in range(plan.virtual_partitions):
+        mask = owners == partition
+        sub_columns = TraceColumns(
+            time=np.ascontiguousarray(columns.time[mask]),
+            client=np.ascontiguousarray(columns.client[mask]),
+            object=np.ascontiguousarray(columns.object[mask]),
+            size=np.ascontiguousarray(columns.size[mask]),
+            version=np.ascontiguousarray(columns.version[mask]),
+            cacheable=np.ascontiguousarray(columns.cacheable[mask]),
+            error=np.ascontiguousarray(columns.error[mask]),
+        )
+        sub_traces.append(
+            Trace.from_columns(
+                profile_name=trace.profile_name,
+                columns=sub_columns,
+                n_objects=trace.n_objects,
+                n_clients=trace.n_clients,
+                duration=trace.duration,
+                warmup=trace.warmup,
+            )
+        )
+    return sub_traces
+
+
+def advance_bounded_lag(
+    steppers: Sequence[SimulationStepper], lag_s: float
+) -> None:
+    """Drive several steppers under the bounded-lag virtual clock.
+
+    Repeatedly advances every unfinished stepper -- in the fixed order
+    given -- to ``min(next event time) + lag_s``, so no partition's clock
+    ever exceeds the globally slowest by more than the lag window.  Each
+    pass drains at least the slowest stepper's next request, so the loop
+    terminates after finitely many passes.
+    """
+    if lag_s <= 0:
+        raise ValueError(f"lag_s must be positive, got {lag_s}")
+    active = [stepper for stepper in steppers if not stepper.exhausted]
+    while active:
+        horizon = min(stepper.next_time for stepper in active) + lag_s
+        for stepper in active:
+            stepper.advance(horizon)
+        active = [stepper for stepper in active if not stepper.exhausted]
+
+
+@dataclass
+class ShardedComparison:
+    """Everything one sharded comparison produced.
+
+    Attributes:
+        plan: The shard plan the run executed under.
+        results: Architecture name -> merged :class:`SimMetrics`, in spec
+            order -- the same shape :func:`run_comparison_parallel`
+            returns, and the object the invariance pins compare.
+        partition_metrics: Architecture name -> per-partition metrics in
+            ascending partition order (the unmerged inputs).
+        partition_requests: Requests per partition (sums to the trace).
+        partition_objects: Distinct objects per partition -- the
+            working-set split: with ``N`` shards each engine holds about
+            ``1/N`` of the population, which is the scaling claim the
+            EXPERIMENTS log records.
+        timeline_rows: Architecture name -> merged timeline rows (empty
+            when the run collected no telemetry).
+        wall_s: End-to-end wall-clock of the comparison.
+    """
+
+    plan: ShardPlan
+    results: dict[str, SimMetrics]
+    partition_metrics: dict[str, list[SimMetrics]]
+    partition_requests: list[int]
+    partition_objects: list[int]
+    timeline_rows: dict[str, list[dict]] = field(default_factory=dict)
+    wall_s: float = 0.0
+
+    @property
+    def max_shard_objects(self) -> int:
+        """Distinct objects held by the fullest shard (working-set peak)."""
+        per_shard = [0] * self.plan.shards
+        for partition, count in enumerate(self.partition_objects):
+            per_shard[self.plan.owner_of(partition)] += count
+        return max(per_shard)
+
+
+def _simulate_partition(
+    sub_trace: Trace,
+    architecture: Architecture,
+    *,
+    warmup_s: float | None,
+    include_uncachable: bool,
+    fault_plan: "FaultPlan | None",
+    telemetry,
+    engine: str,
+) -> SimulationStepper | SimMetrics:
+    """One partition's run: a stepper (reference) or finished metrics (fast)."""
+    if engine == "reference":
+        return SimulationStepper(
+            sub_trace,
+            architecture,
+            warmup_s=warmup_s,
+            include_uncachable=include_uncachable,
+            fault_plan=fault_plan,
+            telemetry=telemetry,
+        )
+    return run_simulation(
+        sub_trace,
+        architecture,
+        warmup_s=warmup_s,
+        include_uncachable=include_uncachable,
+        fault_plan=fault_plan,
+        telemetry=telemetry,
+        engine=engine,
+    )
+
+
+def _shard_task(
+    profile: WorkloadProfile,
+    seed: int,
+    spec: ArchitectureSpec,
+    shard: int,
+    plan: ShardPlan,
+    warmup_s: float | None,
+    include_uncachable: bool,
+    fault_plan: "FaultPlan | None",
+    collect_timeline: bool,
+    timeline_bin_s: float,
+    engine: str,
+) -> list[tuple[int, SimMetrics, list[dict] | None, int]]:
+    """One (architecture, shard) work unit.
+
+    Runs every virtual partition the shard owns and returns the
+    *unmerged* per-partition results ``(partition, metrics, timeline
+    rows, distinct objects)`` -- merging happens in the coordinator, in
+    canonical partition order, so the fold order never depends on which
+    worker ran what.
+
+    Under ``engine="reference"`` the shard's partitions run interleaved
+    through :func:`advance_bounded_lag`; the fast engine runs each
+    partition's columnar batch whole (partitions share no object state,
+    so the schedules are observably equivalent -- pinned by the
+    engine-invariance test).
+    """
+    trace = cached_trace(profile, seed)
+    owned = plan.partitions_of_shard(shard)
+    sub_traces = split_trace(trace, plan)
+
+    telemetry_for = {}
+    runs: list[tuple[int, SimulationStepper | SimMetrics]] = []
+    for partition in owned:
+        architecture = partition_spec(spec, partition).build()
+        architecture.bind_shard(plan.shard_info(partition))
+        telemetry = None
+        if collect_timeline:
+            from repro.obs.telemetry import RunTelemetry
+
+            telemetry = RunTelemetry(bin_s=timeline_bin_s)
+            telemetry_for[partition] = telemetry
+        runs.append(
+            (
+                partition,
+                _simulate_partition(
+                    sub_traces[partition],
+                    architecture,
+                    warmup_s=warmup_s,
+                    include_uncachable=include_uncachable,
+                    fault_plan=fault_plan,
+                    telemetry=telemetry,
+                    engine=engine,
+                ),
+            )
+        )
+    advance_bounded_lag(
+        [run for _, run in runs if isinstance(run, SimulationStepper)],
+        plan.clock_lag_s,
+    )
+
+    results = []
+    for partition, run in runs:
+        metrics = run.finish() if isinstance(run, SimulationStepper) else run
+        rows = (
+            list(telemetry_for[partition].rows) if collect_timeline else None
+        )
+        results.append(
+            (
+                partition,
+                metrics,
+                rows,
+                sub_traces[partition].distinct_objects(),
+            )
+        )
+    return results
+
+
+def run_comparison_sharded(
+    profile: WorkloadProfile,
+    seed: int,
+    specs: Sequence[ArchitectureSpec],
+    *,
+    shards: int,
+    virtual_partitions: int = DEFAULT_VIRTUAL_PARTITIONS,
+    clock_lag_s: float = 3600.0,
+    jobs: int = 1,
+    warmup_s: float | None = None,
+    include_uncachable: bool = False,
+    trace_cache_dir: str | None = None,
+    fault_plan: "FaultPlan | None" = None,
+    timeline_dir: str | None = None,
+    timeline_bin_s: float = 3600.0,
+    engine: str = "reference",
+) -> ShardedComparison:
+    """Sharded twin of :func:`~repro.runner.parallel.run_comparison_parallel`.
+
+    Fans ``len(specs) * shards`` work units into the process pool (one
+    per architecture per shard; ``jobs=1`` runs them inline) and merges
+    the per-partition outputs in canonical partition order.  Results are
+    bit-identical for any ``shards`` (given the same
+    ``virtual_partitions``), any ``jobs``, and any ``clock_lag_s`` --
+    the shard-count-invariance pins assert exactly this.
+
+    ``timeline_dir`` mirrors the parallel runner: merged per-bin rows
+    land in ``<timeline_dir>/<architecture>.jsonl``, canonical JSONL,
+    byte-identical for any shard/job count.
+    """
+    if jobs < 1:
+        raise ValueError(f"jobs must be at least 1, got {jobs}")
+    plan = ShardPlan(
+        shards=shards,
+        virtual_partitions=virtual_partitions,
+        clock_lag_s=clock_lag_s,
+    )
+    if engine == "fast":
+        # Same pre-flight as the parallel runner: fail with the serial
+        # path's error before any worker is spawned.
+        from repro.sim.fastpath import fast_unsupported_reason
+
+        for spec in specs:
+            reason = fast_unsupported_reason(spec.build())
+            if reason is not None:
+                raise ValueError(reason)
+    collect_timeline = timeline_dir is not None
+
+    tasks = [
+        (spec_index, shard)
+        for spec_index in range(len(specs))
+        for shard in range(plan.shards)
+    ]
+    with Stopwatch() as stopwatch:
+        if jobs == 1:
+            outcomes = [
+                _shard_task(
+                    profile,
+                    seed,
+                    specs[spec_index],
+                    shard,
+                    plan,
+                    warmup_s,
+                    include_uncachable,
+                    fault_plan,
+                    collect_timeline,
+                    timeline_bin_s,
+                    engine,
+                )
+                for spec_index, shard in tasks
+            ]
+        else:
+            from repro.runner.parallel import _worker_init
+
+            with ProcessPoolExecutor(
+                max_workers=jobs,
+                initializer=_worker_init,
+                initargs=(trace_cache_dir,),
+            ) as pool:
+                futures = [
+                    pool.submit(
+                        _shard_task,
+                        profile,
+                        seed,
+                        specs[spec_index],
+                        shard,
+                        plan,
+                        warmup_s,
+                        include_uncachable,
+                        fault_plan,
+                        collect_timeline,
+                        timeline_bin_s,
+                        engine,
+                    )
+                    for spec_index, shard in tasks
+                ]
+                outcomes = [future.result() for future in futures]
+
+    # Regroup: (spec index -> partition -> (metrics, rows)); completion
+    # order never matters because every partition lands in its slot.
+    by_spec: list[dict[int, tuple[SimMetrics, list[dict] | None]]] = [
+        {} for _ in specs
+    ]
+    partition_objects = [0] * plan.virtual_partitions
+    for (spec_index, _shard), task_results in zip(tasks, outcomes):
+        for partition, metrics, rows, objects in task_results:
+            by_spec[spec_index][partition] = (metrics, rows)
+            partition_objects[partition] = objects
+
+    results: dict[str, SimMetrics] = {}
+    partition_metrics: dict[str, list[SimMetrics]] = {}
+    timeline_rows: dict[str, list[dict]] = {}
+    partition_requests = [0] * plan.virtual_partitions
+    for spec_index in range(len(specs)):
+        slots = by_spec[spec_index]
+        ordered = [slots[partition] for partition in range(plan.virtual_partitions)]
+        merged: SimMetrics | None = None
+        for metrics, _rows in ordered:
+            if merged is None:
+                merged = SimMetrics(
+                    architecture=metrics.architecture,
+                    cost_model=metrics.cost_model,
+                )
+            merged.merge(metrics)
+        assert merged is not None  # virtual_partitions >= 1
+        if merged.architecture in results:
+            raise ValueError(
+                f"duplicate architecture name {merged.architecture!r}"
+            )
+        merged.validate()
+        results[merged.architecture] = merged
+        partition_metrics[merged.architecture] = [m for m, _ in ordered]
+        if spec_index == 0:
+            for partition, (metrics, _rows) in enumerate(ordered):
+                partition_requests[partition] = (
+                    metrics.measured_requests
+                    + metrics.warmup_requests
+                    + metrics.skipped_error
+                    + metrics.skipped_uncachable
+                )
+        if collect_timeline:
+            from repro.obs.telemetry import merge_timeline_rows
+
+            timeline_rows[merged.architecture] = merge_timeline_rows(
+                [rows for _metrics, rows in ordered]
+            )
+
+    if timeline_dir is not None:
+        import os
+
+        from repro.obs.export import write_timeline_jsonl
+
+        os.makedirs(timeline_dir, exist_ok=True)
+        for name, rows in timeline_rows.items():
+            write_timeline_jsonl(
+                rows, os.path.join(timeline_dir, f"{name}.jsonl")
+            )
+
+    return ShardedComparison(
+        plan=plan,
+        results=results,
+        partition_metrics=partition_metrics,
+        partition_requests=partition_requests,
+        partition_objects=partition_objects,
+        timeline_rows=timeline_rows,
+        wall_s=stopwatch.elapsed,
+    )

@@ -20,6 +20,23 @@ A module-level *active* cache backs :func:`cached_trace`, which is what
 `repro.experiments.base.trace_for` and the other generation sites call;
 installing a disk-backed cache (``--trace-cache DIR`` on the experiments
 CLI) upgrades every experiment at once.
+
+**Crash-recovery guarantees.**  The on-disk store is shared by every
+worker of a parallel (or sharded) run, so it must survive workers dying
+mid-write and foreign or truncated files appearing in the directory:
+
+* *Publishes are atomic*: a store writes ``.{fingerprint}.{pid}.tmp.npz``
+  and ``os.replace``\\ s it into place, so readers never observe a partial
+  ``<fingerprint>.npz``.
+* *Unreadable entries regenerate*: a truncated, corrupt, or foreign
+  ``.npz`` under a fingerprint name raises ``TraceFormatError`` inside
+  ``_load`` (the npz reader wraps member extraction, not just the open)
+  and the cache regenerates the trace instead of crashing the run.
+* *Temp files never leak*: a failed store unlinks its temp file on the
+  way out (and a failed disk write does not fail the ``get`` -- the trace
+  is already in memory), and each cache construction sweeps orphaned
+  ``.tmp.npz`` files left by killed processes, skipping any whose writer
+  pid is still alive.
 """
 
 from __future__ import annotations
@@ -88,6 +105,21 @@ class TraceCacheStats:
         )
 
 
+def _pid_alive(pid: int) -> bool:
+    """Whether ``pid`` names a live process on this host (signal-0 probe)."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - exists but not ours
+        return True
+    except OSError:  # pragma: no cover - platform oddity: assume alive
+        return True
+    return True
+
+
 class TraceCache:
     """Memoizing trace factory keyed by content fingerprint.
 
@@ -102,6 +134,7 @@ class TraceCache:
         self.directory = os.fspath(directory) if directory is not None else None
         self.stats = TraceCacheStats()
         self._memory: dict[str, Trace] = {}
+        self._sweep_orphans()
 
     def get(self, profile: WorkloadProfile, seed: int) -> Trace:
         """The trace for ``(profile, seed)``: memo, then disk, then generate."""
@@ -158,20 +191,55 @@ class TraceCache:
         self.stats.disk_hits += 1
         return trace
 
+    def _sweep_orphans(self) -> None:
+        """Remove ``.tmp.npz`` files orphaned by killed writer processes.
+
+        Temp names embed the writer's pid; a file whose writer is still
+        alive is left alone (it is mid-write and about to be renamed), so
+        the sweep is safe to run while sibling workers share the store.
+        """
+        if self.directory is None or not os.path.isdir(self.directory):
+            return
+        for name in os.listdir(self.directory):
+            if not (name.startswith(".") and name.endswith(".tmp.npz")):
+                continue
+            parts = name.split(".")
+            # ".{fingerprint}.{pid}.tmp.npz" -> ["", fp, pid, "tmp", "npz"]
+            try:
+                pid = int(parts[-3])
+            except (IndexError, ValueError):
+                pid = None
+            if pid is not None and _pid_alive(pid):
+                continue
+            try:
+                os.unlink(os.path.join(self.directory, name))
+            except OSError:
+                pass
+
     def _store(self, fingerprint: str, trace: Trace) -> None:
         if self.directory is None:
             return
-        os.makedirs(self.directory, exist_ok=True)
         path = self._path(fingerprint)
-        # Atomic publish: concurrent workers may race on the same
-        # fingerprint; both produce identical bytes and os.replace makes
-        # whichever finishes last win without readers ever seeing a
-        # partial file.
         temporary = os.path.join(
             self.directory, f".{fingerprint}.{os.getpid()}.tmp.npz"
         )
-        write_trace(trace, temporary)
-        os.replace(temporary, path)
+        # Atomic publish: concurrent workers may race on the same
+        # fingerprint; both produce identical bytes and os.replace makes
+        # whichever finishes last win without readers ever seeing a
+        # partial file.  A failed write (disk full, permissions) must not
+        # fail the run -- the trace is already in memory -- and must not
+        # leak its temp file.
+        try:
+            os.makedirs(self.directory, exist_ok=True)
+            write_trace(trace, temporary)
+            os.replace(temporary, path)
+        except OSError:
+            return
+        finally:
+            try:
+                os.unlink(temporary)
+            except OSError:
+                pass
         self.stats.disk_writes += 1
 
 

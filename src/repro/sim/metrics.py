@@ -86,6 +86,19 @@ class LatencyHistogram:
             return NotImplemented
         return self._count == other._count and self._bins == other._bins
 
+    def merge(self, other: "LatencyHistogram") -> None:
+        """Fold another histogram into this one (elementwise bin sums).
+
+        Exact: bins hold integer counts, so the fold is associative and
+        commutative -- merging per-shard histograms in any order equals
+        the unsharded histogram.
+        """
+        bins = self._bins
+        for index, count in enumerate(other._bins):
+            if count:
+                bins[index] += count
+        self._count += other._count
+
     def percentile(self, fraction: float) -> float:
         """The response time at the given quantile (0 < fraction <= 1).
 
@@ -132,6 +145,13 @@ class DegradedMetrics:
             or self.fault_added_ms > 0.0
         )
 
+    def merge(self, other: "DegradedMetrics") -> None:
+        """Fold another run's (or shard's) degraded counters into this one."""
+        self.faulted_requests += other.faulted_requests
+        self.stale_hint_forwards += other.stale_hint_forwards
+        self.timeout_fallbacks += other.timeout_fallbacks
+        self.fault_added_ms += other.fault_added_ms
+
     def summary(self) -> dict[str, float]:
         """Flat dict for table rendering (mirrors ``SimMetrics.summary``)."""
         return {
@@ -165,6 +185,18 @@ class StepAggregate:
         if self.count == 0:
             return 0.0
         return self.total_ms / self.count
+
+    def merge(self, other: "StepAggregate") -> None:
+        """Fold another aggregate of the same step kind into this one."""
+        if other.kind != self.kind:
+            raise ValueError(
+                f"cannot merge step kind {other.kind!r} into {self.kind!r}"
+            )
+        self.count += other.count
+        self.total_ms += other.total_ms
+        self.fault_ms += other.fault_ms
+        self.wasted += other.wasted
+        self.latency.merge(other.latency)
 
 
 @dataclass
@@ -251,6 +283,53 @@ class SimMetrics:
                 if step.wasted:
                     agg.wasted += 1
                 agg.latency.record(step.cost_ms)
+
+    def merge(self, other: "SimMetrics") -> None:
+        """Fold another run's counters into this one (the shard merge).
+
+        Both operands must describe the same architecture under the same
+        cost model -- the sharded runner merges per-partition results of
+        one comparison cell, never across cells.  Integer counters sum
+        exactly; float sums (``total_ms``, fault surcharges, per-step
+        totals) are folded in whatever order the caller chooses, which is
+        why :mod:`repro.runner.sharding` always folds in canonical
+        partition order -- fixing the float-addition order makes merged
+        results bit-identical for any shard count.
+        """
+        if other.architecture != self.architecture:
+            raise ValueError(
+                f"cannot merge metrics for {other.architecture!r} into "
+                f"{self.architecture!r}"
+            )
+        if other.cost_model != self.cost_model:
+            raise ValueError(
+                f"cannot merge metrics across cost models "
+                f"({other.cost_model!r} vs {self.cost_model!r})"
+            )
+        self.measured_requests += other.measured_requests
+        self.warmup_requests += other.warmup_requests
+        self.skipped_uncachable += other.skipped_uncachable
+        self.skipped_error += other.skipped_error
+        self.included_uncachable += other.included_uncachable
+        self.included_error += other.included_error
+        self.total_ms += other.total_ms
+        for point, count in other.requests_by_point.items():
+            self.requests_by_point[point] += count
+        for point, count in other.bytes_by_point.items():
+            self.bytes_by_point[point] += count
+        self.remote_hits += other.remote_hits
+        self.push_hits += other.push_hits
+        self.false_positives += other.false_positives
+        self.false_negatives += other.false_negatives
+        self.suboptimal_positives += other.suboptimal_positives
+        self.latency.merge(other.latency)
+        self.degraded.merge(other.degraded)
+        for kind, aggregate in other.steps.items():
+            mine = self.steps.get(kind)
+            if mine is None:
+                mine = self.steps[kind] = StepAggregate(kind=kind)
+            mine.merge(aggregate)
+        self.journeyed_requests += other.journeyed_requests
 
     def validate(self, *, expected_requests: int | None = None) -> None:
         """Check conservation invariants; raises ``ValueError`` on breakage.

@@ -14,6 +14,7 @@ Both round-trip exactly through :class:`~repro.traces.records.Trace`.
 from __future__ import annotations
 
 import os
+import zipfile
 from typing import TextIO
 
 import numpy as np
@@ -135,27 +136,34 @@ def _write_trace_npz(trace: Trace, path: str) -> None:
 
 
 def _read_trace_npz(path: str) -> Trace:
+    # The whole read -- open *and* member extraction -- sits inside one
+    # try.  ``np.load`` returns a lazy NpzFile: a truncated zip may open
+    # fine and only raise ``BadZipFile`` when a member is decompressed,
+    # and a foreign ``.npz`` raises ``KeyError`` on the first missing
+    # column.  Both must surface as ``TraceFormatError`` so
+    # ``TraceCache._load`` regenerates instead of crashing the run.
     try:
-        data = np.load(path, allow_pickle=False)
-    except (OSError, ValueError) as exc:
+        with np.load(path, allow_pickle=False) as data:
+            # Stay columnar: the request list is lazy, so a warm TraceCache
+            # load does not materialize per-request tuples just for the
+            # engine to re-pack them (the fast engine reads the arrays
+            # directly).
+            columns = TraceColumns(
+                time=np.ascontiguousarray(data["time"], dtype=np.float64),
+                client=np.ascontiguousarray(data["client"], dtype=np.int64),
+                object=np.ascontiguousarray(data["object"], dtype=np.int64),
+                size=np.ascontiguousarray(data["size"], dtype=np.int64),
+                version=np.ascontiguousarray(data["version"], dtype=np.int64),
+                cacheable=np.ascontiguousarray(data["cacheable"], dtype=bool),
+                error=np.ascontiguousarray(data["error"], dtype=bool),
+            )
+            return Trace.from_columns(
+                profile_name=str(data["profile_name"]),
+                columns=columns,
+                n_objects=int(data["n_objects"]),
+                n_clients=int(data["n_clients"]),
+                duration=float(data["duration"]),
+                warmup=float(data["warmup"]),
+            )
+    except (OSError, ValueError, KeyError, zipfile.BadZipFile) as exc:
         raise TraceFormatError(f"cannot read npz trace {path!r}: {exc}") from exc
-    # Stay columnar: the request list is lazy, so a warm TraceCache load
-    # does not materialize per-request tuples just for the engine to
-    # re-pack them (the fast engine reads the arrays directly).
-    columns = TraceColumns(
-        time=np.ascontiguousarray(data["time"], dtype=np.float64),
-        client=np.ascontiguousarray(data["client"], dtype=np.int64),
-        object=np.ascontiguousarray(data["object"], dtype=np.int64),
-        size=np.ascontiguousarray(data["size"], dtype=np.int64),
-        version=np.ascontiguousarray(data["version"], dtype=np.int64),
-        cacheable=np.ascontiguousarray(data["cacheable"], dtype=bool),
-        error=np.ascontiguousarray(data["error"], dtype=bool),
-    )
-    return Trace.from_columns(
-        profile_name=str(data["profile_name"]),
-        columns=columns,
-        n_objects=int(data["n_objects"]),
-        n_clients=int(data["n_clients"]),
-        duration=float(data["duration"]),
-        warmup=float(data["warmup"]),
-    )

@@ -1,0 +1,380 @@
+"""Sharded runner: shard-count invariance is the whole contract.
+
+The headline pins: ``run_comparison_sharded(shards=1)`` and
+``shards=4`` produce *equal* :class:`SimMetrics` (full dataclass
+equality, histograms included) and byte-identical timeline files, for
+any job count, any bounded-lag window, under replacement-policy
+pressure, and under fault plans.  Partitions share no object state and
+the coordinator folds them in canonical order, so nothing about the
+physical layout may leak into results.
+"""
+
+from __future__ import annotations
+
+import filecmp
+import os
+
+import pytest
+
+from repro.cache.policy import PolicySpec
+from repro.common.errors import ShardRoutingError
+from repro.common.ids import mix64, partition_of_object, partitions_of_objects
+from repro.faults import FaultPlan, NodeCrash, OriginSlowdown
+from repro.hierarchy.base import ShardInfo
+from repro.hierarchy.data_hierarchy import DataHierarchy
+from repro.hierarchy.directory_arch import CentralizedDirectoryArchitecture
+from repro.hierarchy.hint_hierarchy import HintHierarchy
+from repro.hierarchy.icp import IcpHierarchy
+from repro.netmodel.testbed import TestbedCostModel
+from repro.runner.sharding import (
+    ShardPlan,
+    advance_bounded_lag,
+    partition_spec,
+    run_comparison_sharded,
+    split_trace,
+)
+from repro.runner.specs import ArchitectureSpec
+from repro.sim.engine import SimulationStepper
+from tests.conftest import make_tiny_config
+
+ARCHITECTURES = {
+    "hierarchy": DataHierarchy,
+    "icp": IcpHierarchy,
+    "hints": HintHierarchy,
+    "directory": CentralizedDirectoryArchitecture,
+}
+
+
+def standard_specs(config):
+    """The full four-architecture matrix, unbounded caches."""
+    return [
+        ArchitectureSpec(cls, (config.topology, TestbedCostModel()))
+        for cls in ARCHITECTURES.values()
+    ]
+
+
+class TestShardPlan:
+    def test_rejects_zero_shards(self):
+        with pytest.raises(ValueError, match="shards"):
+            ShardPlan(shards=0)
+
+    def test_rejects_more_shards_than_partitions(self):
+        with pytest.raises(ValueError, match="virtual_partitions"):
+            ShardPlan(shards=5, virtual_partitions=4)
+
+    def test_rejects_non_positive_lag(self):
+        with pytest.raises(ValueError, match="clock_lag_s"):
+            ShardPlan(shards=1, clock_lag_s=0.0)
+
+    @pytest.mark.parametrize("shards", [1, 2, 3, 4, 7, 16])
+    def test_ownership_partitions_the_partition_set(self, shards):
+        plan = ShardPlan(shards=shards, virtual_partitions=16)
+        owned = [plan.partitions_of_shard(shard) for shard in range(shards)]
+        flat = sorted(p for group in owned for p in group)
+        assert flat == list(range(16))  # every partition exactly once
+        for shard, group in enumerate(owned):
+            for partition in group:
+                assert plan.owner_of(partition) == shard
+
+    def test_single_shard_owns_everything(self):
+        plan = ShardPlan(shards=1, virtual_partitions=16)
+        assert plan.partitions_of_shard(0) == tuple(range(16))
+
+    def test_owner_of_rejects_out_of_range(self):
+        plan = ShardPlan(shards=2, virtual_partitions=8)
+        with pytest.raises(ValueError, match="partition"):
+            plan.owner_of(8)
+        with pytest.raises(ValueError, match="shard"):
+            plan.partitions_of_shard(2)
+
+    def test_shard_info_round_trip(self):
+        plan = ShardPlan(shards=2, virtual_partitions=8)
+        info = plan.shard_info(3)
+        assert info == ShardInfo(partition=3, virtual_partitions=8)
+
+
+class TestPartitionHashing:
+    def test_scalar_hash_is_stable(self):
+        # Pinned: splitmix64 output must never drift (it addresses every
+        # on-disk partitioning and every cross-run comparison).
+        assert partition_of_object(0, 16) == partition_of_object(0, 16)
+        seen = {partition_of_object(obj, 16) for obj in range(1000)}
+        assert seen == set(range(16))  # all partitions populated
+
+    def test_vectorized_matches_scalar(self):
+        import numpy as np
+
+        objects = np.arange(5000, dtype=np.int64)
+        vector = partitions_of_objects(objects, 16)
+        assert [partition_of_object(int(o), 16) for o in objects[:200]] == list(
+            vector[:200]
+        )
+
+    def test_for_partition_reseeds_only_random(self):
+        lru = PolicySpec("lru")
+        assert lru.for_partition(3) is lru
+        random = PolicySpec("random", seed=99)
+        reseeded = random.for_partition(3)
+        assert reseeded.name == "random"
+        assert reseeded.seed == mix64(99, 3)
+        assert random.for_partition(3) == reseeded  # stable identity
+
+    def test_partition_spec_rewrites_policy_kwargs_only(self):
+        config = make_tiny_config()
+        spec = ArchitectureSpec(
+            DataHierarchy,
+            (config.topology, TestbedCostModel()),
+            dict(l1_bytes=1024, l1_policy=PolicySpec("random", seed=5)),
+        )
+        rewritten = partition_spec(spec, 7)
+        assert rewritten.kwargs["l1_bytes"] == 1024
+        assert rewritten.kwargs["l1_policy"].seed == mix64(5, 7)
+        # No PolicySpec kwargs -> the spec passes through untouched.
+        plain = ArchitectureSpec(DataHierarchy, spec.args)
+        assert partition_spec(plain, 7) is plain
+
+
+class TestSplitTrace:
+    def test_partitions_cover_the_trace(self, dec_trace):
+        plan = ShardPlan(shards=4, virtual_partitions=16)
+        subs = split_trace(dec_trace, plan)
+        assert len(subs) == 16
+        assert sum(len(s.requests) for s in subs) == len(dec_trace.requests)
+        for partition, sub in enumerate(subs):
+            assert sub.profile_name == dec_trace.profile_name
+            assert sub.duration == dec_trace.duration
+            assert sub.warmup == dec_trace.warmup
+            owners = partitions_of_objects(sub.columns().object, 16)
+            assert (owners == partition).all()
+
+    def test_sub_traces_stay_time_ordered(self, dec_trace):
+        plan = ShardPlan(shards=2, virtual_partitions=4)
+        for sub in split_trace(dec_trace, plan):
+            times = sub.columns().time
+            assert (times[1:] >= times[:-1]).all()
+
+
+class TestBoundedLag:
+    def test_lag_window_yields_full_drain_metrics(self, dec_trace, tiny_config):
+        plan = ShardPlan(shards=1, virtual_partitions=4, clock_lag_s=60.0)
+        subs = split_trace(dec_trace, plan)
+
+        def steppers():
+            return [
+                SimulationStepper(
+                    sub, DataHierarchy(tiny_config.topology, TestbedCostModel())
+                )
+                for sub in subs
+            ]
+
+        round_robin = steppers()
+        advance_bounded_lag(round_robin, lag_s=60.0)
+        one_shot = steppers()
+        advance_bounded_lag(one_shot, lag_s=10 * dec_trace.duration)
+        for tight, loose in zip(round_robin, one_shot):
+            assert tight.finish() == loose.finish()
+
+
+@pytest.fixture(scope="module")
+def tiny_comparisons(tmp_path_factory):
+    """shards=1 and shards=4 runs of the full matrix (shared, read-only)."""
+    config = make_tiny_config()
+    specs = standard_specs(config)
+    runs = {}
+    for shards in (1, 4):
+        timeline_dir = str(tmp_path_factory.mktemp(f"timeline-{shards}"))
+        runs[shards] = run_comparison_sharded(
+            config.profile("dec"),
+            config.seed,
+            specs,
+            shards=shards,
+            timeline_dir=timeline_dir,
+        )
+    return runs
+
+
+class TestShardCountInvariance:
+    def test_metrics_identical_across_shard_counts(self, tiny_comparisons):
+        one, four = tiny_comparisons[1], tiny_comparisons[4]
+        assert list(one.results) == list(four.results) == list(ARCHITECTURES)
+        for name in ARCHITECTURES:
+            assert one.results[name] == four.results[name], name
+
+    def test_timeline_rows_identical_across_shard_counts(self, tiny_comparisons):
+        one, four = tiny_comparisons[1], tiny_comparisons[4]
+        assert one.timeline_rows == four.timeline_rows
+
+    def test_partition_layout_identical_across_shard_counts(
+        self, tiny_comparisons
+    ):
+        one, four = tiny_comparisons[1], tiny_comparisons[4]
+        assert one.partition_requests == four.partition_requests
+        assert one.partition_objects == four.partition_objects
+        # The fullest shard shrinks as shards grow -- that is the point.
+        assert four.max_shard_objects < one.max_shard_objects
+        assert one.max_shard_objects == sum(one.partition_objects)
+
+    def test_requests_conserved(self, tiny_comparisons, dec_trace):
+        for comparison in tiny_comparisons.values():
+            assert sum(comparison.partition_requests) == len(dec_trace.requests)
+            comparison.results["hierarchy"].validate()
+
+    def test_lag_value_never_changes_results(self, tiny_comparisons):
+        config = make_tiny_config()
+        tight = run_comparison_sharded(
+            config.profile("dec"),
+            config.seed,
+            standard_specs(config),
+            shards=3,
+            clock_lag_s=5.0,
+        )
+        assert tight.results == tiny_comparisons[1].results
+
+    def test_jobs_and_timeline_files_identical(self, tmp_path, tiny_comparisons):
+        config = make_tiny_config()
+        timeline_dir = str(tmp_path / "timeline")
+        fanned = run_comparison_sharded(
+            config.profile("dec"),
+            config.seed,
+            standard_specs(config),
+            shards=4,
+            jobs=4,
+            trace_cache_dir=str(tmp_path / "store"),
+            timeline_dir=timeline_dir,
+        )
+        assert fanned.results == tiny_comparisons[4].results
+        inline_dir = str(tmp_path / "timeline-inline")
+        inline = run_comparison_sharded(
+            config.profile("dec"),
+            config.seed,
+            standard_specs(config),
+            shards=1,
+            timeline_dir=inline_dir,
+        )
+        assert inline.results == fanned.results
+        for name in ARCHITECTURES:
+            assert filecmp.cmp(
+                os.path.join(inline_dir, f"{name}.jsonl"),
+                os.path.join(timeline_dir, f"{name}.jsonl"),
+                shallow=False,
+            ), name
+
+    def test_random_policy_invariant_under_capacity_pressure(self):
+        # Satellite: per-node Random seeds derive from stable identity
+        # plus the partition id, never from shard layout -- so even the
+        # stochastic policy pins across shard counts.
+        config = make_tiny_config()
+        kwargs = dict(
+            l1_bytes=256 * 1024,
+            l2_bytes=256 * 1024,
+            l3_bytes=256 * 1024,
+            l1_policy=PolicySpec("random", seed=41),
+            l2_policy=PolicySpec("random", seed=42),
+            l3_policy=PolicySpec("random", seed=43),
+        )
+        specs = [
+            ArchitectureSpec(
+                DataHierarchy, (config.topology, TestbedCostModel()), kwargs
+            )
+        ]
+        runs = {
+            shards: run_comparison_sharded(
+                config.profile("dec"), config.seed, specs, shards=shards
+            )
+            for shards in (1, 4)
+        }
+        result = runs[1].results["hierarchy"]
+        assert result == runs[4].results["hierarchy"]
+        assert result.measured_requests > 0
+
+    def test_fault_plan_invariant(self):
+        config = make_tiny_config()
+        plan = FaultPlan(
+            events=(
+                NodeCrash(time=0.0, kind="l2", node=0),
+                OriginSlowdown(time=3600.0, factor=2.0),
+            ),
+            seed=config.seed,
+        )
+        specs = standard_specs(config)[:2]
+        runs = {
+            shards: run_comparison_sharded(
+                config.profile("dec"),
+                config.seed,
+                specs,
+                shards=shards,
+                fault_plan=plan,
+            )
+            for shards in (1, 2)
+        }
+        assert runs[1].results == runs[2].results
+        degraded = runs[1].results["hierarchy"].degraded
+        assert degraded.fault_added_ms > 0 or degraded.timeout_fallbacks > 0
+
+    def test_fast_engine_matches_reference(self, tiny_comparisons):
+        config = make_tiny_config()
+        fast = run_comparison_sharded(
+            config.profile("dec"),
+            config.seed,
+            standard_specs(config),
+            shards=4,
+            engine="fast",
+        )
+        assert fast.results == tiny_comparisons[4].results
+
+    def test_duplicate_architecture_name_rejected(self):
+        config = make_tiny_config()
+        specs = standard_specs(config)[:1] * 2
+        with pytest.raises(ValueError, match="duplicate"):
+            run_comparison_sharded(
+                config.profile("dec"), config.seed, specs, shards=2
+            )
+
+    def test_rejects_bad_jobs(self):
+        config = make_tiny_config()
+        with pytest.raises(ValueError, match="jobs"):
+            run_comparison_sharded(
+                config.profile("dec"),
+                config.seed,
+                standard_specs(config),
+                shards=1,
+                jobs=0,
+            )
+
+
+class TestShardRouting:
+    def test_misrouted_request_raises(self, dec_trace, tiny_config):
+        plan = ShardPlan(shards=4, virtual_partitions=16)
+        architecture = DataHierarchy(tiny_config.topology, TestbedCostModel())
+        architecture.bind_shard(plan.shard_info(0))
+        foreign = next(
+            r
+            for r in dec_trace.requests
+            if partition_of_object(r.object_id, 16) != 0
+        )
+        with pytest.raises(ShardRoutingError, match="does not own"):
+            architecture.process(foreign)
+
+    def test_owned_request_processes(self, dec_trace, tiny_config):
+        architecture = DataHierarchy(tiny_config.topology, TestbedCostModel())
+        info = ShardInfo(partition=0, virtual_partitions=16)
+        architecture.bind_shard(info)
+        owned = next(
+            r for r in dec_trace.requests if info.owns(r.object_id)
+        )
+        result = architecture.process(owned)
+        assert result.time_ms >= 0
+
+    def test_bind_shard_rejects_warmed_architecture(self, dec_trace, tiny_config):
+        from repro.sim.engine import run_simulation
+
+        architecture = DataHierarchy(tiny_config.topology, TestbedCostModel())
+        run_simulation(dec_trace, architecture)
+        with pytest.raises(ValueError, match="processed"):
+            architecture.bind_shard(ShardInfo(partition=0, virtual_partitions=16))
+
+    def test_shard_info_validates(self):
+        with pytest.raises(ValueError):
+            ShardInfo(partition=4, virtual_partitions=4)
+        with pytest.raises(ValueError):
+            ShardInfo(partition=-1, virtual_partitions=4)

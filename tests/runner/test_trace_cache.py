@@ -174,3 +174,68 @@ class TestSharedTraceMetricsEquality:
             assert metrics.total_ms == first.total_ms
             assert metrics.requests_by_point == first.requests_by_point
             assert metrics.mean_response_ms == first.mean_response_ms
+
+
+class TestStoreCrashRecovery:
+    """Regression: a failed store must not leak ``.tmp.npz`` orphans."""
+
+    @staticmethod
+    def _temp_files(directory):
+        return [
+            name
+            for name in os.listdir(directory)
+            if name.endswith(".tmp.npz")
+        ]
+
+    def test_failed_store_leaves_no_temp_files(self, tmp_path, monkeypatch):
+        import repro.runner.trace_cache as module
+
+        def exploding_write(trace, path):
+            with open(path, "wb") as stream:
+                stream.write(b"partial")
+            raise OSError("disk full")
+
+        monkeypatch.setattr(module, "write_trace", exploding_write)
+        cache = TraceCache(tmp_path)
+        trace = cache.get(PROFILE, SEED)  # store fails, get succeeds
+        assert trace.profile_name == PROFILE.name
+        assert self._temp_files(tmp_path) == []
+        assert cache.stats.disk_writes == 0
+        assert cache.stats.generations == 1
+
+        # A later get on a fresh cache regenerates cleanly (nothing on
+        # disk) once writing works again.
+        monkeypatch.undo()
+        later = TraceCache(tmp_path)
+        assert_traces_identical(later.get(PROFILE, SEED), trace)
+        assert later.stats.generations == 1
+        assert later.stats.disk_writes == 1
+        assert self._temp_files(tmp_path) == []
+
+    def test_construction_sweeps_dead_writer_orphans(self, tmp_path):
+        fingerprint = trace_fingerprint(PROFILE, SEED)
+        # A pid that cannot be alive: our own pid is live, so use a huge
+        # one past any default pid_max.
+        orphan = os.path.join(tmp_path, f".{fingerprint}.99999999.tmp.npz")
+        with open(orphan, "wb") as stream:
+            stream.write(b"leftover from a killed worker")
+        TraceCache(tmp_path)
+        assert not os.path.exists(orphan)
+
+    def test_sweep_spares_live_writer_temp_files(self, tmp_path):
+        fingerprint = trace_fingerprint(PROFILE, SEED)
+        live = os.path.join(tmp_path, f".{fingerprint}.{os.getpid()}.tmp.npz")
+        with open(live, "wb") as stream:
+            stream.write(b"mid-write by a live process")
+        TraceCache(tmp_path)
+        assert os.path.exists(live)
+        os.unlink(live)
+
+    def test_sweep_ignores_regular_entries(self, tmp_path):
+        cache = TraceCache(tmp_path)
+        cache.get(PROFILE, SEED)
+        fingerprint = trace_fingerprint(PROFILE, SEED)
+        again = TraceCache(tmp_path)
+        assert os.path.exists(os.path.join(tmp_path, f"{fingerprint}.npz"))
+        assert again.get(PROFILE, SEED).profile_name == PROFILE.name
+        assert again.stats.disk_hits == 1

@@ -1,0 +1,193 @@
+"""Merge folds are an exact commutative monoid (property-based).
+
+The sharded runner's correctness rests on one algebraic fact: folding
+per-partition metrics in *any* order telescopes to the unsharded totals.
+Counters are integers and every float here is a binary fraction small
+enough that IEEE-754 addition is exact, so the properties hold with
+``==`` -- no tolerance, mirroring the shard-count-invariance pins.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netmodel.model import AccessPoint
+from repro.runner.trace_cache import TraceCacheStats
+from repro.sim.metrics import (
+    DegradedMetrics,
+    LatencyHistogram,
+    SimMetrics,
+    StepAggregate,
+)
+
+#: Exact binary fractions (multiples of 1/1024, modest magnitude): sums
+#: of a few hundred of these never round, so float folds stay exact.
+exact_ms = st.integers(min_value=0, max_value=2**20).map(lambda n: n / 1024)
+counts = st.integers(min_value=0, max_value=10_000)
+#: Samples above 0.1 ms so histogram binning is unambiguous.
+latency_samples = st.lists(
+    st.integers(min_value=1, max_value=2**20).map(lambda n: n / 256),
+    max_size=20,
+)
+STEP_KINDS = ("local_lookup", "peer_probe", "origin_fetch")
+
+
+@st.composite
+def histograms(draw):
+    histogram = LatencyHistogram()
+    for sample in draw(latency_samples):
+        histogram.record(sample)
+    return histogram
+
+
+@st.composite
+def step_aggregates(draw, kind="local_lookup"):
+    return StepAggregate(
+        kind=kind,
+        count=draw(counts),
+        total_ms=draw(exact_ms),
+        fault_ms=draw(exact_ms),
+        wasted=draw(counts),
+        latency=draw(histograms()),
+    )
+
+
+@st.composite
+def degraded_metrics(draw):
+    return DegradedMetrics(
+        faulted_requests=draw(counts),
+        stale_hint_forwards=draw(counts),
+        timeout_fallbacks=draw(counts),
+        fault_added_ms=draw(exact_ms),
+    )
+
+
+@st.composite
+def sim_metrics(draw):
+    metrics = SimMetrics(architecture="arch", cost_model="testbed")
+    metrics.measured_requests = draw(counts)
+    metrics.warmup_requests = draw(counts)
+    metrics.skipped_uncachable = draw(counts)
+    metrics.skipped_error = draw(counts)
+    metrics.total_ms = draw(exact_ms)
+    metrics.remote_hits = draw(counts)
+    metrics.push_hits = draw(counts)
+    metrics.false_positives = draw(counts)
+    metrics.false_negatives = draw(counts)
+    metrics.suboptimal_positives = draw(counts)
+    metrics.journeyed_requests = draw(counts)
+    for point in AccessPoint:
+        metrics.requests_by_point[point] = draw(counts)
+        metrics.bytes_by_point[point] = draw(counts)
+    metrics.latency = draw(histograms())
+    metrics.degraded = draw(degraded_metrics())
+    for kind in draw(st.sets(st.sampled_from(STEP_KINDS))):
+        metrics.steps[kind] = draw(step_aggregates(kind=kind))
+    return metrics
+
+
+@st.composite
+def cache_stats(draw):
+    return TraceCacheStats(
+        generations=draw(counts),
+        generation_seconds=draw(exact_ms),
+        memory_hits=draw(counts),
+        disk_hits=draw(counts),
+        disk_writes=draw(counts),
+    )
+
+
+def fold(parts, empty):
+    """Merge ``parts`` left-to-right into a fresh ``empty`` accumulator."""
+    for part in parts:
+        empty.merge(part)
+    return empty
+
+
+class TestOrderInsensitivity:
+    @settings(max_examples=50)
+    @given(st.lists(sim_metrics(), max_size=5), st.randoms())
+    def test_sim_metrics(self, parts, rng):
+        shuffled = list(parts)
+        rng.shuffle(shuffled)
+        forward = fold(parts, SimMetrics(architecture="arch", cost_model="testbed"))
+        permuted = fold(
+            shuffled, SimMetrics(architecture="arch", cost_model="testbed")
+        )
+        assert forward == permuted
+
+    @settings(max_examples=50)
+    @given(st.lists(step_aggregates(), max_size=5), st.randoms())
+    def test_step_aggregates(self, parts, rng):
+        shuffled = list(parts)
+        rng.shuffle(shuffled)
+        assert fold(parts, StepAggregate(kind="local_lookup")) == fold(
+            shuffled, StepAggregate(kind="local_lookup")
+        )
+
+    @settings(max_examples=50)
+    @given(st.lists(cache_stats(), max_size=5), st.randoms())
+    def test_cache_stats(self, parts, rng):
+        shuffled = list(parts)
+        rng.shuffle(shuffled)
+        assert fold(parts, TraceCacheStats()) == fold(shuffled, TraceCacheStats())
+
+
+class TestTelescoping:
+    @settings(max_examples=50)
+    @given(st.lists(sim_metrics(), min_size=2, max_size=6))
+    def test_partial_folds_compose(self, parts):
+        # Fold halves separately, then fold the halves: must equal the
+        # flat fold (this is exactly shards=2 vs shards=1).
+        def empty():
+            return SimMetrics(architecture="arch", cost_model="testbed")
+
+        middle = len(parts) // 2
+        left = fold(parts[:middle], empty())
+        right = fold(parts[middle:], empty())
+        assert fold([left, right], empty()) == fold(parts, empty())
+
+    @settings(max_examples=50)
+    @given(latency_samples, st.integers(min_value=1, max_value=4))
+    def test_histogram_merge_equals_recording_everything(self, samples, pieces):
+        whole = LatencyHistogram()
+        for sample in samples:
+            whole.record(sample)
+        shards = [LatencyHistogram() for _ in range(pieces)]
+        for index, sample in enumerate(samples):
+            shards[index % pieces].record(sample)
+        merged = LatencyHistogram()
+        for shard in shards:
+            merged.merge(shard)
+        assert merged == whole
+        assert len(merged) == len(samples)
+
+    @settings(max_examples=50)
+    @given(st.lists(cache_stats(), max_size=6))
+    def test_cache_stats_telescope_to_component_sums(self, parts):
+        total = fold(parts, TraceCacheStats())
+        assert total.generations == sum(p.generations for p in parts)
+        assert total.disk_hits == sum(p.disk_hits for p in parts)
+        assert total.generation_seconds == sum(
+            p.generation_seconds for p in parts
+        )
+
+
+class TestMergeRefusesMismatches:
+    def test_step_aggregate_kind_mismatch(self):
+        with pytest.raises(ValueError, match="kind"):
+            StepAggregate(kind="peer_probe").merge(StepAggregate(kind="timeout"))
+
+    def test_sim_metrics_architecture_mismatch(self):
+        ours = SimMetrics(architecture="icp", cost_model="testbed")
+        theirs = SimMetrics(architecture="hints", cost_model="testbed")
+        with pytest.raises(ValueError, match="cannot merge metrics for"):
+            ours.merge(theirs)
+
+    def test_sim_metrics_cost_model_mismatch(self):
+        ours = SimMetrics(architecture="icp", cost_model="testbed")
+        theirs = SimMetrics(architecture="icp", cost_model="uniform")
+        with pytest.raises(ValueError, match="cost"):
+            ours.merge(theirs)

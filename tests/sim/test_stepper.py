@@ -1,0 +1,55 @@
+"""SimulationStepper: slicing a run never changes its result.
+
+``run_simulation`` itself drives the stepper (construct, full-drain
+``advance()``, ``finish()``), so the only behaviour to pin is that
+*partial* advances compose: any slicing schedule must telescope to the
+one-shot metrics, and the epilogue must refuse to run early.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hierarchy.data_hierarchy import DataHierarchy
+from repro.hierarchy.hint_hierarchy import HintHierarchy
+from repro.netmodel.testbed import TestbedCostModel
+from repro.sim.engine import SimulationStepper, run_simulation
+
+
+def fresh(cls, tiny_config):
+    return cls(tiny_config.topology, TestbedCostModel())
+
+
+@pytest.mark.parametrize("cls", [DataHierarchy, HintHierarchy])
+def test_sliced_advance_matches_one_shot(cls, tiny_config, dec_trace):
+    one_shot = run_simulation(dec_trace, fresh(cls, tiny_config))
+    stepper = SimulationStepper(dec_trace, fresh(cls, tiny_config))
+    horizon, day = 0.0, 86_400.0
+    while not stepper.exhausted:
+        horizon += day
+        stepper.advance(until=horizon)
+    assert stepper.finish() == one_shot
+
+
+def test_advance_respects_the_horizon(tiny_config, dec_trace):
+    stepper = SimulationStepper(dec_trace, fresh(DataHierarchy, tiny_config))
+    cutoff = dec_trace.duration / 2
+    stepper.advance(until=cutoff)
+    assert not stepper.exhausted
+    assert stepper.next_time > cutoff  # everything at or before is consumed
+    stepper.advance()
+    assert stepper.exhausted
+    assert stepper.next_time is None
+
+
+def test_finish_refuses_before_drain(tiny_config, dec_trace):
+    stepper = SimulationStepper(dec_trace, fresh(DataHierarchy, tiny_config))
+    stepper.advance(until=dec_trace.requests[0].time)
+    with pytest.raises(ValueError, match="pending"):
+        stepper.finish()
+
+
+def test_finish_is_idempotent(tiny_config, dec_trace):
+    stepper = SimulationStepper(dec_trace, fresh(DataHierarchy, tiny_config))
+    stepper.advance()
+    assert stepper.finish() is stepper.finish()

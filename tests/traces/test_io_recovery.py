@@ -1,0 +1,118 @@
+"""Regression tests: corrupt/foreign ``.npz`` files raise ``TraceFormatError``.
+
+Before the fix, ``_read_trace_npz`` wrapped only the ``np.load`` call, so
+a truncated zip (zipfile raises lazily, on member read) or a foreign
+``.npz`` missing a column (``KeyError``) escaped as an uncaught exception
+-- crashing the run at the exact spot ``TraceCache._load`` is documented
+to regenerate.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.common.errors import TraceFormatError
+from repro.runner.fingerprint import trace_fingerprint
+from repro.runner.trace_cache import TraceCache
+from repro.traces.io import read_trace, write_trace
+from repro.traces.records import Request, Trace
+from tests.runner.test_trace_cache import PROFILE, SEED, assert_traces_identical
+
+
+@pytest.fixture()
+def trace():
+    requests = [
+        Request(time=0.5, client_id=1, object_id=10, size=2048, version=0),
+        Request(time=1.25, client_id=2, object_id=11, size=4096, version=1),
+    ]
+    return Trace(
+        profile_name="unit",
+        requests=requests,
+        n_objects=12,
+        n_clients=3,
+        duration=100.0,
+        warmup=1.0,
+    )
+
+
+def test_truncated_npz_raises_trace_format_error(tmp_path, trace):
+    path = os.path.join(tmp_path, "trace.npz")
+    write_trace(trace, path)
+    payload = open(path, "rb").read()
+    # Drop the tail: depending on where the cut lands, zipfile fails at
+    # open (broken central directory) or lazily at member decompression;
+    # both must surface as TraceFormatError.
+    for keep in (len(payload) // 2, len(payload) - 20):
+        with open(path, "wb") as stream:
+            stream.write(payload[:keep])
+        with pytest.raises(TraceFormatError, match="npz"):
+            read_trace(path)
+
+
+def test_foreign_npz_raises_trace_format_error(tmp_path):
+    path = os.path.join(tmp_path, "foreign.npz")
+    # A perfectly valid .npz that simply is not a trace: member extraction
+    # raises KeyError, which must come back as TraceFormatError.
+    np.savez_compressed(path, weights=np.arange(3), bias=np.zeros(2))
+    with pytest.raises(TraceFormatError, match="npz"):
+        read_trace(path)
+
+
+def test_wrong_dtype_npz_raises_trace_format_error(tmp_path):
+    path = os.path.join(tmp_path, "badtype.npz")
+    np.savez_compressed(
+        path,
+        profile_name=np.array("x"),
+        n_objects=np.array(1),
+        n_clients=np.array(1),
+        duration=np.array(1.0),
+        warmup=np.array(0.0),
+        time=np.array(["not", "a", "float"]),
+        client=np.zeros(3, dtype=np.int64),
+        object=np.zeros(3, dtype=np.int64),
+        size=np.ones(3, dtype=np.int64),
+        version=np.zeros(3, dtype=np.int64),
+        cacheable=np.ones(3, dtype=bool),
+        error=np.zeros(3, dtype=bool),
+    )
+    with pytest.raises(TraceFormatError):
+        read_trace(path)
+
+
+class TestCacheRegeneratesOnBadEntries:
+    """The end-to-end property the bug broke: bad store entries regenerate."""
+
+    def _poison(self, directory: str, payload: bytes) -> str:
+        fingerprint = trace_fingerprint(PROFILE, SEED)
+        path = os.path.join(directory, f"{fingerprint}.npz")
+        with open(path, "wb") as stream:
+            stream.write(payload)
+        return path
+
+    def test_truncated_store_entry_regenerates(self, tmp_path):
+        warm = TraceCache(tmp_path)
+        expected = warm.get(PROFILE, SEED)
+        fingerprint = trace_fingerprint(PROFILE, SEED)
+        path = os.path.join(tmp_path, f"{fingerprint}.npz")
+        payload = open(path, "rb").read()
+        self._poison(os.fspath(tmp_path), payload[: len(payload) - 20])
+
+        cache = TraceCache(tmp_path)
+        trace = cache.get(PROFILE, SEED)
+        assert_traces_identical(trace, expected)
+        assert cache.stats.generations == 1
+        assert cache.stats.disk_hits == 0
+
+    def test_foreign_store_entry_regenerates(self, tmp_path):
+        fingerprint = trace_fingerprint(PROFILE, SEED)
+        np.savez_compressed(
+            os.path.join(tmp_path, f"{fingerprint}.npz"), weights=np.arange(4)
+        )
+        cache = TraceCache(tmp_path)
+        trace = cache.get(PROFILE, SEED)
+        assert trace.profile_name == PROFILE.name
+        assert cache.stats.generations == 1
+        assert cache.stats.disk_hits == 0
